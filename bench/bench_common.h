@@ -1,0 +1,64 @@
+// Shared helpers for the table/figure reproduction benches.
+#ifndef TQP_BENCH_BENCH_COMMON_H_
+#define TQP_BENCH_BENCH_COMMON_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "core/catalog.h"
+#include "exec/evaluator.h"
+#include "workload/generator.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace bench {
+
+inline void Banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// A catalog with the paper's relations scaled by `scale` employees.
+inline Catalog ScaledCatalog(size_t scale, Site site = Site::kDbms) {
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("EMPLOYEE", ScaledEmployee(scale),
+                                           site)
+                .ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("PROJECT", ScaledProject(scale),
+                                           site)
+                .ok());
+  return catalog;
+}
+
+/// A messy temporal relation sized n with the given phenomena fractions.
+inline Relation MessyTemporal(size_t n, double dup, double adj, double over,
+                              uint64_t seed = 99) {
+  RelationGenParams p;
+  p.cardinality = n;
+  p.num_names = std::max<size_t>(4, n / 16);
+  p.duplicate_fraction = dup;
+  p.adjacency_fraction = adj;
+  p.overlap_fraction = over;
+  p.time_horizon = static_cast<TimePoint>(8 * n);
+  p.max_period_length = 40;
+  p.seed = seed;
+  return GenerateRelation(p);
+}
+
+}  // namespace bench
+}  // namespace tqp
+
+#endif  // TQP_BENCH_BENCH_COMMON_H_

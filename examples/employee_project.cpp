@@ -1,0 +1,81 @@
+// The paper's running example (Sections 2.1, 5.2, 6), end to end:
+// Figure 1 relations, the Figure 2(a) initial plan with its property
+// annotations (Figure 6 style), the optimization walkthrough, and the exact
+// result table from Figure 1.
+//
+// Build & run:  ./build/examples/employee_project
+#include <cstdio>
+
+#include "algebra/printer.h"
+#include "core/equivalence.h"
+#include "exec/evaluator.h"
+#include "opt/optimizer.h"
+#include "tql/translator.h"
+#include "workload/paper_example.h"
+
+using namespace tqp;  // NOLINT — example code
+
+int main() {
+  Catalog catalog = PaperCatalog();
+
+  std::printf("%s\n", PaperEmployee().ToTable("EMPLOYEE").c_str());
+  std::printf("%s\n", PaperProject().ToTable("PROJECT").c_str());
+
+  std::printf(
+      "Query: \"Which employees worked in a department, but not on any\n"
+      "project, and when?\" — sorted, coalesced, without snapshot "
+      "duplicates.\n\nTQL:\n  %s\n\n",
+      PaperQueryText().c_str());
+
+  Result<TranslatedQuery> q = CompileQuery(PaperQueryText(), catalog);
+  TQP_CHECK(q.ok());
+
+  PrintOptions opts;
+  opts.show_properties = true;
+  opts.show_site = true;
+  Result<AnnotatedPlan> initial =
+      AnnotatedPlan::Make(q->plan, &catalog, q->contract);
+  TQP_CHECK(initial.ok());
+  std::printf(
+      "Initial plan — Figure 2(a); brackets are "
+      "[OrderRequired DuplicatesRelevant PeriodPreserving]:\n%s\n",
+      PrintPlan(initial.value(), opts).c_str());
+
+  Result<OptimizeResult> opt = Optimize(q->plan, catalog, q->contract,
+                                        DefaultRuleSet());
+  TQP_CHECK(opt.ok());
+  std::printf("Optimization: %zu equivalent plans, estimated cost %.0f -> "
+              "%.0f\nDerivation:",
+              opt->plans_considered, opt->initial_cost, opt->best_cost);
+  for (const std::string& rule : opt->derivation) {
+    std::printf(" %s", rule.c_str());
+  }
+
+  Result<AnnotatedPlan> best =
+      AnnotatedPlan::Make(opt->best_plan, &catalog, q->contract);
+  TQP_CHECK(best.ok());
+  std::printf("\n\nOptimized plan — compare Figure 2(b)/6(b):\n%s\n",
+              PrintPlan(best.value(), opts).c_str());
+
+  ExecStats initial_stats, best_stats;
+  Result<Relation> r_initial =
+      Evaluate(initial.value(), EngineConfig{}, &initial_stats);
+  Result<Relation> r_best = Evaluate(best.value(), EngineConfig{}, &best_stats);
+  TQP_CHECK(r_initial.ok() && r_best.ok());
+
+  std::printf("%s\n", r_best->ToTable("Result — Figure 1, bottom right:")
+                          .c_str());
+  bool matches = EquivalentAsLists(r_initial.value(), PaperExpectedResult());
+  std::printf("Initial plan reproduces the paper's table exactly: %s\n",
+              matches ? "yes" : "NO");
+  std::printf("Both plans agree (as multisets): %s\n",
+              EquivalentAsMultisets(r_initial.value(), r_best.value())
+                  ? "yes"
+                  : "NO");
+  std::printf(
+      "Simulated work: initial %.0f units -> optimized %.0f units "
+      "(%.1fx)\n",
+      initial_stats.total_work(), best_stats.total_work(),
+      initial_stats.total_work() / best_stats.total_work());
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Static plan analysis: schemas, order, guarantees, sites, cardinalities
+// (bottom-up) and the Table 2 applicability properties (top-down).
+//
+// The bottom-up pass realizes the static columns of Table 1: the order of
+// each operation's result (the Order(r) function), its cardinality estimate,
+// and whether it eliminates/retains/generates duplicates and
+// enforces/retains/destroys coalescing — expressed here as sufficient
+// *guarantees* (duplicate_free, snapshot_duplicate_free, coalesced) that rule
+// preconditions consult.
+//
+// The top-down pass assigns the three Boolean properties of Table 2
+// (OrderRequired, DuplicatesRelevant, PeriodPreserving) from the query's
+// ≡SQL contract (Definition 5.1), which the enumeration algorithm (Figure 5)
+// uses to gate transformation rules of each equivalence type.
+#ifndef TQP_ALGEBRA_DERIVATION_H_
+#define TQP_ALGEBRA_DERIVATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "core/catalog.h"
+
+namespace tqp {
+
+/// The type of result a user-level query specifies (Definition 5.1):
+/// ORDER BY present => list; DISTINCT without ORDER BY => set; neither =>
+/// multiset.
+enum class ResultType { kList, kMultiset, kSet };
+
+const char* ResultTypeName(ResultType t);
+
+/// The ≡SQL contract of a query: result type plus the ORDER BY spec (only
+/// meaningful for kList).
+struct QueryContract {
+  ResultType result_type = ResultType::kMultiset;
+  SortSpec order_by;
+
+  static QueryContract List(SortSpec order) {
+    return QueryContract{ResultType::kList, std::move(order)};
+  }
+  static QueryContract Multiset() { return QueryContract{}; }
+  static QueryContract Set() {
+    return QueryContract{ResultType::kSet, {}};
+  }
+};
+
+/// Tunable estimation parameters for the cardinality model.
+struct CardinalityParams {
+  double default_selectivity = 0.33;
+  double equality_selectivity = 0.1;
+  double product_t_overlap = 0.3;    // fraction of pairs with overlapping periods
+  double rdup_shrink = 0.5;          // |rdup(r)| / |r|
+  double coalesce_shrink = 0.6;      // |coalT(r)| / |r|
+  double group_shrink = 0.2;         // groups per input tuple
+};
+
+/// Everything the optimizer statically knows about one operator's output.
+struct NodeInfo {
+  Schema schema;
+  /// Statically known sort order of the output list (Table 1, Order column).
+  SortSpec order;
+  Site site = Site::kDbms;
+  /// Sufficient guarantees (may be false even when the data happens to
+  /// satisfy the property).
+  bool duplicate_free = false;
+  bool snapshot_duplicate_free = false;
+  bool coalesced = false;
+  double cardinality = 0.0;
+
+  // Table 2 applicability properties (top-down).
+  bool order_required = true;
+  bool duplicates_relevant = true;
+  bool period_preserving = true;
+
+  bool is_temporal() const { return schema.IsTemporal(); }
+
+  /// "[T - T]"-style rendering used by Figure 6 output.
+  std::string PropertiesBrackets() const;
+};
+
+/// An annotated plan: the tree plus per-node derived information.
+/// Annotations are keyed by node identity; a plan must be a proper tree
+/// (no shared subtrees), which rewrite rules maintain.
+class AnnotatedPlan {
+ public:
+  /// Runs both analysis passes; fails on malformed plans (unknown relations,
+  /// schema mismatches, site inconsistencies, temporal ops on snapshot
+  /// inputs, ...).
+  static Result<AnnotatedPlan> Make(PlanPtr plan, const Catalog* catalog,
+                                    QueryContract contract,
+                                    CardinalityParams params = {});
+
+  const PlanPtr& plan() const { return plan_; }
+  const QueryContract& contract() const { return contract_; }
+  const Catalog& catalog() const { return *catalog_; }
+
+  const NodeInfo& info(const PlanNode* node) const;
+  const NodeInfo& root_info() const { return info(plan_.get()); }
+
+ private:
+  AnnotatedPlan() = default;
+
+  PlanPtr plan_;
+  const Catalog* catalog_ = nullptr;
+  QueryContract contract_;
+  std::unordered_map<const PlanNode*, NodeInfo> info_;
+};
+
+/// Derives the result type of a scalar expression against an input schema.
+Result<ValueType> DeriveExprType(const ExprPtr& expr, const Schema& schema);
+
+/// Derives the output schema of a single operator given child schemas.
+/// Exposed for the executor, which must agree with the planner exactly.
+Result<Schema> DeriveSchema(const PlanNode& node,
+                            const std::vector<Schema>& child_schemas,
+                            const Catalog& catalog);
+
+}  // namespace tqp
+
+#endif  // TQP_ALGEBRA_DERIVATION_H_

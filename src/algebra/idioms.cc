@@ -1,0 +1,93 @@
+#include "algebra/idioms.h"
+
+namespace tqp {
+
+PlanPtr Join(PlanPtr left, PlanPtr right, ExprPtr predicate) {
+  return PlanNode::Select(
+      PlanNode::Product(std::move(left), std::move(right)),
+      std::move(predicate));
+}
+
+PlanPtr JoinT(PlanPtr left, PlanPtr right, ExprPtr predicate) {
+  return PlanNode::Select(
+      PlanNode::ProductT(std::move(left), std::move(right)),
+      std::move(predicate));
+}
+
+Result<PlanPtr> NaturalishJoin(PlanPtr left, PlanPtr right,
+                               const std::vector<std::string>& attrs,
+                               const Catalog& catalog, bool temporal) {
+  if (attrs.empty()) {
+    return Status::InvalidArgument("join attribute list is empty");
+  }
+  // Resolve each side's schema to apply the product renaming.
+  QueryContract probe = QueryContract::Multiset();
+  TQP_ASSIGN_OR_RETURN(left_ann, AnnotatedPlan::Make(left, &catalog, probe));
+  TQP_ASSIGN_OR_RETURN(right_ann,
+                       AnnotatedPlan::Make(right, &catalog, probe));
+  const Schema& ls = left_ann.root_info().schema;
+  const Schema& rs = right_ann.root_info().schema;
+
+  ExprPtr pred;
+  for (const std::string& a : attrs) {
+    if (!ls.HasAttr(a) || !rs.HasAttr(a)) {
+      return Status::InvalidArgument("join attribute '" + a +
+                                     "' missing on one side");
+    }
+    // Both sides have the attribute, so the product renames it.
+    ExprPtr eq = Expr::Compare(CompareOp::kEq, Expr::Attr("1." + a),
+                               Expr::Attr("2." + a));
+    pred = pred ? Expr::And(pred, eq) : eq;
+  }
+  PlanPtr prod = temporal
+                     ? PlanNode::ProductT(std::move(left), std::move(right))
+                     : PlanNode::Product(std::move(left), std::move(right));
+  return PlanNode::Select(std::move(prod), std::move(pred));
+}
+
+PlanPtr SqlUnion(PlanPtr left, PlanPtr right, bool temporal) {
+  PlanPtr all = PlanNode::UnionAll(std::move(left), std::move(right));
+  return temporal ? PlanNode::RdupT(std::move(all))
+                  : PlanNode::Rdup(std::move(all));
+}
+
+PlanPtr SqlIntersect(PlanPtr left, PlanPtr right, bool temporal) {
+  // The left expression occurs twice; plans must be proper trees, so the
+  // second occurrence is a deep copy.
+  if (temporal) {
+    PlanPtr l1 = PlanNode::RdupT(left);
+    PlanPtr l2 = PlanNode::RdupT(ClonePlan(left));
+    return PlanNode::DifferenceT(
+        l1, PlanNode::DifferenceT(l2, std::move(right)));
+  }
+  PlanPtr l1 = PlanNode::Rdup(left);
+  PlanPtr l2 = PlanNode::Rdup(ClonePlan(left));
+  return PlanNode::Difference(l1,
+                              PlanNode::Difference(l2, std::move(right)));
+}
+
+Result<PlanPtr> Timeslice(PlanPtr input, TimePoint t, const Catalog& catalog) {
+  QueryContract probe = QueryContract::Multiset();
+  TQP_ASSIGN_OR_RETURN(ann, AnnotatedPlan::Make(input, &catalog, probe));
+  const Schema& schema = ann.root_info().schema;
+  if (!schema.IsTemporal()) {
+    return Status::InvalidArgument("timeslice requires a temporal input");
+  }
+  ExprPtr contains = Expr::And(
+      Expr::Compare(CompareOp::kLe, Expr::Attr(kT1),
+                    Expr::Const(Value::Time(t))),
+      Expr::Compare(CompareOp::kGt, Expr::Attr(kT2),
+                    Expr::Const(Value::Time(t))));
+  PlanPtr selected = PlanNode::Select(std::move(input), std::move(contains));
+  std::vector<ProjItem> items;
+  for (const std::string& a : schema.NonTemporalAttrNames()) {
+    items.push_back(ProjItem::Pass(a));
+  }
+  return PlanNode::Project(std::move(selected), std::move(items));
+}
+
+PlanPtr Normalize(PlanPtr input) {
+  return PlanNode::Coalesce(PlanNode::RdupT(std::move(input)));
+}
+
+}  // namespace tqp

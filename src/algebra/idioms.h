@@ -1,0 +1,57 @@
+// Derived operations ("idioms", Section 2.4).
+//
+// "Combinations of operations, termed idioms, may be included for
+// efficiency, but should be identified as idioms. ... The addition of
+// idioms, e.g., join (Cartesian product followed by selection and
+// projection), would not introduce any new issues in the framework.
+// However, idioms should be included in an implementation of the algebra."
+//
+// Idioms here are *plan constructors*: they expand into the fundamental
+// operations, so every transformation rule, property, and equivalence result
+// applies unchanged. The optimizer is free to rearrange the expansion.
+#ifndef TQP_ALGEBRA_IDIOMS_H_
+#define TQP_ALGEBRA_IDIOMS_H_
+
+#include <string>
+
+#include "algebra/derivation.h"
+#include "algebra/plan.h"
+
+namespace tqp {
+
+/// θ-join: σ_pred(l × r).
+PlanPtr Join(PlanPtr left, PlanPtr right, ExprPtr predicate);
+
+/// Temporal θ-join: σ_pred(l ×T r) — pairs overlap in time and satisfy the
+/// predicate; the result carries the overlap as T1/T2.
+PlanPtr JoinT(PlanPtr left, PlanPtr right, ExprPtr predicate);
+
+/// Equi-join on same-named attributes: builds the predicate
+/// `l.a = r.a` (with product renaming applied) for each attribute in
+/// `attrs`, requires the catalog to resolve the renamed names.
+/// Fails if an attribute is missing on either side.
+Result<PlanPtr> NaturalishJoin(PlanPtr left, PlanPtr right,
+                               const std::vector<std::string>& attrs,
+                               const Catalog& catalog, bool temporal);
+
+/// SQL UNION (duplicate-eliminating): rdup(l ⊎ r); temporal counterpart
+/// rdupT(l ⊎ r). The paper notes ∪/∪T themselves are idioms over ⊎ and \/\T.
+PlanPtr SqlUnion(PlanPtr left, PlanPtr right, bool temporal);
+
+/// SQL INTERSECT (set semantics over duplicate-free views):
+/// rdup(l) \ (rdup(l) \ r); temporal counterpart uses rdupT/\T.
+PlanPtr SqlIntersect(PlanPtr left, PlanPtr right, bool temporal);
+
+/// Timeslice: the snapshot of a temporal relation at time t, kept as a
+/// temporal algebra expression — σ_{T1 <= t < T2} followed by a projection
+/// dropping the time attributes. Requires the input schema.
+Result<PlanPtr> Timeslice(PlanPtr input, TimePoint t, const Catalog& catalog);
+
+/// The normal-form idiom: coalT(rdupT(x)) — the unique coalesced,
+/// snapshot-duplicate-free representation of x's snapshot content
+/// (order-insensitive as a unit; Section 6).
+PlanPtr Normalize(PlanPtr input);
+
+}  // namespace tqp
+
+#endif  // TQP_ALGEBRA_IDIOMS_H_

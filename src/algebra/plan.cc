@@ -1,0 +1,334 @@
+#include "algebra/plan.h"
+
+#include <algorithm>
+
+namespace tqp {
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kScan:
+      return "scan";
+    case OpKind::kSelect:
+      return "select";
+    case OpKind::kProject:
+      return "project";
+    case OpKind::kUnionAll:
+      return "union-all";
+    case OpKind::kProduct:
+      return "product";
+    case OpKind::kDifference:
+      return "difference";
+    case OpKind::kAggregate:
+      return "aggregate";
+    case OpKind::kRdup:
+      return "rdup";
+    case OpKind::kProductT:
+      return "productT";
+    case OpKind::kDifferenceT:
+      return "differenceT";
+    case OpKind::kAggregateT:
+      return "aggregateT";
+    case OpKind::kRdupT:
+      return "rdupT";
+    case OpKind::kUnion:
+      return "union";
+    case OpKind::kUnionT:
+      return "unionT";
+    case OpKind::kSort:
+      return "sort";
+    case OpKind::kCoalesce:
+      return "coalT";
+    case OpKind::kTransferS:
+      return "transferS";
+    case OpKind::kTransferD:
+      return "transferD";
+  }
+  return "?";
+}
+
+bool IsTemporalOp(OpKind k) {
+  switch (k) {
+    case OpKind::kProductT:
+    case OpKind::kDifferenceT:
+    case OpKind::kAggregateT:
+    case OpKind::kRdupT:
+    case OpKind::kUnionT:
+    case OpKind::kCoalesce:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsOrderSensitiveOp(OpKind k) {
+  switch (k) {
+    case OpKind::kRdupT:
+    case OpKind::kCoalesce:
+    case OpKind::kDifferenceT:
+    case OpKind::kUnionT:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string PlanNode::Describe() const {
+  std::string out = OpKindName(kind_);
+  switch (kind_) {
+    case OpKind::kScan:
+      out += " " + rel_name_;
+      break;
+    case OpKind::kSelect:
+      out += " " + predicate_->ToString();
+      break;
+    case OpKind::kProject: {
+      out += " [";
+      for (size_t i = 0; i < projections_.size(); ++i) {
+        if (i > 0) out += ", ";
+        std::string e = projections_[i].expr->ToString();
+        out += e;
+        if (projections_[i].name != e) out += " AS " + projections_[i].name;
+      }
+      out += "]";
+      break;
+    }
+    case OpKind::kAggregate:
+    case OpKind::kAggregateT: {
+      out += " [";
+      for (size_t i = 0; i < group_by_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += group_by_[i];
+      }
+      out += ";";
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::string(AggFuncName(aggregates_[i].func)) + "(" +
+               aggregates_[i].attr + ") AS " + aggregates_[i].out_name;
+      }
+      out += "]";
+      break;
+    }
+    case OpKind::kSort:
+      out += " [" + SortSpecToString(sort_spec_) + "]";
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+// Builders assign private fields directly; PlanNode declares them privately,
+// so each builder constructs through a local subclass with setter access.
+struct PlanNodeBuilder : PlanNode {
+  static std::shared_ptr<PlanNodeBuilder> Make() {
+    return std::shared_ptr<PlanNodeBuilder>(new PlanNodeBuilder());
+  }
+  void set_kind(OpKind k) { kind_ = k; }
+  void set_children(std::vector<PlanPtr> c) { children_ = std::move(c); }
+  void set_rel_name(std::string n) { rel_name_ = std::move(n); }
+  void set_predicate(ExprPtr p) { predicate_ = std::move(p); }
+  void set_projections(std::vector<ProjItem> p) { projections_ = std::move(p); }
+  void set_group_by(std::vector<std::string> g) { group_by_ = std::move(g); }
+  void set_aggregates(std::vector<AggSpec> a) { aggregates_ = std::move(a); }
+  void set_sort_spec(SortSpec s) { sort_spec_ = std::move(s); }
+
+ private:
+  PlanNodeBuilder() : PlanNode() {}
+};
+
+PlanPtr PlanNode::Scan(std::string rel_name) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kScan);
+  n->set_rel_name(std::move(rel_name));
+  return n;
+}
+
+PlanPtr PlanNode::Select(PlanPtr input, ExprPtr predicate) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kSelect);
+  n->set_children({std::move(input)});
+  n->set_predicate(std::move(predicate));
+  return n;
+}
+
+PlanPtr PlanNode::Project(PlanPtr input, std::vector<ProjItem> items) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kProject);
+  n->set_children({std::move(input)});
+  n->set_projections(std::move(items));
+  return n;
+}
+
+PlanPtr PlanNode::UnionAll(PlanPtr left, PlanPtr right) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kUnionAll);
+  n->set_children({std::move(left), std::move(right)});
+  return n;
+}
+
+PlanPtr PlanNode::Product(PlanPtr left, PlanPtr right) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kProduct);
+  n->set_children({std::move(left), std::move(right)});
+  return n;
+}
+
+PlanPtr PlanNode::Difference(PlanPtr left, PlanPtr right) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kDifference);
+  n->set_children({std::move(left), std::move(right)});
+  return n;
+}
+
+PlanPtr PlanNode::Aggregate(PlanPtr input, std::vector<std::string> group_by,
+                            std::vector<AggSpec> aggs) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kAggregate);
+  n->set_children({std::move(input)});
+  n->set_group_by(std::move(group_by));
+  n->set_aggregates(std::move(aggs));
+  return n;
+}
+
+PlanPtr PlanNode::Rdup(PlanPtr input) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kRdup);
+  n->set_children({std::move(input)});
+  return n;
+}
+
+PlanPtr PlanNode::ProductT(PlanPtr left, PlanPtr right) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kProductT);
+  n->set_children({std::move(left), std::move(right)});
+  return n;
+}
+
+PlanPtr PlanNode::DifferenceT(PlanPtr left, PlanPtr right) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kDifferenceT);
+  n->set_children({std::move(left), std::move(right)});
+  return n;
+}
+
+PlanPtr PlanNode::AggregateT(PlanPtr input, std::vector<std::string> group_by,
+                             std::vector<AggSpec> aggs) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kAggregateT);
+  n->set_children({std::move(input)});
+  n->set_group_by(std::move(group_by));
+  n->set_aggregates(std::move(aggs));
+  return n;
+}
+
+PlanPtr PlanNode::RdupT(PlanPtr input) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kRdupT);
+  n->set_children({std::move(input)});
+  return n;
+}
+
+PlanPtr PlanNode::Union(PlanPtr left, PlanPtr right) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kUnion);
+  n->set_children({std::move(left), std::move(right)});
+  return n;
+}
+
+PlanPtr PlanNode::UnionT(PlanPtr left, PlanPtr right) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kUnionT);
+  n->set_children({std::move(left), std::move(right)});
+  return n;
+}
+
+PlanPtr PlanNode::Sort(PlanPtr input, SortSpec spec) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kSort);
+  n->set_children({std::move(input)});
+  n->set_sort_spec(std::move(spec));
+  return n;
+}
+
+PlanPtr PlanNode::Coalesce(PlanPtr input) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kCoalesce);
+  n->set_children({std::move(input)});
+  return n;
+}
+
+PlanPtr PlanNode::TransferS(PlanPtr input) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kTransferS);
+  n->set_children({std::move(input)});
+  return n;
+}
+
+PlanPtr PlanNode::TransferD(PlanPtr input) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(OpKind::kTransferD);
+  n->set_children({std::move(input)});
+  return n;
+}
+
+PlanPtr PlanNode::WithChildren(const PlanPtr& node,
+                               std::vector<PlanPtr> children) {
+  auto n = PlanNodeBuilder::Make();
+  n->set_kind(node->kind_);
+  n->set_children(std::move(children));
+  n->set_rel_name(node->rel_name_);
+  if (node->predicate_) n->set_predicate(node->predicate_);
+  n->set_projections(node->projections_);
+  n->set_group_by(node->group_by_);
+  n->set_aggregates(node->aggregates_);
+  n->set_sort_spec(node->sort_spec_);
+  return n;
+}
+
+std::string CanonicalString(const PlanPtr& plan) {
+  std::string out = plan->Describe();
+  if (!plan->children().empty()) {
+    out += "(";
+    for (size_t i = 0; i < plan->children().size(); ++i) {
+      if (i > 0) out += ",";
+      out += CanonicalString(plan->child(i));
+    }
+    out += ")";
+  }
+  return out;
+}
+
+size_t PlanSize(const PlanPtr& plan) {
+  size_t n = 1;
+  for (const PlanPtr& c : plan->children()) n += PlanSize(c);
+  return n;
+}
+
+void CollectNodes(const PlanPtr& plan, std::vector<PlanPtr>* out) {
+  out->push_back(plan);
+  for (const PlanPtr& c : plan->children()) CollectNodes(c, out);
+}
+
+PlanPtr ClonePlan(const PlanPtr& plan) {
+  std::vector<PlanPtr> children;
+  children.reserve(plan->children().size());
+  for (const PlanPtr& c : plan->children()) children.push_back(ClonePlan(c));
+  return PlanNode::WithChildren(plan, std::move(children));
+}
+
+PlanPtr ReplaceNode(const PlanPtr& root, const PlanNode* target,
+                    PlanPtr replacement) {
+  if (root.get() == target) return replacement;
+  bool changed = false;
+  std::vector<PlanPtr> new_children;
+  new_children.reserve(root->children().size());
+  for (const PlanPtr& c : root->children()) {
+    PlanPtr nc = ReplaceNode(c, target, replacement);
+    changed |= (nc != c);
+    new_children.push_back(std::move(nc));
+  }
+  if (!changed) return root;
+  return PlanNode::WithChildren(root, std::move(new_children));
+}
+
+}  // namespace tqp

@@ -1,0 +1,139 @@
+// Logical query plans: immutable operator trees over the extended algebra.
+//
+// The node kinds cover every operation of Table 1 plus the transfer
+// operations TS/TD of the layered architecture (Section 4.5). Nodes are
+// immutable and shared between plans; a rewrite rebuilds only the spine from
+// the rewritten location to the root. All derived information (schemas,
+// orders, guarantees, properties, cardinalities) lives outside the nodes in
+// PlanAnnotations (see derivation.h), so shared subtrees can carry different
+// annotations in different plans.
+#ifndef TQP_ALGEBRA_PLAN_H_
+#define TQP_ALGEBRA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "core/catalog.h"
+
+namespace tqp {
+
+/// The operations of the extended algebra (Table 1) plus transfers.
+enum class OpKind {
+  kScan,         // named base relation
+  kSelect,       // σ_P
+  kProject,      // π_{f1..fn}
+  kUnionAll,     // ⊎ (concatenation)
+  kProduct,      // ×
+  kDifference,   // \  (multiset difference)
+  kAggregate,    // ℵ_{G;F}
+  kRdup,         // rdup
+  kProductT,     // ×^T
+  kDifferenceT,  // \^T
+  kAggregateT,   // ℵ^T
+  kRdupT,        // rdup^T
+  kUnion,        // ∪ (max-multiplicity union)
+  kUnionT,       // ∪^T
+  kSort,         // sort_A
+  kCoalesce,     // coal^T
+  kTransferS,    // T_S : DBMS → stratum
+  kTransferD,    // T_D : stratum → DBMS
+};
+
+const char* OpKindName(OpKind k);
+
+/// True for ×T, \T, ℵT, rdupT, ∪T, coalT (operations with built-in temporal
+/// semantics, snapshot-reducible to their conventional counterparts).
+bool IsTemporalOp(OpKind k);
+
+/// True for rdupT, coalT, \T, ∪T — the order-sensitive operations of
+/// Section 6 (multiset-equivalent inputs may yield non-multiset-equivalent
+/// outputs).
+bool IsOrderSensitiveOp(OpKind k);
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// One immutable operator node.
+class PlanNode {
+ public:
+  OpKind kind() const { return kind_; }
+  const std::vector<PlanPtr>& children() const { return children_; }
+  const PlanPtr& child(size_t i) const { return children_[i]; }
+  size_t arity() const { return children_.size(); }
+
+  const std::string& rel_name() const { return rel_name_; }
+  const ExprPtr& predicate() const { return predicate_; }
+  const std::vector<ProjItem>& projections() const { return projections_; }
+  const std::vector<std::string>& group_by() const { return group_by_; }
+  const std::vector<AggSpec>& aggregates() const { return aggregates_; }
+  const SortSpec& sort_spec() const { return sort_spec_; }
+
+  /// Single-line description of this operator (kind + payload).
+  std::string Describe() const;
+
+  // ---- Builders ----
+  static PlanPtr Scan(std::string rel_name);
+  static PlanPtr Select(PlanPtr input, ExprPtr predicate);
+  static PlanPtr Project(PlanPtr input, std::vector<ProjItem> items);
+  static PlanPtr UnionAll(PlanPtr left, PlanPtr right);
+  static PlanPtr Product(PlanPtr left, PlanPtr right);
+  static PlanPtr Difference(PlanPtr left, PlanPtr right);
+  static PlanPtr Aggregate(PlanPtr input, std::vector<std::string> group_by,
+                           std::vector<AggSpec> aggs);
+  static PlanPtr Rdup(PlanPtr input);
+  static PlanPtr ProductT(PlanPtr left, PlanPtr right);
+  static PlanPtr DifferenceT(PlanPtr left, PlanPtr right);
+  static PlanPtr AggregateT(PlanPtr input, std::vector<std::string> group_by,
+                            std::vector<AggSpec> aggs);
+  static PlanPtr RdupT(PlanPtr input);
+  static PlanPtr Union(PlanPtr left, PlanPtr right);
+  static PlanPtr UnionT(PlanPtr left, PlanPtr right);
+  static PlanPtr Sort(PlanPtr input, SortSpec spec);
+  static PlanPtr Coalesce(PlanPtr input);
+  static PlanPtr TransferS(PlanPtr input);  // DBMS → stratum
+  static PlanPtr TransferD(PlanPtr input);  // stratum → DBMS
+
+  /// Rebuilds this node with new children (payload preserved).
+  static PlanPtr WithChildren(const PlanPtr& node,
+                              std::vector<PlanPtr> children);
+
+ protected:
+  PlanNode() = default;
+
+  OpKind kind_ = OpKind::kScan;
+  std::vector<PlanPtr> children_;
+  std::string rel_name_;
+  ExprPtr predicate_;
+  std::vector<ProjItem> projections_;
+  std::vector<std::string> group_by_;
+  std::vector<AggSpec> aggregates_;
+  SortSpec sort_spec_;
+};
+
+/// Canonical, order-stable serialization of a plan tree; two plans are the
+/// same tree iff their canonical strings are equal. Used for plan-set dedup
+/// in the enumeration algorithm (Figure 5).
+std::string CanonicalString(const PlanPtr& plan);
+
+/// Total number of operator nodes.
+size_t PlanSize(const PlanPtr& plan);
+
+/// Pre-order list of all nodes.
+void CollectNodes(const PlanPtr& plan, std::vector<PlanPtr>* out);
+
+/// Replaces `target` (by node identity) with `replacement` inside `root`,
+/// rebuilding the spine. Returns the (possibly new) root; returns `root`
+/// unchanged if `target` does not occur.
+PlanPtr ReplaceNode(const PlanPtr& root, const PlanNode* target,
+                    PlanPtr replacement);
+
+/// Deep-copies a plan: every node is fresh (payloads are shared). Needed
+/// when one logical subexpression is used twice in a plan, since plans must
+/// be proper trees for annotation.
+PlanPtr ClonePlan(const PlanPtr& plan);
+
+}  // namespace tqp
+
+#endif  // TQP_ALGEBRA_PLAN_H_

@@ -1,0 +1,51 @@
+#include "algebra/printer.h"
+
+namespace tqp {
+
+namespace {
+
+void PrintNode(const PlanPtr& node, const AnnotatedPlan* ann,
+               const PrintOptions& opts, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node->Describe());
+  if (ann != nullptr) {
+    const NodeInfo& info = ann->info(node.get());
+    if (opts.show_properties) {
+      out->append(" ");
+      out->append(info.PropertiesBrackets());
+    }
+    if (opts.show_site) {
+      out->append(" @");
+      out->append(SiteName(info.site));
+    }
+    if (opts.show_order) {
+      out->append(" order=");
+      out->append(SortSpecToString(info.order));
+    }
+    if (opts.show_cardinality) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " ~%.0f", info.cardinality);
+      out->append(buf);
+    }
+  }
+  out->append("\n");
+  for (const PlanPtr& c : node->children()) {
+    PrintNode(c, ann, opts, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PrintPlan(const PlanPtr& plan) {
+  std::string out;
+  PrintNode(plan, nullptr, PrintOptions{}, 0, &out);
+  return out;
+}
+
+std::string PrintPlan(const AnnotatedPlan& plan, const PrintOptions& opts) {
+  std::string out;
+  PrintNode(plan.plan(), &plan, opts, 0, &out);
+  return out;
+}
+
+}  // namespace tqp

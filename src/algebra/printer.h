@@ -1,0 +1,36 @@
+// Plan tree rendering, including the Figure 6 property-bracket style.
+#ifndef TQP_ALGEBRA_PRINTER_H_
+#define TQP_ALGEBRA_PRINTER_H_
+
+#include <string>
+
+#include "algebra/derivation.h"
+#include "algebra/plan.h"
+
+namespace tqp {
+
+/// Options for plan rendering.
+struct PrintOptions {
+  /// Append [OrderRequired DuplicatesRelevant PeriodPreserving] brackets
+  /// (requires annotations).
+  bool show_properties = false;
+  /// Append the execution site of each operator.
+  bool show_site = false;
+  /// Append the derived output order of each operator.
+  bool show_order = false;
+  /// Append the estimated output cardinality.
+  bool show_cardinality = false;
+};
+
+/// Renders a plan as an indented tree, one operator per line.
+std::string PrintPlan(const PlanPtr& plan);
+
+/// Renders an annotated plan with the requested decorations, e.g.
+///   differenceT [T T T] @STRATUM
+///     coalT [- T -] @STRATUM
+///       ...
+std::string PrintPlan(const AnnotatedPlan& plan, const PrintOptions& opts);
+
+}  // namespace tqp
+
+#endif  // TQP_ALGEBRA_PRINTER_H_

@@ -1,0 +1,67 @@
+#include "core/catalog.h"
+
+namespace tqp {
+
+const char* SiteName(Site s) {
+  return s == Site::kDbms ? "DBMS" : "STRATUM";
+}
+
+Status Catalog::Register(const std::string& name, CatalogEntry entry) {
+  if (entries_.count(name) > 0) {
+    return Status::InvalidArgument("relation '" + name + "' already registered");
+  }
+  // Verify declared metadata so downstream precondition checks can trust it.
+  if (entry.duplicate_free && entry.data.HasDuplicates()) {
+    return Status::InvalidArgument("relation '" + name +
+                                   "' declared duplicate-free but has duplicates");
+  }
+  if (entry.snapshot_duplicate_free) {
+    if (entry.data.HasSnapshotDuplicates()) {
+      return Status::InvalidArgument(
+          "relation '" + name +
+          "' declared snapshot-duplicate-free but has snapshot duplicates");
+    }
+  }
+  if (entry.coalesced) {
+    if (!entry.data.IsTemporal() || !entry.data.IsCoalesced()) {
+      return Status::InvalidArgument("relation '" + name +
+                                     "' declared coalesced but is not");
+    }
+  }
+  if (!entry.order.empty() && !entry.data.IsSortedBy(entry.order)) {
+    return Status::InvalidArgument("relation '" + name +
+                                   "' declared order does not hold");
+  }
+  entry.data.set_order(entry.order);
+  entries_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+Status Catalog::RegisterWithInferredFlags(const std::string& name,
+                                          Relation data, Site site) {
+  CatalogEntry entry;
+  entry.duplicate_free = !data.HasDuplicates();
+  entry.snapshot_duplicate_free =
+      data.IsTemporal() ? !data.HasSnapshotDuplicates() : entry.duplicate_free;
+  entry.coalesced = data.IsTemporal() && data.IsCoalesced();
+  entry.site = site;
+  entry.data = std::move(data);
+  return Register(name, std::move(entry));
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+const CatalogEntry* Catalog::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace tqp

@@ -1,0 +1,64 @@
+// The catalog: named base relations with data-integrity metadata and site.
+//
+// In the layered architecture (Section 2.1) base relations live in the DBMS;
+// the stratum sees them through transfer operations. The catalog also records
+// the statically guaranteed data properties the optimizer's precondition
+// checks rely on (duplicate-freeness, snapshot-duplicate-freeness, coalescing,
+// declared sort order).
+#ifndef TQP_CORE_CATALOG_H_
+#define TQP_CORE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+
+namespace tqp {
+
+/// Where data resides / where an operation executes (Section 4.5).
+enum class Site {
+  kDbms,
+  kStratum,
+};
+
+const char* SiteName(Site s);
+
+/// A registered base relation plus its statically declared guarantees.
+struct CatalogEntry {
+  Relation data;
+  /// No duplicate tuples (full-tuple equality).
+  bool duplicate_free = false;
+  /// No snapshot contains duplicates (temporal relations).
+  bool snapshot_duplicate_free = false;
+  /// No value-equivalent tuples with adjacent periods (temporal relations).
+  bool coalesced = false;
+  /// Declared physical order of the stored tuple list.
+  SortSpec order;
+  /// Storage site; base tables normally live in the DBMS.
+  Site site = Site::kDbms;
+};
+
+/// Name → relation registry shared by the planner and the executor.
+class Catalog {
+ public:
+  /// Registers a relation; metadata flags are *verified* against the data so
+  /// the optimizer can trust them.
+  Status Register(const std::string& name, CatalogEntry entry);
+
+  /// Convenience: registers and derives all metadata flags from the data.
+  Status RegisterWithInferredFlags(const std::string& name, Relation data,
+                                   Site site = Site::kDbms);
+
+  bool Contains(const std::string& name) const;
+  const CatalogEntry* Find(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, CatalogEntry> entries_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_CATALOG_H_

@@ -1,0 +1,180 @@
+#include "core/equivalence.h"
+
+#include <algorithm>
+
+namespace tqp {
+
+const char* EquivalenceTypeName(EquivalenceType t) {
+  switch (t) {
+    case EquivalenceType::kList:
+      return "list (=L)";
+    case EquivalenceType::kMultiset:
+      return "multiset (=M)";
+    case EquivalenceType::kSet:
+      return "set (=S)";
+    case EquivalenceType::kSnapshotList:
+      return "snapshot-list (=SL)";
+    case EquivalenceType::kSnapshotMultiset:
+      return "snapshot-multiset (=SM)";
+    case EquivalenceType::kSnapshotSet:
+      return "snapshot-set (=SS)";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<Tuple> SortedTuples(const Relation& r) {
+  std::vector<Tuple> out = r.tuples();
+  std::sort(out.begin(), out.end(),
+            [](const Tuple& a, const Tuple& b) { return a.Compare(b) < 0; });
+  return out;
+}
+
+std::vector<Tuple> SortedDistinctTuples(const Relation& r) {
+  std::vector<Tuple> out = SortedTuples(r);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// Representative time points: one per elementary interval induced by the
+// union of both relations' endpoints. Snapshots are constant between
+// consecutive endpoints, so this sampling is exhaustive.
+std::vector<TimePoint> RepresentativePoints(const Relation& a,
+                                            const Relation& b) {
+  std::vector<TimePoint> pts = a.TimeEndpoints();
+  std::vector<TimePoint> pb = b.TimeEndpoints();
+  pts.insert(pts.end(), pb.begin(), pb.end());
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  // Snapshot at each interval start; the final endpoint starts an empty tail.
+  return pts;
+}
+
+template <typename SnapshotEq>
+bool SnapshotSweep(const Relation& a, const Relation& b, SnapshotEq eq) {
+  if (!a.IsTemporal() || !b.IsTemporal()) return false;
+  if (a.schema() != b.schema()) return false;
+  for (TimePoint t : RepresentativePoints(a, b)) {
+    if (!eq(a.Snapshot(t), b.Snapshot(t))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool EquivalentAsLists(const Relation& a, const Relation& b) {
+  return a.schema() == b.schema() && a.tuples() == b.tuples();
+}
+
+bool EquivalentAsMultisets(const Relation& a, const Relation& b) {
+  if (a.schema() != b.schema()) return false;
+  if (a.size() != b.size()) return false;
+  return SortedTuples(a) == SortedTuples(b);
+}
+
+bool EquivalentAsSets(const Relation& a, const Relation& b) {
+  if (a.schema() != b.schema()) return false;
+  return SortedDistinctTuples(a) == SortedDistinctTuples(b);
+}
+
+bool SnapshotEquivalentAsLists(const Relation& a, const Relation& b) {
+  return SnapshotSweep(a, b, [](const Relation& x, const Relation& y) {
+    return EquivalentAsLists(x, y);
+  });
+}
+
+bool SnapshotEquivalentAsMultisets(const Relation& a, const Relation& b) {
+  return SnapshotSweep(a, b, [](const Relation& x, const Relation& y) {
+    return EquivalentAsMultisets(x, y);
+  });
+}
+
+bool SnapshotEquivalentAsSets(const Relation& a, const Relation& b) {
+  return SnapshotSweep(a, b, [](const Relation& x, const Relation& y) {
+    return EquivalentAsSets(x, y);
+  });
+}
+
+bool Equivalent(EquivalenceType type, const Relation& a, const Relation& b) {
+  switch (type) {
+    case EquivalenceType::kList:
+      return EquivalentAsLists(a, b);
+    case EquivalenceType::kMultiset:
+      return EquivalentAsMultisets(a, b);
+    case EquivalenceType::kSet:
+      return EquivalentAsSets(a, b);
+    case EquivalenceType::kSnapshotList:
+      return SnapshotEquivalentAsLists(a, b);
+    case EquivalenceType::kSnapshotMultiset:
+      return SnapshotEquivalentAsMultisets(a, b);
+    case EquivalenceType::kSnapshotSet:
+      return SnapshotEquivalentAsSets(a, b);
+  }
+  return false;
+}
+
+bool EquivalentAsListsOn(const SortSpec& spec, const Relation& a,
+                         const Relation& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<int> ia, ib;
+  for (const SortKey& k : spec) {
+    int xa = a.schema().IndexOf(k.attr);
+    int xb = b.schema().IndexOf(k.attr);
+    if (xa < 0 || xb < 0) return false;
+    ia.push_back(xa);
+    ib.push_back(xb);
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t k = 0; k < ia.size(); ++k) {
+      if (a.tuple(i).at(static_cast<size_t>(ia[k])) !=
+          b.tuple(i).at(static_cast<size_t>(ib[k]))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Implies(EquivalenceType a, EquivalenceType b) {
+  if (a == b) return true;
+  auto chain_pos = [](EquivalenceType t) -> int {
+    switch (t) {
+      case EquivalenceType::kList:
+      case EquivalenceType::kSnapshotList:
+        return 0;
+      case EquivalenceType::kMultiset:
+      case EquivalenceType::kSnapshotMultiset:
+        return 1;
+      case EquivalenceType::kSet:
+      case EquivalenceType::kSnapshotSet:
+        return 2;
+    }
+    return 3;
+  };
+  auto is_snapshot = [](EquivalenceType t) {
+    return t == EquivalenceType::kSnapshotList ||
+           t == EquivalenceType::kSnapshotMultiset ||
+           t == EquivalenceType::kSnapshotSet;
+  };
+  // Downward (non-snapshot => snapshot) and rightward (list => multiset =>
+  // set) moves are implications; upward moves are not.
+  if (is_snapshot(a) && !is_snapshot(b)) return false;
+  return chain_pos(a) <= chain_pos(b);
+}
+
+std::vector<EquivalenceType> HoldingEquivalences(const Relation& a,
+                                                 const Relation& b) {
+  std::vector<EquivalenceType> out;
+  const EquivalenceType all[] = {
+      EquivalenceType::kList,          EquivalenceType::kMultiset,
+      EquivalenceType::kSet,           EquivalenceType::kSnapshotList,
+      EquivalenceType::kSnapshotMultiset, EquivalenceType::kSnapshotSet,
+  };
+  for (EquivalenceType t : all) {
+    if (Equivalent(t, a, b)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace tqp

@@ -1,0 +1,71 @@
+// The six relation equivalence types of Section 3.
+//
+// Two relations can be equivalent as lists (identical sequences), multisets
+// (identical up to reordering), or sets (identical up to reordering and
+// duplicate multiplicity); and, for temporal relations, snapshot-equivalent
+// as lists / multisets / sets (the corresponding equivalence holds between
+// snapshots at every point in time). Theorem 3.1's implication lattice is
+// exposed via Implies(). These checks power the test suite's verification of
+// every transformation rule's claimed equivalence level.
+#ifndef TQP_CORE_EQUIVALENCE_H_
+#define TQP_CORE_EQUIVALENCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+
+namespace tqp {
+
+/// The six equivalence types, strongest to weakest along each chain.
+enum class EquivalenceType {
+  kList,              // ≡L
+  kMultiset,          // ≡M
+  kSet,               // ≡S
+  kSnapshotList,      // ≡SL
+  kSnapshotMultiset,  // ≡SM
+  kSnapshotSet,       // ≡SS
+};
+
+const char* EquivalenceTypeName(EquivalenceType t);
+
+/// ≡L: identical schemas and identical tuple sequences.
+bool EquivalentAsLists(const Relation& a, const Relation& b);
+
+/// ≡M: identical schemas and identical tuple multisets.
+bool EquivalentAsMultisets(const Relation& a, const Relation& b);
+
+/// ≡S: identical schemas and identical tuple sets (duplicates ignored).
+bool EquivalentAsSets(const Relation& a, const Relation& b);
+
+/// ≡SL / ≡SM / ≡SS: snapshots at every time point are ≡L / ≡M / ≡S.
+/// Undefined (returns false) unless both relations are temporal with equal
+/// schemas. Checked via an endpoint sweep: one representative per elementary
+/// interval is exhaustive.
+bool SnapshotEquivalentAsLists(const Relation& a, const Relation& b);
+bool SnapshotEquivalentAsMultisets(const Relation& a, const Relation& b);
+bool SnapshotEquivalentAsSets(const Relation& a, const Relation& b);
+
+/// Dispatches on the equivalence type.
+bool Equivalent(EquivalenceType type, const Relation& a, const Relation& b);
+
+/// ≡L,A (Definition 5.1): the projections of the two relations onto the sort
+/// attributes A are ≡L — i.e., the relations agree as lists "as far as the
+/// user-visible ORDER BY columns are concerned".
+bool EquivalentAsListsOn(const SortSpec& spec, const Relation& a,
+                         const Relation& b);
+
+/// Theorem 3.1: does equivalence `a` imply equivalence `b`?
+/// (List ⇒ Multiset ⇒ Set; each ⇒ its snapshot counterpart for temporal
+/// relations; SnapshotList ⇒ SnapshotMultiset ⇒ SnapshotSet.)
+bool Implies(EquivalenceType a, EquivalenceType b);
+
+/// The strongest equivalence type(s) that hold between two relations, for
+/// diagnostics in tests: returns all types that hold.
+std::vector<EquivalenceType> HoldingEquivalences(const Relation& a,
+                                                 const Relation& b);
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_EQUIVALENCE_H_

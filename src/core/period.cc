@@ -1,0 +1,39 @@
+#include "core/period.h"
+
+namespace tqp {
+
+std::vector<Period> SubtractAll(const Period& p,
+                                const std::vector<Period>& subtrahends) {
+  std::vector<Period> live;
+  live.push_back(p);
+  for (const Period& s : subtrahends) {
+    std::vector<Period> next;
+    for (const Period& frag : live) {
+      std::vector<Period> pieces = frag.Subtract(s);
+      next.insert(next.end(), pieces.begin(), pieces.end());
+    }
+    live = std::move(next);
+    if (live.empty()) break;
+  }
+  return live;
+}
+
+std::vector<Period> NormalizePeriods(std::vector<Period> periods) {
+  std::sort(periods.begin(), periods.end(),
+            [](const Period& a, const Period& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end < b.end;
+            });
+  std::vector<Period> out;
+  for (const Period& p : periods) {
+    if (!p.Valid()) continue;
+    if (!out.empty() && p.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, p.end);
+    } else {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace tqp

@@ -1,0 +1,90 @@
+// Half-open time periods [begin, end) over the chronon domain.
+//
+// The paper mandates fixed-width tuples timestamped with periods (not temporal
+// elements) and granularity independence: every definition below touches only
+// the begin/end endpoints (Section 2.2). A period is valid iff begin < end.
+#ifndef TQP_CORE_PERIOD_H_
+#define TQP_CORE_PERIOD_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+
+namespace tqp {
+
+/// A half-open (closed-open) time period [begin, end).
+struct Period {
+  TimePoint begin = 0;
+  TimePoint end = 0;
+
+  Period() = default;
+  Period(TimePoint b, TimePoint e) : begin(b), end(e) {}
+
+  /// A period is valid iff it is non-empty.
+  bool Valid() const { return begin < end; }
+
+  /// Number of chronons covered.
+  int64_t Duration() const { return end - begin; }
+
+  /// Does the period contain time point t?
+  bool Contains(TimePoint t) const { return begin <= t && t < end; }
+
+  /// Does the period fully contain the other period?
+  bool Contains(const Period& o) const { return begin <= o.begin && o.end <= end; }
+
+  /// Do the two periods share at least one time point?
+  bool Overlaps(const Period& o) const { return begin < o.end && o.begin < end; }
+
+  /// Allen "meets": this period ends exactly where the other begins, or vice
+  /// versa. Adjacent periods are merged by coalescing (Section 2.4).
+  bool Adjacent(const Period& o) const { return end == o.begin || o.end == begin; }
+
+  /// Intersection; empty (invalid) period when disjoint.
+  Period Intersect(const Period& o) const {
+    return Period(std::max(begin, o.begin), std::min(end, o.end));
+  }
+
+  /// Smallest period covering both; only meaningful when Overlaps or Adjacent.
+  Period Merge(const Period& o) const {
+    return Period(std::min(begin, o.begin), std::max(end, o.end));
+  }
+
+  /// Period difference: this minus o, yielding 0, 1, or 2 fragments (in
+  /// ascending order). This is the building block of rdupT and \T.
+  std::vector<Period> Subtract(const Period& o) const {
+    std::vector<Period> out;
+    if (!Overlaps(o)) {
+      out.push_back(*this);
+      return out;
+    }
+    if (begin < o.begin) out.emplace_back(begin, o.begin);
+    if (o.end < end) out.emplace_back(o.end, end);
+    return out;
+  }
+
+  bool operator==(const Period& o) const {
+    return begin == o.begin && end == o.end;
+  }
+
+  std::string ToString() const {
+    return "[" + Value::Time(begin).ToString() + "," +
+           Value::Time(end).ToString() + ")";
+  }
+};
+
+/// Subtracts every period in `subtrahends` from `p`. Returns the surviving
+/// fragments in ascending order. Used by \T on snapshot-duplicate-free left
+/// arguments ("period minus union of matching right periods").
+std::vector<Period> SubtractAll(const Period& p,
+                                const std::vector<Period>& subtrahends);
+
+/// Coalesces a set of periods into the minimal set of maximal periods whose
+/// union is the same (merging overlapping and adjacent periods). Result is in
+/// ascending order.
+std::vector<Period> NormalizePeriods(std::vector<Period> periods);
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_PERIOD_H_

@@ -1,0 +1,162 @@
+#include "core/relation.h"
+
+#include <algorithm>
+#include <set>
+
+namespace tqp {
+
+void Relation::Append(Tuple t) {
+  TQP_CHECK(t.size() == schema_.size());
+  tuples_.push_back(std::move(t));
+}
+
+Relation Relation::Snapshot(TimePoint t) const {
+  TQP_CHECK(IsTemporal());
+  int i1 = schema_.T1Index();
+  int i2 = schema_.T2Index();
+  Schema snap_schema;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (static_cast<int>(i) == i1 || static_cast<int>(i) == i2) continue;
+    snap_schema.Add(schema_.attr(i));
+  }
+  Relation out(snap_schema);
+  for (const Tuple& tup : tuples_) {
+    if (!TuplePeriod(tup, schema_).Contains(t)) continue;
+    Tuple nt;
+    for (size_t i = 0; i < schema_.size(); ++i) {
+      if (static_cast<int>(i) == i1 || static_cast<int>(i) == i2) continue;
+      nt.push_back(tup.at(i));
+    }
+    out.Append(std::move(nt));
+  }
+  return out;
+}
+
+std::vector<TimePoint> Relation::TimeEndpoints() const {
+  TQP_CHECK(IsTemporal());
+  std::set<TimePoint> points;
+  for (const Tuple& t : tuples_) {
+    Period p = TuplePeriod(t, schema_);
+    points.insert(p.begin);
+    points.insert(p.end);
+  }
+  return std::vector<TimePoint>(points.begin(), points.end());
+}
+
+bool Relation::HasDuplicates() const {
+  std::vector<const Tuple*> ptrs;
+  ptrs.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) ptrs.push_back(&t);
+  std::sort(ptrs.begin(), ptrs.end(),
+            [](const Tuple* a, const Tuple* b) { return a->Compare(*b) < 0; });
+  for (size_t i = 1; i < ptrs.size(); ++i) {
+    if (*ptrs[i - 1] == *ptrs[i]) return true;
+  }
+  return false;
+}
+
+bool Relation::HasSnapshotDuplicates() const {
+  if (!IsTemporal()) return HasDuplicates();
+  // Two value-equivalent tuples with overlapping periods yield a duplicate in
+  // any snapshot within the overlap. Sort by value-equivalence class, then
+  // sweep periods within each class.
+  std::vector<const Tuple*> ptrs;
+  ptrs.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) ptrs.push_back(&t);
+  std::sort(ptrs.begin(), ptrs.end(), [this](const Tuple* a, const Tuple* b) {
+    int c = CompareNonTemporal(*a, *b, schema_);
+    if (c != 0) return c < 0;
+    return TuplePeriod(*a, schema_).begin < TuplePeriod(*b, schema_).begin;
+  });
+  for (size_t i = 1; i < ptrs.size(); ++i) {
+    if (CompareNonTemporal(*ptrs[i - 1], *ptrs[i], schema_) != 0) continue;
+    if (TuplePeriod(*ptrs[i - 1], schema_).end >
+        TuplePeriod(*ptrs[i], schema_).begin) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Relation::IsCoalesced() const {
+  TQP_CHECK(IsTemporal());
+  std::vector<const Tuple*> ptrs;
+  ptrs.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) ptrs.push_back(&t);
+  std::sort(ptrs.begin(), ptrs.end(), [this](const Tuple* a, const Tuple* b) {
+    int c = CompareNonTemporal(*a, *b, schema_);
+    if (c != 0) return c < 0;
+    return TuplePeriod(*a, schema_).begin < TuplePeriod(*b, schema_).begin;
+  });
+  for (size_t i = 1; i < ptrs.size(); ++i) {
+    if (CompareNonTemporal(*ptrs[i - 1], *ptrs[i], schema_) != 0) continue;
+    if (TuplePeriod(*ptrs[i - 1], schema_).end ==
+        TuplePeriod(*ptrs[i], schema_).begin) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Relation::IsSortedBy(const SortSpec& spec) const {
+  TupleComparator cmp(spec, schema_);
+  for (size_t i = 1; i < tuples_.size(); ++i) {
+    if (cmp.Compare(tuples_[i - 1], tuples_[i]) > 0) return false;
+  }
+  return true;
+}
+
+std::string Relation::ToTable(const std::string& title) const {
+  std::vector<size_t> widths(schema_.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    widths[i] = schema_.attr(i).name.size();
+  }
+  for (const Tuple& t : tuples_) {
+    std::vector<std::string> row;
+    for (size_t i = 0; i < schema_.size(); ++i) {
+      row.push_back(t.at(i).ToString());
+      widths[i] = std::max(widths[i], row.back().size());
+    }
+    cells.push_back(std::move(row));
+  }
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  std::string sep = "+";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  out += sep + "\n|";
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    out += " " + pad(schema_.attr(i).name, widths[i]) + " |";
+  }
+  out += "\n" + sep + "\n";
+  for (const auto& row : cells) {
+    out += "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      out += " " + pad(row[i], widths[i]) + " |";
+    }
+    out += "\n";
+  }
+  out += sep + "\n";
+  return out;
+}
+
+TupleComparator::TupleComparator(const SortSpec& spec, const Schema& schema) {
+  for (const SortKey& k : spec) {
+    int idx = schema.IndexOf(k.attr);
+    TQP_CHECK(idx >= 0);
+    keys_.push_back(Key{static_cast<size_t>(idx), k.ascending});
+  }
+}
+
+int TupleComparator::Compare(const Tuple& a, const Tuple& b) const {
+  for (const Key& k : keys_) {
+    int c = a.at(k.index).Compare(b.at(k.index));
+    if (c != 0) return k.ascending ? c : -c;
+  }
+  return 0;
+}
+
+}  // namespace tqp

@@ -1,0 +1,101 @@
+// List-based relations (Definition 2.2): finite sequences of tuples.
+//
+// A relation can contain duplicate tuples and the ordering of tuples is
+// significant — this is the paper's central departure from multiset algebras,
+// enabling sort pushdown and precise reasoning about duplicates, order, and
+// coalescing. A relation also carries a (possibly empty) order annotation:
+// the statically known sort order of its tuple sequence, realizing Order(r).
+#ifndef TQP_CORE_RELATION_H_
+#define TQP_CORE_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/tuple.h"
+
+namespace tqp {
+
+/// A relation schema instance: a schema plus a finite list of tuples.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<Tuple> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+
+  /// Appends a tuple; checks arity.
+  void Append(Tuple t);
+
+  /// The statically known order of the tuple list (empty = unordered).
+  const SortSpec& order() const { return order_; }
+  void set_order(SortSpec order) { order_ = std::move(order); }
+
+  bool IsTemporal() const { return schema_.IsTemporal(); }
+
+  /// The snapshot of a temporal relation at time t: the conventional relation
+  /// containing those tuples (minus the time attributes) whose periods contain
+  /// t, in list order (Section 2.1). Checked error on snapshot relations.
+  Relation Snapshot(TimePoint t) const;
+
+  /// All distinct period endpoints occurring in the relation, sorted. Between
+  /// two consecutive endpoints every snapshot is identical, so checking
+  /// snapshot equivalence at one representative per elementary interval is
+  /// exhaustive.
+  std::vector<TimePoint> TimeEndpoints() const;
+
+  /// True iff the relation contains no duplicate tuples (as full tuples).
+  bool HasDuplicates() const;
+
+  /// True iff no snapshot of the relation contains duplicates, i.e., no two
+  /// value-equivalent tuples have overlapping periods (temporal relations
+  /// only; for snapshot relations this is HasDuplicates()).
+  bool HasSnapshotDuplicates() const;
+
+  /// True iff no two value-equivalent tuples have adjacent periods (nothing
+  /// for coalT to merge). Coalescing is undefined for snapshot relations.
+  bool IsCoalesced() const;
+
+  /// True iff the tuple list is sorted according to `spec`.
+  bool IsSortedBy(const SortSpec& spec) const;
+
+  /// Pretty-prints the relation as an aligned ASCII table (examples/benches).
+  std::string ToTable(const std::string& title = "") const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+  SortSpec order_;
+};
+
+/// Compares tuples according to a sort specification resolved against a
+/// schema. Used by sort and by order-verification.
+class TupleComparator {
+ public:
+  TupleComparator(const SortSpec& spec, const Schema& schema);
+
+  /// Three-way comparison on the sort keys only.
+  int Compare(const Tuple& a, const Tuple& b) const;
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return Compare(a, b) < 0;
+  }
+
+ private:
+  struct Key {
+    size_t index;
+    bool ascending;
+  };
+  std::vector<Key> keys_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_RELATION_H_

@@ -1,0 +1,72 @@
+#include "core/schema.h"
+
+#include <algorithm>
+
+namespace tqp {
+
+bool IsPrefixOf(const SortSpec& prefix, const SortSpec& full) {
+  if (prefix.size() > full.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), full.begin());
+}
+
+SortSpec OrderPrefixOnAttrs(const SortSpec& order,
+                            const std::vector<std::string>& kept) {
+  SortSpec out;
+  for (const SortKey& key : order) {
+    bool found = std::find(kept.begin(), kept.end(), key.attr) != kept.end();
+    if (!found) break;
+    out.push_back(key);
+  }
+  return out;
+}
+
+std::string SortSpecToString(const SortSpec& spec) {
+  if (spec.empty()) return "<unordered>";
+  std::string out;
+  for (size_t i = 0; i < spec.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += spec[i].ToString();
+  }
+  return out;
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::IsTemporal() const {
+  int i1 = T1Index();
+  int i2 = T2Index();
+  return i1 >= 0 && i2 >= 0 && attrs_[i1].type == ValueType::kTime &&
+         attrs_[i2].type == ValueType::kTime;
+}
+
+std::vector<std::string> Schema::NonTemporalAttrNames() const {
+  std::vector<std::string> out;
+  for (const Attribute& a : attrs_) {
+    if (a.name != kT1 && a.name != kT2) out.push_back(a.name);
+  }
+  return out;
+}
+
+void Schema::Add(Attribute a) {
+  TQP_CHECK(IndexOf(a.name) < 0);
+  attrs_.push_back(std::move(a));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs_[i].name;
+    out += ":";
+    out += ValueTypeName(attrs_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace tqp

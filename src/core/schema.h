@@ -1,0 +1,100 @@
+// Relation schemas (Definition 2.1) and sort specifications.
+//
+// A schema is an ordered list of named, typed attributes. Temporal relations
+// are recognized structurally: they contain the two reserved time attributes
+// T1 and T2 of type kTime (Section 2.3). Operations "implicitly know" the
+// time attributes through this convention, exactly as the paper prescribes.
+#ifndef TQP_CORE_SCHEMA_H_
+#define TQP_CORE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/common.h"
+#include "core/value.h"
+
+namespace tqp {
+
+/// Reserved attribute name for a period's (inclusive) start.
+inline constexpr const char* kT1 = "T1";
+/// Reserved attribute name for a period's (exclusive) end.
+inline constexpr const char* kT2 = "T2";
+
+/// One named, typed attribute.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Attribute& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// One key of a sort specification: attribute plus direction.
+struct SortKey {
+  std::string attr;
+  bool ascending = true;
+
+  bool operator==(const SortKey& o) const {
+    return attr == o.attr && ascending == o.ascending;
+  }
+
+  std::string ToString() const { return attr + (ascending ? " ASC" : " DESC"); }
+};
+
+/// A sort specification: an attribute/direction list; empty means unordered.
+/// This realizes the paper's Order(r) function (Table 1).
+using SortSpec = std::vector<SortKey>;
+
+/// True iff `prefix` is a prefix of `full` (the paper's IsPrefixOf predicate,
+/// used by sorting rules S1/S3).
+bool IsPrefixOf(const SortSpec& prefix, const SortSpec& full);
+
+/// The largest common prefix of `order` restricted to the attributes in
+/// `kept`: the paper's Prefix(Order(r), pairs) function used by projection and
+/// aggregation in Table 1. Stops at the first key whose attribute is not kept.
+SortSpec OrderPrefixOnAttrs(const SortSpec& order,
+                            const std::vector<std::string>& kept);
+
+std::string SortSpecToString(const SortSpec& spec);
+
+/// An ordered attribute list with by-name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {}
+
+  size_t size() const { return attrs_.size(); }
+  const Attribute& attr(size_t i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  /// Index of the attribute with the given name, or -1.
+  int IndexOf(const std::string& name) const;
+  bool HasAttr(const std::string& name) const { return IndexOf(name) >= 0; }
+
+  /// A relation is temporal iff its schema carries both reserved time
+  /// attributes with time type.
+  bool IsTemporal() const;
+
+  int T1Index() const { return IndexOf(kT1); }
+  int T2Index() const { return IndexOf(kT2); }
+
+  /// All attribute names except T1/T2 (the value-equivalence attributes).
+  std::vector<std::string> NonTemporalAttrNames() const;
+
+  /// Appends an attribute; checks the name is fresh.
+  void Add(Attribute a);
+
+  /// Schema equality is by attribute sequence (names and types).
+  bool operator==(const Schema& o) const { return attrs_ == o.attrs_; }
+  bool operator!=(const Schema& o) const { return !(*this == o); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_SCHEMA_H_

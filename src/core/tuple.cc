@@ -1,0 +1,65 @@
+#include "core/tuple.h"
+
+namespace tqp {
+
+int Tuple::Compare(const Tuple& o) const {
+  size_t n = std::min(values_.size(), o.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = values_[i].Compare(o.values_[i]);
+    if (c != 0) return c;
+  }
+  if (values_.size() < o.values_.size()) return -1;
+  if (values_.size() > o.values_.size()) return 1;
+  return 0;
+}
+
+size_t Tuple::Hash() const {
+  size_t seed = 0x51ab1e5;
+  for (const Value& v : values_) {
+    seed ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Period TuplePeriod(const Tuple& t, const Schema& schema) {
+  int i1 = schema.T1Index();
+  int i2 = schema.T2Index();
+  TQP_CHECK(i1 >= 0 && i2 >= 0);
+  return Period(t.at(static_cast<size_t>(i1)).AsTime(),
+                t.at(static_cast<size_t>(i2)).AsTime());
+}
+
+void SetTuplePeriod(Tuple* t, const Schema& schema, const Period& p) {
+  int i1 = schema.T1Index();
+  int i2 = schema.T2Index();
+  TQP_CHECK(i1 >= 0 && i2 >= 0);
+  t->at(static_cast<size_t>(i1)) = Value::Time(p.begin);
+  t->at(static_cast<size_t>(i2)) = Value::Time(p.end);
+}
+
+bool ValueEquivalent(const Tuple& a, const Tuple& b, const Schema& schema) {
+  return CompareNonTemporal(a, b, schema) == 0;
+}
+
+int CompareNonTemporal(const Tuple& a, const Tuple& b, const Schema& schema) {
+  int i1 = schema.T1Index();
+  int i2 = schema.T2Index();
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (static_cast<int>(i) == i1 || static_cast<int>(i) == i2) continue;
+    int c = a.at(i).Compare(b.at(i));
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+}  // namespace tqp

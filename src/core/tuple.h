@@ -1,0 +1,59 @@
+// Fixed-width tuples (Definition 2.2).
+#ifndef TQP_CORE_TUPLE_H_
+#define TQP_CORE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/period.h"
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace tqp {
+
+/// A tuple is a fixed-width vector of values, positionally aligned with a
+/// Schema. Tuples do not own their schema; the enclosing Relation does.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void push_back(Value v) { values_.push_back(std::move(v)); }
+
+  /// Full-tuple equality (all attributes, including time attributes).
+  bool operator==(const Tuple& o) const { return values_ == o.values_; }
+  bool operator!=(const Tuple& o) const { return !(*this == o); }
+
+  /// Lexicographic three-way comparison across all attributes.
+  int Compare(const Tuple& o) const;
+  bool operator<(const Tuple& o) const { return Compare(o) < 0; }
+
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Returns the valid-time period of a tuple under a temporal schema.
+Period TuplePeriod(const Tuple& t, const Schema& schema);
+
+/// Replaces the valid-time period of a tuple (schema must be temporal).
+void SetTuplePeriod(Tuple* t, const Schema& schema, const Period& p);
+
+/// Value equivalence (Section 2.1): equality on all non-time attributes.
+/// For snapshot schemas this degenerates to full equality.
+bool ValueEquivalent(const Tuple& a, const Tuple& b, const Schema& schema);
+
+/// Compares two tuples on the non-time attributes only.
+int CompareNonTemporal(const Tuple& a, const Tuple& b, const Schema& schema);
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_TUPLE_H_

@@ -1,0 +1,141 @@
+#include "core/value.h"
+
+#include <functional>
+
+namespace tqp {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kTime:
+      return "time";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt() const {
+  TQP_CHECK(type_ == ValueType::kInt);
+  return std::get<int64_t>(payload_);
+}
+
+double Value::AsDouble() const {
+  TQP_CHECK(type_ == ValueType::kDouble);
+  return std::get<double>(payload_);
+}
+
+const std::string& Value::AsString() const {
+  TQP_CHECK(type_ == ValueType::kString);
+  return std::get<std::string>(payload_);
+}
+
+TimePoint Value::AsTime() const {
+  TQP_CHECK(type_ == ValueType::kTime);
+  return std::get<TimeBox>(payload_).t;
+}
+
+double Value::NumericValue() const {
+  switch (type_) {
+    case ValueType::kInt:
+      return static_cast<double>(std::get<int64_t>(payload_));
+    case ValueType::kDouble:
+      return std::get<double>(payload_);
+    case ValueType::kTime:
+      return static_cast<double>(std::get<TimeBox>(payload_).t);
+    default:
+      TQP_CHECK(false && "non-numeric value");
+      return 0.0;
+  }
+}
+
+namespace {
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  if (type_ != other.type_) {
+    // Allow int/double/time cross-type numeric comparison so predicates like
+    // "salary > 10" behave naturally; otherwise order by type rank.
+    if (IsNumeric() && other.IsNumeric()) {
+      return Cmp(NumericValue(), other.NumericValue());
+    }
+    return Cmp(static_cast<int>(type_), static_cast<int>(other.type_));
+  }
+  switch (type_) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt:
+      return Cmp(std::get<int64_t>(payload_), std::get<int64_t>(other.payload_));
+    case ValueType::kDouble:
+      return Cmp(std::get<double>(payload_), std::get<double>(other.payload_));
+    case ValueType::kString:
+      return Cmp(std::get<std::string>(payload_),
+                 std::get<std::string>(other.payload_));
+    case ValueType::kTime:
+      return Cmp(std::get<TimeBox>(payload_).t,
+                 std::get<TimeBox>(other.payload_).t);
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type_) * 0x9e3779b97f4a7c15ULL;
+  auto mix = [&seed](size_t h) {
+    seed ^= h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  };
+  switch (type_) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      mix(std::hash<int64_t>()(std::get<int64_t>(payload_)));
+      break;
+    case ValueType::kDouble:
+      mix(std::hash<double>()(std::get<double>(payload_)));
+      break;
+    case ValueType::kString:
+      mix(std::hash<std::string>()(std::get<std::string>(payload_)));
+      break;
+    case ValueType::kTime:
+      mix(std::hash<int64_t>()(std::get<TimeBox>(payload_).t));
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(payload_));
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(payload_));
+      return buf;
+    }
+    case ValueType::kString:
+      return std::get<std::string>(payload_);
+    case ValueType::kTime: {
+      TimePoint t = std::get<TimeBox>(payload_).t;
+      if (t == kMinTime) return "-inf";
+      if (t == kMaxTime) return "+inf";
+      return std::to_string(t);
+    }
+  }
+  return "?";
+}
+
+}  // namespace tqp

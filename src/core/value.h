@@ -1,0 +1,107 @@
+// Typed attribute values for the tqp algebra.
+//
+// The algebra of Slivinskas/Jensen/Snodgrass (ICDE 2000) is defined over
+// relations whose tuples map attributes into typed domains (Definition 2.1).
+// We provide the domains needed by the paper's examples and by realistic
+// workloads: null, 64-bit integers, doubles, strings, and time points drawn
+// from the chronon domain T. Time points are a distinct value type so the
+// implicit time attributes T1/T2 (Section 2.3) are recognizable in schemas.
+#ifndef TQP_CORE_VALUE_H_
+#define TQP_CORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "core/common.h"
+
+namespace tqp {
+
+/// A point on the discrete time line (a chronon index). The algebra is
+/// granularity independent: all operation definitions compare endpoints only,
+/// so a TimePoint may denote a month, a day, or a microsecond uniformly.
+using TimePoint = int64_t;
+
+/// Smallest representable time point ("beginning").
+inline constexpr TimePoint kMinTime = INT64_MIN / 4;
+/// Largest representable time point ("forever").
+inline constexpr TimePoint kMaxTime = INT64_MAX / 4;
+
+/// The value domains supported by the algebra.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+  kTime = 4,
+};
+
+/// Human-readable name of a value type ("int", "string", ...).
+const char* ValueTypeName(ValueType type);
+
+/// A single typed attribute value. Values are immutable once constructed and
+/// totally ordered (nulls first, then by type rank, then by payload), which
+/// gives the deterministic sort/duplicate semantics the list algebra needs.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : type_(ValueType::kNull), payload_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(ValueType::kInt, v); }
+  static Value Double(double v) { return Value(ValueType::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(ValueType::kString, std::move(v));
+  }
+  static Value Time(TimePoint t) { return Value(ValueType::kTime, TimeBox{t}); }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  /// Payload accessors. It is a checked error to read the wrong type.
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  TimePoint AsTime() const;
+
+  /// Numeric view: ints, doubles and time points coerce to double; used by
+  /// arithmetic expressions and SUM/AVG aggregates.
+  double NumericValue() const;
+  bool IsNumeric() const {
+    return type_ == ValueType::kInt || type_ == ValueType::kDouble ||
+           type_ == ValueType::kTime;
+  }
+
+  /// Three-way comparison defining the total order described above.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable hash combining type and payload.
+  size_t Hash() const;
+
+  /// Rendering used by the table printer and plan explain output.
+  std::string ToString() const;
+
+ private:
+  // Wrapper so TimePoint occupies a distinct variant alternative from kInt.
+  struct TimeBox {
+    TimePoint t;
+  };
+
+  using Payload =
+      std::variant<std::monostate, int64_t, double, std::string, TimeBox>;
+
+  Value(ValueType type, Payload payload)
+      : type_(type), payload_(std::move(payload)) {}
+
+  ValueType type_;
+  Payload payload_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_VALUE_H_

@@ -1,0 +1,75 @@
+#include "exec/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tqp {
+
+double OpWorkUnits(OpKind kind, double in1, double in2, double out) {
+  double n = in1 + in2 + 1.0;
+  switch (kind) {
+    case OpKind::kScan:
+    case OpKind::kSelect:
+    case OpKind::kProject:
+    case OpKind::kUnionAll:
+      return n + out;
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+    case OpKind::kRdup:
+      return 2.0 * n + out;  // hash-based
+    case OpKind::kProduct:
+    case OpKind::kProductT:
+      return in1 * in2 + n;
+    case OpKind::kSort:
+    case OpKind::kRdupT:
+    case OpKind::kCoalesce:
+    case OpKind::kDifferenceT:
+    case OpKind::kUnionT:
+    case OpKind::kAggregate:
+    case OpKind::kAggregateT:
+      return n * std::max(1.0, std::log2(n)) + out;
+    case OpKind::kTransferS:
+    case OpKind::kTransferD:
+      return 0.0;  // charged separately per tuple
+  }
+  return n;
+}
+
+namespace {
+
+double NodeCost(const AnnotatedPlan& plan, const PlanPtr& node,
+                const EngineConfig& config) {
+  const NodeInfo& info = plan.info(node.get());
+  double in1 = node->arity() > 0
+                   ? plan.info(node->child(0).get()).cardinality
+                   : info.cardinality;
+  double in2 =
+      node->arity() > 1 ? plan.info(node->child(1).get()).cardinality : 0.0;
+  if (node->kind() == OpKind::kTransferS ||
+      node->kind() == OpKind::kTransferD) {
+    return in1 * config.transfer_cost_per_tuple;
+  }
+  double units = OpWorkUnits(node->kind(), in1, in2, info.cardinality);
+  if (info.site == Site::kDbms) {
+    return units * (IsTemporalOp(node->kind()) ? config.dbms_temporal_penalty
+                                               : 1.0);
+  }
+  return units * config.stratum_cpu_factor;
+}
+
+double SubtreeCost(const AnnotatedPlan& plan, const PlanPtr& node,
+                   const EngineConfig& config) {
+  double total = NodeCost(plan, node, config);
+  for (const PlanPtr& c : node->children()) {
+    total += SubtreeCost(plan, c, config);
+  }
+  return total;
+}
+
+}  // namespace
+
+double EstimatePlanCost(const AnnotatedPlan& plan, const EngineConfig& config) {
+  return SubtreeCost(plan, plan.plan(), config);
+}
+
+}  // namespace tqp

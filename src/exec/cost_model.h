@@ -1,0 +1,42 @@
+// Cost primitives shared by the executor (actual work accounting) and the
+// optimizer (estimated plan cost). Keeping both on the same formulas makes
+// the cost-based plan choice consistent with the simulated execution the
+// benchmarks measure.
+#ifndef TQP_EXEC_COST_MODEL_H_
+#define TQP_EXEC_COST_MODEL_H_
+
+#include "algebra/derivation.h"
+#include "algebra/plan.h"
+
+namespace tqp {
+
+/// Work units for one operator invocation given input/output cardinalities.
+/// Transfers are charged separately (per tuple moved).
+double OpWorkUnits(OpKind kind, double in1, double in2, double out);
+
+/// Execution-environment knobs for the simulated layered architecture
+/// (Section 2.1/4.5): the stratum is slower per tuple than the mature DBMS,
+/// the DBMS pays a heavy penalty for temporal operations (simulated with
+/// complex SQL), and transfers cost per tuple moved.
+struct EngineConfig {
+  /// Deterministically permute the result order of every non-sort operation
+  /// executed at the DBMS site (models "unspecified order", Section 4.5).
+  bool dbms_scrambles_order = false;
+  /// Seed for the deterministic scramble.
+  uint64_t scramble_seed = 0x5eed;
+
+  /// Relative per-tuple work of a stratum operation vs. the same DBMS one.
+  double stratum_cpu_factor = 4.0;
+  /// Work units charged per tuple crossing a transfer operation.
+  double transfer_cost_per_tuple = 2.0;
+  /// Extra work factor for temporal operations executed at the DBMS.
+  double dbms_temporal_penalty = 25.0;
+};
+
+/// Estimated total cost of a plan: per-node OpWorkUnits on the derived
+/// cardinalities, weighted by site factors, plus transfer charges.
+double EstimatePlanCost(const AnnotatedPlan& plan, const EngineConfig& config);
+
+}  // namespace tqp
+
+#endif  // TQP_EXEC_COST_MODEL_H_

@@ -1,0 +1,551 @@
+// Operator-level implementations of the extended algebra (Table 1).
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "exec/evaluator.h"
+
+namespace tqp {
+
+namespace {
+
+// Hashable/comparable key over a whole tuple.
+struct TupleKey {
+  const Tuple* t;
+
+  bool operator==(const TupleKey& o) const { return *t == *o.t; }
+};
+
+struct TupleKeyHash {
+  size_t operator()(const TupleKey& k) const { return k.t->Hash(); }
+};
+
+// Non-time attribute values of a tuple: the value-equivalence class key.
+std::vector<Value> ClassKey(const Tuple& t, const Schema& schema) {
+  std::vector<Value> out;
+  int i1 = schema.T1Index();
+  int i2 = schema.T2Index();
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (static_cast<int>(i) == i1 || static_cast<int>(i) == i2) continue;
+    out.push_back(t.at(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+Relation EvalSelect(const Relation& in, const ExprPtr& predicate) {
+  Relation out(in.schema());
+  for (const Tuple& t : in.tuples()) {
+    if (predicate->EvalPredicate(t, in.schema())) out.Append(t);
+  }
+  return out;
+}
+
+Result<Relation> EvalProject(const Relation& in,
+                             const std::vector<ProjItem>& items,
+                             const Schema& out_schema) {
+  Relation out(out_schema);
+  for (const Tuple& t : in.tuples()) {
+    Tuple nt;
+    for (const ProjItem& item : items) {
+      TQP_ASSIGN_OR_RETURN(v, item.expr->Eval(t, in.schema()));
+      nt.push_back(std::move(v));
+    }
+    out.Append(std::move(nt));
+  }
+  return out;
+}
+
+Relation EvalUnionAll(const Relation& l, const Relation& r, Schema out_schema) {
+  Relation out(std::move(out_schema));
+  for (const Tuple& t : l.tuples()) out.Append(t);
+  for (const Tuple& t : r.tuples()) out.Append(t);
+  return out;
+}
+
+Relation EvalUnion(const Relation& l, const Relation& r, Schema out_schema) {
+  // max-multiplicity union: all of l, then the occurrences of r that exceed
+  // their multiplicity in l.
+  Relation out(std::move(out_schema));
+  std::unordered_map<TupleKey, int64_t, TupleKeyHash> left_count;
+  for (const Tuple& t : l.tuples()) {
+    out.Append(t);
+    ++left_count[TupleKey{&t}];
+  }
+  std::unordered_map<TupleKey, int64_t, TupleKeyHash> right_seen;
+  for (const Tuple& t : r.tuples()) {
+    int64_t seen = ++right_seen[TupleKey{&t}];
+    auto it = left_count.find(TupleKey{&t});
+    int64_t in_left = it == left_count.end() ? 0 : it->second;
+    if (seen > in_left) out.Append(t);
+  }
+  return out;
+}
+
+Relation EvalProduct(const Relation& l, const Relation& r, Schema out_schema) {
+  Relation out(std::move(out_schema));
+  for (const Tuple& lt : l.tuples()) {
+    for (const Tuple& rt : r.tuples()) {
+      Tuple nt;
+      for (const Value& v : lt.values()) nt.push_back(v);
+      for (const Value& v : rt.values()) nt.push_back(v);
+      out.Append(std::move(nt));
+    }
+  }
+  return out;
+}
+
+Relation EvalDifference(const Relation& l, const Relation& r) {
+  // For each right tuple, one matching left occurrence is cancelled; the
+  // earliest occurrences are cancelled first, so survivors keep their order.
+  std::unordered_map<TupleKey, int64_t, TupleKeyHash> cancel;
+  for (const Tuple& t : r.tuples()) ++cancel[TupleKey{&t}];
+  Relation out(l.schema());
+  for (const Tuple& t : l.tuples()) {
+    auto it = cancel.find(TupleKey{&t});
+    if (it != cancel.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    out.Append(t);
+  }
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  bool has_minmax = false;
+  Value min, max;
+  int64_t non_null = 0;
+
+  void Add(const Value& v) {
+    ++count;
+    if (v.is_null()) return;
+    ++non_null;
+    if (v.IsNumeric()) sum += v.NumericValue();
+    if (!has_minmax) {
+      min = v;
+      max = v;
+      has_minmax = true;
+    } else {
+      if (v < min) min = v;
+      if (max < v) max = v;
+    }
+  }
+
+  Value Finish(AggFunc f, ValueType input_type) const {
+    switch (f) {
+      case AggFunc::kCount:
+        return Value::Int(count);
+      case AggFunc::kSum:
+        if (non_null == 0) return Value::Null();
+        if (input_type == ValueType::kDouble) return Value::Double(sum);
+        return Value::Int(static_cast<int64_t>(sum));
+      case AggFunc::kAvg:
+        if (non_null == 0) return Value::Null();
+        return Value::Double(sum / static_cast<double>(non_null));
+      case AggFunc::kMin:
+        return has_minmax ? min : Value::Null();
+      case AggFunc::kMax:
+        return has_minmax ? max : Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+struct VecValueLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace
+
+Result<Relation> EvalAggregate(const Relation& in,
+                               const std::vector<std::string>& group_by,
+                               const std::vector<AggSpec>& aggs,
+                               const Schema& out_schema) {
+  std::vector<int> group_idx;
+  for (const std::string& g : group_by) {
+    int idx = in.schema().IndexOf(g);
+    if (idx < 0) return Status::InvalidArgument("unknown group attr " + g);
+    group_idx.push_back(idx);
+  }
+  std::vector<int> agg_idx;
+  std::vector<ValueType> agg_type;
+  for (const AggSpec& a : aggs) {
+    if (a.func == AggFunc::kCount && a.attr.empty()) {
+      agg_idx.push_back(-1);
+      agg_type.push_back(ValueType::kInt);
+      continue;
+    }
+    int idx = in.schema().IndexOf(a.attr);
+    if (idx < 0) return Status::InvalidArgument("unknown agg attr " + a.attr);
+    agg_idx.push_back(idx);
+    agg_type.push_back(in.schema().attr(static_cast<size_t>(idx)).type);
+  }
+
+  // Groups are emitted in order of first occurrence, which realizes
+  // Order(result) = Prefix(Order(r), GroupPairs) from Table 1.
+  std::map<std::vector<Value>, size_t, VecValueLess> group_of;
+  std::vector<std::vector<Value>> group_keys;
+  std::vector<std::vector<AggState>> states;
+  for (const Tuple& t : in.tuples()) {
+    std::vector<Value> key;
+    for (int gi : group_idx) key.push_back(t.at(static_cast<size_t>(gi)));
+    auto [it, inserted] = group_of.try_emplace(key, group_keys.size());
+    if (inserted) {
+      group_keys.push_back(key);
+      states.emplace_back(aggs.size());
+    }
+    std::vector<AggState>& st = states[it->second];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      st[a].Add(agg_idx[a] < 0 ? Value::Int(1)
+                               : t.at(static_cast<size_t>(agg_idx[a])));
+    }
+  }
+
+  Relation out(out_schema);
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Tuple nt;
+    for (const Value& v : group_keys[g]) nt.push_back(v);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      nt.push_back(states[g][a].Finish(aggs[a].func, agg_type[a]));
+    }
+    out.Append(std::move(nt));
+  }
+  return out;
+}
+
+Relation EvalRdup(const Relation& in, Schema out_schema) {
+  Relation out(std::move(out_schema));
+  std::unordered_map<TupleKey, bool, TupleKeyHash> seen;
+  std::deque<Tuple> owned;  // stable addresses for the key map
+  for (const Tuple& t : in.tuples()) {
+    owned.push_back(t);
+    if (seen.emplace(TupleKey{&owned.back()}, true).second) {
+      out.Append(t);
+    } else {
+      owned.pop_back();
+    }
+  }
+  return out;
+}
+
+Relation EvalSort(const Relation& in, const SortSpec& spec) {
+  Relation out = in;
+  TupleComparator cmp(spec, in.schema());
+  std::stable_sort(out.mutable_tuples().begin(), out.mutable_tuples().end(),
+                   [&cmp](const Tuple& a, const Tuple& b) {
+                     return cmp.Compare(a, b) < 0;
+                   });
+  return out;
+}
+
+Relation EvalProductT(const Relation& l, const Relation& r, Schema out_schema) {
+  Relation out(std::move(out_schema));
+  const Schema& ls = l.schema();
+  const Schema& rs = r.schema();
+  int l1 = ls.T1Index(), l2 = ls.T2Index();
+  int r1 = rs.T1Index(), r2 = rs.T2Index();
+  for (const Tuple& lt : l.tuples()) {
+    Period lp = TuplePeriod(lt, ls);
+    for (const Tuple& rt : r.tuples()) {
+      Period rp = TuplePeriod(rt, rs);
+      Period overlap = lp.Intersect(rp);
+      if (!overlap.Valid()) continue;
+      Tuple nt;
+      for (size_t i = 0; i < ls.size(); ++i) {
+        if (static_cast<int>(i) == l1 || static_cast<int>(i) == l2) continue;
+        nt.push_back(lt.at(i));
+      }
+      for (size_t i = 0; i < rs.size(); ++i) {
+        if (static_cast<int>(i) == r1 || static_cast<int>(i) == r2) continue;
+        nt.push_back(rt.at(i));
+      }
+      nt.push_back(Value::Time(lp.begin));
+      nt.push_back(Value::Time(lp.end));
+      nt.push_back(Value::Time(rp.begin));
+      nt.push_back(Value::Time(rp.end));
+      nt.push_back(Value::Time(overlap.begin));
+      nt.push_back(Value::Time(overlap.end));
+      out.Append(std::move(nt));
+    }
+  }
+  return out;
+}
+
+Relation EvalDifferenceT(const Relation& l, const Relation& r) {
+  // Snapshot-reducible multiset difference. Per value-equivalence class, an
+  // endpoint sweep determines the surviving multiplicity of each elementary
+  // interval (max(0, leftCount - rightCount)); surviving mass is attributed
+  // to the earliest covering left tuples in list order, and each left
+  // tuple's surviving intervals are then stitched into maximal fragments.
+  // For a snapshot-duplicate-free left argument this degenerates to
+  // "left period minus the union of the matching right periods".
+  const Schema& schema = l.schema();
+
+  struct ClassData {
+    std::vector<size_t> left_index;   // positions in l
+    std::vector<Period> left_period;
+    std::vector<Period> right_period;
+  };
+  std::map<std::vector<Value>, ClassData, VecValueLess> classes;
+  for (size_t i = 0; i < l.size(); ++i) {
+    ClassData& cd = classes[ClassKey(l.tuple(i), schema)];
+    cd.left_index.push_back(i);
+    cd.left_period.push_back(TuplePeriod(l.tuple(i), schema));
+  }
+  for (const Tuple& t : r.tuples()) {
+    auto it = classes.find(ClassKey(t, schema));
+    if (it == classes.end()) continue;  // nothing to cancel
+    it->second.right_period.push_back(TuplePeriod(t, r.schema()));
+  }
+
+  // Surviving fragments per left tuple position.
+  std::vector<std::vector<Period>> fragments(l.size());
+  for (auto& [key, cd] : classes) {
+    if (cd.right_period.empty()) {
+      for (size_t k = 0; k < cd.left_index.size(); ++k) {
+        fragments[cd.left_index[k]].push_back(cd.left_period[k]);
+      }
+      continue;
+    }
+    std::vector<TimePoint> cuts;
+    for (const Period& p : cd.left_period) {
+      cuts.push_back(p.begin);
+      cuts.push_back(p.end);
+    }
+    for (const Period& p : cd.right_period) {
+      cuts.push_back(p.begin);
+      cuts.push_back(p.end);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+      Period elem(cuts[c], cuts[c + 1]);
+      int64_t right_cover = 0;
+      for (const Period& p : cd.right_period) {
+        if (p.Contains(elem)) ++right_cover;
+      }
+      int64_t budget = -right_cover;  // negative => cancelled copies
+      for (size_t k = 0; k < cd.left_index.size(); ++k) {
+        if (!cd.left_period[k].Contains(elem)) continue;
+        ++budget;
+        if (budget > 0) {
+          std::vector<Period>& fr = fragments[cd.left_index[k]];
+          if (!fr.empty() && fr.back().end == elem.begin) {
+            fr.back().end = elem.end;  // stitch adjacent elementary pieces
+          } else {
+            fr.push_back(elem);
+          }
+        }
+      }
+    }
+  }
+
+  Relation out(schema);
+  for (size_t i = 0; i < l.size(); ++i) {
+    for (const Period& p : fragments[i]) {
+      Tuple nt = l.tuple(i);
+      SetTuplePeriod(&nt, schema, p);
+      out.Append(std::move(nt));
+    }
+  }
+  return out;
+}
+
+Relation EvalUnionT(const Relation& l, const Relation& r) {
+  Relation extra = EvalDifferenceT(r, l);
+  Relation out(l.schema());
+  for (const Tuple& t : l.tuples()) out.Append(t);
+  for (const Tuple& t : extra.tuples()) out.Append(t);
+  return out;
+}
+
+Result<Relation> EvalAggregateT(const Relation& in,
+                                const std::vector<std::string>& group_by,
+                                const std::vector<AggSpec>& aggs,
+                                const Schema& out_schema) {
+  const Schema& schema = in.schema();
+  std::vector<int> group_idx;
+  for (const std::string& g : group_by) {
+    int idx = schema.IndexOf(g);
+    if (idx < 0) return Status::InvalidArgument("unknown group attr " + g);
+    group_idx.push_back(idx);
+  }
+  std::vector<int> agg_idx;
+  std::vector<ValueType> agg_type;
+  for (const AggSpec& a : aggs) {
+    if (a.func == AggFunc::kCount && a.attr.empty()) {
+      agg_idx.push_back(-1);
+      agg_type.push_back(ValueType::kInt);
+      continue;
+    }
+    int idx = schema.IndexOf(a.attr);
+    if (idx < 0) return Status::InvalidArgument("unknown agg attr " + a.attr);
+    agg_idx.push_back(idx);
+    agg_type.push_back(schema.attr(static_cast<size_t>(idx)).type);
+  }
+
+  struct GroupData {
+    std::vector<size_t> members;  // tuple positions
+  };
+  std::map<std::vector<Value>, size_t, VecValueLess> group_of;
+  std::vector<std::vector<Value>> group_keys;
+  std::vector<GroupData> groups;
+  for (size_t i = 0; i < in.size(); ++i) {
+    std::vector<Value> key;
+    for (int gi : group_idx) {
+      key.push_back(in.tuple(i).at(static_cast<size_t>(gi)));
+    }
+    auto [it, inserted] = group_of.try_emplace(key, groups.size());
+    if (inserted) {
+      group_keys.push_back(key);
+      groups.emplace_back();
+    }
+    groups[it->second].members.push_back(i);
+  }
+
+  Relation out(out_schema);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    // Sweep the group's elementary intervals; evaluate the aggregates over
+    // the covering tuples of each; merge intervals with identical results
+    // into maximal constancy intervals (snapshot reducibility).
+    std::vector<TimePoint> cuts;
+    for (size_t m : groups[g].members) {
+      Period p = TuplePeriod(in.tuple(m), schema);
+      cuts.push_back(p.begin);
+      cuts.push_back(p.end);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    std::vector<Value> prev_aggs;
+    Period open;
+    bool has_open = false;
+    auto flush = [&]() {
+      if (!has_open) return;
+      Tuple nt;
+      for (const Value& v : group_keys[g]) nt.push_back(v);
+      for (const Value& v : prev_aggs) nt.push_back(v);
+      nt.push_back(Value::Time(open.begin));
+      nt.push_back(Value::Time(open.end));
+      out.Append(std::move(nt));
+      has_open = false;
+    };
+    for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+      Period elem(cuts[c], cuts[c + 1]);
+      std::vector<AggState> st(aggs.size());
+      int64_t covering = 0;
+      for (size_t m : groups[g].members) {
+        if (!TuplePeriod(in.tuple(m), schema).Contains(elem)) continue;
+        ++covering;
+        for (size_t a = 0; a < aggs.size(); ++a) {
+          st[a].Add(agg_idx[a] < 0
+                        ? Value::Int(1)
+                        : in.tuple(m).at(static_cast<size_t>(agg_idx[a])));
+        }
+      }
+      if (covering == 0) {
+        flush();
+        continue;
+      }
+      std::vector<Value> cur;
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        cur.push_back(st[a].Finish(aggs[a].func, agg_type[a]));
+      }
+      if (has_open && cur == prev_aggs && open.end == elem.begin) {
+        open.end = elem.end;
+      } else {
+        flush();
+        open = elem;
+        prev_aggs = std::move(cur);
+        has_open = true;
+      }
+    }
+    flush();
+  }
+  return out;
+}
+
+Relation EvalRdupT(const Relation& in) {
+  // Equivalent closed form of the paper's recursion (see Section 2.5 and the
+  // proof sketch in DESIGN.md): processing tuples in list order, each tuple
+  // contributes its period minus the union of all earlier periods of its
+  // value-equivalence class, split into ascending fragments in place.
+  const Schema& schema = in.schema();
+  std::map<std::vector<Value>, std::vector<Period>, VecValueLess> covered;
+  Relation out(schema);
+  for (const Tuple& t : in.tuples()) {
+    std::vector<Value> key = ClassKey(t, schema);
+    std::vector<Period>& cov = covered[key];
+    Period p = TuplePeriod(t, schema);
+    for (const Period& frag : SubtractAll(p, cov)) {
+      Tuple nt = t;
+      SetTuplePeriod(&nt, schema, frag);
+      out.Append(std::move(nt));
+    }
+    cov.push_back(p);
+    cov = NormalizePeriods(std::move(cov));
+  }
+  return out;
+}
+
+Relation EvalCoalesce(const Relation& in) {
+  // Greedy adjacency merge per the minimal coalescing of Section 2.4: the
+  // head of each value-equivalence class repeatedly absorbs the first later
+  // tuple whose period is adjacent to the (growing) head period; the merged
+  // tuple keeps the head's list position. Overlapping or equal periods are
+  // NOT merged (that is rdupT's job).
+  const Schema& schema = in.schema();
+  size_t n = in.size();
+  std::vector<bool> consumed(n, false);
+  std::vector<Period> period(n);
+  std::map<std::vector<Value>, std::vector<size_t>, VecValueLess> classes;
+  for (size_t i = 0; i < n; ++i) {
+    period[i] = TuplePeriod(in.tuple(i), schema);
+    classes[ClassKey(in.tuple(i), schema)].push_back(i);
+  }
+  for (auto& [key, idxs] : classes) {
+    for (size_t a = 0; a < idxs.size(); ++a) {
+      size_t head = idxs[a];
+      if (consumed[head]) continue;
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (size_t b = a + 1; b < idxs.size(); ++b) {
+          size_t j = idxs[b];
+          if (consumed[j]) continue;
+          if (period[head].Adjacent(period[j])) {
+            period[head] = period[head].Merge(period[j]);
+            consumed[j] = true;
+            changed = true;
+            break;  // restart: the grown period may meet earlier-scanned ones
+          }
+        }
+      }
+    }
+  }
+  Relation out(schema);
+  for (size_t i = 0; i < n; ++i) {
+    if (consumed[i]) continue;
+    Tuple nt = in.tuple(i);
+    SetTuplePeriod(&nt, schema, period[i]);
+    out.Append(std::move(nt));
+  }
+  return out;
+}
+
+}  // namespace tqp

@@ -1,0 +1,143 @@
+// Plan-tree evaluation, site simulation, and cost accounting.
+#include "exec/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tqp {
+
+namespace {
+
+// Deterministic "unspecified DBMS order": reorder tuples by a seeded hash.
+// The result is a function of the tuple multiset only — any dependence of
+// downstream results on the input *order* is thereby surfaced in tests.
+void ScrambleOrder(Relation* r, uint64_t seed) {
+  auto mix = [seed](const Tuple& t) {
+    uint64_t h = t.Hash() ^ seed;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  };
+  std::stable_sort(r->mutable_tuples().begin(), r->mutable_tuples().end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     uint64_t ha = mix(a), hb = mix(b);
+                     if (ha != hb) return ha < hb;
+                     return a.Compare(b) < 0;
+                   });
+}
+
+struct TreeEvaluator {
+  const AnnotatedPlan& ann;
+  const EngineConfig& config;
+  ExecStats* stats;
+
+  Result<Relation> Eval(const PlanPtr& node) {
+    const NodeInfo& info = ann.info(node.get());
+    std::vector<Relation> inputs;
+    for (const PlanPtr& c : node->children()) {
+      TQP_ASSIGN_OR_RETURN(r, Eval(c));
+      inputs.push_back(std::move(r));
+    }
+    // Capture input sizes before Apply: transfers move their input out.
+    double in1 = inputs.empty() ? 0.0 : static_cast<double>(inputs[0].size());
+    double in2 =
+        inputs.size() < 2 ? 0.0 : static_cast<double>(inputs[1].size());
+    TQP_ASSIGN_OR_RETURN(result, Apply(node, info, inputs));
+
+    if (stats != nullptr) {
+      ++stats->op_counts[OpKindName(node->kind())];
+      stats->tuples_produced += static_cast<int64_t>(result.size());
+      if (node->kind() == OpKind::kScan) {
+        in1 = static_cast<double>(result.size());
+      }
+      double units = OpWorkUnits(node->kind(), in1, in2,
+                                 static_cast<double>(result.size()));
+      if (node->kind() == OpKind::kTransferS ||
+          node->kind() == OpKind::kTransferD) {
+        stats->tuples_transferred += static_cast<int64_t>(in1);
+        stats->stratum_work += in1 * config.transfer_cost_per_tuple;
+      } else if (info.site == Site::kDbms) {
+        double penalty =
+            IsTemporalOp(node->kind()) ? config.dbms_temporal_penalty : 1.0;
+        stats->dbms_work += units * penalty;
+      } else {
+        stats->stratum_work += units * config.stratum_cpu_factor;
+      }
+    }
+
+    // Model the DBMS's freedom over result order (Section 4.5).
+    if (config.dbms_scrambles_order && info.site == Site::kDbms &&
+        node->kind() != OpKind::kSort && node->kind() != OpKind::kScan &&
+        node->kind() != OpKind::kTransferD) {
+      ScrambleOrder(&result, config.scramble_seed);
+    }
+
+    result.set_order(info.order);
+    return result;
+  }
+
+  Result<Relation> Apply(const PlanPtr& node, const NodeInfo& info,
+                         std::vector<Relation>& in) {
+    switch (node->kind()) {
+      case OpKind::kScan: {
+        const CatalogEntry* e = ann.catalog().Find(node->rel_name());
+        if (e == nullptr) return Status::NotFound(node->rel_name());
+        return e->data;
+      }
+      case OpKind::kSelect:
+        return EvalSelect(in[0], node->predicate());
+      case OpKind::kProject:
+        return EvalProject(in[0], node->projections(), info.schema);
+      case OpKind::kUnionAll:
+        return EvalUnionAll(in[0], in[1], info.schema);
+      case OpKind::kUnion:
+        return EvalUnion(in[0], in[1], info.schema);
+      case OpKind::kProduct:
+        return EvalProduct(in[0], in[1], info.schema);
+      case OpKind::kDifference:
+        return EvalDifference(in[0], in[1]);
+      case OpKind::kAggregate:
+        return EvalAggregate(in[0], node->group_by(), node->aggregates(),
+                             info.schema);
+      case OpKind::kRdup:
+        return EvalRdup(in[0], info.schema);
+      case OpKind::kProductT:
+        return EvalProductT(in[0], in[1], info.schema);
+      case OpKind::kDifferenceT:
+        return EvalDifferenceT(in[0], in[1]);
+      case OpKind::kAggregateT:
+        return EvalAggregateT(in[0], node->group_by(), node->aggregates(),
+                              info.schema);
+      case OpKind::kRdupT:
+        return EvalRdupT(in[0]);
+      case OpKind::kUnionT:
+        return EvalUnionT(in[0], in[1]);
+      case OpKind::kSort:
+        return EvalSort(in[0], node->sort_spec());
+      case OpKind::kCoalesce:
+        return EvalCoalesce(in[0]);
+      case OpKind::kTransferS:
+      case OpKind::kTransferD:
+        return std::move(in[0]);
+    }
+    return Status::Error("unreachable operator kind");
+  }
+};
+
+}  // namespace
+
+Result<Relation> Evaluate(const AnnotatedPlan& plan, const EngineConfig& config,
+                          ExecStats* stats) {
+  TreeEvaluator ev{plan, config, stats};
+  return ev.Eval(plan.plan());
+}
+
+Result<Relation> EvaluatePlan(const PlanPtr& plan, const Catalog& catalog,
+                              const EngineConfig& config, ExecStats* stats) {
+  TQP_ASSIGN_OR_RETURN(
+      ann, AnnotatedPlan::Make(plan, &catalog, QueryContract::Multiset()));
+  return Evaluate(ann, config, stats);
+}
+
+}  // namespace tqp

@@ -1,0 +1,70 @@
+#include "exec/reference_ops.h"
+
+#include <list>
+
+#include "core/tuple.h"
+
+namespace tqp {
+
+Relation EvalRdupTReference(const Relation& in) {
+  const Schema& schema = in.schema();
+  std::list<Tuple> work(in.tuples().begin(), in.tuples().end());
+  Relation out(schema);
+  while (!work.empty()) {
+    Tuple head = std::move(work.front());
+    work.pop_front();
+    Period head_period = TuplePeriod(head, schema);
+    // OverT: find the first value-equivalent overlapping tuple; ChangeT:
+    // replace it in place with (tuple \T head), i.e. 0–2 fragments. Repeat
+    // until no such tuple remains (the recursion restarts on the modified
+    // tail; fragments never overlap the head, so a forward scan suffices).
+    for (auto it = work.begin(); it != work.end();) {
+      if (!ValueEquivalent(head, *it, schema) ||
+          !TuplePeriod(*it, schema).Overlaps(head_period)) {
+        ++it;
+        continue;
+      }
+      std::vector<Period> fragments =
+          TuplePeriod(*it, schema).Subtract(head_period);
+      it = work.erase(it);
+      for (auto frag = fragments.rbegin(); frag != fragments.rend(); ++frag) {
+        Tuple replacement = head;
+        // Rebuild the fragment tuple from the erased tuple's values.
+        // (head and the erased tuple are value-equivalent, so copying the
+        // head's non-time values is equivalent.)
+        SetTuplePeriod(&replacement, schema, *frag);
+        it = work.insert(it, std::move(replacement));
+      }
+    }
+    out.Append(std::move(head));
+  }
+  return out;
+}
+
+Relation EvalCoalesceReference(const Relation& in) {
+  const Schema& schema = in.schema();
+  std::list<Tuple> work(in.tuples().begin(), in.tuples().end());
+  Relation out(schema);
+  while (!work.empty()) {
+    Tuple head = std::move(work.front());
+    work.pop_front();
+    bool merged = true;
+    while (merged) {
+      merged = false;
+      Period head_period = TuplePeriod(head, schema);
+      for (auto it = work.begin(); it != work.end(); ++it) {
+        if (!ValueEquivalent(head, *it, schema)) continue;
+        Period p = TuplePeriod(*it, schema);
+        if (!head_period.Adjacent(p)) continue;
+        SetTuplePeriod(&head, schema, head_period.Merge(p));
+        work.erase(it);
+        merged = true;  // the grown period may now meet earlier tuples
+        break;
+      }
+    }
+    out.Append(std::move(head));
+  }
+  return out;
+}
+
+}  // namespace tqp

@@ -1,0 +1,30 @@
+// Literal reference implementations of the paper's recursive λ-calculus
+// definitions (Section 2.5).
+//
+// "The definitions do not imply the actual implementation algorithms, but do
+// constrain the implementation algorithms to produce the same results,
+// taking order and duplicates into account." The production operators in
+// evaluator.h use closed-form sweeps; these reference versions transcribe
+// the recursions literally. Property tests assert list equality between the
+// two on randomized inputs, and bench_fig3 compares their scaling.
+#ifndef TQP_EXEC_REFERENCE_OPS_H_
+#define TQP_EXEC_REFERENCE_OPS_H_
+
+#include "core/relation.h"
+
+namespace tqp {
+
+/// rdupT per the paper's recursion: the head tuple's period is subtracted,
+/// in place, from the first value-equivalent overlapping successor until none
+/// remains; then the head is emitted and the tail processed recursively.
+/// Worst-case quadratic; produces exactly the same list as EvalRdupT.
+Relation EvalRdupTReference(const Relation& in);
+
+/// coalT as the analogous greedy recursion: the head absorbs the first
+/// value-equivalent adjacent successor (restarting the scan after each
+/// merge), then is emitted. Produces exactly the same list as EvalCoalesce.
+Relation EvalCoalesceReference(const Relation& in);
+
+}  // namespace tqp
+
+#endif  // TQP_EXEC_REFERENCE_OPS_H_

@@ -1,0 +1,140 @@
+#include "opt/enumerate.h"
+
+#include <unordered_set>
+
+namespace tqp {
+
+std::vector<std::string> EnumerationResult::DerivationOf(size_t index) const {
+  std::vector<std::string> chain;
+  int i = static_cast<int>(index);
+  while (i >= 0 && !plans[static_cast<size_t>(i)].rule_id.empty()) {
+    chain.push_back(plans[static_cast<size_t>(i)].rule_id);
+    i = plans[static_cast<size_t>(i)].parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+bool RuleAdmitted(EquivalenceType equiv,
+                  const std::vector<const PlanNode*>& location,
+                  const AnnotatedPlan& ann) {
+  bool need_no_order = false, need_no_dups = false, need_no_periods = false;
+  switch (equiv) {
+    case EquivalenceType::kList:
+      return true;
+    case EquivalenceType::kMultiset:
+      need_no_order = true;
+      break;
+    case EquivalenceType::kSet:
+      need_no_order = true;
+      need_no_dups = true;
+      break;
+    case EquivalenceType::kSnapshotList:
+      need_no_periods = true;
+      break;
+    case EquivalenceType::kSnapshotMultiset:
+      need_no_order = true;
+      need_no_periods = true;
+      break;
+    case EquivalenceType::kSnapshotSet:
+      need_no_order = true;
+      need_no_dups = true;
+      need_no_periods = true;
+      break;
+  }
+  for (const PlanNode* op : location) {
+    const NodeInfo& info = ann.info(op);
+    if (need_no_order && info.order_required) return false;
+    if (need_no_dups && info.duplicates_relevant) return false;
+    if (need_no_periods && info.period_preserving) return false;
+  }
+  return true;
+}
+
+bool IsOrderSafeAcrossSites(const std::string& rule_id) {
+  return rule_id == "T-USORT" || rule_id == "T-USORT'" || rule_id == "S1" ||
+         rule_id == "S3";
+}
+
+Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
+                                         const Catalog& catalog,
+                                         const QueryContract& contract,
+                                         const std::vector<Rule>& rules,
+                                         const EnumerationOptions& options) {
+  // The initial plan must be well-formed; everything downstream re-validates.
+  {
+    Result<AnnotatedPlan> check =
+        AnnotatedPlan::Make(initial, &catalog, contract);
+    if (!check.ok()) return check.status();
+  }
+
+  EnumerationResult result;
+  std::unordered_set<std::string> seen;
+  size_t size_cap = PlanSize(initial) + options.max_plan_growth;
+
+  result.plans.push_back(
+      EnumeratedPlan{initial, CanonicalString(initial), -1, ""});
+  seen.insert(result.plans[0].canonical);
+
+  for (size_t p = 0; p < result.plans.size(); ++p) {
+    if (result.plans.size() >= options.max_plans) {
+      result.truncated = true;
+      break;
+    }
+    PlanPtr plan = result.plans[p].plan;
+    Result<AnnotatedPlan> ann_res =
+        AnnotatedPlan::Make(plan, &catalog, contract);
+    if (!ann_res.ok()) continue;  // defensive: skip invalid derived plans
+    const AnnotatedPlan& ann = ann_res.value();
+
+    std::vector<PlanPtr> locations;
+    CollectNodes(plan, &locations);
+
+    for (const Rule& rule : rules) {
+      for (const PlanPtr& loc : locations) {
+        std::optional<RuleMatch> match = rule.TryApply(loc, ann);
+        if (!match.has_value()) continue;
+        ++result.matches;
+
+        // Section 4.5: ≡L rules are weakened to ≡M when the location spans
+        // DBMS-site operations, except the order-safe sort rules.
+        EquivalenceType effective = rule.equivalence();
+        if (effective == EquivalenceType::kList &&
+            !IsOrderSafeAcrossSites(rule.id())) {
+          for (const PlanNode* op : match->location) {
+            if (ann.info(op).site == Site::kDbms) {
+              effective = EquivalenceType::kMultiset;
+              break;
+            }
+          }
+        }
+
+        if (options.admitted.count(effective) == 0) continue;
+        if (!RuleAdmitted(effective, match->location, ann)) {
+          ++result.gated_out;
+          continue;
+        }
+        ++result.admitted;
+
+        PlanPtr rewritten = ReplaceNode(plan, loc.get(), match->replacement);
+        if (PlanSize(rewritten) > size_cap) continue;
+        std::string canon = CanonicalString(rewritten);
+        if (!seen.insert(canon).second) continue;
+        // Re-validate: a rewrite may produce a site-inconsistent or
+        // schema-invalid plan in rare compositions; those are dropped.
+        if (!AnnotatedPlan::Make(rewritten, &catalog, contract).ok()) {
+          seen.erase(canon);
+          continue;
+        }
+        result.plans.push_back(EnumeratedPlan{rewritten, std::move(canon),
+                                              static_cast<int>(p), rule.id()});
+        if (result.plans.size() >= options.max_plans) break;
+      }
+      if (result.plans.size() >= options.max_plans) break;
+    }
+  }
+  if (result.plans.size() >= options.max_plans) result.truncated = true;
+  return result;
+}
+
+}  // namespace tqp

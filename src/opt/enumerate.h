@@ -1,0 +1,94 @@
+// The query plan enumeration algorithm of Figure 5.
+//
+// A deterministic worklist explores the space of plans reachable from the
+// initial plan through the given transformation rules. A rule of equivalence
+// type T is applicable at a location l iff the Table 2 properties of every
+// operation at l admit T (the disjunction in Figure 5):
+//
+//   ≡L   always
+//   ≡M   ∀op∈l ¬OrderRequired
+//   ≡S   ∀op∈l ¬DuplicatesRelevant ∧ ¬OrderRequired
+//   ≡SL  ∀op∈l ¬PeriodPreserving
+//   ≡SM  ∀op∈l ¬OrderRequired ∧ ¬PeriodPreserving
+//   ≡SS  ∀op∈l ¬DuplicatesRelevant ∧ ¬OrderRequired ∧ ¬PeriodPreserving
+//
+// Per Section 4.5, an ≡L rule whose location contains DBMS-site operations is
+// weakened to ≡M (the DBMS does not guarantee result order), except for
+// order-safe rules (the sort relocation rules and sort elimination).
+//
+// Termination: the default rule set excludes expanding rules (Section 6) and
+// a plan-size growth bound caps rule chains that grow plans (e.g. repeated
+// commutativity wrappers); plan dedup uses canonical serialization.
+#ifndef TQP_OPT_ENUMERATE_H_
+#define TQP_OPT_ENUMERATE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules/rules.h"
+
+namespace tqp {
+
+/// Options controlling the enumeration.
+struct EnumerationOptions {
+  /// Stop after this many distinct plans (the initial plan counts).
+  size_t max_plans = 4000;
+  /// Skip replacement plans that exceed the initial size by this many nodes.
+  size_t max_plan_growth = 8;
+  /// Which equivalence types may be exploited; the Figure 5 gating applies on
+  /// top of this. Restricting this set is the ablation knob of
+  /// bench_fig5_enumeration.
+  std::set<EquivalenceType> admitted = {
+      EquivalenceType::kList,         EquivalenceType::kMultiset,
+      EquivalenceType::kSet,          EquivalenceType::kSnapshotList,
+      EquivalenceType::kSnapshotMultiset, EquivalenceType::kSnapshotSet,
+  };
+};
+
+/// One enumerated plan with its derivation edge.
+struct EnumeratedPlan {
+  PlanPtr plan;
+  std::string canonical;
+  /// Index of the plan this one was derived from; -1 for the initial plan.
+  int parent = -1;
+  /// Rule that produced it (empty for the initial plan).
+  std::string rule_id;
+};
+
+/// The enumeration outcome.
+struct EnumerationResult {
+  std::vector<EnumeratedPlan> plans;
+  bool truncated = false;
+  /// Rule applications attempted (match found) / admitted by the gating.
+  size_t matches = 0;
+  size_t admitted = 0;
+  /// Applications rejected by the Figure 5 property gating.
+  size_t gated_out = 0;
+
+  /// Reconstructs the rule chain that derived plan `index` from the initial
+  /// plan (oldest first).
+  std::vector<std::string> DerivationOf(size_t index) const;
+};
+
+/// Runs the Figure 5 algorithm. Fails only if the initial plan is malformed.
+Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
+                                         const Catalog& catalog,
+                                         const QueryContract& contract,
+                                         const std::vector<Rule>& rules,
+                                         const EnumerationOptions& options = {});
+
+/// True iff a rule of type `equiv` is admitted at a location given the
+/// properties of the location's operations (the Figure 5 disjunction).
+/// Exposed for tests and the property benches.
+bool RuleAdmitted(EquivalenceType equiv,
+                  const std::vector<const PlanNode*>& location,
+                  const AnnotatedPlan& ann);
+
+/// Rules that may keep their ≡L claim when their location includes DBMS-site
+/// operations (Section 4.5's sort exception).
+bool IsOrderSafeAcrossSites(const std::string& rule_id);
+
+}  // namespace tqp
+
+#endif  // TQP_OPT_ENUMERATE_H_

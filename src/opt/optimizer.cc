@@ -1,0 +1,36 @@
+#include "opt/optimizer.h"
+
+namespace tqp {
+
+Result<OptimizeResult> Optimize(const PlanPtr& initial, const Catalog& catalog,
+                                const QueryContract& contract,
+                                const std::vector<Rule>& rules,
+                                const OptimizerOptions& options) {
+  TQP_ASSIGN_OR_RETURN(enumeration,
+                       EnumeratePlans(initial, catalog, contract, rules,
+                                      options.enumeration));
+
+  OptimizeResult out;
+  out.plans_considered = enumeration.plans.size();
+  out.truncated = enumeration.truncated;
+
+  size_t best_index = 0;
+  double best_cost = 0.0;
+  for (size_t i = 0; i < enumeration.plans.size(); ++i) {
+    Result<AnnotatedPlan> ann = AnnotatedPlan::Make(
+        enumeration.plans[i].plan, &catalog, contract, options.cardinality);
+    if (!ann.ok()) continue;
+    double cost = EstimatePlanCost(ann.value(), options.engine);
+    if (i == 0) out.initial_cost = cost;
+    if (i == 0 || cost < best_cost) {
+      best_cost = cost;
+      best_index = i;
+    }
+  }
+  out.best_plan = enumeration.plans[best_index].plan;
+  out.best_cost = best_cost;
+  out.derivation = enumeration.DerivationOf(best_index);
+  return out;
+}
+
+}  // namespace tqp

@@ -1,0 +1,77 @@
+#include "opt/validate.h"
+
+namespace tqp {
+
+namespace {
+
+// `normalized` is true inside a coalT(rdupT(·)) scope: the idiom maps every
+// snapshot-set-equivalent input to the same relation, so the order
+// sensitivity of operations below it cannot reach the result (this is what
+// legitimizes the paper's own Figure 2(a) plan, whose bottom rdupT feeds \T
+// under a top-level coalT∘rdupT).
+void Visit(const AnnotatedPlan& plan, const PlanPtr& node, bool normalized,
+           std::vector<ValidationWarning>* out) {
+  const NodeInfo* child_info =
+      node->arity() > 0 ? &plan.info(node->child(0).get()) : nullptr;
+  if (!normalized) {
+    switch (node->kind()) {
+      case OpKind::kRdupT: {
+        if (!child_info->snapshot_duplicate_free) {
+          out->push_back(ValidationWarning{
+              node.get(),
+              "rdupT over a possibly snapshot-duplicated input outside a "
+              "coalT(rdupT(.)) scope: the result depends on the input "
+              "order"});
+        }
+        break;
+      }
+      case OpKind::kCoalesce: {
+        if (!child_info->snapshot_duplicate_free &&
+            node->child(0)->kind() != OpKind::kRdupT) {
+          out->push_back(ValidationWarning{
+              node.get(),
+              "coalT over a possibly snapshot-duplicated input: greedy "
+              "adjacency merging depends on the input order"});
+        }
+        break;
+      }
+      case OpKind::kDifferenceT: {
+        if (!plan.info(node->child(0).get()).snapshot_duplicate_free) {
+          out->push_back(ValidationWarning{
+              node.get(),
+              "\\T with a possibly snapshot-duplicated left argument: "
+              "fragment attribution depends on the input order"});
+        }
+        break;
+      }
+      case OpKind::kUnionT: {
+        if (!plan.info(node->child(0).get()).snapshot_duplicate_free ||
+            !plan.info(node->child(1).get()).snapshot_duplicate_free) {
+          out->push_back(ValidationWarning{
+              node.get(),
+              "unionT over possibly snapshot-duplicated arguments: the "
+              "result's tuple layout depends on the input order"});
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  bool enters_idiom = node->kind() == OpKind::kCoalesce &&
+                      node->child(0)->kind() == OpKind::kRdupT;
+  for (const PlanPtr& c : node->children()) {
+    Visit(plan, c, normalized || enters_idiom, out);
+  }
+}
+
+}  // namespace
+
+std::vector<ValidationWarning> ValidateOrderSensitivity(
+    const AnnotatedPlan& plan) {
+  std::vector<ValidationWarning> out;
+  Visit(plan, plan.plan(), /*normalized=*/false, &out);
+  return out;
+}
+
+}  // namespace tqp

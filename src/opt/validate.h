@@ -1,0 +1,35 @@
+// Advisory validation of order-sensitive operations (Section 6).
+//
+// rdupT, coalT, \T and ∪T are order-sensitive: multiset-equivalent inputs
+// may produce results that are not multiset equivalent. The paper assumes
+// initial plans contain these operations "only when they preserve multiset
+// equivalence" and lists the safe shapes (coalT combined with rdupT; coalT
+// over a snapshot-duplicate-free argument; \T with a snapshot-duplicate-free
+// left argument). This checker makes the assumption executable: it walks an
+// annotated plan and reports every order-sensitive operation whose static
+// guarantees do not establish one of the safe shapes.
+#ifndef TQP_OPT_VALIDATE_H_
+#define TQP_OPT_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/derivation.h"
+
+namespace tqp {
+
+/// One advisory finding.
+struct ValidationWarning {
+  const PlanNode* node = nullptr;
+  std::string message;
+};
+
+/// Returns a warning for every order-sensitive operation that is not in one
+/// of the paper's safe shapes. An empty result means the plan is a suitable
+/// input to the enumeration algorithm of Figure 5.
+std::vector<ValidationWarning> ValidateOrderSensitivity(
+    const AnnotatedPlan& plan);
+
+}  // namespace tqp
+
+#endif  // TQP_OPT_VALIDATE_H_

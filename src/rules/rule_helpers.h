@@ -1,0 +1,85 @@
+// Internal helpers shared by the rule-family translation units.
+#ifndef TQP_RULES_RULE_HELPERS_H_
+#define TQP_RULES_RULE_HELPERS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rules/rules.h"
+
+namespace tqp {
+namespace rules_internal {
+
+/// Location list builder: the explicitly mentioned operators plus operand
+/// subtree roots.
+inline std::vector<const PlanNode*> Loc(
+    std::initializer_list<const PlanPtr*> nodes) {
+  std::vector<const PlanNode*> out;
+  for (const PlanPtr* p : nodes) out.push_back(p->get());
+  return out;
+}
+
+/// True iff every projection item is a plain attribute reference.
+inline bool IsPassThroughProjection(const std::vector<ProjItem>& items) {
+  for (const ProjItem& item : items) {
+    if (item.expr->kind() != ExprKind::kAttr) return false;
+  }
+  return true;
+}
+
+/// True iff no projection item references T1/T2.
+inline bool ProjectionIsTimeFree(const std::vector<ProjItem>& items) {
+  for (const ProjItem& item : items) {
+    if (!item.expr->IsTimeFree()) return false;
+  }
+  return true;
+}
+
+/// True iff the projection keeps T1 and T2 as plain pass-through columns
+/// named T1/T2 (the "π_{f1..fn,T1,T2}" shape of rules C8/B1).
+inline bool ProjectionKeepsTimes(const std::vector<ProjItem>& items) {
+  bool t1 = false, t2 = false;
+  for (const ProjItem& item : items) {
+    if (item.expr->kind() != ExprKind::kAttr) continue;
+    if (item.expr->attr_name() == kT1 && item.name == kT1) t1 = true;
+    if (item.expr->attr_name() == kT2 && item.name == kT2) t2 = true;
+  }
+  return t1 && t2;
+}
+
+/// True iff the projection is a pure permutation of `schema`'s attributes
+/// (every attribute passed through exactly once under its own name). Such a
+/// projection cannot merge value-equivalence classes or introduce snapshot
+/// duplicates.
+inline bool ProjectionIsPermutationOf(const std::vector<ProjItem>& items,
+                                      const Schema& schema) {
+  if (items.size() != schema.size()) return false;
+  std::vector<bool> used(schema.size(), false);
+  for (const ProjItem& item : items) {
+    if (item.expr->kind() != ExprKind::kAttr) return false;
+    if (item.name != item.expr->attr_name()) return false;
+    int idx = schema.IndexOf(item.name);
+    if (idx < 0 || used[static_cast<size_t>(idx)]) return false;
+    used[static_cast<size_t>(idx)] = true;
+  }
+  return true;
+}
+
+/// True iff every attribute in `spec` avoids T1/T2.
+inline bool SortSpecIsTimeFree(const SortSpec& spec) {
+  for (const SortKey& k : spec) {
+    if (k.attr == kT1 || k.attr == kT2) return false;
+  }
+  return true;
+}
+
+/// Shorthand: the node info of a child subtree root.
+inline const NodeInfo& Info(const AnnotatedPlan& ann, const PlanPtr& node) {
+  return ann.info(node.get());
+}
+
+}  // namespace rules_internal
+}  // namespace tqp
+
+#endif  // TQP_RULES_RULE_HELPERS_H_

@@ -1,0 +1,112 @@
+// Transformation rules (Section 4) and the default rule catalogue.
+//
+// Each algebraic equivalence of the paper is represented as one or two
+// *directed* rules. A rule carries its equivalence type — the strongest of
+// the six types that holds between its two sides — which the enumeration
+// algorithm (Figure 5) checks against the Table 2 properties of the
+// operations at the matched location. Preconditions ("r does not have
+// duplicates in snapshots", "IsPrefixOf(A, Order(r))") are evaluated against
+// the static guarantees of the current plan's annotations.
+//
+// Rule identifiers follow the paper where the paper names them (D1–D6,
+// C1–C10, S1–S3); B1–B3 are the ≡SM coalescing variants of Böhlen et al.
+// discussed in Section 4.3; the remaining families are the conventional
+// rules the paper describes in prose (Section 4.1), sort pushdown
+// (Section 4.4), and transfer rules (Section 4.5):
+//   P*  selection pushdown/reordering (with temporal counterparts)
+//   J*  projection rules
+//   A*  commutativity/associativity of ×, ⊎, ∪, ∪T
+//   F*  difference rules
+//   G*  duplicate-elimination interplay with ×/idempotence
+//   SP* sort pushdown
+//   T*  transfer rules (stratum ⇄ DBMS)
+// A trailing ' marks the right-to-left direction of an equivalence.
+#ifndef TQP_RULES_RULES_H_
+#define TQP_RULES_RULES_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/derivation.h"
+#include "algebra/plan.h"
+#include "core/equivalence.h"
+
+namespace tqp {
+
+/// A successful rule application at some location.
+struct RuleMatch {
+  /// Replacement for the matched subtree root.
+  PlanPtr replacement;
+  /// The operations "at the location" (Section 6): the operators explicitly
+  /// mentioned on the rule's left-hand side plus the roots of its operand
+  /// subtrees. The enumerator checks the Table 2 properties of exactly these.
+  std::vector<const PlanNode*> location;
+};
+
+/// One directed transformation rule.
+class Rule {
+ public:
+  using ApplyFn = std::function<std::optional<RuleMatch>(
+      const PlanPtr&, const AnnotatedPlan&)>;
+
+  Rule(std::string id, std::string description, EquivalenceType equivalence,
+       bool expanding, ApplyFn apply)
+      : id_(std::move(id)),
+        description_(std::move(description)),
+        equivalence_(equivalence),
+        expanding_(expanding),
+        apply_(std::move(apply)) {}
+
+  const std::string& id() const { return id_; }
+  const std::string& description() const { return description_; }
+  EquivalenceType equivalence() const { return equivalence_; }
+
+  /// True for rules that introduce additional operations (e.g. r → rdup(r)).
+  /// The default heuristic of Section 6 excludes them so enumeration
+  /// terminates.
+  bool expanding() const { return expanding_; }
+
+  /// Attempts to apply the rule with `node` as the location root.
+  /// Returns nullopt if the left-hand side does not match or a precondition
+  /// fails. Applicability gating per Figure 5 happens in the enumerator.
+  std::optional<RuleMatch> TryApply(const PlanPtr& node,
+                                    const AnnotatedPlan& ann) const {
+    return apply_(node, ann);
+  }
+
+ private:
+  std::string id_;
+  std::string description_;
+  EquivalenceType equivalence_;
+  bool expanding_;
+  ApplyFn apply_;
+};
+
+/// Which rule families to instantiate.
+struct RuleSetOptions {
+  bool figure4_rules = true;       // D*, C*, S*, B*
+  bool conventional_rules = true;  // P*, J*, A*, F*, G*
+  bool sort_pushdown_rules = true; // SP*
+  bool transfer_rules = true;      // T*
+  /// Include expanding rules such as r → rdup(r); OFF by default so the
+  /// enumeration algorithm terminates (Section 6).
+  bool expanding_rules = false;
+};
+
+/// Builds the default rule catalogue.
+std::vector<Rule> DefaultRuleSet(const RuleSetOptions& options = {});
+
+/// Finds a rule by identifier; nullptr if absent.
+const Rule* FindRule(const std::vector<Rule>& rules, const std::string& id);
+
+// Internal: family constructors (one translation unit per family).
+void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules);
+void AppendConventionalRules(std::vector<Rule>* out);
+void AppendSortPushdownRules(std::vector<Rule>* out);
+void AppendTransferRules(std::vector<Rule>* out);
+
+}  // namespace tqp
+
+#endif  // TQP_RULES_RULES_H_

@@ -1,0 +1,721 @@
+// Conventional transformation rules extended to lists, with temporal
+// counterparts (Section 4.1): selection pushdown (P*), projection rules (J*),
+// commutativity/associativity (A*), difference rules (F*), and duplicate
+// elimination interplay (G*), plus the remaining Böhlen ≡SM variant (B2).
+#include <set>
+
+#include "rules/rule_helpers.h"
+#include "rules/rules.h"
+
+namespace tqp {
+
+using rules_internal::Info;
+using rules_internal::IsPassThroughProjection;
+using rules_internal::Loc;
+
+namespace {
+
+using ET = EquivalenceType;
+using Mapping = std::vector<std::pair<std::string, std::string>>;
+
+std::optional<RuleMatch> NoMatch() { return std::nullopt; }
+
+// Output-name -> child-name mapping for one side of a product. `mine` is the
+// side's schema, `other` the opposite side's; `prefix` is "1." for the left
+// side and "2." for the right. For ×T the time attributes are excluded
+// (predicates pushed through ×T must be time-free anyway).
+Mapping ProductSideMapping(const Schema& mine, const Schema& other,
+                           const char* prefix, bool temporal) {
+  Mapping out;
+  for (const Attribute& a : mine.attrs()) {
+    if (temporal && (a.name == kT1 || a.name == kT2)) continue;
+    std::string out_name =
+        other.HasAttr(a.name) ? std::string(prefix) + a.name : a.name;
+    out.emplace_back(out_name, a.name);
+  }
+  return out;
+}
+
+// True iff every attribute referenced by `pred` appears as an output name in
+// `mapping` (i.e. the predicate only touches this product side).
+bool PredicateCoveredBy(const ExprPtr& pred, const Mapping& mapping) {
+  for (const std::string& a : pred->ReferencedAttrs()) {
+    bool found = false;
+    for (const auto& [out_name, in_name] : mapping) {
+      if (out_name == a) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// Substitutes projection definitions into an expression: attribute references
+// to an item's output name are replaced by the item's expression.
+ExprPtr Substitute(const ExprPtr& e, const std::vector<ProjItem>& defs) {
+  if (e->kind() == ExprKind::kAttr) {
+    for (const ProjItem& item : defs) {
+      if (item.name == e->attr_name()) return item.expr;
+    }
+    return e;
+  }
+  if (e->children().empty()) return e;
+  std::vector<ExprPtr> kids;
+  for (const ExprPtr& c : e->children()) kids.push_back(Substitute(c, defs));
+  switch (e->kind()) {
+    case ExprKind::kCompare:
+      return Expr::Compare(e->compare_op(), kids[0], kids[1]);
+    case ExprKind::kAnd:
+      return Expr::And(kids[0], kids[1]);
+    case ExprKind::kOr:
+      return Expr::Or(kids[0], kids[1]);
+    case ExprKind::kNot:
+      return Expr::Not(kids[0]);
+    case ExprKind::kArith:
+      return Expr::Arith(e->arith_op(), kids[0], kids[1]);
+    case ExprKind::kOverlaps:
+      return Expr::Overlaps(kids[0], kids[1], kids[2], kids[3]);
+    default:
+      return e;
+  }
+}
+
+// Select-pushdown through a product side, shared by P4/P5 and their ×T
+// counterparts.
+std::optional<RuleMatch> PushSelectThroughProduct(const PlanPtr& n,
+                                                  const AnnotatedPlan& ann,
+                                                  bool temporal, bool left) {
+  OpKind prod_kind = temporal ? OpKind::kProductT : OpKind::kProduct;
+  if (n->kind() != OpKind::kSelect) return NoMatch();
+  const PlanPtr& prod = n->child(0);
+  if (prod->kind() != prod_kind) return NoMatch();
+  if (temporal && !n->predicate()->IsTimeFree()) return NoMatch();
+  const PlanPtr& r1 = prod->child(0);
+  const PlanPtr& r2 = prod->child(1);
+  const Schema& s1 = Info(ann, r1).schema;
+  const Schema& s2 = Info(ann, r2).schema;
+  Mapping mapping = left ? ProductSideMapping(s1, s2, "1.", temporal)
+                         : ProductSideMapping(s2, s1, "2.", temporal);
+  if (!PredicateCoveredBy(n->predicate(), mapping)) return NoMatch();
+  ExprPtr pushed = n->predicate()->RenameAttrs(mapping);
+  PlanPtr sel = PlanNode::Select(left ? r1 : r2, pushed);
+  PlanPtr rep;
+  if (temporal) {
+    rep = left ? PlanNode::ProductT(sel, r2) : PlanNode::ProductT(r1, sel);
+  } else {
+    rep = left ? PlanNode::Product(sel, r2) : PlanNode::Product(r1, sel);
+  }
+  return RuleMatch{rep, Loc({&n, &prod, &r1, &r2})};
+}
+
+}  // namespace
+
+void AppendConventionalRules(std::vector<Rule>* out) {
+  // ---- P: selection rules ----------------------------------------------
+  // (P1) σp(σq(r)) ≡L σq(σp(r)).
+  out->emplace_back(
+      "P1", "select_p(select_q(r)) -> select_q(select_p(r))", ET::kList,
+      false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kSelect) return NoMatch();
+        const PlanPtr& inner = n->child(0);
+        if (inner->kind() != OpKind::kSelect) return NoMatch();
+        const PlanPtr& r = inner->child(0);
+        PlanPtr rep = PlanNode::Select(PlanNode::Select(r, n->predicate()),
+                                       inner->predicate());
+        return RuleMatch{rep, Loc({&n, &inner, &r})};
+      });
+
+  // (P2) σp∧q(r) ≡L σp(σq(r)) and back.
+  out->emplace_back(
+      "P2", "select_{p AND q}(r) -> select_p(select_q(r))", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kSelect) return NoMatch();
+        if (n->predicate()->kind() != ExprKind::kAnd) return NoMatch();
+        const PlanPtr& r = n->child(0);
+        ExprPtr p = n->predicate()->children()[0];
+        ExprPtr q = n->predicate()->children()[1];
+        PlanPtr rep = PlanNode::Select(PlanNode::Select(r, q), p);
+        return RuleMatch{rep, Loc({&n, &r})};
+      });
+  out->emplace_back(
+      "P2'", "select_p(select_q(r)) -> select_{p AND q}(r)", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kSelect) return NoMatch();
+        const PlanPtr& inner = n->child(0);
+        if (inner->kind() != OpKind::kSelect) return NoMatch();
+        const PlanPtr& r = inner->child(0);
+        PlanPtr rep = PlanNode::Select(
+            r, Expr::And(n->predicate(), inner->predicate()));
+        return RuleMatch{rep, Loc({&n, &inner, &r})};
+      });
+
+  // (P3) σp(πF(r)) ≡L πF(σp'(r)), p' = p with projection defs substituted.
+  out->emplace_back(
+      "P3", "select_p(project_F(r)) -> project_F(select_p'(r))", ET::kList,
+      false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kSelect) return NoMatch();
+        const PlanPtr& proj = n->child(0);
+        if (proj->kind() != OpKind::kProject) return NoMatch();
+        const PlanPtr& r = proj->child(0);
+        ExprPtr pushed = Substitute(n->predicate(), proj->projections());
+        PlanPtr rep = PlanNode::Project(PlanNode::Select(r, pushed),
+                                        proj->projections());
+        return RuleMatch{rep, Loc({&n, &proj, &r})};
+      });
+
+  // (P4/P5) σp over × pushes into the side covering attr(p); ≡L.
+  out->emplace_back(
+      "P4", "select_p(r1 x r2) -> select_p(r1) x r2  [attr(p) in r1]",
+      ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+        return PushSelectThroughProduct(n, ann, /*temporal=*/false,
+                                        /*left=*/true);
+      });
+  out->emplace_back(
+      "P5", "select_p(r1 x r2) -> r1 x select_p(r2)  [attr(p) in r2]",
+      ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+        return PushSelectThroughProduct(n, ann, /*temporal=*/false,
+                                        /*left=*/false);
+      });
+  // (P4T/P5T) temporal counterparts; p must be time-free.
+  out->emplace_back(
+      "P4T", "select_p(r1 xT r2) -> select_p(r1) xT r2  [p time-free, in r1]",
+      ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+        return PushSelectThroughProduct(n, ann, /*temporal=*/true,
+                                        /*left=*/true);
+      });
+  out->emplace_back(
+      "P5T", "select_p(r1 xT r2) -> r1 xT select_p(r2)  [p time-free, in r2]",
+      ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+        return PushSelectThroughProduct(n, ann, /*temporal=*/true,
+                                        /*left=*/false);
+      });
+
+  // (P6) σp(r1 ⊎ r2) ≡L σp(r1) ⊎ σp(r2); (P7) the ∪ counterpart;
+  // (P7T) the ∪T counterpart with a time-free predicate.
+  auto push_select_binary = [](OpKind op, bool need_time_free) {
+    return [op, need_time_free](const PlanPtr& n, const AnnotatedPlan& ann)
+               -> std::optional<RuleMatch> {
+      (void)ann;
+      if (n->kind() != OpKind::kSelect) return NoMatch();
+      const PlanPtr& b = n->child(0);
+      if (b->kind() != op) return NoMatch();
+      if (need_time_free && !n->predicate()->IsTimeFree()) return NoMatch();
+      const PlanPtr& r1 = b->child(0);
+      const PlanPtr& r2 = b->child(1);
+      PlanPtr s1 = PlanNode::Select(r1, n->predicate());
+      PlanPtr s2 = PlanNode::Select(r2, n->predicate());
+      PlanPtr rep;
+      switch (op) {
+        case OpKind::kUnionAll:
+          rep = PlanNode::UnionAll(s1, s2);
+          break;
+        case OpKind::kUnion:
+          rep = PlanNode::Union(s1, s2);
+          break;
+        case OpKind::kUnionT:
+          rep = PlanNode::UnionT(s1, s2);
+          break;
+        case OpKind::kDifference:
+          rep = PlanNode::Difference(s1, s2);
+          break;
+        case OpKind::kDifferenceT:
+          rep = PlanNode::DifferenceT(s1, s2);
+          break;
+        default:
+          return NoMatch();
+      }
+      return RuleMatch{rep, Loc({&n, &b, &r1, &r2})};
+    };
+  };
+  out->emplace_back("P6",
+                    "select_p(r1 UNION-ALL r2) -> select_p(r1) UNION-ALL "
+                    "select_p(r2)",
+                    ET::kList, false,
+                    push_select_binary(OpKind::kUnionAll, false));
+  out->emplace_back("P7", "select_p(r1 U r2) -> select_p(r1) U select_p(r2)",
+                    ET::kList, false,
+                    push_select_binary(OpKind::kUnion, false));
+  out->emplace_back(
+      "P7T",
+      "select_p(r1 U^T r2) -> select_p(r1) U^T select_p(r2)  [p time-free]",
+      ET::kList, false, push_select_binary(OpKind::kUnionT, true));
+
+  // (P8/P8T) σp distributes over difference.
+  out->emplace_back("P8",
+                    "select_p(r1 \\ r2) -> select_p(r1) \\ select_p(r2)",
+                    ET::kList, false,
+                    push_select_binary(OpKind::kDifference, false));
+  out->emplace_back(
+      "P8T",
+      "select_p(r1 \\T r2) -> select_p(r1) \\T select_p(r2)  [p time-free]",
+      ET::kList, false, push_select_binary(OpKind::kDifferenceT, true));
+
+  // (P9) σp(rdup(r)) ≡L rdup(σp'(r)); p' maps the 1.T1/1.T2 renames back.
+  out->emplace_back(
+      "P9", "select_p(rdup(r)) -> rdup(select_p'(r))", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        if (n->kind() != OpKind::kSelect) return NoMatch();
+        const PlanPtr& dup = n->child(0);
+        if (dup->kind() != OpKind::kRdup) return NoMatch();
+        const PlanPtr& r = dup->child(0);
+        ExprPtr pushed = n->predicate();
+        if (Info(ann, r).schema.IsTemporal()) {
+          pushed = pushed->RenameAttrs(
+              {{"1.T1", kT1}, {"1.T2", kT2}});
+        }
+        PlanPtr rep = PlanNode::Rdup(PlanNode::Select(r, pushed));
+        return RuleMatch{rep, Loc({&n, &dup, &r})};
+      });
+
+  // (P9T) σp(rdupT(r)) ≡L rdupT(σp(r)), p time-free.
+  out->emplace_back(
+      "P9T", "select_p(rdupT(r)) -> rdupT(select_p(r))  [p time-free]",
+      ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kSelect) return NoMatch();
+        const PlanPtr& dup = n->child(0);
+        if (dup->kind() != OpKind::kRdupT) return NoMatch();
+        if (!n->predicate()->IsTimeFree()) return NoMatch();
+        const PlanPtr& r = dup->child(0);
+        PlanPtr rep = PlanNode::RdupT(PlanNode::Select(r, n->predicate()));
+        return RuleMatch{rep, Loc({&n, &dup, &r})};
+      });
+
+  // (P10/P10T) σp over aggregation when attr(p) ⊆ grouping attributes.
+  auto push_select_agg = [](OpKind op) {
+    return [op](const PlanPtr& n, const AnnotatedPlan& ann)
+               -> std::optional<RuleMatch> {
+      (void)ann;
+      if (n->kind() != OpKind::kSelect) return NoMatch();
+      const PlanPtr& agg = n->child(0);
+      if (agg->kind() != op) return NoMatch();
+      std::set<std::string> groups(agg->group_by().begin(),
+                                   agg->group_by().end());
+      for (const std::string& a : n->predicate()->ReferencedAttrs()) {
+        if (groups.count(a) == 0) return NoMatch();
+      }
+      const PlanPtr& r = agg->child(0);
+      PlanPtr sel = PlanNode::Select(r, n->predicate());
+      PlanPtr rep =
+          op == OpKind::kAggregate
+              ? PlanNode::Aggregate(sel, agg->group_by(), agg->aggregates())
+              : PlanNode::AggregateT(sel, agg->group_by(), agg->aggregates());
+      return RuleMatch{rep, Loc({&n, &agg, &r})};
+    };
+  };
+  out->emplace_back("P10",
+                    "select_p(agg_{G;F}(r)) -> agg_{G;F}(select_p(r))  "
+                    "[attr(p) in G]",
+                    ET::kList, false, push_select_agg(OpKind::kAggregate));
+  out->emplace_back("P10T",
+                    "select_p(aggT_{G;F}(r)) -> aggT_{G;F}(select_p(r))  "
+                    "[attr(p) in G]",
+                    ET::kList, false, push_select_agg(OpKind::kAggregateT));
+
+  // ---- J: projection rules ----------------------------------------------
+  // (J1) πA(πB(r)) ≡L π(A∘B)(r).
+  out->emplace_back(
+      "J1", "project_A(project_B(r)) -> project_{A.B}(r)", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kProject) return NoMatch();
+        const PlanPtr& inner = n->child(0);
+        if (inner->kind() != OpKind::kProject) return NoMatch();
+        const PlanPtr& r = inner->child(0);
+        std::vector<ProjItem> composed;
+        for (const ProjItem& item : n->projections()) {
+          composed.push_back(
+              ProjItem{Substitute(item.expr, inner->projections()), item.name});
+        }
+        PlanPtr rep = PlanNode::Project(r, std::move(composed));
+        return RuleMatch{rep, Loc({&n, &inner, &r})};
+      });
+
+  // (J2) πF(r1 ⊎ r2) ≡L πF(r1) ⊎ πF(r2), both directions.
+  out->emplace_back(
+      "J2", "project_F(r1 UNION-ALL r2) -> project_F(r1) UNION-ALL "
+            "project_F(r2)",
+      ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kProject) return NoMatch();
+        const PlanPtr& u = n->child(0);
+        if (u->kind() != OpKind::kUnionAll) return NoMatch();
+        const PlanPtr& r1 = u->child(0);
+        const PlanPtr& r2 = u->child(1);
+        PlanPtr rep =
+            PlanNode::UnionAll(PlanNode::Project(r1, n->projections()),
+                               PlanNode::Project(r2, n->projections()));
+        return RuleMatch{rep, Loc({&n, &u, &r1, &r2})};
+      });
+  out->emplace_back(
+      "J2'", "project_F(r1) UNION-ALL project_F(r2) -> project_F(r1 "
+             "UNION-ALL r2)",
+      ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        if (n->kind() != OpKind::kUnionAll) return NoMatch();
+        const PlanPtr& p1 = n->child(0);
+        const PlanPtr& p2 = n->child(1);
+        if (p1->kind() != OpKind::kProject || p2->kind() != OpKind::kProject) {
+          return NoMatch();
+        }
+        // The two projection lists must be identical, and the inputs must
+        // have equal schemas for the merged projection to be well-formed.
+        if (p1->projections().size() != p2->projections().size()) {
+          return NoMatch();
+        }
+        for (size_t i = 0; i < p1->projections().size(); ++i) {
+          if (p1->projections()[i].name != p2->projections()[i].name ||
+              p1->projections()[i].expr->ToString() !=
+                  p2->projections()[i].expr->ToString()) {
+            return NoMatch();
+          }
+        }
+        const PlanPtr& r1 = p1->child(0);
+        const PlanPtr& r2 = p2->child(0);
+        if (Info(ann, r1).schema != Info(ann, r2).schema) return NoMatch();
+        PlanPtr rep = PlanNode::Project(PlanNode::UnionAll(r1, r2),
+                                        p1->projections());
+        return RuleMatch{rep, Loc({&n, &p1, &p2, &r1, &r2})};
+      });
+
+  // ---- A: commutativity / associativity ---------------------------------
+  // (A1) r1 × r2 ≡M π_reorder(r2 × r1).
+  out->emplace_back(
+      "A1", "r1 x r2 -> project(r2 x r1)  (multiset level)", ET::kMultiset,
+      false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        if (n->kind() != OpKind::kProduct) return NoMatch();
+        const PlanPtr& r1 = n->child(0);
+        const PlanPtr& r2 = n->child(1);
+        const Schema& s1 = Info(ann, r1).schema;
+        const Schema& s2 = Info(ann, r2).schema;
+        // Output attribute i of r1×r2 corresponds to an attribute of r2×r1
+        // with the 1./2. prefixes swapped.
+        std::vector<ProjItem> items;
+        for (const Attribute& a : s1.attrs()) {
+          std::string orig = s2.HasAttr(a.name) ? "1." + a.name : a.name;
+          std::string swapped = s2.HasAttr(a.name) ? "2." + a.name : a.name;
+          items.push_back(ProjItem{Expr::Attr(swapped), orig});
+        }
+        for (const Attribute& a : s2.attrs()) {
+          std::string orig = s1.HasAttr(a.name) ? "2." + a.name : a.name;
+          std::string swapped = s1.HasAttr(a.name) ? "1." + a.name : a.name;
+          items.push_back(ProjItem{Expr::Attr(swapped), orig});
+        }
+        PlanPtr rep = PlanNode::Project(PlanNode::Product(r2, r1),
+                                        std::move(items));
+        return RuleMatch{rep, Loc({&n, &r1, &r2})};
+      });
+
+  // (A1T) r1 ×T r2 ≡M π_reorder(r2 ×T r1) (swaps the retained timestamps).
+  out->emplace_back(
+      "A1T", "r1 xT r2 -> project(r2 xT r1)  (multiset level)", ET::kMultiset,
+      false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        if (n->kind() != OpKind::kProductT) return NoMatch();
+        const PlanPtr& r1 = n->child(0);
+        const PlanPtr& r2 = n->child(1);
+        const Schema& s1 = Info(ann, r1).schema;
+        const Schema& s2 = Info(ann, r2).schema;
+        // Bail out when data attributes collide with the retained timestamp
+        // names (possible after nested ×T).
+        for (const char* reserved : {"1.T1", "1.T2", "2.T1", "2.T2"}) {
+          if (s1.HasAttr(reserved) || s2.HasAttr(reserved)) return NoMatch();
+        }
+        std::vector<ProjItem> items;
+        for (const Attribute& a : s1.attrs()) {
+          if (a.name == kT1 || a.name == kT2) continue;
+          std::string orig = s2.HasAttr(a.name) ? "1." + a.name : a.name;
+          std::string swapped = s2.HasAttr(a.name) ? "2." + a.name : a.name;
+          items.push_back(ProjItem{Expr::Attr(swapped), orig});
+        }
+        for (const Attribute& a : s2.attrs()) {
+          if (a.name == kT1 || a.name == kT2) continue;
+          std::string orig = s1.HasAttr(a.name) ? "2." + a.name : a.name;
+          std::string swapped = s1.HasAttr(a.name) ? "1." + a.name : a.name;
+          items.push_back(ProjItem{Expr::Attr(swapped), orig});
+        }
+        items.push_back(ProjItem{Expr::Attr("2.T1"), "1.T1"});
+        items.push_back(ProjItem{Expr::Attr("2.T2"), "1.T2"});
+        items.push_back(ProjItem{Expr::Attr("1.T1"), "2.T1"});
+        items.push_back(ProjItem{Expr::Attr("1.T2"), "2.T2"});
+        items.push_back(ProjItem::Pass(kT1));
+        items.push_back(ProjItem::Pass(kT2));
+        PlanPtr rep = PlanNode::Project(PlanNode::ProductT(r2, r1),
+                                        std::move(items));
+        return RuleMatch{rep, Loc({&n, &r1, &r2})};
+      });
+
+  // (A2) (r1 × r2) × r3 ≡L r1 × (r2 × r3) when no attribute names clash.
+  auto no_clash = [](const Schema& a, const Schema& b, const Schema& c) {
+    for (const Attribute& x : a.attrs()) {
+      if (b.HasAttr(x.name) || c.HasAttr(x.name)) return false;
+    }
+    for (const Attribute& x : b.attrs()) {
+      if (c.HasAttr(x.name)) return false;
+    }
+    return true;
+  };
+  out->emplace_back(
+      "A2", "(r1 x r2) x r3 -> r1 x (r2 x r3)  [no name clashes]", ET::kList,
+      false,
+      [no_clash](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        if (n->kind() != OpKind::kProduct) return NoMatch();
+        const PlanPtr& lp = n->child(0);
+        if (lp->kind() != OpKind::kProduct) return NoMatch();
+        const PlanPtr& r1 = lp->child(0);
+        const PlanPtr& r2 = lp->child(1);
+        const PlanPtr& r3 = n->child(1);
+        if (!no_clash(Info(ann, r1).schema, Info(ann, r2).schema,
+                      Info(ann, r3).schema)) {
+          return NoMatch();
+        }
+        PlanPtr rep = PlanNode::Product(r1, PlanNode::Product(r2, r3));
+        return RuleMatch{rep, Loc({&n, &lp, &r1, &r2, &r3})};
+      });
+  out->emplace_back(
+      "A2'", "r1 x (r2 x r3) -> (r1 x r2) x r3  [no name clashes]", ET::kList,
+      false,
+      [no_clash](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        if (n->kind() != OpKind::kProduct) return NoMatch();
+        const PlanPtr& rp = n->child(1);
+        if (rp->kind() != OpKind::kProduct) return NoMatch();
+        const PlanPtr& r1 = n->child(0);
+        const PlanPtr& r2 = rp->child(0);
+        const PlanPtr& r3 = rp->child(1);
+        if (!no_clash(Info(ann, r1).schema, Info(ann, r2).schema,
+                      Info(ann, r3).schema)) {
+          return NoMatch();
+        }
+        PlanPtr rep = PlanNode::Product(PlanNode::Product(r1, r2), r3);
+        return RuleMatch{rep, Loc({&n, &rp, &r1, &r2, &r3})};
+      });
+
+  // (A3) r1 ⊎ r2 ≡M r2 ⊎ r1;  (A4) ⊎ associativity ≡L;
+  // (A5) ∪ commutativity ≡M;  (A5T) ∪T commutativity ≡SM.
+  out->emplace_back(
+      "A3", "r1 UNION-ALL r2 -> r2 UNION-ALL r1  (multiset level)",
+      ET::kMultiset, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kUnionAll) return NoMatch();
+        const PlanPtr& r1 = n->child(0);
+        const PlanPtr& r2 = n->child(1);
+        return RuleMatch{PlanNode::UnionAll(r2, r1), Loc({&n, &r1, &r2})};
+      });
+  out->emplace_back(
+      "A4", "(r1 UNION-ALL r2) UNION-ALL r3 -> r1 UNION-ALL (r2 UNION-ALL "
+            "r3)",
+      ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kUnionAll) return NoMatch();
+        const PlanPtr& lu = n->child(0);
+        if (lu->kind() != OpKind::kUnionAll) return NoMatch();
+        const PlanPtr& r1 = lu->child(0);
+        const PlanPtr& r2 = lu->child(1);
+        const PlanPtr& r3 = n->child(1);
+        PlanPtr rep = PlanNode::UnionAll(r1, PlanNode::UnionAll(r2, r3));
+        return RuleMatch{rep, Loc({&n, &lu, &r1, &r2, &r3})};
+      });
+  out->emplace_back(
+      "A5", "r1 U r2 -> r2 U r1  (multiset level)", ET::kMultiset, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kUnion) return NoMatch();
+        const PlanPtr& r1 = n->child(0);
+        const PlanPtr& r2 = n->child(1);
+        return RuleMatch{PlanNode::Union(r2, r1), Loc({&n, &r1, &r2})};
+      });
+  out->emplace_back(
+      "A5T", "r1 U^T r2 -> r2 U^T r1  (snapshot-multiset level)",
+      ET::kSnapshotMultiset, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kUnionT) return NoMatch();
+        const PlanPtr& r1 = n->child(0);
+        const PlanPtr& r2 = n->child(1);
+        return RuleMatch{PlanNode::UnionT(r2, r1), Loc({&n, &r1, &r2})};
+      });
+
+  // ---- F: difference rules ----------------------------------------------
+  // (F1) (r1 \ r2) \ r3 ≡L r1 \ (r2 ⊎ r3), both directions.
+  out->emplace_back(
+      "F1", "(r1 \\ r2) \\ r3 -> r1 \\ (r2 UNION-ALL r3)", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kDifference) return NoMatch();
+        const PlanPtr& ld = n->child(0);
+        if (ld->kind() != OpKind::kDifference) return NoMatch();
+        const PlanPtr& r1 = ld->child(0);
+        const PlanPtr& r2 = ld->child(1);
+        const PlanPtr& r3 = n->child(1);
+        PlanPtr rep =
+            PlanNode::Difference(r1, PlanNode::UnionAll(r2, r3));
+        return RuleMatch{rep, Loc({&n, &ld, &r1, &r2, &r3})};
+      });
+  out->emplace_back(
+      "F1'", "r1 \\ (r2 UNION-ALL r3) -> (r1 \\ r2) \\ r3", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kDifference) return NoMatch();
+        const PlanPtr& u = n->child(1);
+        if (u->kind() != OpKind::kUnionAll) return NoMatch();
+        const PlanPtr& r1 = n->child(0);
+        const PlanPtr& r2 = u->child(0);
+        const PlanPtr& r3 = u->child(1);
+        PlanPtr rep =
+            PlanNode::Difference(PlanNode::Difference(r1, r2), r3);
+        return RuleMatch{rep, Loc({&n, &u, &r1, &r2, &r3})};
+      });
+
+  // (F1T) (r1 \T r2) \T r3 ≡L r1 \T (r2 ⊎ r3), r1 snapshot-duplicate-free.
+  out->emplace_back(
+      "F1T",
+      "(r1 \\T r2) \\T r3 -> r1 \\T (r2 UNION-ALL r3)  "
+      "[r1 snapshot-duplicate-free]",
+      ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        if (n->kind() != OpKind::kDifferenceT) return NoMatch();
+        const PlanPtr& ld = n->child(0);
+        if (ld->kind() != OpKind::kDifferenceT) return NoMatch();
+        const PlanPtr& r1 = ld->child(0);
+        if (!Info(ann, r1).snapshot_duplicate_free) return NoMatch();
+        const PlanPtr& r2 = ld->child(1);
+        const PlanPtr& r3 = n->child(1);
+        PlanPtr rep =
+            PlanNode::DifferenceT(r1, PlanNode::UnionAll(r2, r3));
+        return RuleMatch{rep, Loc({&n, &ld, &r1, &r2, &r3})};
+      });
+
+  // ---- G: duplicate-elimination interplay --------------------------------
+  // (G1) rdup(r1 × r2) ≡L rdup(r1) × rdup(r2) (non-temporal arguments).
+  out->emplace_back(
+      "G1", "rdup(r1 x r2) -> rdup(r1) x rdup(r2)", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        if (n->kind() != OpKind::kRdup) return NoMatch();
+        const PlanPtr& prod = n->child(0);
+        if (prod->kind() != OpKind::kProduct) return NoMatch();
+        const PlanPtr& r1 = prod->child(0);
+        const PlanPtr& r2 = prod->child(1);
+        if (Info(ann, r1).schema.IsTemporal() ||
+            Info(ann, r2).schema.IsTemporal()) {
+          return NoMatch();  // rdup renaming would differ between the sides
+        }
+        PlanPtr rep =
+            PlanNode::Product(PlanNode::Rdup(r1), PlanNode::Rdup(r2));
+        return RuleMatch{rep, Loc({&n, &prod, &r1, &r2})};
+      });
+
+  // (G2) rdup(rdup(r)) ≡L rdup(r); (G3/G4) rdupT and coalT idempotence.
+  auto idempotent = [](OpKind op) {
+    return [op](const PlanPtr& n, const AnnotatedPlan& ann)
+               -> std::optional<RuleMatch> {
+      (void)ann;
+      if (n->kind() != op) return NoMatch();
+      const PlanPtr& inner = n->child(0);
+      if (inner->kind() != op) return NoMatch();
+      return RuleMatch{inner, Loc({&n, &inner})};
+    };
+  };
+  out->emplace_back("G2", "rdup(rdup(r)) -> rdup(r)", ET::kList, false,
+                    idempotent(OpKind::kRdup));
+  out->emplace_back("G3", "rdupT(rdupT(r)) -> rdupT(r)", ET::kList, false,
+                    idempotent(OpKind::kRdupT));
+  out->emplace_back("G4", "coalT(coalT(r)) -> coalT(r)", ET::kList, false,
+                    idempotent(OpKind::kCoalesce));
+
+  // (G5) rdupT(coalT(rdupT(r))) ≡L coalT(rdupT(r)): after the rdupT+coalT
+  // idiom the relation is snapshot-duplicate-free, so the outer rdupT is
+  // superfluous (this also falls out of D2 via the guarantees).
+  out->emplace_back(
+      "G5", "rdupT(coalT(rdupT(r))) -> coalT(rdupT(r))", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kRdupT) return NoMatch();
+        const PlanPtr& coal = n->child(0);
+        if (coal->kind() != OpKind::kCoalesce) return NoMatch();
+        if (coal->child(0)->kind() != OpKind::kRdupT) return NoMatch();
+        return RuleMatch{coal, Loc({&n, &coal})};
+      });
+
+  // (B2) coalT(π_A(r1 ×T r2)) ≡SM π_A(coalT(r1) ×T coalT(r2)), the Böhlen
+  // variant of C9 without preconditions.
+  out->emplace_back(
+      "B2",
+      "coalT(project_A(r1 xT r2)) -> project_A(coalT(r1) xT coalT(r2))  "
+      "(snapshot-multiset level)",
+      ET::kSnapshotMultiset, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        if (n->kind() != OpKind::kCoalesce) return NoMatch();
+        const PlanPtr& proj = n->child(0);
+        if (proj->kind() != OpKind::kProject) return NoMatch();
+        const PlanPtr& prod = proj->child(0);
+        if (prod->kind() != OpKind::kProductT) return NoMatch();
+        if (!IsPassThroughProjection(proj->projections())) return NoMatch();
+        // The projection must drop the retained argument timestamps and keep
+        // T1/T2 (same structural condition as C9).
+        const Schema& prod_schema = Info(ann, prod).schema;
+        std::vector<std::string> expected;
+        for (const Attribute& a : prod_schema.attrs()) {
+          if (a.name == "1.T1" || a.name == "1.T2" || a.name == "2.T1" ||
+              a.name == "2.T2") {
+            continue;
+          }
+          expected.push_back(a.name);
+        }
+        if (proj->projections().size() != expected.size()) return NoMatch();
+        for (size_t i = 0; i < expected.size(); ++i) {
+          const ProjItem& item = proj->projections()[i];
+          if (item.expr->attr_name() != expected[i] ||
+              item.name != expected[i]) {
+            return NoMatch();
+          }
+        }
+        const PlanPtr& r1 = prod->child(0);
+        const PlanPtr& r2 = prod->child(1);
+        PlanPtr rep = PlanNode::Project(
+            PlanNode::ProductT(PlanNode::Coalesce(r1), PlanNode::Coalesce(r2)),
+            proj->projections());
+        return RuleMatch{rep, Loc({&n, &proj, &prod, &r1, &r2})};
+      });
+}
+
+}  // namespace tqp

@@ -1,0 +1,216 @@
+// Sort pushdown rules (Section 4.4): "if we wish to sort the result of some
+// operation, the sorting can be performed on the argument relation(s) for
+// that operation if the operation does not destroy the ordering". All
+// operations except ⊎, ∪ and ∪T fully or partially preserve the ordering of
+// their first argument.
+#include <set>
+
+#include "rules/rule_helpers.h"
+#include "rules/rules.h"
+
+namespace tqp {
+
+using rules_internal::Info;
+using rules_internal::Loc;
+using rules_internal::SortSpecIsTimeFree;
+
+namespace {
+
+using ET = EquivalenceType;
+
+std::optional<RuleMatch> NoMatch() { return std::nullopt; }
+
+// sort_A(op(r, ...)) -> op(sort_A(r), ...) for operators that preserve the
+// ordering of their first argument.
+std::optional<RuleMatch> PushSortThroughFirstChild(const PlanPtr& n,
+                                                   OpKind op,
+                                                   bool require_time_free) {
+  if (n->kind() != OpKind::kSort) return NoMatch();
+  const PlanPtr& inner = n->child(0);
+  if (inner->kind() != op) return NoMatch();
+  if (require_time_free && !SortSpecIsTimeFree(n->sort_spec())) {
+    return NoMatch();
+  }
+  std::vector<PlanPtr> children = inner->children();
+  children[0] = PlanNode::Sort(children[0], n->sort_spec());
+  PlanPtr rep = PlanNode::WithChildren(inner, std::move(children));
+  std::vector<const PlanNode*> loc = {n.get(), inner.get()};
+  for (const PlanPtr& c : inner->children()) loc.push_back(c.get());
+  return RuleMatch{rep, std::move(loc)};
+}
+
+}  // namespace
+
+void AppendSortPushdownRules(std::vector<Rule>* out) {
+  // (SP1) sort_A(σp(r)) ≡L σp(sort_A(r)), both directions.
+  out->emplace_back(
+      "SP1", "sort_A(select_p(r)) -> select_p(sort_A(r))", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+        (void)ann;
+        return PushSortThroughFirstChild(n, OpKind::kSelect, false);
+      });
+  out->emplace_back(
+      "SP1'", "select_p(sort_A(r)) -> sort_A(select_p(r))", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kSelect) return NoMatch();
+        const PlanPtr& srt = n->child(0);
+        if (srt->kind() != OpKind::kSort) return NoMatch();
+        const PlanPtr& r = srt->child(0);
+        PlanPtr rep = PlanNode::Sort(PlanNode::Select(r, n->predicate()),
+                                     srt->sort_spec());
+        return RuleMatch{rep, Loc({&n, &srt, &r})};
+      });
+
+  // (SP2) sort_A(πF(r)) ≡L πF(sort_A'(r)) when every key of A is a plain
+  // pass-through column; A' uses the input-side names.
+  out->emplace_back(
+      "SP2",
+      "sort_A(project_F(r)) -> project_F(sort_A'(r))  [A passed through]",
+      ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kSort) return NoMatch();
+        const PlanPtr& proj = n->child(0);
+        if (proj->kind() != OpKind::kProject) return NoMatch();
+        SortSpec pushed;
+        for (const SortKey& k : n->sort_spec()) {
+          bool found = false;
+          for (const ProjItem& item : proj->projections()) {
+            if (item.name == k.attr &&
+                item.expr->kind() == ExprKind::kAttr) {
+              pushed.push_back(SortKey{item.expr->attr_name(), k.ascending});
+              found = true;
+              break;
+            }
+          }
+          if (!found) return NoMatch();
+        }
+        const PlanPtr& r = proj->child(0);
+        PlanPtr rep = PlanNode::Project(PlanNode::Sort(r, pushed),
+                                        proj->projections());
+        return RuleMatch{rep, Loc({&n, &proj, &r})};
+      });
+
+  // (SP3) sort_A(r1 × r2) ≡L sort_A'(r1) × r2 when A only references
+  // left-side columns.
+  out->emplace_back(
+      "SP3", "sort_A(r1 x r2) -> sort_A'(r1) x r2  [A from r1]", ET::kList,
+      false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        if (n->kind() != OpKind::kSort) return NoMatch();
+        const PlanPtr& prod = n->child(0);
+        if (prod->kind() != OpKind::kProduct) return NoMatch();
+        const PlanPtr& r1 = prod->child(0);
+        const PlanPtr& r2 = prod->child(1);
+        const Schema& s1 = Info(ann, r1).schema;
+        const Schema& s2 = Info(ann, r2).schema;
+        SortSpec pushed;
+        for (const SortKey& k : n->sort_spec()) {
+          // Map the product-output name back to the left-side name.
+          std::string name = k.attr;
+          if (name.rfind("1.", 0) == 0) name = name.substr(2);
+          if (!s1.HasAttr(name)) return NoMatch();
+          std::string out_name =
+              s2.HasAttr(name) ? "1." + name : name;
+          if (out_name != k.attr) return NoMatch();
+          pushed.push_back(SortKey{name, k.ascending});
+        }
+        PlanPtr rep = PlanNode::Product(PlanNode::Sort(r1, pushed), r2);
+        return RuleMatch{rep, Loc({&n, &prod, &r1, &r2})};
+      });
+
+  // (SP4) sort_A(r1 \ r2) ≡L sort_A(r1) \ r2.
+  out->emplace_back(
+      "SP4", "sort_A(r1 \\ r2) -> sort_A(r1) \\ r2", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+        (void)ann;
+        return PushSortThroughFirstChild(n, OpKind::kDifference, false);
+      });
+
+  // (SP5) sort_A(r1 \T r2) ≡L sort_A(r1) \T r2, A time-free (\T rewrites
+  // the time attributes).
+  out->emplace_back(
+      "SP5", "sort_A(r1 \\T r2) -> sort_A(r1) \\T r2  [A time-free]",
+      ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+        (void)ann;
+        return PushSortThroughFirstChild(n, OpKind::kDifferenceT, true);
+      });
+
+  // (SP6) sort_A(rdup(r)) ≡L rdup(sort_A'(r)); the 1.T1/1.T2 renames map
+  // back to T1/T2 below the rdup.
+  out->emplace_back(
+      "SP6", "sort_A(rdup(r)) -> rdup(sort_A'(r))", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        if (n->kind() != OpKind::kSort) return NoMatch();
+        const PlanPtr& dup = n->child(0);
+        if (dup->kind() != OpKind::kRdup) return NoMatch();
+        const PlanPtr& r = dup->child(0);
+        SortSpec pushed = n->sort_spec();
+        if (Info(ann, r).schema.IsTemporal()) {
+          for (SortKey& k : pushed) {
+            if (k.attr == "1.T1") k.attr = kT1;
+            if (k.attr == "1.T2") k.attr = kT2;
+          }
+        }
+        PlanPtr rep = PlanNode::Rdup(PlanNode::Sort(r, pushed));
+        return RuleMatch{rep, Loc({&n, &dup, &r})};
+      });
+
+  // (SP7) sort_A(rdupT(r)) ≡L rdupT(sort_A(r)), A time-free: a stable sort
+  // on value attributes preserves the within-class order rdupT depends on.
+  out->emplace_back(
+      "SP7", "sort_A(rdupT(r)) -> rdupT(sort_A(r))  [A time-free]", ET::kList,
+      false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+        (void)ann;
+        return PushSortThroughFirstChild(n, OpKind::kRdupT, true);
+      });
+
+  // (SP8) sort_A(coalT(r)) ≡L coalT(sort_A(r)), A time-free.
+  out->emplace_back(
+      "SP8", "sort_A(coalT(r)) -> coalT(sort_A(r))  [A time-free]", ET::kList,
+      false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+        (void)ann;
+        return PushSortThroughFirstChild(n, OpKind::kCoalesce, true);
+      });
+
+  // (SP9/SP9T) sort_A(ℵ_{G;F}(r)) ≡L ℵ_{G;F}(sort_A(r)) when attr(A) ⊆ G:
+  // groups appear in first-occurrence order, so pre-sorting the input by
+  // grouping attributes orders the groups.
+  auto push_sort_agg = [](OpKind op) {
+    return [op](const PlanPtr& n, const AnnotatedPlan& ann)
+               -> std::optional<RuleMatch> {
+      (void)ann;
+      if (n->kind() != OpKind::kSort) return NoMatch();
+      const PlanPtr& agg = n->child(0);
+      if (agg->kind() != op) return NoMatch();
+      std::set<std::string> groups(agg->group_by().begin(),
+                                   agg->group_by().end());
+      for (const SortKey& k : n->sort_spec()) {
+        if (groups.count(k.attr) == 0) return NoMatch();
+      }
+      const PlanPtr& r = agg->child(0);
+      PlanPtr srt = PlanNode::Sort(r, n->sort_spec());
+      PlanPtr rep =
+          op == OpKind::kAggregate
+              ? PlanNode::Aggregate(srt, agg->group_by(), agg->aggregates())
+              : PlanNode::AggregateT(srt, agg->group_by(), agg->aggregates());
+      return RuleMatch{rep, Loc({&n, &agg, &r})};
+    };
+  };
+  out->emplace_back("SP9",
+                    "sort_A(agg_{G;F}(r)) -> agg_{G;F}(sort_A(r))  [A in G]",
+                    ET::kList, false, push_sort_agg(OpKind::kAggregate));
+  out->emplace_back("SP9T",
+                    "sort_A(aggT_{G;F}(r)) -> aggT_{G;F}(sort_A(r))  [A in G]",
+                    ET::kList, false, push_sort_agg(OpKind::kAggregateT));
+}
+
+}  // namespace tqp

@@ -1,0 +1,231 @@
+// Transfer rules (Section 4.5): moving operations between the stratum and
+// the DBMS. Moving an operation across sites preserves only ≡M because the
+// DBMS does not guarantee result order — with sort as the only exception.
+//
+// The rules below push T_S (DBMS → stratum) downward, which relocates the
+// operation above it into the stratum; the primed directions pull T_S upward,
+// relocating the operation into the DBMS. Symmetric rules exist for T_D.
+// Round trips cancel (T-ID rules).
+#include "rules/rule_helpers.h"
+#include "rules/rules.h"
+
+namespace tqp {
+
+using rules_internal::Loc;
+
+namespace {
+
+using ET = EquivalenceType;
+
+std::optional<RuleMatch> NoMatch() { return std::nullopt; }
+
+bool IsRelocatableUnary(OpKind k) {
+  switch (k) {
+    case OpKind::kSelect:
+    case OpKind::kProject:
+    case OpKind::kRdup:
+    case OpKind::kAggregate:
+    case OpKind::kSort:
+    case OpKind::kRdupT:
+    case OpKind::kCoalesce:
+    case OpKind::kAggregateT:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsRelocatableBinary(OpKind k) {
+  switch (k) {
+    case OpKind::kUnionAll:
+    case OpKind::kUnion:
+    case OpKind::kProduct:
+    case OpKind::kDifference:
+    case OpKind::kProductT:
+    case OpKind::kDifferenceT:
+    case OpKind::kUnionT:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void AppendTransferRules(std::vector<Rule>* out) {
+  // (T-ID1) T_S(T_D(r)) ≡L r;  (T-ID2) T_D(T_S(r)) ≡L r.
+  out->emplace_back(
+      "T-ID1", "transferS(transferD(r)) -> r", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kTransferS) return NoMatch();
+        const PlanPtr& td = n->child(0);
+        if (td->kind() != OpKind::kTransferD) return NoMatch();
+        const PlanPtr& r = td->child(0);
+        return RuleMatch{r, Loc({&n, &td, &r})};
+      });
+  out->emplace_back(
+      "T-ID2", "transferD(transferS(r)) -> r", ET::kList, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kTransferD) return NoMatch();
+        const PlanPtr& ts = n->child(0);
+        if (ts->kind() != OpKind::kTransferS) return NoMatch();
+        const PlanPtr& r = ts->child(0);
+        return RuleMatch{r, Loc({&n, &ts, &r})};
+      });
+
+  // (T-U) T_S(op(r)) -> op(T_S(r)): relocate a unary operation from the DBMS
+  // to the stratum (push the transfer down). ≡M in general, ≡L for sort.
+  out->emplace_back(
+      "T-U", "transferS(op(r)) -> op(transferS(r))  (op to stratum)",
+      ET::kMultiset, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kTransferS) return NoMatch();
+        const PlanPtr& op = n->child(0);
+        if (!IsRelocatableUnary(op->kind())) return NoMatch();
+        if (op->kind() == OpKind::kSort) return NoMatch();  // T-USORT
+        const PlanPtr& r = op->child(0);
+        PlanPtr rep =
+            PlanNode::WithChildren(op, {PlanNode::TransferS(r)});
+        return RuleMatch{rep, Loc({&n, &op, &r})};
+      });
+  // (T-U') op(T_S(r)) -> T_S(op(r)): relocate a unary operation into the
+  // DBMS (pull the transfer up).
+  out->emplace_back(
+      "T-U'", "op(transferS(r)) -> transferS(op(r))  (op to DBMS)",
+      ET::kMultiset, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (!IsRelocatableUnary(n->kind())) return NoMatch();
+        if (n->kind() == OpKind::kSort) return NoMatch();  // T-USORT'
+        const PlanPtr& ts = n->child(0);
+        if (ts->kind() != OpKind::kTransferS) return NoMatch();
+        const PlanPtr& r = ts->child(0);
+        PlanPtr rep =
+            PlanNode::TransferS(PlanNode::WithChildren(n, {r}));
+        return RuleMatch{rep, Loc({&n, &ts, &r})};
+      });
+
+  // (T-USORT / T-USORT') the sort exception: relocating a sort preserves ≡L.
+  out->emplace_back(
+      "T-USORT", "transferS(sort_A(r)) -> sort_A(transferS(r))", ET::kList,
+      false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kTransferS) return NoMatch();
+        const PlanPtr& op = n->child(0);
+        if (op->kind() != OpKind::kSort) return NoMatch();
+        const PlanPtr& r = op->child(0);
+        PlanPtr rep = PlanNode::Sort(PlanNode::TransferS(r), op->sort_spec());
+        return RuleMatch{rep, Loc({&n, &op, &r})};
+      });
+  out->emplace_back(
+      "T-USORT'", "sort_A(transferS(r)) -> transferS(sort_A(r))", ET::kList,
+      false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kSort) return NoMatch();
+        const PlanPtr& ts = n->child(0);
+        if (ts->kind() != OpKind::kTransferS) return NoMatch();
+        const PlanPtr& r = ts->child(0);
+        PlanPtr rep =
+            PlanNode::TransferS(PlanNode::Sort(r, n->sort_spec()));
+        return RuleMatch{rep, Loc({&n, &ts, &r})};
+      });
+
+  // (T-B) T_S(op(r1, r2)) -> op(T_S(r1), T_S(r2)): relocate a binary
+  // operation to the stratum.
+  out->emplace_back(
+      "T-B", "transferS(op(r1,r2)) -> op(transferS(r1), transferS(r2))",
+      ET::kMultiset, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kTransferS) return NoMatch();
+        const PlanPtr& op = n->child(0);
+        if (!IsRelocatableBinary(op->kind())) return NoMatch();
+        const PlanPtr& r1 = op->child(0);
+        const PlanPtr& r2 = op->child(1);
+        PlanPtr rep = PlanNode::WithChildren(
+            op, {PlanNode::TransferS(r1), PlanNode::TransferS(r2)});
+        return RuleMatch{rep, Loc({&n, &op, &r1, &r2})};
+      });
+  // (T-B') op(T_S(r1), T_S(r2)) -> T_S(op(r1, r2)).
+  out->emplace_back(
+      "T-B'", "op(transferS(r1), transferS(r2)) -> transferS(op(r1,r2))",
+      ET::kMultiset, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (!IsRelocatableBinary(n->kind())) return NoMatch();
+        const PlanPtr& t1 = n->child(0);
+        const PlanPtr& t2 = n->child(1);
+        if (t1->kind() != OpKind::kTransferS ||
+            t2->kind() != OpKind::kTransferS) {
+          return NoMatch();
+        }
+        const PlanPtr& r1 = t1->child(0);
+        const PlanPtr& r2 = t2->child(0);
+        PlanPtr rep =
+            PlanNode::TransferS(PlanNode::WithChildren(n, {r1, r2}));
+        return RuleMatch{rep, Loc({&n, &t1, &t2, &r1, &r2})};
+      });
+
+  // (T-D / T-D') the symmetric T_D rules: op(T_D(r)) ⇄ T_D(op(r)).
+  out->emplace_back(
+      "T-D", "transferD(op(r)) -> op(transferD(r))  (op to DBMS)",
+      ET::kMultiset, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (n->kind() != OpKind::kTransferD) return NoMatch();
+        const PlanPtr& op = n->child(0);
+        if (!IsRelocatableUnary(op->kind())) return NoMatch();
+        const PlanPtr& r = op->child(0);
+        PlanPtr rep =
+            PlanNode::WithChildren(op, {PlanNode::TransferD(r)});
+        return RuleMatch{rep, Loc({&n, &op, &r})};
+      });
+  out->emplace_back(
+      "T-D'", "op(transferD(r)) -> transferD(op(r))  (op to stratum)",
+      ET::kMultiset, false,
+      [](const PlanPtr& n, const AnnotatedPlan& ann)
+          -> std::optional<RuleMatch> {
+        (void)ann;
+        if (!IsRelocatableUnary(n->kind())) return NoMatch();
+        const PlanPtr& td = n->child(0);
+        if (td->kind() != OpKind::kTransferD) return NoMatch();
+        const PlanPtr& r = td->child(0);
+        PlanPtr rep =
+            PlanNode::TransferD(PlanNode::WithChildren(n, {r}));
+        return RuleMatch{rep, Loc({&n, &td, &r})};
+      });
+}
+
+std::vector<Rule> DefaultRuleSet(const RuleSetOptions& options) {
+  std::vector<Rule> out;
+  if (options.figure4_rules) {
+    AppendFigure4Rules(&out, options.expanding_rules);
+  }
+  if (options.conventional_rules) AppendConventionalRules(&out);
+  if (options.sort_pushdown_rules) AppendSortPushdownRules(&out);
+  if (options.transfer_rules) AppendTransferRules(&out);
+  return out;
+}
+
+const Rule* FindRule(const std::vector<Rule>& rules, const std::string& id) {
+  for (const Rule& r : rules) {
+    if (r.id() == id) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace tqp

@@ -1,0 +1,122 @@
+#include "tql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace tqp {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "DISTINCT", "FROM",     "WHERE",  "GROUP",    "BY",
+      "ORDER",  "ASC",      "DESC",     "AND",    "OR",       "NOT",
+      "UNION",  "ALL",      "EXCEPT",   "AS",     "VALIDTIME", "COALESCED",
+      "COUNT",  "SUM",      "MIN",      "MAX",    "AVG",      "OVERLAPS",
+      "MAXUNION",
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word = input.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (Keywords().count(upper) > 0) {
+        out.push_back(Token{TokenKind::kKeyword, upper, start});
+      } else {
+        out.push_back(Token{TokenKind::kIdentifier, word, start});
+      }
+      continue;
+    }
+    // Dotted names like "1.T1" / "2.Dept" (product-renamed attributes).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j < n && input[j] == '.' && j + 1 < n && IsIdentStart(input[j + 1])) {
+        size_t k = j + 1;
+        while (k < n && IsIdentChar(input[k])) ++k;
+        out.push_back(
+            Token{TokenKind::kIdentifier, input.substr(start, k - start),
+                  start});
+        i = k;
+        continue;
+      }
+      // Numeric literal.
+      bool is_float = false;
+      i = j;
+      if (i < n && input[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      out.push_back(Token{is_float ? TokenKind::kFloat : TokenKind::kInteger,
+                          input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      while (i < n && input[i] != '\'') {
+        value += input[i];
+        ++i;
+      }
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      ++i;  // closing quote
+      out.push_back(Token{TokenKind::kString, value, start});
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = [&](const char* s) {
+      return i + 1 < n && input[i] == s[0] && input[i + 1] == s[1];
+    };
+    if (two("<>") || two("<=") || two(">=") || two("!=")) {
+      std::string sym = input.substr(i, 2);
+      if (sym == "!=") sym = "<>";
+      out.push_back(Token{TokenKind::kSymbol, sym, start});
+      i += 2;
+      continue;
+    }
+    if (std::string("(),*=<>+-/.").find(c) != std::string::npos) {
+      out.push_back(Token{TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(start));
+  }
+  out.push_back(Token{TokenKind::kEnd, "", n});
+  return out;
+}
+
+}  // namespace tqp

@@ -1,0 +1,43 @@
+// Lexer for TQL, the small temporal SQL subset of the front-end.
+#ifndef TQP_TQL_LEXER_H_
+#define TQP_TQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/common.h"
+
+namespace tqp {
+
+enum class TokenKind {
+  kKeyword,     // SELECT, FROM, ... (uppercased)
+  kIdentifier,  // relation/attribute names (case-preserved)
+  kInteger,
+  kFloat,
+  kString,      // 'quoted'
+  kSymbol,      // punctuation and operators: ( ) , * = <> < <= > >= + - / .
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // keyword/symbol text, identifier name, literal lexeme
+  size_t position = 0;  // byte offset, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+};
+
+/// Tokenizes a TQL string. Keywords are recognized case-insensitively and
+/// normalized to upper case; anything identifier-shaped that is not a
+/// keyword stays an identifier (attribute names like "1.T1" are lexed as
+/// identifier tokens via the dotted-name rule).
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace tqp
+
+#endif  // TQP_TQL_LEXER_H_

@@ -1,0 +1,68 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+namespace tqp {
+
+Relation GenerateRelation(const RelationGenParams& params) {
+  Schema schema;
+  schema.Add(Attribute{"Name", ValueType::kString});
+  schema.Add(Attribute{"Cat", ValueType::kInt});
+  schema.Add(Attribute{"Val", ValueType::kInt});
+  if (params.temporal) {
+    schema.Add(Attribute{kT1, ValueType::kTime});
+    schema.Add(Attribute{kT2, ValueType::kTime});
+  }
+
+  Rng rng(params.seed);
+  Relation out(schema);
+  for (size_t i = 0; i < params.cardinality; ++i) {
+    Tuple t;
+    t.push_back(Value::String(
+        "n" + std::to_string(rng.Below(std::max<uint64_t>(1, params.num_names)))));
+    t.push_back(Value::Int(static_cast<int64_t>(
+        rng.Below(std::max<uint64_t>(1, params.num_categories)))));
+    t.push_back(Value::Int(static_cast<int64_t>(rng.Below(1000))));
+    Period p;
+    if (params.temporal) {
+      TimePoint len =
+          1 + static_cast<TimePoint>(rng.Below(
+                  static_cast<uint64_t>(params.max_period_length)));
+      TimePoint begin = static_cast<TimePoint>(rng.Below(
+          static_cast<uint64_t>(std::max<TimePoint>(1, params.time_horizon - len))));
+      p = Period(begin, begin + len);
+      t.push_back(Value::Time(p.begin));
+      t.push_back(Value::Time(p.end));
+    }
+
+    if (params.temporal && rng.Unit() < params.adjacency_fraction &&
+        p.Duration() >= 2) {
+      // Split into two adjacent fragments (coalT can merge them back).
+      TimePoint mid = p.begin + 1 +
+                      static_cast<TimePoint>(
+                          rng.Below(static_cast<uint64_t>(p.Duration() - 1)));
+      Tuple a = t, b = t;
+      SetTuplePeriod(&a, schema, Period(p.begin, mid));
+      SetTuplePeriod(&b, schema, Period(mid, p.end));
+      out.Append(std::move(a));
+      out.Append(std::move(b));
+    } else {
+      out.Append(t);
+    }
+
+    if (rng.Unit() < params.duplicate_fraction) {
+      out.Append(t);  // exact duplicate
+    }
+    if (params.temporal && rng.Unit() < params.overlap_fraction) {
+      // Value-equivalent tuple with an overlapping, shifted period.
+      Tuple o = t;
+      TimePoint shift = 1 + static_cast<TimePoint>(rng.Below(
+                                static_cast<uint64_t>(p.Duration())));
+      SetTuplePeriod(&o, schema, Period(p.begin + shift, p.end + shift));
+      out.Append(std::move(o));
+    }
+  }
+  return out;
+}
+
+}  // namespace tqp

@@ -1,0 +1,175 @@
+#include "workload/paper_example.h"
+
+#include "workload/generator.h"
+
+namespace tqp {
+
+namespace {
+
+Schema EmployeeSchema() {
+  Schema s;
+  s.Add(Attribute{"EmpName", ValueType::kString});
+  s.Add(Attribute{"Dept", ValueType::kString});
+  s.Add(Attribute{kT1, ValueType::kTime});
+  s.Add(Attribute{kT2, ValueType::kTime});
+  return s;
+}
+
+Schema ProjectSchema() {
+  Schema s;
+  s.Add(Attribute{"EmpName", ValueType::kString});
+  s.Add(Attribute{"Prj", ValueType::kString});
+  s.Add(Attribute{kT1, ValueType::kTime});
+  s.Add(Attribute{kT2, ValueType::kTime});
+  return s;
+}
+
+Tuple Row(const std::string& a, const std::string& b, TimePoint t1,
+          TimePoint t2) {
+  Tuple t;
+  t.push_back(Value::String(a));
+  t.push_back(Value::String(b));
+  t.push_back(Value::Time(t1));
+  t.push_back(Value::Time(t2));
+  return t;
+}
+
+}  // namespace
+
+Relation PaperEmployee() {
+  Relation r(EmployeeSchema());
+  r.Append(Row("John", "Sales", 1, 8));
+  r.Append(Row("John", "Advertising", 6, 11));
+  r.Append(Row("Anna", "Sales", 2, 6));
+  r.Append(Row("Anna", "Advertising", 2, 6));
+  r.Append(Row("Anna", "Sales", 6, 12));
+  return r;
+}
+
+Relation PaperProject() {
+  Relation r(ProjectSchema());
+  r.Append(Row("John", "P1", 2, 3));
+  r.Append(Row("John", "P2", 5, 6));
+  r.Append(Row("John", "P1", 7, 8));
+  r.Append(Row("John", "P3", 9, 10));
+  r.Append(Row("Anna", "P2", 3, 4));
+  r.Append(Row("Anna", "P2", 5, 6));
+  r.Append(Row("Anna", "P3", 7, 8));
+  r.Append(Row("Anna", "P3", 9, 10));
+  return r;
+}
+
+Relation PaperExpectedResult() {
+  Schema s;
+  s.Add(Attribute{"EmpName", ValueType::kString});
+  s.Add(Attribute{kT1, ValueType::kTime});
+  s.Add(Attribute{kT2, ValueType::kTime});
+  Relation r(s);
+  auto row = [&r](const std::string& n, TimePoint t1, TimePoint t2) {
+    Tuple t;
+    t.push_back(Value::String(n));
+    t.push_back(Value::Time(t1));
+    t.push_back(Value::Time(t2));
+    r.Append(std::move(t));
+  };
+  row("Anna", 2, 3);
+  row("Anna", 4, 5);
+  row("Anna", 6, 7);
+  row("Anna", 8, 9);
+  row("Anna", 10, 12);
+  row("John", 1, 2);
+  row("John", 3, 5);
+  row("John", 6, 7);
+  row("John", 8, 9);
+  row("John", 10, 11);
+  r.set_order({SortKey{"EmpName", true}});
+  return r;
+}
+
+Catalog PaperCatalog() {
+  Catalog catalog;
+  TQP_CHECK(catalog.RegisterWithInferredFlags("EMPLOYEE", PaperEmployee(),
+                                              Site::kDbms)
+                .ok());
+  TQP_CHECK(catalog.RegisterWithInferredFlags("PROJECT", PaperProject(),
+                                              Site::kDbms)
+                .ok());
+  return catalog;
+}
+
+std::string PaperQueryText() {
+  return "VALIDTIME COALESCED SELECT DISTINCT EmpName FROM EMPLOYEE "
+         "EXCEPT SELECT EmpName FROM PROJECT "
+         "ORDER BY EmpName ASC";
+}
+
+PlanPtr PaperInitialPlan() {
+  std::vector<ProjItem> proj = {ProjItem::Pass("EmpName"),
+                                ProjItem::Pass(kT1), ProjItem::Pass(kT2)};
+  PlanPtr left = PlanNode::RdupT(
+      PlanNode::Project(PlanNode::Scan("EMPLOYEE"), proj));
+  PlanPtr right = PlanNode::Project(PlanNode::Scan("PROJECT"), proj);
+  PlanPtr plan = PlanNode::DifferenceT(left, right);
+  plan = PlanNode::RdupT(plan);
+  plan = PlanNode::Coalesce(plan);
+  plan = PlanNode::Sort(plan, {SortKey{"EmpName", true}});
+  return PlanNode::TransferS(plan);
+}
+
+QueryContract PaperContract() {
+  return QueryContract::List({SortKey{"EmpName", true}});
+}
+
+namespace {
+
+// Employment/project spells with the paper's structure: a few overlapping
+// spells per person (snapshot duplicates after projection), adjacent spells
+// (coalescible), and gaps.
+Relation ScaledSpells(const Schema& schema, const char* label, size_t scale,
+                      size_t spells_per_person, uint64_t seed) {
+  Rng rng(seed);
+  Relation r(schema);
+  for (size_t person = 0; person < scale; ++person) {
+    std::string name = "emp" + std::to_string(person);
+    TimePoint cursor = static_cast<TimePoint>(rng.Below(12));
+    for (size_t s = 0; s < spells_per_person; ++s) {
+      TimePoint len = 2 + static_cast<TimePoint>(rng.Below(10));
+      Period p(cursor, cursor + len);
+      Tuple t;
+      t.push_back(Value::String(name));
+      // Random label: consecutive spells sometimes share a department /
+      // project, producing the paper's value-equivalent adjacent and
+      // overlapping spells.
+      t.push_back(Value::String(std::string(label) +
+                                std::to_string(rng.Below(3))));
+      (void)s;
+      t.push_back(Value::Time(p.begin));
+      t.push_back(Value::Time(p.end));
+      r.Append(std::move(t));
+      // Advance: sometimes overlap the next spell, sometimes leave a gap,
+      // sometimes meet exactly (adjacency).
+      double roll = rng.Unit();
+      if (roll < 0.3) {
+        cursor = p.begin + 1 + static_cast<TimePoint>(rng.Below(
+                                   static_cast<uint64_t>(len)));
+      } else if (roll < 0.6) {
+        cursor = p.end;  // adjacent
+      } else {
+        cursor = p.end + 1 + static_cast<TimePoint>(rng.Below(6));
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+Relation ScaledEmployee(size_t scale, uint64_t seed) {
+  return ScaledSpells(EmployeeSchema(), "dept", scale, 6, seed);
+}
+
+Relation ScaledProject(size_t scale, uint64_t seed) {
+  return ScaledSpells(ProjectSchema(), "prj", scale, 8, seed);
+}
+
+}  // namespace tqp

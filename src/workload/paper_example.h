@@ -1,0 +1,47 @@
+// The paper's running example (Figures 1–3, 6): the EMPLOYEE and PROJECT
+// relations, the example query, and the hand-built Figure 2(a) initial plan.
+#ifndef TQP_WORKLOAD_PAPER_EXAMPLE_H_
+#define TQP_WORKLOAD_PAPER_EXAMPLE_H_
+
+#include <string>
+
+#include "algebra/derivation.h"
+#include "algebra/plan.h"
+#include "core/catalog.h"
+
+namespace tqp {
+
+/// EMPLOYEE(EmpName, Dept, T1, T2) — Figure 1, left.
+Relation PaperEmployee();
+
+/// PROJECT(EmpName, Prj, T1, T2) — Figure 1, right.
+Relation PaperProject();
+
+/// The expected result of the example query (Figure 1, bottom right):
+/// employees that worked in a department but not on any project, and when —
+/// sorted, coalesced, and without duplicates in snapshots.
+Relation PaperExpectedResult();
+
+/// Registers EMPLOYEE and PROJECT (DBMS site) in a fresh catalog.
+Catalog PaperCatalog();
+
+/// The example query in TQL.
+std::string PaperQueryText();
+
+/// The Figure 2(a) initial operator tree, built directly:
+///   T_S(sort_{EmpName ASC}(coalT(rdupT(
+///       rdupT(π_{EmpName,T1,T2}(EMPLOYEE)) \T π_{EmpName,T1,T2}(PROJECT)))))
+PlanPtr PaperInitialPlan();
+
+/// The ≡SQL contract of the example query: a list ordered by EmpName ASC.
+QueryContract PaperContract();
+
+/// Scaled versions of EMPLOYEE/PROJECT with the same shape (value-equivalent
+/// overlapping spells across departments/projects), for benchmarking.
+/// `scale` multiplies the number of employees.
+Relation ScaledEmployee(size_t scale, uint64_t seed = 7);
+Relation ScaledProject(size_t scale, uint64_t seed = 11);
+
+}  // namespace tqp
+
+#endif  // TQP_WORKLOAD_PAPER_EXAMPLE_H_

@@ -1,0 +1,227 @@
+// Unit tests for core primitives: values, periods, schemas, tuples,
+// relations.
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/period.h"
+#include "core/relation.h"
+#include "test_util.h"
+
+namespace tqp {
+namespace {
+
+using testing_util::ConventionalRel;
+using testing_util::TemporalRel;
+
+TEST(ValueTest, TotalOrderWithinTypes) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::String("Anna"), Value::String("John"));
+  EXPECT_LT(Value::Time(5), Value::Time(6));
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(1), Value::Double(1.5));
+  EXPECT_EQ(Value::Time(7).Compare(Value::Int(7)), 0);
+}
+
+TEST(ValueTest, NullOrdersFirst) {
+  EXPECT_LT(Value::Null(), Value::Int(0));
+  EXPECT_LT(Value::Null(), Value::String(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Int(42).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+  EXPECT_NE(Value::Int(42).Hash(), Value::Int(43).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(5).ToString(), "5");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Time(kMaxTime).ToString(), "+inf");
+  EXPECT_EQ(Value::Time(kMinTime).ToString(), "-inf");
+}
+
+TEST(PeriodTest, ValidityAndContainment) {
+  EXPECT_TRUE(Period(1, 8).Valid());
+  EXPECT_FALSE(Period(3, 3).Valid());
+  EXPECT_FALSE(Period(5, 2).Valid());
+  EXPECT_TRUE(Period(1, 8).Contains(1));
+  EXPECT_TRUE(Period(1, 8).Contains(7));
+  EXPECT_FALSE(Period(1, 8).Contains(8));  // closed-open
+}
+
+TEST(PeriodTest, OverlapIsHalfOpen) {
+  EXPECT_TRUE(Period(1, 8).Overlaps(Period(6, 11)));
+  EXPECT_FALSE(Period(1, 8).Overlaps(Period(8, 11)));  // meets, not overlaps
+  EXPECT_FALSE(Period(1, 3).Overlaps(Period(5, 7)));
+}
+
+TEST(PeriodTest, AdjacencyIsMeets) {
+  EXPECT_TRUE(Period(2, 6).Adjacent(Period(6, 12)));
+  EXPECT_TRUE(Period(6, 12).Adjacent(Period(2, 6)));
+  EXPECT_FALSE(Period(2, 6).Adjacent(Period(7, 9)));
+  EXPECT_FALSE(Period(2, 6).Adjacent(Period(2, 6)));  // equal = overlapping
+}
+
+TEST(PeriodTest, SubtractProducesUpToTwoFragments) {
+  // Middle cut: two fragments.
+  std::vector<Period> two = Period(1, 10).Subtract(Period(4, 6));
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], Period(1, 4));
+  EXPECT_EQ(two[1], Period(6, 10));
+  // Left trim.
+  std::vector<Period> left = Period(1, 10).Subtract(Period(0, 4));
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0], Period(4, 10));
+  // Swallowed entirely.
+  EXPECT_TRUE(Period(3, 5).Subtract(Period(1, 8)).empty());
+  // Disjoint: unchanged.
+  std::vector<Period> same = Period(1, 3).Subtract(Period(5, 9));
+  ASSERT_EQ(same.size(), 1u);
+  EXPECT_EQ(same[0], Period(1, 3));
+}
+
+TEST(PeriodTest, SubtractAllAndNormalize) {
+  std::vector<Period> frags =
+      SubtractAll(Period(0, 20), {Period(2, 4), Period(10, 12), Period(3, 6)});
+  ASSERT_EQ(frags.size(), 3u);
+  EXPECT_EQ(frags[0], Period(0, 2));
+  EXPECT_EQ(frags[1], Period(6, 10));
+  EXPECT_EQ(frags[2], Period(12, 20));
+
+  std::vector<Period> norm =
+      NormalizePeriods({Period(5, 7), Period(1, 3), Period(3, 5), Period(6, 9)});
+  ASSERT_EQ(norm.size(), 1u);
+  EXPECT_EQ(norm[0], Period(1, 9));
+}
+
+TEST(SchemaTest, TemporalDetection) {
+  Relation r = TemporalRel({{"a", 1, 0, 5}});
+  EXPECT_TRUE(r.schema().IsTemporal());
+  Relation c = ConventionalRel({{"a", 1}});
+  EXPECT_FALSE(c.schema().IsTemporal());
+  std::vector<std::string> nt = r.schema().NonTemporalAttrNames();
+  ASSERT_EQ(nt.size(), 2u);
+  EXPECT_EQ(nt[0], "Name");
+  EXPECT_EQ(nt[1], "Val");
+}
+
+TEST(SchemaTest, PrefixPredicates) {
+  SortSpec a = {{"A", true}};
+  SortSpec ab = {{"A", true}, {"B", false}};
+  EXPECT_TRUE(IsPrefixOf(a, ab));
+  EXPECT_FALSE(IsPrefixOf(ab, a));
+  EXPECT_TRUE(IsPrefixOf({}, a));
+  // Direction matters.
+  SortSpec a_desc = {{"A", false}};
+  EXPECT_FALSE(IsPrefixOf(a_desc, ab));
+}
+
+TEST(SchemaTest, OrderPrefixOnAttrs) {
+  SortSpec order = {{"A", true}, {"B", true}, {"C", true}};
+  // Projecting on A and C keeps only the prefix ending before B (Table 1).
+  SortSpec kept = OrderPrefixOnAttrs(order, {"A", "C"});
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].attr, "A");
+}
+
+TEST(TupleTest, ValueEquivalence) {
+  Relation r = TemporalRel({{"a", 1, 0, 5}, {"a", 1, 5, 9}, {"b", 1, 0, 5}});
+  EXPECT_TRUE(
+      ValueEquivalent(r.tuple(0), r.tuple(1), r.schema()));  // times differ
+  EXPECT_FALSE(ValueEquivalent(r.tuple(0), r.tuple(2), r.schema()));
+}
+
+TEST(RelationTest, SnapshotExtractsAndDropsTimes) {
+  Relation r = TemporalRel({{"a", 1, 1, 8}, {"b", 2, 6, 11}, {"a", 1, 2, 6}});
+  Relation snap = r.Snapshot(6);
+  EXPECT_FALSE(snap.schema().IsTemporal());
+  ASSERT_EQ(snap.size(), 2u);  // [1,8) and [6,11) contain 6; [2,6) does not
+  EXPECT_EQ(snap.tuple(0).at(0).AsString(), "a");
+  EXPECT_EQ(snap.tuple(1).at(0).AsString(), "b");
+}
+
+TEST(RelationTest, DuplicateDetection) {
+  EXPECT_TRUE(TemporalRel({{"a", 1, 0, 5}, {"a", 1, 0, 5}}).HasDuplicates());
+  EXPECT_FALSE(TemporalRel({{"a", 1, 0, 5}, {"a", 1, 5, 9}}).HasDuplicates());
+}
+
+TEST(RelationTest, SnapshotDuplicateDetection) {
+  // Overlapping value-equivalent periods => snapshot duplicates.
+  EXPECT_TRUE(
+      TemporalRel({{"a", 1, 0, 5}, {"a", 1, 3, 9}}).HasSnapshotDuplicates());
+  // Adjacent periods do not overlap.
+  EXPECT_FALSE(
+      TemporalRel({{"a", 1, 0, 5}, {"a", 1, 5, 9}}).HasSnapshotDuplicates());
+  // Different values never produce snapshot duplicates.
+  EXPECT_FALSE(
+      TemporalRel({{"a", 1, 0, 5}, {"b", 1, 0, 5}}).HasSnapshotDuplicates());
+}
+
+TEST(RelationTest, CoalescedDetection) {
+  EXPECT_FALSE(TemporalRel({{"a", 1, 0, 5}, {"a", 1, 5, 9}}).IsCoalesced());
+  EXPECT_TRUE(TemporalRel({{"a", 1, 0, 5}, {"a", 1, 6, 9}}).IsCoalesced());
+  EXPECT_TRUE(TemporalRel({{"a", 1, 0, 5}, {"b", 1, 5, 9}}).IsCoalesced());
+}
+
+TEST(RelationTest, IsSortedBy) {
+  Relation r = TemporalRel({{"a", 2, 0, 5}, {"a", 1, 5, 9}, {"b", 0, 0, 2}});
+  EXPECT_TRUE(r.IsSortedBy({{"Name", true}}));
+  EXPECT_FALSE(r.IsSortedBy({{"Name", true}, {"Val", true}}));
+  EXPECT_TRUE(r.IsSortedBy({{"Name", true}, {"Val", false}}));
+}
+
+TEST(RelationTest, TimeEndpoints) {
+  Relation r = TemporalRel({{"a", 1, 1, 8}, {"b", 2, 6, 11}});
+  std::vector<TimePoint> pts = r.TimeEndpoints();
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0], 1);
+  EXPECT_EQ(pts[3], 11);
+}
+
+TEST(CatalogTest, VerifiesDeclaredMetadata) {
+  Catalog catalog;
+  CatalogEntry entry;
+  entry.data = TemporalRel({{"a", 1, 0, 5}, {"a", 1, 0, 5}});
+  entry.duplicate_free = true;  // lie: the data has duplicates
+  EXPECT_FALSE(catalog.Register("R", entry).ok());
+
+  CatalogEntry ok_entry;
+  ok_entry.data = TemporalRel({{"a", 1, 0, 5}, {"a", 1, 6, 9}});
+  ok_entry.duplicate_free = true;
+  ok_entry.snapshot_duplicate_free = true;
+  ok_entry.coalesced = true;
+  EXPECT_TRUE(catalog.Register("R", ok_entry).ok());
+  EXPECT_TRUE(catalog.Contains("R"));
+  EXPECT_FALSE(catalog.Register("R", ok_entry).ok());  // duplicate name
+}
+
+TEST(CatalogTest, InferredFlags) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .RegisterWithInferredFlags(
+                      "R", TemporalRel({{"a", 1, 0, 5}, {"a", 1, 3, 9}}))
+                  .ok());
+  const CatalogEntry* e = catalog.Find("R");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->duplicate_free);
+  EXPECT_FALSE(e->snapshot_duplicate_free);
+}
+
+TEST(RelationTest, ToTableRendersAllCells) {
+  Relation r = TemporalRel({{"a", 1, 0, 5}});
+  std::string table = r.ToTable("title");
+  EXPECT_NE(table.find("title"), std::string::npos);
+  EXPECT_NE(table.find("Name"), std::string::npos);
+  EXPECT_NE(table.find("T1"), std::string::npos);
+  EXPECT_NE(table.find("a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tqp

@@ -1,0 +1,347 @@
+// Tests for the static analysis: schema derivation, the Order(r) column of
+// Table 1, guarantee propagation, site checking, and the top-down Table 2
+// property assignment (the shaded regions of Figure 2(a)).
+#include <gtest/gtest.h>
+
+#include "algebra/derivation.h"
+#include "algebra/printer.h"
+#include "exec/evaluator.h"
+#include "test_util.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace {
+
+using P = PlanNode;
+
+Catalog StratumCatalog() {
+  Catalog catalog;
+  Relation temp = testing_util::RandomTemporal(3);
+  TQP_CHECK(catalog.RegisterWithInferredFlags("T", temp, Site::kStratum).ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("TCLEAN", EvalRdupT(temp),
+                                           Site::kStratum)
+                .ok());
+  Relation conv = testing_util::RandomConventional(4);
+  TQP_CHECK(catalog.RegisterWithInferredFlags("C", conv, Site::kStratum).ok());
+
+  CatalogEntry sorted;
+  sorted.data = EvalSort(conv, {{"Name", true}});
+  sorted.order = {{"Name", true}};
+  sorted.site = Site::kStratum;
+  TQP_CHECK(catalog.Register("SORTED", sorted).ok());
+  return catalog;
+}
+
+TEST(SchemaDerivationTest, ProductRenamesClashes) {
+  Catalog catalog = StratumCatalog();
+  PlanPtr plan = P::Product(P::Scan("C"), P::Scan("C"));
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(plan, &catalog, QueryContract::Multiset());
+  ASSERT_TRUE(ann.ok()) << ann.status().message();
+  const Schema& s = ann->root_info().schema;
+  EXPECT_TRUE(s.HasAttr("1.Name"));
+  EXPECT_TRUE(s.HasAttr("2.Name"));
+  EXPECT_FALSE(s.HasAttr("Name"));
+}
+
+TEST(SchemaDerivationTest, ProductTSchemaShape) {
+  Catalog catalog = StratumCatalog();
+  PlanPtr plan = P::ProductT(P::Scan("T"), P::Scan("TCLEAN"));
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(plan, &catalog, QueryContract::Multiset());
+  ASSERT_TRUE(ann.ok());
+  const Schema& s = ann->root_info().schema;
+  // Non-time attrs of both sides (prefixed on clash), the four retained
+  // timestamps, and the overlap T1/T2 (rule C9's projection list depends on
+  // exactly this shape).
+  EXPECT_TRUE(s.HasAttr("1.Name"));
+  EXPECT_TRUE(s.HasAttr("2.Name"));
+  EXPECT_TRUE(s.HasAttr("1.T1"));
+  EXPECT_TRUE(s.HasAttr("2.T2"));
+  EXPECT_TRUE(s.IsTemporal());
+}
+
+TEST(SchemaDerivationTest, RejectsMalformedPlans) {
+  Catalog catalog = StratumCatalog();
+  EXPECT_FALSE(AnnotatedPlan::Make(P::Scan("NOPE"), &catalog,
+                                   QueryContract::Multiset())
+                   .ok());
+  // Difference over different schemas.
+  EXPECT_FALSE(AnnotatedPlan::Make(
+                   P::Difference(P::Scan("C"), P::Scan("T")), &catalog,
+                   QueryContract::Multiset())
+                   .ok());
+  // Temporal op over a conventional input.
+  EXPECT_FALSE(AnnotatedPlan::Make(P::RdupT(P::Scan("C")), &catalog,
+                                   QueryContract::Multiset())
+                   .ok());
+  // Selection on an unknown attribute.
+  EXPECT_FALSE(AnnotatedPlan::Make(
+                   P::Select(P::Scan("C"),
+                             Expr::Compare(CompareOp::kEq, Expr::Attr("Zzz"),
+                                           Expr::Const(Value::Int(1)))),
+                   &catalog, QueryContract::Multiset())
+                   .ok());
+}
+
+TEST(SiteDerivationTest, TransfersFlipSites) {
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "D", testing_util::RandomConventional(5), Site::kDbms)
+                .ok());
+  PlanPtr plan = P::TransferS(P::Scan("D"));
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(plan, &catalog, QueryContract::Multiset());
+  ASSERT_TRUE(ann.ok());
+  EXPECT_EQ(ann->root_info().site, Site::kStratum);
+  EXPECT_EQ(ann->info(plan->child(0).get()).site, Site::kDbms);
+
+  // TransferS of a stratum-resident input is malformed.
+  EXPECT_FALSE(AnnotatedPlan::Make(P::TransferS(P::TransferS(P::Scan("D"))),
+                                   &catalog, QueryContract::Multiset())
+                   .ok());
+  // Mixed-site children without transfers are malformed.
+  Catalog mixed;
+  TQP_CHECK(mixed
+                .RegisterWithInferredFlags(
+                    "D", testing_util::RandomConventional(5), Site::kDbms)
+                .ok());
+  TQP_CHECK(mixed
+                .RegisterWithInferredFlags(
+                    "S", testing_util::RandomConventional(5), Site::kStratum)
+                .ok());
+  EXPECT_FALSE(AnnotatedPlan::Make(P::UnionAll(P::Scan("D"), P::Scan("S")),
+                                   &mixed, QueryContract::Multiset())
+                   .ok());
+}
+
+TEST(OrderDerivationTest, Table1OrderColumn) {
+  Catalog catalog = StratumCatalog();
+  auto order_of = [&catalog](const PlanPtr& plan) {
+    Result<AnnotatedPlan> ann =
+        AnnotatedPlan::Make(plan, &catalog, QueryContract::Multiset());
+    TQP_CHECK(ann.ok());
+    return ann->root_info().order;
+  };
+
+  // Scan: the declared order.
+  EXPECT_EQ(SortSpecToString(order_of(P::Scan("SORTED"))), "Name ASC");
+  // Selection retains order.
+  EXPECT_EQ(SortSpecToString(order_of(P::Select(
+                P::Scan("SORTED"), Expr::Compare(CompareOp::kEq,
+                                                 Expr::Attr("Name"),
+                                                 Expr::Const(Value::String(
+                                                     "n1")))))),
+            "Name ASC");
+  // Union ALL is unordered.
+  EXPECT_TRUE(order_of(P::UnionAll(P::Scan("SORTED"), P::Scan("C"))).empty());
+  // Sort establishes its spec; a stable re-sort refines it.
+  SortSpec val = {{"Val", false}};
+  EXPECT_EQ(SortSpecToString(order_of(P::Sort(P::Scan("SORTED"), val))),
+            "Val DESC, Name ASC");
+  // Sorting by a prefix of the existing order keeps the full order.
+  EXPECT_EQ(SortSpecToString(order_of(P::Sort(P::Scan("SORTED"),
+                                              {{"Name", true}}))),
+            "Name ASC");
+  // Projection keeps the order prefix on surviving attrs (with renames).
+  EXPECT_EQ(SortSpecToString(order_of(P::Project(
+                P::Scan("SORTED"),
+                {ProjItem::Rename("Name", "N"), ProjItem::Pass("Val")}))),
+            "N ASC");
+  // rdupT truncates the order at time attributes.
+  PlanPtr sorted_t =
+      P::Sort(P::Scan("T"), {{"Name", true}, {kT1, true}, {"Val", true}});
+  EXPECT_EQ(SortSpecToString(order_of(P::RdupT(sorted_t))), "Name ASC");
+}
+
+TEST(OrderDerivationTest, DbmsClearsOrderExceptSortAndScan) {
+  Catalog catalog;
+  CatalogEntry entry;
+  entry.data = EvalSort(testing_util::RandomConventional(6), {{"Name", true}});
+  entry.order = {{"Name", true}};
+  entry.site = Site::kDbms;
+  TQP_CHECK(catalog.Register("D", entry).ok());
+
+  // A DBMS selection loses the declared scan order (Section 4.5).
+  PlanPtr sel = P::Select(P::Scan("D"), Expr::Compare(CompareOp::kNe,
+                                                      Expr::Attr("Name"),
+                                                      Expr::Const(Value::String(
+                                                          "zzz"))));
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(P::TransferS(sel), &catalog,
+                          QueryContract::Multiset());
+  ASSERT_TRUE(ann.ok());
+  EXPECT_TRUE(ann->info(sel.get()).order.empty());
+
+  // A DBMS sort keeps its order.
+  PlanPtr srt = P::Sort(P::Scan("D"), {{"Val", true}});
+  Result<AnnotatedPlan> ann2 = AnnotatedPlan::Make(
+      P::TransferS(srt), &catalog, QueryContract::Multiset());
+  ASSERT_TRUE(ann2.ok());
+  EXPECT_EQ(SortSpecToString(ann2->info(srt.get()).order),
+            "Val ASC, Name ASC");
+}
+
+TEST(GuaranteeDerivationTest, DuplicateAndCoalescingGuarantees) {
+  Catalog catalog = StratumCatalog();
+  auto info_of = [&catalog](const PlanPtr& plan) {
+    Result<AnnotatedPlan> ann =
+        AnnotatedPlan::Make(plan, &catalog, QueryContract::Multiset());
+    TQP_CHECK(ann.ok());
+    return ann->root_info();
+  };
+
+  // rdupT guarantees snapshot-duplicate-freeness; coalT guarantees
+  // coalescing but destroys neither.
+  NodeInfo i1 = info_of(P::RdupT(P::Scan("T")));
+  EXPECT_TRUE(i1.duplicate_free);
+  EXPECT_TRUE(i1.snapshot_duplicate_free);
+  EXPECT_FALSE(i1.coalesced);  // rdupT destroys coalescing (Table 1)
+
+  NodeInfo i2 = info_of(P::Coalesce(P::RdupT(P::Scan("T"))));
+  EXPECT_TRUE(i2.coalesced);
+  EXPECT_TRUE(i2.snapshot_duplicate_free);
+
+  // Projection destroys guarantees unless it is a permutation.
+  NodeInfo i3 = info_of(P::Project(P::RdupT(P::Scan("T")),
+                                   {ProjItem::Pass("Name"),
+                                    ProjItem::Pass(kT1),
+                                    ProjItem::Pass(kT2)}));
+  EXPECT_FALSE(i3.snapshot_duplicate_free);
+
+  NodeInfo i4 = info_of(P::Project(
+      P::RdupT(P::Scan("T")),
+      {ProjItem::Pass("Val"), ProjItem::Pass("Name"), ProjItem::Pass("Cat"),
+       ProjItem::Pass(kT1), ProjItem::Pass(kT2)}));
+  EXPECT_TRUE(i4.snapshot_duplicate_free);
+
+  // \T retains the left argument's snapshot-duplicate-freeness.
+  NodeInfo i5 = info_of(P::DifferenceT(P::Scan("TCLEAN"), P::Scan("T")));
+  EXPECT_TRUE(i5.snapshot_duplicate_free);
+  NodeInfo i6 = info_of(P::DifferenceT(P::Scan("T"), P::Scan("TCLEAN")));
+  EXPECT_FALSE(i6.snapshot_duplicate_free);
+}
+
+TEST(PropertyTest, RootPropertiesFollowContract) {
+  Catalog catalog = StratumCatalog();
+  PlanPtr plan = P::Scan("C");
+  auto props = [&](QueryContract c) {
+    Result<AnnotatedPlan> ann = AnnotatedPlan::Make(plan, &catalog, c);
+    TQP_CHECK(ann.ok());
+    return ann->root_info();
+  };
+  NodeInfo list = props(QueryContract::List({{"Name", true}}));
+  EXPECT_TRUE(list.order_required);
+  EXPECT_TRUE(list.duplicates_relevant);
+  EXPECT_TRUE(list.period_preserving);
+
+  NodeInfo multiset = props(QueryContract::Multiset());
+  EXPECT_FALSE(multiset.order_required);
+  EXPECT_TRUE(multiset.duplicates_relevant);
+
+  NodeInfo set = props(QueryContract::Set());
+  EXPECT_FALSE(set.order_required);
+  EXPECT_FALSE(set.duplicates_relevant);
+  EXPECT_TRUE(set.period_preserving);
+}
+
+// The Figure 2(a) shaded regions on the paper's own initial plan.
+TEST(PropertyTest, PaperPlanRegions) {
+  Catalog catalog = PaperCatalog();
+  PlanPtr plan = PaperInitialPlan();
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(plan, &catalog, PaperContract());
+  ASSERT_TRUE(ann.ok()) << ann.status().message();
+
+  // Navigate: transferS -> sort -> coalT -> rdupT(top) -> \T
+  //           \T -> { rdupT(bottom) -> project -> scan, project -> scan }.
+  const PlanNode* transfer = plan.get();
+  const PlanNode* sort = transfer->child(0).get();
+  const PlanNode* coal = sort->child(0).get();
+  const PlanNode* rdup_top = coal->child(0).get();
+  const PlanNode* diff = rdup_top->child(0).get();
+  const PlanNode* rdup_bottom = diff->child(0).get();
+  const PlanNode* proj_left = rdup_bottom->child(0).get();
+  const PlanNode* proj_right = diff->child(1).get();
+
+  // Order is required only above the sort ("order need not be preserved"
+  // region covers everything below it).
+  EXPECT_TRUE(ann->info(transfer).order_required);
+  EXPECT_TRUE(ann->info(sort).order_required);
+  EXPECT_FALSE(ann->info(coal).order_required);
+  EXPECT_FALSE(ann->info(diff).order_required);
+  EXPECT_FALSE(ann->info(proj_left).order_required);
+
+  // Duplicates are irrelevant below the top rdupT — except for the bottom
+  // rdupT itself, whose output feeds \T's duplicate-sensitive left input.
+  EXPECT_FALSE(ann->info(diff).duplicates_relevant);
+  EXPECT_TRUE(ann->info(rdup_bottom).duplicates_relevant);
+  EXPECT_FALSE(ann->info(proj_left).duplicates_relevant);
+  EXPECT_FALSE(ann->info(proj_right).duplicates_relevant);
+
+  // Periods need not be preserved below the coalescing (its argument is
+  // snapshot-duplicate-free thanks to the top rdupT), nor in the right
+  // branch of \T.
+  EXPECT_TRUE(ann->info(coal).period_preserving);
+  EXPECT_FALSE(ann->info(rdup_top).period_preserving);
+  EXPECT_FALSE(ann->info(diff).period_preserving);
+  EXPECT_FALSE(ann->info(proj_right).period_preserving);
+}
+
+TEST(PropertyTest, MinMaxAggregationMakesDuplicatesIrrelevant) {
+  Catalog catalog = StratumCatalog();
+  PlanPtr input = P::Scan("C");
+  PlanPtr agg_minmax =
+      P::Aggregate(input, {"Name"}, {AggSpec{AggFunc::kMax, "Val", "mx"}});
+  Result<AnnotatedPlan> a1 =
+      AnnotatedPlan::Make(agg_minmax, &catalog, QueryContract::Multiset());
+  ASSERT_TRUE(a1.ok());
+  EXPECT_FALSE(a1->info(input.get()).duplicates_relevant);
+
+  PlanPtr input2 = P::Scan("C");
+  PlanPtr agg_count =
+      P::Aggregate(input2, {"Name"}, {AggSpec{AggFunc::kCount, "", "cnt"}});
+  Result<AnnotatedPlan> a2 =
+      AnnotatedPlan::Make(agg_count, &catalog, QueryContract::Multiset());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_TRUE(a2->info(input2.get()).duplicates_relevant);
+}
+
+TEST(PrinterTest, RendersPropertiesBrackets) {
+  Catalog catalog = PaperCatalog();
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(PaperInitialPlan(), &catalog, PaperContract());
+  ASSERT_TRUE(ann.ok());
+  PrintOptions opts;
+  opts.show_properties = true;
+  opts.show_site = true;
+  std::string text = PrintPlan(ann.value(), opts);
+  EXPECT_NE(text.find("[T T T]"), std::string::npos);
+  EXPECT_NE(text.find("differenceT"), std::string::npos);
+  EXPECT_NE(text.find("@DBMS"), std::string::npos);
+}
+
+TEST(PlanTest, CanonicalStringsDistinguishPlans) {
+  PlanPtr a = P::Rdup(P::Scan("R"));
+  PlanPtr b = P::Rdup(P::Scan("S"));
+  PlanPtr c = P::Rdup(P::Scan("R"));
+  EXPECT_NE(CanonicalString(a), CanonicalString(b));
+  EXPECT_EQ(CanonicalString(a), CanonicalString(c));
+  EXPECT_EQ(PlanSize(a), 2u);
+}
+
+TEST(PlanTest, ReplaceNodeRebuildsSpine) {
+  PlanPtr scan = P::Scan("R");
+  PlanPtr plan = P::Rdup(P::Sort(scan, {{"A", true}}));
+  PlanPtr replacement = P::Scan("S");
+  PlanPtr rewritten = ReplaceNode(plan, scan.get(), replacement);
+  EXPECT_EQ(CanonicalString(rewritten), "rdup(sort [A ASC](scan S))");
+  // Untouched trees are returned unchanged (shared).
+  PlanPtr same = ReplaceNode(plan, replacement.get(), P::Scan("X"));
+  EXPECT_EQ(same, plan);
+}
+
+}  // namespace
+}  // namespace tqp

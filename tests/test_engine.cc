@@ -1,0 +1,135 @@
+// Tests for the execution engine simulation: cost accounting, transfer
+// counting, DBMS order scrambling, and the cost model's consistency.
+#include <gtest/gtest.h>
+
+#include "core/equivalence.h"
+#include "exec/evaluator.h"
+#include "test_util.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace {
+
+using P = PlanNode;
+
+TEST(EngineTest, CountsTransfersAndSplitsWorkBySite) {
+  Catalog catalog = PaperCatalog();
+  PlanPtr plan = PaperInitialPlan();
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(plan, &catalog, PaperContract());
+  ASSERT_TRUE(ann.ok());
+
+  ExecStats stats;
+  Result<Relation> out = Evaluate(ann.value(), EngineConfig{}, &stats);
+  ASSERT_TRUE(out.ok());
+  // One T_S at the top moves exactly the result tuples.
+  EXPECT_EQ(stats.tuples_transferred, static_cast<int64_t>(out->size()));
+  // Everything below T_S executes at the DBMS.
+  EXPECT_GT(stats.dbms_work, 0.0);
+  EXPECT_GT(stats.op_counts.at("differenceT"), 0);
+  EXPECT_GT(stats.tuples_produced, 0);
+}
+
+TEST(EngineTest, StratumPlanChargesStratumWork) {
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "T", testing_util::RandomTemporal(1), Site::kStratum)
+                .ok());
+  PlanPtr plan = P::RdupT(P::Scan("T"));
+  ExecStats stats;
+  Result<Relation> out = EvaluatePlan(plan, catalog, EngineConfig{}, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(stats.stratum_work, 0.0);
+  EXPECT_EQ(stats.dbms_work, 0.0);
+}
+
+TEST(EngineTest, DbmsTemporalPenaltyShowsUpInWork) {
+  Catalog catalog = PaperCatalog();  // relations at the DBMS
+  PlanPtr at_dbms = P::TransferS(P::RdupT(P::Scan("EMPLOYEE")));
+  PlanPtr at_stratum = P::RdupT(P::TransferS(P::Scan("EMPLOYEE")));
+
+  EngineConfig config;
+  ExecStats s1, s2;
+  ASSERT_TRUE(EvaluatePlan(at_dbms, catalog, config, &s1).ok());
+  ASSERT_TRUE(EvaluatePlan(at_stratum, catalog, config, &s2).ok());
+  // The temporal op at the DBMS pays the SQL-simulation penalty, making the
+  // stratum placement cheaper overall (the motivation of Section 2.1).
+  EXPECT_GT(s1.total_work(), s2.total_work());
+}
+
+TEST(EngineTest, ScrambleIsDeterministicAndMultisetPreserving) {
+  Catalog catalog = PaperCatalog();
+  PlanPtr plan = P::TransferS(
+      P::Select(P::Scan("EMPLOYEE"),
+                Expr::Compare(CompareOp::kNe, Expr::Attr("EmpName"),
+                              Expr::Const(Value::String("zzz")))));
+  EngineConfig scrambled;
+  scrambled.dbms_scrambles_order = true;
+
+  Result<Relation> a = EvaluatePlan(plan, catalog, scrambled);
+  Result<Relation> b = EvaluatePlan(plan, catalog, scrambled);
+  Result<Relation> plain = EvaluatePlan(plan, catalog, EngineConfig{});
+  ASSERT_TRUE(a.ok() && b.ok() && plain.ok());
+  EXPECT_TRUE(EquivalentAsLists(a.value(), b.value()));  // deterministic
+  EXPECT_TRUE(EquivalentAsMultisets(a.value(), plain.value()));
+  EXPECT_FALSE(EquivalentAsLists(a.value(), plain.value()));
+}
+
+TEST(EngineTest, DbmsSortSurvivesScrambling) {
+  // Section 4.5: sort is the exception — its result order is trusted even
+  // at the DBMS.
+  Catalog catalog = PaperCatalog();
+  PlanPtr plan = P::TransferS(
+      P::Sort(P::Scan("EMPLOYEE"), {SortKey{"EmpName", true}}));
+  EngineConfig scrambled;
+  scrambled.dbms_scrambles_order = true;
+  Result<Relation> out = EvaluatePlan(plan, catalog, scrambled);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->IsSortedBy({SortKey{"EmpName", true}}));
+}
+
+TEST(EngineTest, ResultOrderAnnotationMatchesDerivedOrder) {
+  Catalog catalog = PaperCatalog();
+  PlanPtr plan = PaperInitialPlan();
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(plan, &catalog, PaperContract());
+  ASSERT_TRUE(ann.ok());
+  Result<Relation> out = Evaluate(ann.value(), EngineConfig{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(SortSpecToString(out->order()),
+            SortSpecToString(ann->root_info().order));
+  EXPECT_TRUE(out->IsSortedBy(out->order()));
+}
+
+TEST(CostModelTest, EstimateTracksActualWorkDirectionally) {
+  // The estimated plan cost need not match simulated work exactly, but it
+  // must rank the paper's initial plan above the obviously better variant
+  // that runs the temporal ops in the stratum.
+  Catalog catalog = PaperCatalog();
+  std::vector<ProjItem> proj = {ProjItem::Pass("EmpName"),
+                                ProjItem::Pass(kT1), ProjItem::Pass(kT2)};
+  PlanPtr initial = PaperInitialPlan();
+  PlanPtr improved = P::Sort(
+      P::Coalesce(P::RdupT(P::DifferenceT(
+          P::RdupT(P::TransferS(P::Project(P::Scan("EMPLOYEE"), proj))),
+          P::TransferS(P::Project(P::Scan("PROJECT"), proj))))),
+      {SortKey{"EmpName", true}});
+
+  EngineConfig config;
+  Result<AnnotatedPlan> a =
+      AnnotatedPlan::Make(initial, &catalog, PaperContract());
+  Result<AnnotatedPlan> b =
+      AnnotatedPlan::Make(improved, &catalog, PaperContract());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(EstimatePlanCost(a.value(), config),
+            EstimatePlanCost(b.value(), config));
+
+  ExecStats sa, sb;
+  ASSERT_TRUE(Evaluate(a.value(), config, &sa).ok());
+  ASSERT_TRUE(Evaluate(b.value(), config, &sb).ok());
+  EXPECT_GT(sa.total_work(), sb.total_work());
+}
+
+}  // namespace
+}  // namespace tqp

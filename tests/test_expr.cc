@@ -1,0 +1,188 @@
+// Tests for scalar expressions: evaluation, SQL-style null semantics,
+// arithmetic typing, the OVERLAPS predicate, attribute analysis, renaming,
+// and rendering.
+#include <gtest/gtest.h>
+
+#include "algebra/derivation.h"
+#include "algebra/expr.h"
+#include "test_util.h"
+
+namespace tqp {
+namespace {
+
+Schema TestSchema() {
+  Schema s;
+  s.Add(Attribute{"Name", ValueType::kString});
+  s.Add(Attribute{"Val", ValueType::kInt});
+  s.Add(Attribute{kT1, ValueType::kTime});
+  s.Add(Attribute{kT2, ValueType::kTime});
+  return s;
+}
+
+Tuple TestTuple() {
+  Tuple t;
+  t.push_back(Value::String("anna"));
+  t.push_back(Value::Int(7));
+  t.push_back(Value::Time(2));
+  t.push_back(Value::Time(9));
+  return t;
+}
+
+TEST(ExprTest, AttributeLookupAndUnknownAttr) {
+  Schema s = TestSchema();
+  Tuple t = TestTuple();
+  Result<Value> v = Expr::Attr("Val")->Eval(t, s);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 7);
+  EXPECT_FALSE(Expr::Attr("Nope")->Eval(t, s).ok());
+}
+
+TEST(ExprTest, ComparisonsAcrossAllOperators) {
+  Schema s = TestSchema();
+  Tuple t = TestTuple();
+  auto check = [&](CompareOp op, int64_t rhs, bool expected) {
+    ExprPtr e = Expr::Compare(op, Expr::Attr("Val"),
+                              Expr::Const(Value::Int(rhs)));
+    EXPECT_EQ(e->EvalPredicate(t, s), expected);
+  };
+  check(CompareOp::kEq, 7, true);
+  check(CompareOp::kNe, 7, false);
+  check(CompareOp::kLt, 8, true);
+  check(CompareOp::kLe, 7, true);
+  check(CompareOp::kGt, 7, false);
+  check(CompareOp::kGe, 7, true);
+}
+
+TEST(ExprTest, NullPropagationThreeValued) {
+  Schema s;
+  s.Add(Attribute{"X", ValueType::kInt});
+  Tuple t;
+  t.push_back(Value::Null());
+  // NULL = 1 evaluates to NULL; a NULL predicate rejects.
+  ExprPtr cmp = Expr::Compare(CompareOp::kEq, Expr::Attr("X"),
+                              Expr::Const(Value::Int(1)));
+  Result<Value> v = cmp->Eval(t, s);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  EXPECT_FALSE(cmp->EvalPredicate(t, s));
+
+  // FALSE AND NULL = FALSE (short circuit), TRUE OR NULL = TRUE.
+  ExprPtr false_e = Expr::Const(Value::Int(0));
+  ExprPtr true_e = Expr::Const(Value::Int(1));
+  EXPECT_FALSE(Expr::And(false_e, cmp)->EvalPredicate(t, s));
+  EXPECT_TRUE(Expr::Or(true_e, cmp)->EvalPredicate(t, s));
+  // TRUE AND NULL = NULL -> rejected; NOT NULL = NULL -> rejected.
+  EXPECT_FALSE(Expr::And(true_e, cmp)->EvalPredicate(t, s));
+  EXPECT_FALSE(Expr::Not(cmp)->EvalPredicate(t, s));
+}
+
+TEST(ExprTest, ArithmeticTypingRules) {
+  Schema s = TestSchema();
+  Tuple t = TestTuple();
+  // int + int = int
+  Result<Value> a = Expr::Arith(ArithOp::kAdd, Expr::Attr("Val"),
+                                Expr::Const(Value::Int(3)))
+                        ->Eval(t, s);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->type(), ValueType::kInt);
+  EXPECT_EQ(a->AsInt(), 10);
+  // int * double = double
+  Result<Value> b = Expr::Arith(ArithOp::kMul, Expr::Attr("Val"),
+                                Expr::Const(Value::Double(0.5)))
+                        ->Eval(t, s);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(b->AsDouble(), 3.5);
+  // division is always double; division by zero yields NULL
+  Result<Value> c = Expr::Arith(ArithOp::kDiv, Expr::Attr("Val"),
+                                Expr::Const(Value::Int(0)))
+                        ->Eval(t, s);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->is_null());
+  // arithmetic on strings is an error
+  EXPECT_FALSE(Expr::Arith(ArithOp::kAdd, Expr::Attr("Name"),
+                           Expr::Const(Value::Int(1)))
+                   ->Eval(t, s)
+                   .ok());
+  // duration arithmetic on time attributes works (T2 - T1)
+  Result<Value> d =
+      Expr::Arith(ArithOp::kSub, Expr::Attr(kT2), Expr::Attr(kT1))
+          ->Eval(t, s);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumericValue(), 7);
+}
+
+TEST(ExprTest, OverlapsPredicateHalfOpen) {
+  Schema s = TestSchema();
+  Tuple t = TestTuple();  // period [2, 9)
+  auto overlaps = [&](TimePoint a, TimePoint b) {
+    return Expr::Overlaps(Expr::Attr(kT1), Expr::Attr(kT2),
+                          Expr::Const(Value::Time(a)),
+                          Expr::Const(Value::Time(b)))
+        ->EvalPredicate(t, s);
+  };
+  EXPECT_TRUE(overlaps(8, 12));
+  EXPECT_TRUE(overlaps(0, 3));
+  EXPECT_FALSE(overlaps(9, 12));  // meets, half-open
+  EXPECT_FALSE(overlaps(0, 2));
+}
+
+TEST(ExprTest, ReferencedAttrsAndTimeFree) {
+  ExprPtr e = Expr::And(
+      Expr::Compare(CompareOp::kEq, Expr::Attr("Name"),
+                    Expr::Const(Value::String("x"))),
+      Expr::Compare(CompareOp::kLt, Expr::Attr(kT1), Expr::Attr("Val")));
+  std::set<std::string> attrs = e->ReferencedAttrs();
+  EXPECT_EQ(attrs.size(), 3u);
+  EXPECT_TRUE(attrs.count("Name"));
+  EXPECT_TRUE(attrs.count(kT1));
+  EXPECT_FALSE(e->IsTimeFree());
+  EXPECT_TRUE(Expr::Attr("Name")->IsTimeFree());
+}
+
+TEST(ExprTest, RenameAttrsRewritesReferences) {
+  ExprPtr e = Expr::Compare(CompareOp::kEq, Expr::Attr("1.T1"),
+                            Expr::Attr("Name"));
+  ExprPtr renamed = e->RenameAttrs({{"1.T1", kT1}});
+  std::set<std::string> attrs = renamed->ReferencedAttrs();
+  EXPECT_TRUE(attrs.count(kT1));
+  EXPECT_FALSE(attrs.count("1.T1"));
+  EXPECT_TRUE(attrs.count("Name"));
+}
+
+TEST(ExprTest, ToStringRendersStructure) {
+  ExprPtr e = Expr::And(
+      Expr::Compare(CompareOp::kNe, Expr::Attr("A"),
+                    Expr::Const(Value::String("v"))),
+      Expr::Not(Expr::Compare(CompareOp::kGe, Expr::Attr("B"),
+                              Expr::Const(Value::Int(3)))));
+  EXPECT_EQ(e->ToString(), "((A <> 'v') AND NOT (B >= 3))");
+}
+
+TEST(ExprTest, DeriveExprTypeMatchesEvaluation) {
+  Schema s = TestSchema();
+  Tuple t = TestTuple();
+  std::vector<ExprPtr> exprs = {
+      Expr::Attr("Name"),
+      Expr::Attr("Val"),
+      Expr::Attr(kT1),
+      Expr::Const(Value::Double(1.5)),
+      Expr::Compare(CompareOp::kLt, Expr::Attr("Val"),
+                    Expr::Const(Value::Int(9))),
+      Expr::Arith(ArithOp::kAdd, Expr::Attr(kT1), Expr::Const(Value::Int(1))),
+      Expr::Arith(ArithOp::kDiv, Expr::Attr("Val"),
+                  Expr::Const(Value::Int(2))),
+  };
+  for (const ExprPtr& e : exprs) {
+    Result<ValueType> ty = DeriveExprType(e, s);
+    ASSERT_TRUE(ty.ok()) << e->ToString();
+    Result<Value> v = e->Eval(t, s);
+    ASSERT_TRUE(v.ok()) << e->ToString();
+    if (!v->is_null()) {
+      EXPECT_EQ(v->type(), ty.value()) << e->ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tqp

@@ -1,0 +1,164 @@
+// Tests for the derived operations (idioms, Section 2.4): they must expand
+// into the fundamental algebra and compute the expected results, and the
+// intersect idiom must satisfy its set-algebra identity.
+#include <gtest/gtest.h>
+
+#include "algebra/idioms.h"
+#include "core/equivalence.h"
+#include "exec/evaluator.h"
+#include "test_util.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace {
+
+using P = PlanNode;
+
+TEST(IdiomTest, JoinIsSelectOverProduct) {
+  Catalog catalog = PaperCatalog();
+  Result<PlanPtr> join = NaturalishJoin(P::Scan("EMPLOYEE"),
+                                        P::Scan("PROJECT"), {"EmpName"},
+                                        catalog, /*temporal=*/false);
+  ASSERT_TRUE(join.ok()) << join.status().message();
+  EXPECT_EQ((*join)->kind(), OpKind::kSelect);
+  EXPECT_EQ((*join)->child(0)->kind(), OpKind::kProduct);
+
+  Result<Relation> out = EvaluatePlan(*join, catalog);
+  ASSERT_TRUE(out.ok());
+  // 5 employee rows x 8 project rows, same person: John 2x4, Anna 3x4.
+  EXPECT_EQ(out->size(), 2u * 4u + 3u * 4u);
+}
+
+TEST(IdiomTest, TemporalJoinCarriesTheOverlap) {
+  Catalog catalog = PaperCatalog();
+  Result<PlanPtr> join =
+      NaturalishJoin(P::Scan("EMPLOYEE"), P::Scan("PROJECT"), {"EmpName"},
+                     catalog, /*temporal=*/true);
+  ASSERT_TRUE(join.ok());
+  Result<Relation> out = EvaluatePlan(*join, catalog);
+  ASSERT_TRUE(out.ok());
+  // Every result tuple's period is contained in both argument periods.
+  const Schema& s = out->schema();
+  for (const Tuple& t : out->tuples()) {
+    Period overlap = TuplePeriod(t, s);
+    Period l(t.at(static_cast<size_t>(s.IndexOf("1.T1"))).AsTime(),
+             t.at(static_cast<size_t>(s.IndexOf("1.T2"))).AsTime());
+    Period r(t.at(static_cast<size_t>(s.IndexOf("2.T1"))).AsTime(),
+             t.at(static_cast<size_t>(s.IndexOf("2.T2"))).AsTime());
+    EXPECT_TRUE(l.Contains(overlap));
+    EXPECT_TRUE(r.Contains(overlap));
+  }
+  // John works while on a project during [2,3),[5,6),[7,8),[9,10).
+  Relation snap = out->Snapshot(5);
+  bool john = false;
+  for (const Tuple& t : snap.tuples()) {
+    if (t.at(0).AsString() == "John") john = true;
+  }
+  EXPECT_TRUE(john);
+}
+
+TEST(IdiomTest, SqlUnionDeduplicates) {
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "A", testing_util::ConventionalRel({{"x", 1}, {"y", 2}}),
+                    Site::kStratum)
+                .ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "B", testing_util::ConventionalRel({{"y", 2}, {"z", 3}}),
+                    Site::kStratum)
+                .ok());
+  PlanPtr u = SqlUnion(P::Scan("A"), P::Scan("B"), /*temporal=*/false);
+  Result<Relation> out = EvaluatePlan(u, catalog);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+  EXPECT_FALSE(out->HasDuplicates());
+}
+
+TEST(IdiomTest, SqlIntersectSetIdentity) {
+  // l ∩ r = rdup(l) \ (rdup(l) \ r): validated against a direct computation
+  // on randomized inputs.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Catalog catalog;
+    Relation a = testing_util::RandomConventional(seed);
+    Relation b = testing_util::RandomConventional(seed + 40);
+    TQP_CHECK(catalog.RegisterWithInferredFlags("A", a, Site::kStratum).ok());
+    TQP_CHECK(catalog.RegisterWithInferredFlags("B", b, Site::kStratum).ok());
+    PlanPtr plan = SqlIntersect(P::Scan("A"), P::Scan("B"), false);
+    Result<Relation> out = EvaluatePlan(plan, catalog);
+    ASSERT_TRUE(out.ok());
+
+    // Direct: distinct tuples of a that occur in b.
+    Relation da = EvalRdup(a, a.schema());
+    Relation expected(a.schema());
+    for (const Tuple& t : da.tuples()) {
+      for (const Tuple& u : b.tuples()) {
+        if (t == u) {
+          expected.Append(t);
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(EquivalentAsMultisets(out.value(), expected)) << seed;
+    EXPECT_FALSE(out->HasDuplicates());
+  }
+}
+
+TEST(IdiomTest, TemporalIntersectReducesToSnapshotIntersect) {
+  Catalog catalog = PaperCatalog();
+  std::vector<ProjItem> proj = {ProjItem::Pass("EmpName"),
+                                ProjItem::Pass(kT1), ProjItem::Pass(kT2)};
+  PlanPtr l = P::Project(P::Scan("EMPLOYEE"), proj);
+  PlanPtr r = P::Project(P::Scan("PROJECT"), proj);
+  PlanPtr plan = SqlIntersect(l, r, /*temporal=*/true);
+  Result<Relation> out = EvaluatePlan(plan, catalog);
+  ASSERT_TRUE(out.ok());
+  // John is in both EMPLOYEE and PROJECT at time 5 (P2 spell).
+  Relation snap = out->Snapshot(5);
+  ASSERT_EQ(snap.size(), 2u);  // John and Anna both on projects at 5
+}
+
+TEST(IdiomTest, TimesliceMatchesSnapshot) {
+  Catalog catalog = PaperCatalog();
+  for (TimePoint t : {1, 4, 6, 9, 11}) {
+    Result<PlanPtr> slice = Timeslice(P::Scan("EMPLOYEE"), t, catalog);
+    ASSERT_TRUE(slice.ok());
+    Result<Relation> out = EvaluatePlan(*slice, catalog);
+    ASSERT_TRUE(out.ok());
+    Relation expected = PaperEmployee().Snapshot(t);
+    EXPECT_TRUE(EquivalentAsLists(out.value(), expected)) << "t=" << t;
+  }
+  // Timeslice of a snapshot relation is an error.
+  Catalog conv;
+  TQP_CHECK(conv.RegisterWithInferredFlags(
+                    "C", testing_util::ConventionalRel({{"x", 1}}),
+                    Site::kStratum)
+                .ok());
+  EXPECT_FALSE(Timeslice(P::Scan("C"), 0, conv).ok());
+}
+
+TEST(IdiomTest, NormalizeIsOrderInsensitive) {
+  // coalT(rdupT(x)) maps all multiset-equivalent inputs to the same
+  // coalesced snapshot-duplicate-free relation (Section 6).
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Relation x = testing_util::RandomTemporal(seed);
+    Relation shuffled = EvalSort(x, {{kT1, false}, {"Name", true}});
+    Relation n1 = EvalCoalesce(EvalRdupT(x));
+    Relation n2 = EvalCoalesce(EvalRdupT(shuffled));
+    EXPECT_TRUE(EquivalentAsMultisets(n1, n2)) << seed;
+    EXPECT_TRUE(n1.IsCoalesced());
+    EXPECT_FALSE(n1.HasSnapshotDuplicates());
+  }
+}
+
+TEST(IdiomTest, ClonePlanProducesEqualButDistinctTrees) {
+  PlanPtr plan = P::Rdup(P::Sort(P::Scan("R"), {{"A", true}}));
+  PlanPtr clone = ClonePlan(plan);
+  EXPECT_EQ(CanonicalString(plan), CanonicalString(clone));
+  EXPECT_NE(plan.get(), clone.get());
+  EXPECT_NE(plan->child(0).get(), clone->child(0).get());
+}
+
+}  // namespace
+}  // namespace tqp

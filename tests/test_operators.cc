@@ -1,0 +1,215 @@
+// Tests for the conventional operators' list semantics (Table 1).
+#include <gtest/gtest.h>
+
+#include "core/equivalence.h"
+#include "exec/evaluator.h"
+#include "test_util.h"
+
+namespace tqp {
+namespace {
+
+using testing_util::ConventionalRel;
+using testing_util::TemporalRel;
+
+TEST(SelectTest, FiltersPreservingOrderAndDuplicates) {
+  Relation r = ConventionalRel({{"a", 1}, {"b", 2}, {"a", 1}, {"c", 3}});
+  ExprPtr p = Expr::Compare(CompareOp::kEq, Expr::Attr("Name"),
+                            Expr::Const(Value::String("a")));
+  Relation out = EvalSelect(r, p);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.tuple(0).at(1).AsInt(), 1);
+  EXPECT_EQ(out.tuple(1), out.tuple(0));
+}
+
+TEST(SelectTest, NullPredicateRejects) {
+  Schema s;
+  s.Add(Attribute{"X", ValueType::kInt});
+  Relation r(s);
+  Tuple t;
+  t.push_back(Value::Null());
+  r.Append(std::move(t));
+  ExprPtr p = Expr::Compare(CompareOp::kEq, Expr::Attr("X"),
+                            Expr::Const(Value::Int(1)));
+  EXPECT_EQ(EvalSelect(r, p).size(), 0u);
+}
+
+TEST(ProjectTest, ComputesExpressionsPerTuple) {
+  Relation r = ConventionalRel({{"a", 1}, {"b", 2}});
+  Schema out_schema;
+  out_schema.Add(Attribute{"Name", ValueType::kString});
+  out_schema.Add(Attribute{"Doubled", ValueType::kInt});
+  std::vector<ProjItem> items = {
+      ProjItem::Pass("Name"),
+      ProjItem{Expr::Arith(ArithOp::kMul, Expr::Attr("Val"),
+                           Expr::Const(Value::Int(2))),
+               "Doubled"},
+  };
+  Result<Relation> out = EvalProject(r, items, out_schema);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->tuple(0).at(1).AsInt(), 2);
+  EXPECT_EQ(out->tuple(1).at(1).AsInt(), 4);
+}
+
+TEST(ProjectTest, GeneratesDuplicates) {
+  Relation r = ConventionalRel({{"a", 1}, {"a", 2}});
+  Schema out_schema;
+  out_schema.Add(Attribute{"Name", ValueType::kString});
+  Result<Relation> out = EvalProject(r, {ProjItem::Pass("Name")}, out_schema);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->HasDuplicates());
+}
+
+TEST(UnionAllTest, Concatenates) {
+  Relation a = ConventionalRel({{"a", 1}});
+  Relation b = ConventionalRel({{"b", 2}, {"a", 1}});
+  Relation out = EvalUnionAll(a, b, a.schema());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.tuple(0).at(0).AsString(), "a");
+  EXPECT_EQ(out.tuple(1).at(0).AsString(), "b");
+}
+
+TEST(UnionTest, MaxMultiplicitySemantics) {
+  // [1] Albert: a tuple occurs max(count1, count2) times.
+  Relation a = ConventionalRel({{"x", 1}, {"x", 1}, {"y", 2}});
+  Relation b = ConventionalRel({{"x", 1}, {"y", 2}, {"y", 2}, {"z", 3}});
+  Relation out = EvalUnion(a, b, a.schema());
+  ASSERT_EQ(out.size(), 5u);  // x:2, y:2, z:1
+  // All of a first, then the exceeding occurrences of b in b's order.
+  EXPECT_EQ(out.tuple(0).at(0).AsString(), "x");
+  EXPECT_EQ(out.tuple(3).at(0).AsString(), "y");
+  EXPECT_EQ(out.tuple(4).at(0).AsString(), "z");
+}
+
+TEST(UnionTest, DupFreeInputsYieldDupFreeResult) {
+  // Table 1: ∪ retains duplicates (does not generate new ones).
+  Relation a = ConventionalRel({{"x", 1}, {"y", 2}});
+  Relation b = ConventionalRel({{"y", 2}, {"z", 3}});
+  Relation out = EvalUnion(a, b, a.schema());
+  EXPECT_FALSE(out.HasDuplicates());
+  ASSERT_EQ(out.size(), 3u);
+}
+
+TEST(DifferenceTest, RemovesFirstMatchingOccurrences) {
+  Relation a = ConventionalRel({{"x", 1}, {"y", 2}, {"x", 1}, {"x", 1}});
+  Relation b = ConventionalRel({{"x", 1}, {"x", 1}});
+  Relation out = EvalDifference(a, b);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.tuple(0).at(0).AsString(), "y");
+  EXPECT_EQ(out.tuple(1).at(0).AsString(), "x");  // the third x survives
+}
+
+TEST(DifferenceTest, CardinalityBounds) {
+  // Table 1: n(r1) - n(r2) <= n(result) <= n(r1).
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Relation a = testing_util::RandomConventional(seed);
+    Relation b = testing_util::RandomConventional(seed + 100);
+    Relation out = EvalDifference(a, b);
+    EXPECT_LE(out.size(), a.size());
+    EXPECT_GE(static_cast<int64_t>(out.size()),
+              static_cast<int64_t>(a.size()) - static_cast<int64_t>(b.size()));
+  }
+}
+
+TEST(ProductTest, LeftMajorOrder) {
+  Relation a = ConventionalRel({{"a", 1}, {"b", 2}});
+  Schema bs;
+  bs.Add(Attribute{"Other", ValueType::kInt});
+  Relation b(bs);
+  for (int i = 0; i < 3; ++i) {
+    Tuple t;
+    t.push_back(Value::Int(i));
+    b.Append(std::move(t));
+  }
+  Schema out_schema;
+  out_schema.Add(Attribute{"Name", ValueType::kString});
+  out_schema.Add(Attribute{"Val", ValueType::kInt});
+  out_schema.Add(Attribute{"Other", ValueType::kInt});
+  Relation out = EvalProduct(a, b, out_schema);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out.tuple(0).at(0).AsString(), "a");
+  EXPECT_EQ(out.tuple(2).at(0).AsString(), "a");
+  EXPECT_EQ(out.tuple(3).at(0).AsString(), "b");
+  EXPECT_EQ(out.tuple(1).at(2).AsInt(), 1);  // right cycles fastest
+}
+
+TEST(RdupTest, KeepsFirstOccurrences) {
+  Relation r = ConventionalRel({{"b", 2}, {"a", 1}, {"b", 2}, {"c", 3}});
+  Relation out = EvalRdup(r, r.schema());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.tuple(0).at(0).AsString(), "b");
+  EXPECT_EQ(out.tuple(1).at(0).AsString(), "a");
+  EXPECT_EQ(out.tuple(2).at(0).AsString(), "c");
+}
+
+TEST(SortTest, StableOnTies) {
+  Relation r = ConventionalRel({{"b", 1}, {"a", 2}, {"b", 0}, {"a", 1}});
+  Relation out = EvalSort(r, {{"Name", true}});
+  ASSERT_EQ(out.size(), 4u);
+  // Ties keep input order: a:2 then a:1; b:1 then b:0.
+  EXPECT_EQ(out.tuple(0).at(1).AsInt(), 2);
+  EXPECT_EQ(out.tuple(1).at(1).AsInt(), 1);
+  EXPECT_EQ(out.tuple(2).at(1).AsInt(), 1);
+  EXPECT_EQ(out.tuple(3).at(1).AsInt(), 0);
+}
+
+TEST(SortTest, DescendingKeys) {
+  Relation r = ConventionalRel({{"a", 1}, {"b", 2}, {"c", 0}});
+  Relation out = EvalSort(r, {{"Val", false}});
+  EXPECT_EQ(out.tuple(0).at(1).AsInt(), 2);
+  EXPECT_EQ(out.tuple(2).at(1).AsInt(), 0);
+}
+
+TEST(AggregateTest, GroupsInFirstOccurrenceOrder) {
+  Relation r =
+      ConventionalRel({{"b", 1}, {"a", 2}, {"b", 3}, {"a", 4}, {"c", 5}});
+  Schema out_schema;
+  out_schema.Add(Attribute{"Name", ValueType::kString});
+  out_schema.Add(Attribute{"total", ValueType::kInt});
+  out_schema.Add(Attribute{"cnt", ValueType::kInt});
+  std::vector<AggSpec> aggs = {
+      AggSpec{AggFunc::kSum, "Val", "total"},
+      AggSpec{AggFunc::kCount, "", "cnt"},
+  };
+  Result<Relation> out = EvalAggregate(r, {"Name"}, aggs, out_schema);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ(out->tuple(0).at(0).AsString(), "b");
+  EXPECT_EQ(out->tuple(0).at(1).AsInt(), 4);
+  EXPECT_EQ(out->tuple(0).at(2).AsInt(), 2);
+  EXPECT_EQ(out->tuple(1).at(0).AsString(), "a");
+  EXPECT_EQ(out->tuple(2).at(0).AsString(), "c");
+}
+
+TEST(AggregateTest, MinMaxAvgAndEmptyGroups) {
+  Relation r = ConventionalRel({{"a", 3}, {"a", 7}});
+  Schema out_schema;
+  out_schema.Add(Attribute{"mn", ValueType::kInt});
+  out_schema.Add(Attribute{"mx", ValueType::kInt});
+  out_schema.Add(Attribute{"av", ValueType::kDouble});
+  std::vector<AggSpec> aggs = {
+      AggSpec{AggFunc::kMin, "Val", "mn"},
+      AggSpec{AggFunc::kMax, "Val", "mx"},
+      AggSpec{AggFunc::kAvg, "Val", "av"},
+  };
+  Result<Relation> out = EvalAggregate(r, {}, aggs, out_schema);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->tuple(0).at(0).AsInt(), 3);
+  EXPECT_EQ(out->tuple(0).at(1).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(out->tuple(0).at(2).AsDouble(), 5.0);
+}
+
+// Property: ∪ = r1 ⊎ (r2 \ r1) as lists — the derived-operation identity the
+// paper uses to classify ∪ as an idiom over ⊎ and \.
+TEST(UnionTest, UnionIsUnionAllOfDifference) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Relation a = testing_util::RandomConventional(seed);
+    Relation b = testing_util::RandomConventional(seed + 50);
+    Relation direct = EvalUnion(a, b, a.schema());
+    Relation derived = EvalUnionAll(a, EvalDifference(b, a), a.schema());
+    EXPECT_TRUE(EquivalentAsLists(direct, derived)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tqp

@@ -1,0 +1,146 @@
+// Tests for cost-based plan selection over the enumerated space.
+#include <gtest/gtest.h>
+
+#include "algebra/printer.h"
+#include "core/equivalence.h"
+#include "exec/evaluator.h"
+#include "opt/optimizer.h"
+#include "test_util.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace {
+
+TEST(OptimizerTest, ImprovesThePaperPlan) {
+  Catalog catalog = PaperCatalog();
+  std::vector<Rule> rules = DefaultRuleSet();
+  OptimizerOptions options;
+  options.enumeration.max_plans = 4000;
+  Result<OptimizeResult> res = Optimize(PaperInitialPlan(), catalog,
+                                        PaperContract(), rules, options);
+  ASSERT_TRUE(res.ok()) << res.status().message();
+  EXPECT_LT(res->best_cost, res->initial_cost);
+  EXPECT_GE(res->plans_considered, 100u);
+  EXPECT_FALSE(res->derivation.empty());
+}
+
+TEST(OptimizerTest, BestPlanComputesTheCorrectResult) {
+  Catalog catalog = PaperCatalog();
+  std::vector<Rule> rules = DefaultRuleSet();
+  OptimizerOptions options;
+  options.enumeration.max_plans = 4000;
+  Result<OptimizeResult> res = Optimize(PaperInitialPlan(), catalog,
+                                        PaperContract(), rules, options);
+  ASSERT_TRUE(res.ok());
+
+  EngineConfig engine;
+  engine.dbms_scrambles_order = true;
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(res->best_plan, &catalog, PaperContract());
+  ASSERT_TRUE(ann.ok());
+  Result<Relation> out = Evaluate(ann.value(), engine);
+  ASSERT_TRUE(out.ok());
+
+  Relation expected = PaperExpectedResult();
+  EXPECT_TRUE(EquivalentAsMultisets(out.value(), expected))
+      << "best plan:\n"
+      << PrintPlan(res->best_plan) << "result:\n"
+      << out->ToTable();
+  EXPECT_TRUE(EquivalentAsListsOn(PaperContract().order_by, out.value(),
+                                  expected));
+}
+
+TEST(OptimizerTest, BestPlanPushesWorkIntoTheStratum) {
+  // The optimized plan should execute the temporal operations at the
+  // stratum (the DBMS temporal penalty dominates) and keep the sort in the
+  // DBMS ("the DBMS sorts faster than the stratum", Section 2.1).
+  Catalog catalog = PaperCatalog();
+  std::vector<Rule> rules = DefaultRuleSet();
+  OptimizerOptions options;
+  options.enumeration.max_plans = 4000;
+  Result<OptimizeResult> res = Optimize(PaperInitialPlan(), catalog,
+                                        PaperContract(), rules, options);
+  ASSERT_TRUE(res.ok());
+
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(res->best_plan, &catalog, PaperContract());
+  ASSERT_TRUE(ann.ok());
+  std::vector<PlanPtr> nodes;
+  CollectNodes(res->best_plan, &nodes);
+  bool sort_at_dbms = false;
+  for (const PlanPtr& n : nodes) {
+    if (IsTemporalOp(n->kind())) {
+      EXPECT_EQ(ann->info(n.get()).site, Site::kStratum)
+          << n->Describe() << " left at the DBMS:\n"
+          << PrintPlan(res->best_plan);
+    }
+    if (n->kind() == OpKind::kSort &&
+        ann->info(n.get()).site == Site::kDbms) {
+      sort_at_dbms = true;
+    }
+  }
+  EXPECT_TRUE(sort_at_dbms) << PrintPlan(res->best_plan);
+}
+
+TEST(OptimizerTest, MultisetContractDropsTheSort) {
+  // Without ORDER BY the optimizer may (and should) discard the sort.
+  Catalog catalog = PaperCatalog();
+  std::vector<Rule> rules = DefaultRuleSet();
+  OptimizerOptions options;
+  options.enumeration.max_plans = 4000;
+  Result<OptimizeResult> res = Optimize(PaperInitialPlan(), catalog,
+                                        QueryContract::Multiset(), rules,
+                                        options);
+  ASSERT_TRUE(res.ok());
+  std::vector<PlanPtr> nodes;
+  CollectNodes(res->best_plan, &nodes);
+  for (const PlanPtr& n : nodes) {
+    EXPECT_NE(n->kind(), OpKind::kSort) << PrintPlan(res->best_plan);
+  }
+}
+
+TEST(OptimizerTest, RestrictedGatingYieldsWorseOrEqualPlans) {
+  Catalog catalog = PaperCatalog();
+  std::vector<Rule> rules = DefaultRuleSet();
+  using ET = EquivalenceType;
+
+  OptimizerOptions strict;
+  strict.enumeration.max_plans = 4000;
+  strict.enumeration.admitted = {ET::kList};
+  OptimizerOptions full;
+  full.enumeration.max_plans = 4000;
+
+  Result<OptimizeResult> a = Optimize(PaperInitialPlan(), catalog,
+                                      PaperContract(), rules, strict);
+  Result<OptimizeResult> b =
+      Optimize(PaperInitialPlan(), catalog, PaperContract(), rules, full);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GE(a->best_cost, b->best_cost);
+  EXPECT_LT(b->best_cost, b->initial_cost);
+}
+
+TEST(OptimizerTest, TransferCostsShapePlacement) {
+  // With an enormous transfer cost, shipping tuples to the stratum early is
+  // avoided; with free transfers and a huge DBMS temporal penalty, pushing
+  // the transfer down pays off. Costs must reflect that monotonically.
+  Catalog catalog = PaperCatalog();
+  std::vector<Rule> rules = DefaultRuleSet();
+
+  OptimizerOptions cheap_transfer;
+  cheap_transfer.enumeration.max_plans = 3000;
+  cheap_transfer.engine.transfer_cost_per_tuple = 0.1;
+  Result<OptimizeResult> cheap = Optimize(PaperInitialPlan(), catalog,
+                                          PaperContract(), rules,
+                                          cheap_transfer);
+
+  OptimizerOptions pricey_transfer = cheap_transfer;
+  pricey_transfer.engine.transfer_cost_per_tuple = 500.0;
+  Result<OptimizeResult> pricey = Optimize(PaperInitialPlan(), catalog,
+                                           PaperContract(), rules,
+                                           pricey_transfer);
+  ASSERT_TRUE(cheap.ok() && pricey.ok());
+  EXPECT_LT(cheap->best_cost, pricey->best_cost);
+}
+
+}  // namespace
+}  // namespace tqp

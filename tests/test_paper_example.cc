@@ -1,0 +1,125 @@
+// End-to-end integration: the paper's running example through the full
+// stack — TQL text → initial algebra (Figure 2(a)) → enumeration/cost-based
+// optimization → simulated layered execution → the exact Figure 1 result.
+#include <gtest/gtest.h>
+
+#include "algebra/printer.h"
+#include "core/equivalence.h"
+#include "exec/evaluator.h"
+#include "opt/optimizer.h"
+#include "tql/translator.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace {
+
+TEST(PaperExampleTest, FixturesMatchFigureOne) {
+  Relation emp = PaperEmployee();
+  Relation prj = PaperProject();
+  ASSERT_EQ(emp.size(), 5u);
+  ASSERT_EQ(prj.size(), 8u);
+  EXPECT_EQ(emp.tuple(0).at(0).AsString(), "John");
+  EXPECT_EQ(TuplePeriod(emp.tuple(0), emp.schema()), Period(1, 8));
+  // EMPLOYEE projected on EmpName has snapshot duplicates (John at time 6).
+  EXPECT_FALSE(emp.HasSnapshotDuplicates());  // full tuples are fine
+  EXPECT_EQ(PaperExpectedResult().size(), 10u);
+}
+
+TEST(PaperExampleTest, InitialPlanEvaluatesToTheExpectedResult) {
+  Catalog catalog = PaperCatalog();
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(PaperInitialPlan(), &catalog, PaperContract());
+  ASSERT_TRUE(ann.ok()) << ann.status().message();
+  Result<Relation> out = Evaluate(ann.value(), EngineConfig{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(EquivalentAsLists(out.value(), PaperExpectedResult()))
+      << out->ToTable("got") << PaperExpectedResult().ToTable("expected");
+}
+
+TEST(PaperExampleTest, FullStackTqlToResult) {
+  Catalog catalog = PaperCatalog();
+  Result<TranslatedQuery> q = CompileQuery(PaperQueryText(), catalog);
+  ASSERT_TRUE(q.ok()) << q.status().message();
+
+  std::vector<Rule> rules = DefaultRuleSet();
+  OptimizerOptions options;
+  options.enumeration.max_plans = 4000;
+  Result<OptimizeResult> opt =
+      Optimize(q->plan, catalog, q->contract, rules, options);
+  ASSERT_TRUE(opt.ok()) << opt.status().message();
+  EXPECT_LT(opt->best_cost, opt->initial_cost);
+
+  EngineConfig engine;
+  engine.dbms_scrambles_order = true;  // honest DBMS order semantics
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(opt->best_plan, &catalog, q->contract);
+  ASSERT_TRUE(ann.ok());
+  Result<Relation> out = Evaluate(ann.value(), engine);
+  ASSERT_TRUE(out.ok());
+
+  // The user-visible contract: the EmpName column sequence matches the
+  // paper's table exactly, and the rows agree as multisets.
+  Relation expected = PaperExpectedResult();
+  EXPECT_TRUE(EquivalentAsMultisets(out.value(), expected))
+      << out->ToTable("got") << expected.ToTable("expected");
+  EXPECT_TRUE(
+      EquivalentAsListsOn(q->contract.order_by, out.value(), expected));
+}
+
+TEST(PaperExampleTest, OptimizedPlanIsCheaperInSimulatedExecution) {
+  Catalog catalog = PaperCatalog();
+  // Use the scaled relations so the work difference is macroscopic.
+  Catalog scaled;
+  TQP_CHECK(scaled
+                .RegisterWithInferredFlags("EMPLOYEE", ScaledEmployee(60),
+                                           Site::kDbms)
+                .ok());
+  TQP_CHECK(scaled
+                .RegisterWithInferredFlags("PROJECT", ScaledProject(60),
+                                           Site::kDbms)
+                .ok());
+
+  Result<TranslatedQuery> q = CompileQuery(PaperQueryText(), scaled);
+  ASSERT_TRUE(q.ok());
+  std::vector<Rule> rules = DefaultRuleSet();
+  OptimizerOptions options;
+  options.enumeration.max_plans = 3000;
+  Result<OptimizeResult> opt =
+      Optimize(q->plan, scaled, q->contract, rules, options);
+  ASSERT_TRUE(opt.ok());
+
+  ExecStats initial_stats, best_stats;
+  Result<AnnotatedPlan> a = AnnotatedPlan::Make(q->plan, &scaled, q->contract);
+  Result<AnnotatedPlan> b =
+      AnnotatedPlan::Make(opt->best_plan, &scaled, q->contract);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(Evaluate(a.value(), EngineConfig{}, &initial_stats).ok());
+  ASSERT_TRUE(Evaluate(b.value(), EngineConfig{}, &best_stats).ok());
+  EXPECT_LT(best_stats.total_work(), initial_stats.total_work())
+      << "optimized plan:\n"
+      << PrintPlan(opt->best_plan);
+
+  // Both plans must agree on the result.
+  Result<Relation> r1 = Evaluate(a.value(), EngineConfig{});
+  Result<Relation> r2 = Evaluate(b.value(), EngineConfig{});
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(EquivalentAsMultisets(r1.value(), r2.value()));
+}
+
+TEST(PaperExampleTest, ResultIsSortedCoalescedAndSnapshotDuplicateFree) {
+  // The user-required format of Section 2.1.
+  Catalog catalog = PaperCatalog();
+  Result<TranslatedQuery> q = CompileQuery(PaperQueryText(), catalog);
+  ASSERT_TRUE(q.ok());
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(q->plan, &catalog, q->contract);
+  ASSERT_TRUE(ann.ok());
+  Result<Relation> out = Evaluate(ann.value(), EngineConfig{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->IsSortedBy({SortKey{"EmpName", true}}));
+  EXPECT_TRUE(out->IsCoalesced());
+  EXPECT_FALSE(out->HasSnapshotDuplicates());
+}
+
+}  // namespace
+}  // namespace tqp

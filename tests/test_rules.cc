@@ -1,0 +1,483 @@
+// Verification of the transformation-rule catalogue (Section 4, Figure 4).
+//
+// Every rule's equivalence type is a *tested claim*: a pool of scenarios is
+// built so that each rule's left-hand side matches somewhere; each match is
+// applied, both plans are evaluated, and the claimed equivalence must hold
+// on the results. A coverage assertion guarantees no rule goes untested.
+// Targeted tests additionally exhibit the paper's negative claims (where a
+// stronger equivalence does NOT hold).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/equivalence.h"
+#include "exec/evaluator.h"
+#include "rules/rules.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace tqp {
+namespace {
+
+struct Scenario {
+  std::string name;
+  PlanPtr plan;
+  QueryContract contract = QueryContract::Multiset();
+};
+
+ExprPtr NamePred(const char* value) {
+  return Expr::Compare(CompareOp::kEq, Expr::Attr("Name"),
+                       Expr::Const(Value::String(value)));
+}
+
+ExprPtr CatPred(int64_t v) {
+  return Expr::Compare(CompareOp::kLe, Expr::Attr("Cat"),
+                       Expr::Const(Value::Int(v)));
+}
+
+ExprPtr TimePred(TimePoint v) {
+  return Expr::Compare(CompareOp::kGe, Expr::Attr(kT1),
+                       Expr::Const(Value::Int(v)));
+}
+
+std::vector<ProjItem> NameValItems() {
+  return {ProjItem::Pass("Name"), ProjItem::Pass("Val")};
+}
+
+std::vector<ProjItem> NameTimeItems() {
+  return {ProjItem::Pass("Name"), ProjItem::Pass(kT1), ProjItem::Pass(kT2)};
+}
+
+// Builds the shared catalog for one seed. All relations except the DB*
+// family live at the stratum so plans need no transfers.
+Catalog BuildCatalog(uint64_t seed) {
+  Catalog catalog;
+  auto must = [](const Status& s) { TQP_CHECK(s.ok()); };
+
+  Relation conv1 = testing_util::RandomConventional(seed);
+  Relation conv2 = testing_util::RandomConventional(seed + 17);
+  Relation temp1 = testing_util::RandomTemporal(seed + 31);
+  Relation temp2 = testing_util::RandomTemporal(seed + 47);
+  must(catalog.RegisterWithInferredFlags("CONV1", conv1, Site::kStratum));
+  must(catalog.RegisterWithInferredFlags("CONV2", conv2, Site::kStratum));
+  must(catalog.RegisterWithInferredFlags("TEMP1", temp1, Site::kStratum));
+  must(catalog.RegisterWithInferredFlags("TEMP2", temp2, Site::kStratum));
+
+  must(catalog.RegisterWithInferredFlags(
+      "CONV_DF", EvalRdup(conv1, conv1.schema()), Site::kStratum));
+  must(catalog.RegisterWithInferredFlags("TCLEAN1", EvalRdupT(temp1),
+                                         Site::kStratum));
+  must(catalog.RegisterWithInferredFlags("TCLEAN2", EvalRdupT(temp2),
+                                         Site::kStratum));
+  must(catalog.RegisterWithInferredFlags(
+      "TCOAL", EvalCoalesce(EvalRdupT(temp1)), Site::kStratum));
+
+  CatalogEntry sorted;
+  sorted.data = EvalSort(conv1, {{"Name", true}});
+  sorted.order = {{"Name", true}};
+  sorted.site = Site::kStratum;
+  must(catalog.Register("CONV_SORTED", sorted));
+
+  // Distinct-attribute relations for associativity (no name clashes).
+  auto single_int = [seed](const char* attr, uint64_t salt) {
+    Schema s;
+    s.Add(Attribute{attr, ValueType::kInt});
+    Relation r(s);
+    Rng rng(seed * 131 + salt);
+    for (int i = 0; i < 5; ++i) {
+      Tuple t;
+      t.push_back(Value::Int(static_cast<int64_t>(rng.Below(6))));
+      r.Append(std::move(t));
+    }
+    return r;
+  };
+  must(catalog.RegisterWithInferredFlags("X", single_int("A", 1),
+                                         Site::kStratum));
+  must(catalog.RegisterWithInferredFlags("Y", single_int("B", 2),
+                                         Site::kStratum));
+  must(catalog.RegisterWithInferredFlags("Z", single_int("C", 3),
+                                         Site::kStratum));
+
+  // DBMS-site copies for transfer-rule scenarios.
+  must(catalog.RegisterWithInferredFlags(
+      "DB1", testing_util::RandomConventional(seed + 5), Site::kDbms));
+  must(catalog.RegisterWithInferredFlags(
+      "DB2", testing_util::RandomConventional(seed + 6), Site::kDbms));
+  must(catalog.RegisterWithInferredFlags(
+      "DBT", testing_util::RandomTemporal(seed + 7), Site::kDbms));
+  must(catalog.RegisterWithInferredFlags(
+      "STR1", testing_util::RandomConventional(seed + 8), Site::kStratum));
+  return catalog;
+}
+
+std::vector<Scenario> BuildScenarios(const Catalog& catalog) {
+  using P = PlanNode;
+  std::vector<Scenario> out;
+  auto add = [&out](const std::string& name, PlanPtr plan) {
+    out.push_back(Scenario{name, std::move(plan)});
+  };
+
+  PlanPtr conv1 = P::Scan("CONV1");
+  PlanPtr conv2 = P::Scan("CONV2");
+  PlanPtr temp1 = P::Scan("TEMP1");
+  PlanPtr temp2 = P::Scan("TEMP2");
+  PlanPtr tclean1 = P::Scan("TCLEAN1");
+  PlanPtr tclean2 = P::Scan("TCLEAN2");
+
+  std::vector<AggSpec> aggs = {AggSpec{AggFunc::kCount, "", "cnt"},
+                               AggSpec{AggFunc::kSum, "Val", "total"}};
+  std::vector<AggSpec> minmax = {AggSpec{AggFunc::kMax, "Val", "mx"}};
+
+  // --- D rules ---
+  add("rdup(dup-free)", P::Rdup(P::Scan("CONV_DF")));
+  add("rdup(any)", P::Rdup(conv1));
+  add("rdupT(clean)", P::RdupT(tclean1));
+  add("rdupT(any)", P::RdupT(temp1));
+  add("rdup(union)", P::Rdup(P::Union(conv1, conv2)));
+  add("union(rdup,rdup)", P::Union(P::Rdup(conv1), P::Rdup(conv2)));
+  add("rdupT(unionT)", P::RdupT(P::UnionT(temp1, temp2)));
+  add("unionT(rdupT,rdupT)", P::UnionT(P::RdupT(temp1), P::RdupT(temp2)));
+
+  // --- C rules ---
+  add("coalT(coalesced)", P::Coalesce(P::Scan("TCOAL")));
+  add("coalT(any)", P::Coalesce(temp1));
+  add("coalT(select)", P::Coalesce(P::Select(temp1, NamePred("n1"))));
+  add("select(coalT)", P::Select(P::Coalesce(temp1), NamePred("n1")));
+  add("project(coalT)",
+      P::Project(P::Coalesce(temp1), NameValItems()));
+  add("coalT(unionall(coalT,coalT))",
+      P::Coalesce(P::UnionAll(P::Coalesce(temp1), P::Coalesce(temp2))));
+  add("coalT(unionT(coalT,coalT))",
+      P::Coalesce(P::UnionT(P::Coalesce(temp1), P::Coalesce(temp2))));
+  add("coalT(aggT(coalT))",
+      P::Coalesce(P::AggregateT(P::Coalesce(temp1), {"Name"}, aggs)));
+  add("coalT(project(coalT(clean)))",
+      P::Coalesce(P::Project(P::Coalesce(tclean1), NameTimeItems())));
+  // Permutation projection: the C8 shape with its strengthened precondition.
+  add("coalT(permutation(coalT(clean)))",
+      P::Coalesce(P::Project(
+          P::Coalesce(tclean1),
+          {ProjItem::Pass("Val"), ProjItem::Pass("Name"),
+           ProjItem::Pass("Cat"), ProjItem::Pass(kT1), ProjItem::Pass(kT2)})));
+  add("coalT(project(coalT(messy)))",
+      P::Coalesce(P::Project(P::Coalesce(temp1), NameTimeItems())));
+  add("coalT(diffT(clean))", P::Coalesce(P::DifferenceT(tclean1, temp2)));
+  add("diffT(coalT(clean),coalT)",
+      P::DifferenceT(P::Coalesce(tclean1), P::Coalesce(temp2)));
+
+  // C9/B2: productT with the timestamp-dropping projection.
+  {
+    Catalog* mutable_catalog = nullptr;
+    (void)mutable_catalog;
+    PlanPtr prod = P::ProductT(tclean1, tclean2);
+    // Enumerate the product schema to build the projection.
+    std::vector<Schema> child_schemas = {
+        catalog.Find("TCLEAN1")->data.schema(),
+        catalog.Find("TCLEAN2")->data.schema()};
+    Result<Schema> ps = DeriveSchema(*prod, child_schemas, catalog);
+    TQP_CHECK(ps.ok());
+    std::vector<ProjItem> items;
+    for (const Attribute& a : ps->attrs()) {
+      if (a.name == "1.T1" || a.name == "1.T2" || a.name == "2.T1" ||
+          a.name == "2.T2") {
+        continue;
+      }
+      items.push_back(ProjItem::Pass(a.name));
+    }
+    add("coalT(project(productT))",
+        P::Coalesce(P::Project(prod, items)));
+    PlanPtr messy_prod = P::ProductT(temp1, temp2);
+    add("coalT(project(productT(messy)))",
+        P::Coalesce(P::Project(messy_prod, items)));
+  }
+
+  // --- S rules ---
+  add("sort(prefix-sorted)",
+      P::Sort(P::Scan("CONV_SORTED"), {{"Name", true}}));
+  add("sort(any)", P::Sort(conv1, {{"Val", false}}));
+  add("sort(sort)",
+      P::Sort(P::Sort(conv1, {{"Name", true}}),
+              {{"Name", true}, {"Val", true}}));
+
+  // --- P rules ---
+  add("select(select)", P::Select(P::Select(conv1, CatPred(2)),
+                                  NamePred("n2")));
+  add("select(and)",
+      P::Select(conv1, Expr::And(NamePred("n1"), CatPred(2))));
+  add("select(project)",
+      P::Select(P::Project(conv1, NameValItems()), NamePred("n0")));
+  add("select(product)-left",
+      P::Select(P::Product(conv1, P::Scan("X")), NamePred("n1")));
+  add("select(product)-right",
+      P::Select(P::Product(P::Scan("X"), conv2), NamePred("n1")));
+  add("select(productT)",
+      P::Select(P::ProductT(temp1, temp2),
+                Expr::Compare(CompareOp::kEq, Expr::Attr("1.Name"),
+                              Expr::Const(Value::String("n1")))));
+  add("select(productT)-right",
+      P::Select(P::ProductT(temp1, temp2),
+                Expr::Compare(CompareOp::kEq, Expr::Attr("2.Name"),
+                              Expr::Const(Value::String("n1")))));
+  add("select(unionall)",
+      P::Select(P::UnionAll(conv1, conv2), NamePred("n1")));
+  add("select(union)", P::Select(P::Union(conv1, conv2), NamePred("n1")));
+  add("select(unionT)", P::Select(P::UnionT(temp1, temp2), NamePred("n1")));
+  add("select(difference)",
+      P::Select(P::Difference(conv1, conv2), NamePred("n1")));
+  add("select(differenceT)",
+      P::Select(P::DifferenceT(temp1, temp2), NamePred("n1")));
+  add("select(rdup(temporal))",
+      P::Select(P::Rdup(temp1),
+                Expr::Compare(CompareOp::kGe, Expr::Attr("1.T1"),
+                              Expr::Const(Value::Int(10)))));
+  add("select(rdupT)", P::Select(P::RdupT(temp1), NamePred("n1")));
+  add("select(rdupT)-timepred", P::Select(P::RdupT(temp1), TimePred(10)));
+  add("select(agg)",
+      P::Select(P::Aggregate(conv1, {"Name"}, aggs), NamePred("n1")));
+  add("select(aggT)",
+      P::Select(P::AggregateT(temp1, {"Name"}, aggs), NamePred("n1")));
+
+  // --- J rules ---
+  add("project(project)",
+      P::Project(P::Project(conv1, NameValItems()),
+                 {ProjItem::Pass("Name"),
+                  ProjItem{Expr::Arith(ArithOp::kAdd, Expr::Attr("Val"),
+                                       Expr::Const(Value::Int(1))),
+                           "ValPlus"}}));
+  add("project(unionall)",
+      P::Project(P::UnionAll(conv1, conv2), NameValItems()));
+  add("unionall(project,project)",
+      P::UnionAll(P::Project(conv1, NameValItems()),
+                  P::Project(conv2, NameValItems())));
+
+  // --- A rules ---
+  add("product", P::Product(conv1, conv2));
+  add("productT", P::ProductT(temp1, temp2));
+  add("product-assoc-left",
+      P::Product(P::Product(P::Scan("X"), P::Scan("Y")), P::Scan("Z")));
+  add("product-assoc-right",
+      P::Product(P::Scan("X"), P::Product(P::Scan("Y"), P::Scan("Z"))));
+  add("unionall", P::UnionAll(conv1, conv2));
+  add("unionall-assoc",
+      P::UnionAll(P::UnionAll(conv1, conv2), P::Scan("CONV_DF")));
+  add("union", P::Union(conv1, conv2));
+  add("unionT", P::UnionT(temp1, temp2));
+
+  // --- F rules ---
+  add("diff(diff)",
+      P::Difference(P::Difference(conv1, conv2), P::Scan("CONV_DF")));
+  add("diff(unionall)",
+      P::Difference(conv1, P::UnionAll(conv2, P::Scan("CONV_DF"))));
+  add("diffT(diffT(clean))",
+      P::DifferenceT(P::DifferenceT(tclean1, temp2), P::Scan("TCOAL")));
+
+  // --- G rules ---
+  add("rdup(product)", P::Rdup(P::Product(conv1, conv2)));
+  add("rdup(rdup)", P::Rdup(P::Rdup(conv1)));
+  add("rdupT(rdupT)", P::RdupT(P::RdupT(temp1)));
+  add("coalT(coalT)", P::Coalesce(P::Coalesce(temp1)));
+  add("rdupT(coalT(rdupT))", P::RdupT(P::Coalesce(P::RdupT(temp1))));
+
+  // --- SP rules ---
+  add("sort(select)", P::Sort(P::Select(conv1, CatPred(2)), {{"Name", true}}));
+  add("select(sort)", P::Select(P::Sort(conv1, {{"Name", true}}), CatPred(2)));
+  add("sort(project)",
+      P::Sort(P::Project(conv1, {ProjItem::Rename("Name", "N"),
+                                 ProjItem::Pass("Val")}),
+              {{"N", true}}));
+  add("sort(product)",
+      P::Sort(P::Product(conv1, P::Scan("X")), {{"Name", true}}));
+  add("sort(difference)",
+      P::Sort(P::Difference(conv1, conv2), {{"Name", true}}));
+  add("sort(differenceT)",
+      P::Sort(P::DifferenceT(temp1, temp2), {{"Name", true}}));
+  add("sort(rdup(temporal))", P::Sort(P::Rdup(temp1), {{"1.T1", true}}));
+  add("sort(rdupT)", P::Sort(P::RdupT(temp1), {{"Name", true}}));
+  add("sort(coalT)", P::Sort(P::Coalesce(temp1), {{"Name", true}}));
+  add("sort(agg)",
+      P::Sort(P::Aggregate(conv1, {"Name"}, aggs), {{"Name", true}}));
+  add("sort(aggT)",
+      P::Sort(P::AggregateT(temp1, {"Name"}, minmax), {{"Name", true}}));
+
+  // --- T rules (DBMS-site relations) ---
+  PlanPtr db1 = P::Scan("DB1");
+  PlanPtr db2 = P::Scan("DB2");
+  PlanPtr dbt = P::Scan("DBT");
+  add("TS(select(db))", P::TransferS(P::Select(db1, CatPred(2))));
+  add("select(TS(db))", P::Select(P::TransferS(db1), CatPred(2)));
+  add("TS(sort(db))", P::TransferS(P::Sort(db1, {{"Name", true}})));
+  add("sort(TS(db))", P::Sort(P::TransferS(db1), {{"Name", true}}));
+  add("TS(rdupT(dbt))", P::TransferS(P::RdupT(dbt)));
+  add("coalT(TS(dbt))", P::Coalesce(P::TransferS(dbt)));
+  add("TS(product(db,db))", P::TransferS(P::Product(db1, db2)));
+  add("diff(TS,TS)",
+      P::Difference(P::TransferS(db1), P::TransferS(db2)));
+  add("TS(TD(str))", P::TransferS(P::TransferD(P::Scan("STR1"))));
+  add("TD(TS(db))", P::TransferD(P::TransferS(db1)));
+  add("TD(select(str))", P::TransferD(P::Select(P::Scan("STR1"), CatPred(2))));
+  add("select(TD(str))", P::Select(P::TransferD(P::Scan("STR1")), CatPred(2)));
+
+  // Contract-bearing scenario for the sort-insertion expanding rule.
+  out.push_back(Scenario{"ordered-context", P::Select(conv1, CatPred(2)),
+                         QueryContract::List({{"Name", true}})});
+  return out;
+}
+
+class RuleVerificationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RuleVerificationTest, EveryRuleHoldsItsClaimedEquivalence) {
+  uint64_t seed = GetParam();
+  Catalog catalog = BuildCatalog(seed);
+  std::vector<Scenario> scenarios = BuildScenarios(catalog);
+
+  RuleSetOptions rule_opts;
+  rule_opts.expanding_rules = true;  // verify those too
+  std::vector<Rule> rules = DefaultRuleSet(rule_opts);
+
+  EngineConfig engine;
+  engine.dbms_scrambles_order = true;  // make DBMS order honesty-checked
+
+  std::map<std::string, int> applications;
+  for (const Rule& rule : rules) applications[rule.id()] = 0;
+
+  for (const Scenario& scenario : scenarios) {
+    Result<AnnotatedPlan> ann =
+        AnnotatedPlan::Make(scenario.plan, &catalog, scenario.contract);
+    ASSERT_TRUE(ann.ok()) << scenario.name << ": " << ann.status().message();
+
+    std::vector<PlanPtr> nodes;
+    CollectNodes(scenario.plan, &nodes);
+    for (const Rule& rule : rules) {
+      for (const PlanPtr& node : nodes) {
+        std::optional<RuleMatch> match = rule.TryApply(node, ann.value());
+        if (!match.has_value()) continue;
+        // A rule's equivalence claim relates the two sides *at the matched
+        // location* (the effect at the root is exactly what the Figure 5
+        // property gating governs, tested separately). So evaluate the
+        // location subtree before and after the rewrite.
+        Result<AnnotatedPlan> lhs_ann =
+            AnnotatedPlan::Make(node, &catalog, QueryContract::Multiset());
+        ASSERT_TRUE(lhs_ann.ok()) << rule.id() << " at " << scenario.name;
+        Result<Relation> lhs = Evaluate(lhs_ann.value(), engine);
+        ASSERT_TRUE(lhs.ok()) << rule.id() << " at " << scenario.name;
+
+        Result<AnnotatedPlan> rhs_ann = AnnotatedPlan::Make(
+            match->replacement, &catalog, QueryContract::Multiset());
+        ASSERT_TRUE(rhs_ann.ok())
+            << rule.id() << " at " << scenario.name << ": "
+            << rhs_ann.status().message();
+        Result<Relation> rhs = Evaluate(rhs_ann.value(), engine);
+        ASSERT_TRUE(rhs.ok()) << rule.id() << " at " << scenario.name;
+
+        EXPECT_TRUE(Equivalent(rule.equivalence(), lhs.value(), rhs.value()))
+            << "rule " << rule.id() << " (" << rule.description()
+            << ") violated its claimed "
+            << EquivalenceTypeName(rule.equivalence()) << " at scenario '"
+            << scenario.name << "', seed " << seed << "\nLHS:\n"
+            << lhs->ToTable() << "RHS:\n"
+            << rhs->ToTable();
+
+        // The whole-plan rewrite must still produce a well-formed plan.
+        PlanPtr rewritten =
+            ReplaceNode(scenario.plan, node.get(), match->replacement);
+        EXPECT_TRUE(
+            AnnotatedPlan::Make(rewritten, &catalog, scenario.contract).ok())
+            << rule.id() << " at " << scenario.name;
+        ++applications[rule.id()];
+      }
+    }
+  }
+
+  for (const auto& [id, count] : applications) {
+    EXPECT_GE(count, 1) << "rule " << id
+                        << " was never exercised by any scenario";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleVerificationTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- Negative claims: the paper's "only ≡X holds" statements -------------
+
+TEST(RuleNegativeTest, C2DoesNotPreserveMultisets) {
+  // coalT(r) ≡SM r but in general not ≡M: adjacent fragments merge.
+  Relation r = testing_util::TemporalRel({{"a", 1, 0, 3}, {"a", 1, 3, 6}});
+  Relation out = EvalCoalesce(r);
+  EXPECT_TRUE(SnapshotEquivalentAsMultisets(out, r));
+  EXPECT_FALSE(EquivalentAsMultisets(out, r));
+}
+
+TEST(RuleNegativeTest, D4DoesNotPreserveSnapshotMultisets) {
+  // rdupT(r) ≡SS r but not ≡SM when snapshots carry duplicates.
+  Relation r = testing_util::TemporalRel({{"a", 1, 0, 6}, {"a", 1, 2, 8}});
+  Relation out = EvalRdupT(r);
+  EXPECT_TRUE(SnapshotEquivalentAsSets(out, r));
+  EXPECT_FALSE(SnapshotEquivalentAsMultisets(out, r));
+}
+
+TEST(RuleNegativeTest, RdupTIsOrderSensitive) {
+  // Section 6: multiset-equivalent inputs can produce results that are not
+  // multiset equivalent.
+  Relation a = testing_util::TemporalRel({{"a", 1, 0, 5}, {"a", 1, 3, 8}});
+  Relation b = testing_util::TemporalRel({{"a", 1, 3, 8}, {"a", 1, 0, 5}});
+  ASSERT_TRUE(EquivalentAsMultisets(a, b));
+  EXPECT_FALSE(EquivalentAsMultisets(EvalRdupT(a), EvalRdupT(b)));
+  // But the outputs are snapshot-set equivalent.
+  EXPECT_TRUE(SnapshotEquivalentAsSets(EvalRdupT(a), EvalRdupT(b)));
+}
+
+TEST(RuleNegativeTest, C10NeedsSnapshotDuplicateFreeLeft) {
+  // With snapshot duplicates in the left argument, the two sides of C10 can
+  // disagree even as snapshot multisets only under coalescing of duplicates;
+  // verify they still agree as snapshot multisets (B3) but show ≡M may fail.
+  Relation l = testing_util::TemporalRel(
+      {{"a", 1, 0, 4}, {"a", 1, 4, 8}, {"a", 1, 2, 6}});
+  Relation r = testing_util::TemporalRel({{"a", 1, 3, 5}});
+  Relation lhs = EvalCoalesce(EvalDifferenceT(l, r));
+  Relation rhs = EvalDifferenceT(EvalCoalesce(l), EvalCoalesce(r));
+  EXPECT_TRUE(SnapshotEquivalentAsMultisets(lhs, rhs));  // B3's claim
+}
+
+TEST(RuleNegativeTest, C8NeedsClassPreservingProjection) {
+  // The counterexample behind the C8 deviation note: r is snapshot-
+  // duplicate-free, but projecting away Val merges the (a,1) and (a,2)
+  // classes; the inner coalescing then pairs fragments differently than the
+  // outer one, and the two sides of C8 diverge even as multisets. Only the
+  // ≡SM level (rule B1) survives.
+  Schema s;
+  s.Add(Attribute{"Name", ValueType::kString});
+  s.Add(Attribute{"Val", ValueType::kInt});
+  s.Add(Attribute{kT1, ValueType::kTime});
+  s.Add(Attribute{kT2, ValueType::kTime});
+  Relation r = testing_util::TemporalRel(
+      {{"a", 1, 0, 2}, {"a", 2, 2, 4}, {"a", 1, 2, 4}, {"a", 2, 4, 6}});
+  ASSERT_FALSE(r.HasSnapshotDuplicates());
+
+  Schema proj_schema;
+  proj_schema.Add(Attribute{"Name", ValueType::kString});
+  proj_schema.Add(Attribute{kT1, ValueType::kTime});
+  proj_schema.Add(Attribute{kT2, ValueType::kTime});
+  std::vector<ProjItem> items = {ProjItem::Pass("Name"), ProjItem::Pass(kT1),
+                                 ProjItem::Pass(kT2)};
+
+  Result<Relation> lhs_proj = EvalProject(EvalCoalesce(r), items, proj_schema);
+  Result<Relation> rhs_proj = EvalProject(r, items, proj_schema);
+  ASSERT_TRUE(lhs_proj.ok() && rhs_proj.ok());
+  Relation lhs = EvalCoalesce(lhs_proj.value());
+  Relation rhs = EvalCoalesce(rhs_proj.value());
+  EXPECT_FALSE(EquivalentAsMultisets(lhs, rhs));  // the paper's ≡L fails
+  EXPECT_TRUE(SnapshotEquivalentAsMultisets(lhs, rhs));  // B1 holds
+}
+
+TEST(RuleNegativeTest, CoalescingAfterRdupTEnablesD2) {
+  // The idiom coalT(rdupT(x)) is snapshot-determined: any further rdupT is
+  // the identity (G5 / D2 agreement).
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Relation x = testing_util::RandomTemporal(seed);
+    Relation idiom = EvalCoalesce(EvalRdupT(x));
+    EXPECT_TRUE(EquivalentAsLists(EvalRdupT(idiom), idiom)) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tqp

@@ -1,0 +1,170 @@
+// CI-enforced Table 1 semantics: the duplicate-handling, coalescing-handling
+// and order columns as parameterized property tests over randomized inputs
+// (the bench binary prints the same matrix; these tests gate regressions).
+#include <gtest/gtest.h>
+
+#include "algebra/derivation.h"
+#include "core/equivalence.h"
+#include "exec/evaluator.h"
+#include "test_util.h"
+
+namespace tqp {
+namespace {
+
+class Table1Test : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Relation Messy(uint64_t salt, size_t n = 32) {
+    return testing_util::RandomTemporal(GetParam() * 131 + salt, n);
+  }
+  // A relation with neither duplicates nor snapshot duplicates.
+  Relation Clean(uint64_t salt) { return EvalRdupT(Messy(salt)); }
+  // A coalesced, snapshot-duplicate-free relation.
+  Relation Coalesced(uint64_t salt) { return EvalCoalesce(Clean(salt)); }
+};
+
+// ---- Duplicates column ----------------------------------------------------
+
+TEST_P(Table1Test, EliminatingOpsNeverEmitDuplicates) {
+  Relation messy = Messy(1);
+  EXPECT_FALSE(EvalRdup(messy, messy.schema()).HasDuplicates());
+  EXPECT_FALSE(EvalRdupT(messy).HasDuplicates());
+  Schema out;
+  out.Add(Attribute{"Name", ValueType::kString});
+  out.Add(Attribute{"cnt", ValueType::kInt});
+  Result<Relation> agg = EvalAggregate(
+      messy, {"Name"}, {AggSpec{AggFunc::kCount, "", "cnt"}}, out);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_FALSE(agg->HasDuplicates());
+}
+
+TEST_P(Table1Test, RetainingOpsPreserveDuplicateFreedom) {
+  // "Retains": the result has distinct tuples whenever the inputs do.
+  Relation a = Clean(2);
+  Relation b = Clean(3);
+  ExprPtr pred = Expr::Compare(CompareOp::kNe, Expr::Attr("Name"),
+                               Expr::Const(Value::String("n0")));
+  EXPECT_FALSE(EvalSelect(a, pred).HasDuplicates());
+  EXPECT_FALSE(EvalSort(a, {{"Val", true}}).HasDuplicates());
+  EXPECT_FALSE(EvalDifference(a, b).HasDuplicates());
+  EXPECT_FALSE(EvalUnion(a, b, a.schema()).HasDuplicates());
+  EXPECT_FALSE(EvalCoalesce(a).HasDuplicates());
+  EXPECT_FALSE(EvalDifferenceT(a, b).HasDuplicates());
+  EXPECT_FALSE(EvalUnionT(a, b).HasDuplicates());
+}
+
+TEST_P(Table1Test, GeneratingOpsCanCreateDuplicates) {
+  // "Generates": duplicate-free inputs do not guarantee a duplicate-free
+  // output. Projection collapsing distinguishing attributes is the witness.
+  Relation a = Clean(4);
+  Schema name_only;
+  name_only.Add(Attribute{"Cat", ValueType::kInt});
+  Result<Relation> proj =
+      EvalProject(a, {ProjItem::Pass("Cat")}, name_only);
+  ASSERT_TRUE(proj.ok());
+  if (a.size() > 4) {
+    EXPECT_TRUE(proj->HasDuplicates());
+  }
+  // ⊎ of a relation with itself duplicates everything.
+  Relation doubled = EvalUnionAll(a, a, a.schema());
+  if (!a.empty()) {
+    EXPECT_TRUE(doubled.HasDuplicates());
+  }
+}
+
+// ---- Coalescing column ----------------------------------------------------
+
+TEST_P(Table1Test, CoalescingRetainers) {
+  Relation c = Coalesced(5);
+  ExprPtr pred = Expr::Compare(CompareOp::kNe, Expr::Attr("Name"),
+                               Expr::Const(Value::String("n1")));
+  EXPECT_TRUE(EvalSelect(c, pred).IsCoalesced());
+  EXPECT_TRUE(EvalSort(c, {{"Val", false}}).IsCoalesced());
+}
+
+TEST_P(Table1Test, CoalescingDestroyers) {
+  // "Destroys": a coalesced input does not guarantee a coalesced output.
+  // rdupT's fragments are the canonical witness (John [1,8)+[8,11) in the
+  // paper); here the structural fact that the guarantee must be dropped is
+  // pinned via the derivation flags.
+  Catalog catalog;
+  TQP_CHECK(
+      catalog.RegisterWithInferredFlags("C", Coalesced(6), Site::kStratum)
+          .ok());
+  Result<AnnotatedPlan> ann = AnnotatedPlan::Make(
+      PlanNode::RdupT(PlanNode::Scan("C")), &catalog,
+      QueryContract::Multiset());
+  ASSERT_TRUE(ann.ok());
+  EXPECT_FALSE(ann->root_info().coalesced);
+
+  Result<AnnotatedPlan> ann2 = AnnotatedPlan::Make(
+      PlanNode::UnionAll(PlanNode::Scan("C"), PlanNode::Scan("C")), &catalog,
+      QueryContract::Multiset());
+  ASSERT_TRUE(ann2.ok());
+  EXPECT_FALSE(ann2->root_info().coalesced);
+}
+
+TEST_P(Table1Test, CoalesceEnforces) {
+  EXPECT_TRUE(EvalCoalesce(Messy(7)).IsCoalesced());
+}
+
+// ---- Order column -----------------------------------------------------
+
+TEST_P(Table1Test, OrderColumnHoldsOnData) {
+  // For a pipeline of operations over a sorted input, the derived static
+  // order must hold on the actual output at every stage.
+  Catalog catalog;
+  CatalogEntry entry;
+  entry.data = EvalSort(Messy(8), {{"Name", true}, {"Cat", true}});
+  entry.order = {{"Name", true}, {"Cat", true}};
+  entry.site = Site::kStratum;
+  TQP_CHECK(catalog.Register("S", entry).ok());
+
+  ExprPtr pred = Expr::Compare(CompareOp::kNe, Expr::Attr("Cat"),
+                               Expr::Const(Value::Int(0)));
+  std::vector<PlanPtr> plans = {
+      PlanNode::Select(PlanNode::Scan("S"), pred),
+      PlanNode::RdupT(PlanNode::Scan("S")),
+      PlanNode::Coalesce(PlanNode::Scan("S")),
+      PlanNode::Project(PlanNode::Scan("S"),
+                        {ProjItem::Rename("Name", "N"),
+                         ProjItem::Pass(kT1), ProjItem::Pass(kT2)}),
+      PlanNode::DifferenceT(PlanNode::RdupT(PlanNode::Scan("S")),
+                            PlanNode::Scan("S")),
+      PlanNode::Aggregate(PlanNode::Scan("S"), {"Name"},
+                          {AggSpec{AggFunc::kCount, "", "c"}}),
+  };
+  for (const PlanPtr& plan : plans) {
+    Result<AnnotatedPlan> ann =
+        AnnotatedPlan::Make(plan, &catalog, QueryContract::Multiset());
+    ASSERT_TRUE(ann.ok()) << plan->Describe();
+    Result<Relation> out = Evaluate(ann.value(), EngineConfig{});
+    ASSERT_TRUE(out.ok()) << plan->Describe();
+    EXPECT_TRUE(out->IsSortedBy(ann->root_info().order))
+        << plan->Describe() << " order "
+        << SortSpecToString(ann->root_info().order);
+  }
+}
+
+// ---- Cardinality column ---------------------------------------------------
+
+TEST_P(Table1Test, CardinalityBounds) {
+  Relation a = Messy(9);
+  Relation b = Messy(10);
+  EXPECT_LE(EvalRdup(a, a.schema()).size(), a.size());
+  EXPECT_LE(EvalCoalesce(a).size(), a.size());
+  EXPECT_EQ(EvalSort(a, {{"Name", true}}).size(), a.size());
+  EXPECT_EQ(EvalUnionAll(a, b, a.schema()).size(), a.size() + b.size());
+  Relation u = EvalUnion(a, b, a.schema());
+  EXPECT_GE(u.size(), a.size());
+  EXPECT_LE(u.size(), a.size() + b.size());
+  if (!a.empty()) {
+    EXPECT_LE(EvalRdupT(a).size(), 2 * a.size() - 1);
+  }
+  Relation ut = EvalUnionT(a, b);
+  EXPECT_GE(ut.size(), a.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Table1Test, ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace tqp

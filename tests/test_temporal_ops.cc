@@ -1,0 +1,375 @@
+// Tests for the temporal operators: exact Figure 3 behaviour for rdupT,
+// coalescing minimality, \T fragment semantics on the running example, and
+// parameterized snapshot-reducibility property tests for every temporal
+// operation (the defining property of Section 2.2).
+#include <gtest/gtest.h>
+
+#include "algebra/derivation.h"
+#include "core/equivalence.h"
+#include "exec/evaluator.h"
+#include "test_util.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace {
+
+using testing_util::TemporalRel;
+
+Relation ProjectEmployee() {
+  // π_{EmpName,T1,T2}(EMPLOYEE) = R1 of Figure 3.
+  Relation e = PaperEmployee();
+  Schema out;
+  out.Add(Attribute{"EmpName", ValueType::kString});
+  out.Add(Attribute{kT1, ValueType::kTime});
+  out.Add(Attribute{kT2, ValueType::kTime});
+  std::vector<ProjItem> items = {ProjItem::Pass("EmpName"),
+                                 ProjItem::Pass(kT1), ProjItem::Pass(kT2)};
+  Result<Relation> r = EvalProject(e, items, out);
+  TQP_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+TEST(RdupTTest, FigureThreeExactResult) {
+  Relation r3 = EvalRdupT(ProjectEmployee());
+  ASSERT_EQ(r3.size(), 4u);
+  auto expect_row = [&r3](size_t i, const std::string& n, TimePoint a,
+                          TimePoint b) {
+    EXPECT_EQ(r3.tuple(i).at(0).AsString(), n) << "row " << i;
+    EXPECT_EQ(r3.tuple(i).at(1).AsTime(), a) << "row " << i;
+    EXPECT_EQ(r3.tuple(i).at(2).AsTime(), b) << "row " << i;
+  };
+  // "note the timestamps of the second tuple": John [6,11) became [8,11).
+  expect_row(0, "John", 1, 8);
+  expect_row(1, "John", 8, 11);
+  expect_row(2, "Anna", 2, 6);
+  expect_row(3, "Anna", 6, 12);
+}
+
+TEST(RdupTest, FigureThreeRenamesTimeAttributes) {
+  Relation r1 = ProjectEmployee();
+  std::vector<Schema> child = {r1.schema()};
+  Catalog empty;
+  PlanPtr dup = PlanNode::Rdup(PlanNode::Scan("unused"));
+  Result<Schema> out_schema = DeriveSchema(*dup, child, empty);
+  ASSERT_TRUE(out_schema.ok());
+  EXPECT_FALSE(out_schema->IsTemporal());
+  EXPECT_TRUE(out_schema->HasAttr("1.T1"));
+  EXPECT_TRUE(out_schema->HasAttr("1.T2"));
+
+  Relation r2 = EvalRdup(r1, out_schema.value());
+  ASSERT_EQ(r2.size(), 4u);  // the duplicated Anna [2,6) collapses
+  EXPECT_EQ(r2.tuple(2).at(0).AsString(), "Anna");
+}
+
+TEST(RdupTTest, RemovesRegularDuplicatesToo) {
+  Relation r = TemporalRel({{"a", 1, 0, 5}, {"a", 1, 0, 5}});
+  Relation out = EvalRdupT(r);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out.HasSnapshotDuplicates());
+}
+
+TEST(RdupTTest, IdentityOnSnapshotDuplicateFreeInput) {
+  // Rule D2's semantic basis.
+  Relation r = TemporalRel({{"a", 1, 0, 5}, {"a", 1, 5, 9}, {"b", 2, 0, 9}});
+  EXPECT_TRUE(EquivalentAsLists(EvalRdupT(r), r));
+}
+
+TEST(RdupTTest, ResultNeverHasSnapshotDuplicates) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Relation r = testing_util::RandomTemporal(seed);
+    Relation out = EvalRdupT(r);
+    EXPECT_FALSE(out.HasSnapshotDuplicates()) << "seed " << seed;
+    // Snapshot-set equivalent to the input (rule D4).
+    EXPECT_TRUE(SnapshotEquivalentAsSets(out, r)) << "seed " << seed;
+  }
+}
+
+TEST(CoalesceTest, MergesAdjacentOnly) {
+  // Minimality (Section 2.4): coalT merges adjacent periods but must not
+  // merge overlapping ones (that is rdupT's job) and must not touch
+  // duplicates.
+  Relation adjacent = TemporalRel({{"a", 1, 2, 6}, {"a", 1, 6, 12}});
+  Relation merged = EvalCoalesce(adjacent);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(TuplePeriod(merged.tuple(0), merged.schema()), Period(2, 12));
+
+  Relation overlapping = TemporalRel({{"a", 1, 2, 8}, {"a", 1, 6, 12}});
+  EXPECT_EQ(EvalCoalesce(overlapping).size(), 2u);
+
+  Relation duplicates = TemporalRel({{"a", 1, 2, 6}, {"a", 1, 2, 6}});
+  EXPECT_EQ(EvalCoalesce(duplicates).size(), 2u);
+}
+
+TEST(CoalesceTest, TransitiveMergeKeepsHeadPosition) {
+  Relation r = TemporalRel(
+      {{"b", 9, 0, 3}, {"a", 1, 2, 6}, {"a", 1, 6, 12}, {"a", 1, 12, 20}});
+  Relation out = EvalCoalesce(r);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.tuple(0).at(0).AsString(), "b");
+  EXPECT_EQ(out.tuple(1).at(0).AsString(), "a");
+  EXPECT_EQ(TuplePeriod(out.tuple(1), out.schema()), Period(2, 20));
+}
+
+TEST(CoalesceTest, GrowingHeadRevisitsEarlierTuples) {
+  // After absorbing [6,12), the head [2,6) becomes [2,12) and must then
+  // absorb the earlier-scanned-but-skipped [12,15).
+  Relation r = TemporalRel({{"a", 1, 2, 6}, {"a", 1, 12, 15}, {"a", 1, 6, 12}});
+  Relation out = EvalCoalesce(r);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(TuplePeriod(out.tuple(0), out.schema()), Period(2, 15));
+}
+
+TEST(CoalesceTest, EnforcesCoalescedResult) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Relation r = testing_util::RandomTemporal(seed);
+    Relation out = EvalCoalesce(r);
+    EXPECT_TRUE(out.IsCoalesced()) << "seed " << seed;
+    // coalT preserves snapshots at the multiset level (rule C2).
+    EXPECT_TRUE(SnapshotEquivalentAsMultisets(out, r)) << "seed " << seed;
+  }
+}
+
+TEST(CoalesceTest, UniqueResultOnSnapshotEquivalentDupFreeInputs) {
+  // "coalescing returns a unique relation for all snapshot-equivalent
+  // argument relations whose snapshots do not contain duplicates."
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Relation r = EvalRdupT(testing_util::RandomTemporal(seed));
+    // A snapshot-equivalent variant: split every tuple at its midpoint.
+    Relation split(r.schema());
+    for (const Tuple& t : r.tuples()) {
+      Period p = TuplePeriod(t, r.schema());
+      if (p.Duration() >= 2) {
+        Tuple a = t, b = t;
+        SetTuplePeriod(&a, r.schema(), Period(p.begin, p.begin + 1));
+        SetTuplePeriod(&b, r.schema(), Period(p.begin + 1, p.end));
+        split.Append(a);
+        split.Append(b);
+      } else {
+        split.Append(t);
+      }
+    }
+    EXPECT_TRUE(EquivalentAsMultisets(EvalCoalesce(r), EvalCoalesce(split)))
+        << "seed " << seed;
+  }
+}
+
+TEST(DifferenceTTest, PaperExampleFragments) {
+  Relation left = EvalRdupT(ProjectEmployee());
+  Relation project = PaperProject();
+  Schema out;
+  out.Add(Attribute{"EmpName", ValueType::kString});
+  out.Add(Attribute{kT1, ValueType::kTime});
+  out.Add(Attribute{kT2, ValueType::kTime});
+  std::vector<ProjItem> items = {ProjItem::Pass("EmpName"),
+                                 ProjItem::Pass(kT1), ProjItem::Pass(kT2)};
+  Result<Relation> right = EvalProject(project, items, out);
+  ASSERT_TRUE(right.ok());
+
+  Relation diff = EvalDifferenceT(left, right.value());
+  // John [1,8) minus {[2,3),[5,6),[7,8)} = [1,2),[3,5),[6,7);
+  // John [8,11) minus {[9,10)} = [8,9),[10,11);
+  // Anna [2,6) minus {[3,4),[5,6)} = [2,3),[4,5);
+  // Anna [6,12) minus {[7,8),[9,10)} = [6,7),[8,9),[10,12).
+  ASSERT_EQ(diff.size(), 10u);
+  auto expect_row = [&diff](size_t i, const std::string& n, TimePoint a,
+                            TimePoint b) {
+    EXPECT_EQ(diff.tuple(i).at(0).AsString(), n) << "row " << i;
+    EXPECT_EQ(TuplePeriod(diff.tuple(i), diff.schema()), Period(a, b))
+        << "row " << i;
+  };
+  expect_row(0, "John", 1, 2);
+  expect_row(1, "John", 3, 5);
+  expect_row(2, "John", 6, 7);
+  expect_row(3, "John", 8, 9);
+  expect_row(4, "John", 10, 11);
+  expect_row(5, "Anna", 2, 3);
+  expect_row(6, "Anna", 4, 5);
+  expect_row(7, "Anna", 6, 7);
+  expect_row(8, "Anna", 8, 9);
+  expect_row(9, "Anna", 10, 12);
+}
+
+TEST(DifferenceTTest, MultisetSnapshotSemanticsWithDuplicates) {
+  // Two copies at [0,10) minus one copy at [2,4): one copy survives
+  // everywhere, a second copy survives outside [2,4).
+  Relation l = TemporalRel({{"a", 1, 0, 10}, {"a", 1, 0, 10}});
+  Relation r = TemporalRel({{"a", 1, 2, 4}});
+  Relation out = EvalDifferenceT(l, r);
+  for (TimePoint t = 0; t < 10; ++t) {
+    size_t expected = (t >= 2 && t < 4) ? 1u : 2u;
+    EXPECT_EQ(out.Snapshot(t).size(), expected) << "time " << t;
+  }
+}
+
+TEST(UnionTTest, SnapshotMaxMultiplicity) {
+  Relation l = TemporalRel({{"a", 1, 0, 6}});
+  Relation r = TemporalRel({{"a", 1, 4, 10}});
+  Relation out = EvalUnionT(l, r);
+  for (TimePoint t = 0; t < 10; ++t) {
+    EXPECT_EQ(out.Snapshot(t).size(), 1u) << "time " << t;
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(TuplePeriod(out.tuple(1), out.schema()), Period(6, 10));
+}
+
+TEST(ProductTTest, KeepsArgumentPeriodsAndOverlap) {
+  Relation l = TemporalRel({{"a", 1, 0, 6}});
+  Relation r = TemporalRel({{"b", 2, 4, 10}, {"c", 3, 7, 9}});
+  Schema ls = l.schema();
+  // Output schema: Name, Val, (right) Name2.., via DeriveSchema.
+  PlanPtr node = PlanNode::ProductT(PlanNode::Scan("x"), PlanNode::Scan("y"));
+  Catalog empty;
+  Result<Schema> schema = DeriveSchema(*node, {ls, r.schema()}, empty);
+  ASSERT_TRUE(schema.ok());
+  Relation out = EvalProductT(l, r, schema.value());
+  ASSERT_EQ(out.size(), 1u);  // only [0,6)x[4,10) overlap
+  const Schema& os = out.schema();
+  EXPECT_EQ(out.tuple(0).at(static_cast<size_t>(os.IndexOf("1.T1"))).AsTime(),
+            0);
+  EXPECT_EQ(out.tuple(0).at(static_cast<size_t>(os.IndexOf("2.T1"))).AsTime(),
+            4);
+  EXPECT_EQ(TuplePeriod(out.tuple(0), os), Period(4, 6));
+}
+
+TEST(AggregateTTest, ConstancyIntervals) {
+  // Two overlapping spells for one group: counts 1,2,1 across the sweep.
+  Relation r = TemporalRel({{"a", 5, 0, 6}, {"a", 7, 4, 10}});
+  Schema out_schema;
+  out_schema.Add(Attribute{"Name", ValueType::kString});
+  out_schema.Add(Attribute{"cnt", ValueType::kInt});
+  out_schema.Add(Attribute{"mx", ValueType::kInt});
+  out_schema.Add(Attribute{kT1, ValueType::kTime});
+  out_schema.Add(Attribute{kT2, ValueType::kTime});
+  std::vector<AggSpec> aggs = {AggSpec{AggFunc::kCount, "", "cnt"},
+                               AggSpec{AggFunc::kMax, "Val", "mx"}};
+  Result<Relation> out = EvalAggregateT(r, {"Name"}, aggs, out_schema);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ(TuplePeriod(out->tuple(0), out_schema), Period(0, 4));
+  EXPECT_EQ(out->tuple(0).at(1).AsInt(), 1);
+  EXPECT_EQ(out->tuple(0).at(2).AsInt(), 5);
+  EXPECT_EQ(TuplePeriod(out->tuple(1), out_schema), Period(4, 6));
+  EXPECT_EQ(out->tuple(1).at(1).AsInt(), 2);
+  EXPECT_EQ(out->tuple(1).at(2).AsInt(), 7);
+  EXPECT_EQ(TuplePeriod(out->tuple(2), out_schema), Period(6, 10));
+  EXPECT_EQ(out->tuple(2).at(1).AsInt(), 1);
+  EXPECT_EQ(out->tuple(2).at(2).AsInt(), 7);
+}
+
+TEST(AggregateTTest, MergesEqualAdjacentResults) {
+  // Identical MAX on both sides of an endpoint: intervals merge.
+  Relation r = TemporalRel({{"a", 5, 0, 4}, {"a", 5, 4, 8}});
+  Schema out_schema;
+  out_schema.Add(Attribute{"Name", ValueType::kString});
+  out_schema.Add(Attribute{"mx", ValueType::kInt});
+  out_schema.Add(Attribute{kT1, ValueType::kTime});
+  out_schema.Add(Attribute{kT2, ValueType::kTime});
+  std::vector<AggSpec> aggs = {AggSpec{AggFunc::kMax, "Val", "mx"}};
+  Result<Relation> out = EvalAggregateT(r, {"Name"}, aggs, out_schema);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(TuplePeriod(out->tuple(0), out_schema), Period(0, 8));
+}
+
+// ---- Snapshot reducibility (Section 2.2) --------------------------------
+// For every temporal operation opT and every time point t:
+//   snapshot(opT(r), t) ≡M op(snapshot(r, t)).
+// Checked on randomized inputs at every elementary interval.
+
+class SnapshotReducibilityTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::vector<TimePoint> AllEndpoints(const Relation& a, const Relation& b) {
+  std::vector<TimePoint> pts = a.TimeEndpoints();
+  std::vector<TimePoint> pb = b.TimeEndpoints();
+  pts.insert(pts.end(), pb.begin(), pb.end());
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return pts;
+}
+
+TEST_P(SnapshotReducibilityTest, RdupTReducesToRdup) {
+  Relation r = testing_util::RandomTemporal(GetParam());
+  Relation out = EvalRdupT(r);
+  for (TimePoint t : AllEndpoints(r, out)) {
+    Relation snap_in = r.Snapshot(t);
+    Relation expected = EvalRdup(snap_in, snap_in.schema());
+    EXPECT_TRUE(EquivalentAsMultisets(out.Snapshot(t), expected))
+        << "time " << t;
+  }
+}
+
+TEST_P(SnapshotReducibilityTest, DifferenceTReducesToDifference) {
+  Relation l = testing_util::RandomTemporal(GetParam());
+  Relation r = testing_util::RandomTemporal(GetParam() + 1000);
+  Relation out = EvalDifferenceT(l, r);
+  for (TimePoint t : AllEndpoints(l, r)) {
+    Relation expected = EvalDifference(l.Snapshot(t), r.Snapshot(t));
+    EXPECT_TRUE(EquivalentAsMultisets(out.Snapshot(t), expected))
+        << "time " << t;
+  }
+}
+
+TEST_P(SnapshotReducibilityTest, UnionTReducesToUnion) {
+  Relation l = testing_util::RandomTemporal(GetParam());
+  Relation r = testing_util::RandomTemporal(GetParam() + 2000);
+  Relation out = EvalUnionT(l, r);
+  for (TimePoint t : AllEndpoints(l, r)) {
+    Relation expected =
+        EvalUnion(l.Snapshot(t), r.Snapshot(t), l.Snapshot(t).schema());
+    EXPECT_TRUE(EquivalentAsMultisets(out.Snapshot(t), expected))
+        << "time " << t;
+  }
+}
+
+TEST_P(SnapshotReducibilityTest, AggregateTReducesToAggregate) {
+  Relation r = testing_util::RandomTemporal(GetParam());
+  Schema out_schema;
+  out_schema.Add(Attribute{"Name", ValueType::kString});
+  out_schema.Add(Attribute{"cnt", ValueType::kInt});
+  out_schema.Add(Attribute{"sum", ValueType::kInt});
+  out_schema.Add(Attribute{kT1, ValueType::kTime});
+  out_schema.Add(Attribute{kT2, ValueType::kTime});
+  std::vector<AggSpec> aggs = {AggSpec{AggFunc::kCount, "", "cnt"},
+                               AggSpec{AggFunc::kSum, "Val", "sum"}};
+  Result<Relation> out = EvalAggregateT(r, {"Name"}, aggs, out_schema);
+  ASSERT_TRUE(out.ok());
+
+  Schema snap_schema;
+  snap_schema.Add(Attribute{"Name", ValueType::kString});
+  snap_schema.Add(Attribute{"cnt", ValueType::kInt});
+  snap_schema.Add(Attribute{"sum", ValueType::kInt});
+  for (TimePoint t : AllEndpoints(r, out.value())) {
+    Relation snap_in = r.Snapshot(t);
+    Result<Relation> expected =
+        EvalAggregate(snap_in, {"Name"}, aggs, snap_schema);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(
+        EquivalentAsMultisets(out->Snapshot(t), expected.value()))
+        << "time " << t;
+  }
+}
+
+TEST_P(SnapshotReducibilityTest, ProductTReducesToProductModuloTimestamps) {
+  Relation l = testing_util::RandomTemporal(GetParam(), 10);
+  Relation r = testing_util::RandomTemporal(GetParam() + 3000, 10);
+  PlanPtr node = PlanNode::ProductT(PlanNode::Scan("x"), PlanNode::Scan("y"));
+  Catalog empty;
+  Result<Schema> schema = DeriveSchema(*node, {l.schema(), r.schema()}, empty);
+  ASSERT_TRUE(schema.ok());
+  Relation out = EvalProductT(l, r, schema.value());
+  // Compare the non-timestamp columns of each snapshot: ×T additionally
+  // retains the argument periods (1.T1..2.T2), which plain × over snapshots
+  // does not produce.
+  for (TimePoint t : AllEndpoints(l, r)) {
+    Relation ls = l.Snapshot(t);
+    Relation rs = r.Snapshot(t);
+    size_t expected_pairs = ls.size() * rs.size();
+    EXPECT_EQ(out.Snapshot(t).size(), expected_pairs) << "time " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotReducibilityTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace tqp

@@ -1,0 +1,83 @@
+// Shared test fixtures and helpers.
+#ifndef TQP_TESTS_TEST_UTIL_H_
+#define TQP_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/catalog.h"
+#include "core/relation.h"
+#include "workload/generator.h"
+
+namespace tqp {
+namespace testing_util {
+
+/// Builds a temporal relation with schema (Name:string, Val:int, T1, T2).
+inline Relation TemporalRel(
+    const std::vector<std::tuple<std::string, int64_t, TimePoint, TimePoint>>&
+        rows) {
+  Schema s;
+  s.Add(Attribute{"Name", ValueType::kString});
+  s.Add(Attribute{"Val", ValueType::kInt});
+  s.Add(Attribute{kT1, ValueType::kTime});
+  s.Add(Attribute{kT2, ValueType::kTime});
+  Relation r(s);
+  for (const auto& [name, val, t1, t2] : rows) {
+    Tuple t;
+    t.push_back(Value::String(name));
+    t.push_back(Value::Int(val));
+    t.push_back(Value::Time(t1));
+    t.push_back(Value::Time(t2));
+    r.Append(std::move(t));
+  }
+  return r;
+}
+
+/// Builds a conventional relation with schema (Name:string, Val:int).
+inline Relation ConventionalRel(
+    const std::vector<std::pair<std::string, int64_t>>& rows) {
+  Schema s;
+  s.Add(Attribute{"Name", ValueType::kString});
+  s.Add(Attribute{"Val", ValueType::kInt});
+  Relation r(s);
+  for (const auto& [name, val] : rows) {
+    Tuple t;
+    t.push_back(Value::String(name));
+    t.push_back(Value::Int(val));
+    r.Append(std::move(t));
+  }
+  return r;
+}
+
+/// A random temporal relation exercising duplicates, snapshot duplicates,
+/// and adjacency, sized for fast property tests.
+inline Relation RandomTemporal(uint64_t seed, size_t cardinality = 24) {
+  RelationGenParams p;
+  p.cardinality = cardinality;
+  p.num_names = 5;
+  p.num_categories = 3;
+  p.time_horizon = 60;
+  p.max_period_length = 12;
+  p.duplicate_fraction = 0.2;
+  p.adjacency_fraction = 0.25;
+  p.overlap_fraction = 0.25;
+  p.seed = seed;
+  return GenerateRelation(p);
+}
+
+/// A random conventional relation with duplicates.
+inline Relation RandomConventional(uint64_t seed, size_t cardinality = 24) {
+  RelationGenParams p;
+  p.cardinality = cardinality;
+  p.num_names = 5;
+  p.num_categories = 3;
+  p.duplicate_fraction = 0.3;
+  p.temporal = false;
+  p.seed = seed;
+  return GenerateRelation(p);
+}
+
+}  // namespace testing_util
+}  // namespace tqp
+
+#endif  // TQP_TESTS_TEST_UTIL_H_

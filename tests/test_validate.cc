@@ -1,0 +1,103 @@
+// Tests for the order-sensitivity validator (the Section 6 assumption made
+// executable).
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+#include "opt/validate.h"
+#include "test_util.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace {
+
+using P = PlanNode;
+
+Catalog MessyCatalog() {
+  Catalog catalog;
+  Relation messy = testing_util::RandomTemporal(11);
+  TQP_CHECK(
+      catalog.RegisterWithInferredFlags("T", messy, Site::kStratum).ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("TCLEAN", EvalRdupT(messy),
+                                           Site::kStratum)
+                .ok());
+  return catalog;
+}
+
+std::vector<ValidationWarning> Check(const PlanPtr& plan,
+                                     const Catalog& catalog) {
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(plan, &catalog, QueryContract::Multiset());
+  TQP_CHECK(ann.ok());
+  return ValidateOrderSensitivity(ann.value());
+}
+
+TEST(ValidateTest, ThePaperPlanIsClean) {
+  Catalog catalog = PaperCatalog();
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(PaperInitialPlan(), &catalog, PaperContract());
+  ASSERT_TRUE(ann.ok());
+  std::vector<ValidationWarning> warnings =
+      ValidateOrderSensitivity(ann.value());
+  EXPECT_TRUE(warnings.empty())
+      << (warnings.empty() ? "" : warnings[0].message);
+}
+
+TEST(ValidateTest, NakedRdupTOverMessyInputWarns) {
+  Catalog catalog = MessyCatalog();
+  std::vector<ValidationWarning> w = Check(P::RdupT(P::Scan("T")), catalog);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NE(w[0].message.find("rdupT"), std::string::npos);
+}
+
+TEST(ValidateTest, RdupTOverCleanInputIsFine) {
+  Catalog catalog = MessyCatalog();
+  EXPECT_TRUE(Check(P::RdupT(P::Scan("TCLEAN")), catalog).empty());
+}
+
+TEST(ValidateTest, TheNormalizingIdiomIsFine) {
+  Catalog catalog = MessyCatalog();
+  EXPECT_TRUE(Check(P::Coalesce(P::RdupT(P::Scan("T"))), catalog).empty());
+}
+
+TEST(ValidateTest, DifferenceTLeftDuplicatesWarn) {
+  Catalog catalog = MessyCatalog();
+  std::vector<ValidationWarning> w =
+      Check(P::DifferenceT(P::Scan("T"), P::Scan("TCLEAN")), catalog);
+  ASSERT_FALSE(w.empty());
+  EXPECT_NE(w[0].message.find("left argument"), std::string::npos);
+
+  EXPECT_TRUE(
+      Check(P::DifferenceT(P::Scan("TCLEAN"), P::Scan("T")), catalog).empty());
+}
+
+TEST(ValidateTest, NakedCoalesceOverMessyInputWarns) {
+  Catalog catalog = MessyCatalog();
+  std::vector<ValidationWarning> w = Check(P::Coalesce(P::Scan("T")), catalog);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NE(w[0].message.find("coalT"), std::string::npos);
+  EXPECT_TRUE(Check(P::Coalesce(P::Scan("TCLEAN")), catalog).empty());
+}
+
+TEST(ValidateTest, WarningsSuppressedUnderTheIdiom) {
+  Catalog catalog = MessyCatalog();
+  // A messy \T below the normalizing idiom: no warnings — this is exactly
+  // the structure of the paper's Figure 2(a).
+  PlanPtr plan = P::Coalesce(P::RdupT(
+      P::DifferenceT(P::Scan("T"), P::Scan("TCLEAN"))));
+  EXPECT_TRUE(Check(plan, catalog).empty());
+}
+
+TEST(ValidateTest, UnionTWarnsOnMessyArguments) {
+  Catalog catalog = MessyCatalog();
+  EXPECT_FALSE(
+      Check(P::UnionT(P::Scan("T"), P::Scan("TCLEAN")), catalog).empty());
+  EXPECT_TRUE(
+      Check(P::UnionT(P::Scan("TCLEAN"),
+                      P::RdupT(P::Scan("TCLEAN"))),
+            catalog)
+          .empty());
+}
+
+}  // namespace
+}  // namespace tqp

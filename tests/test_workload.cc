@@ -1,0 +1,85 @@
+// Tests for the synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace {
+
+TEST(GeneratorTest, DeterministicBySeed) {
+  RelationGenParams p;
+  p.cardinality = 100;
+  p.seed = 7;
+  Relation a = GenerateRelation(p);
+  Relation b = GenerateRelation(p);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.tuples(), b.tuples());
+  p.seed = 8;
+  Relation c = GenerateRelation(p);
+  EXPECT_NE(a.tuples(), c.tuples());
+}
+
+TEST(GeneratorTest, FractionsDriveDataShape) {
+  RelationGenParams clean;
+  clean.cardinality = 200;
+  clean.duplicate_fraction = 0.0;
+  clean.adjacency_fraction = 0.0;
+  clean.overlap_fraction = 0.0;
+  clean.num_names = 5000;  // effectively unique names
+  clean.num_categories = 50;
+  Relation r = GenerateRelation(clean);
+  EXPECT_FALSE(r.HasDuplicates());
+
+  RelationGenParams dup = clean;
+  dup.duplicate_fraction = 0.9;
+  EXPECT_TRUE(GenerateRelation(dup).HasDuplicates());
+
+  RelationGenParams overlap = clean;
+  overlap.overlap_fraction = 0.9;
+  EXPECT_TRUE(GenerateRelation(overlap).HasSnapshotDuplicates());
+
+  RelationGenParams adjacent = clean;
+  adjacent.adjacency_fraction = 0.9;
+  EXPECT_FALSE(GenerateRelation(adjacent).IsCoalesced());
+}
+
+TEST(GeneratorTest, ValidPeriods) {
+  RelationGenParams p;
+  p.cardinality = 300;
+  p.adjacency_fraction = 0.3;
+  p.overlap_fraction = 0.3;
+  Relation r = GenerateRelation(p);
+  for (const Tuple& t : r.tuples()) {
+    EXPECT_TRUE(TuplePeriod(t, r.schema()).Valid());
+  }
+}
+
+TEST(GeneratorTest, ConventionalMode) {
+  RelationGenParams p;
+  p.temporal = false;
+  p.cardinality = 50;
+  Relation r = GenerateRelation(p);
+  EXPECT_FALSE(r.schema().IsTemporal());
+  EXPECT_EQ(r.size(), 50u + 0u /* plus duplicates: fraction 0 */);
+}
+
+TEST(ScaledExampleTest, ShapesMatchThePaperStructure) {
+  Relation emp = ScaledEmployee(50);
+  Relation prj = ScaledProject(50);
+  EXPECT_EQ(emp.size(), 300u);  // 6 spells per person
+  EXPECT_EQ(prj.size(), 400u);  // 8 spells per person
+  EXPECT_TRUE(emp.schema().IsTemporal());
+  // The generator must produce the phenomena the example query exercises:
+  // overlapping spells (snapshot duplicates) and adjacent spells.
+  EXPECT_TRUE(emp.HasSnapshotDuplicates());
+  EXPECT_FALSE(emp.IsCoalesced());
+}
+
+TEST(ScaledExampleTest, ScalesLinearly) {
+  EXPECT_EQ(ScaledEmployee(10).size(), 60u);
+  EXPECT_EQ(ScaledEmployee(100).size(), 600u);
+}
+
+}  // namespace
+}  // namespace tqp
