@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <unordered_set>
 
 namespace tqp {
 
@@ -350,396 +351,497 @@ double PredicateSelectivity(const ExprPtr& e, const CardinalityParams& p) {
 
 }  // namespace
 
+NodeProps DeriveChildProps(const PlanNode& node, size_t child_index,
+                           const NodeProps& parent, bool left_duplicate_free,
+                           bool left_snapshot_dup_free,
+                           bool child_snapshot_dup_free) {
+  NodeProps out = parent;
+  switch (node.kind()) {
+    case OpKind::kSort:
+      // The sort re-establishes any required order.
+      out.order_required = false;
+      break;
+    case OpKind::kRdup:
+    case OpKind::kRdupT:
+      // Duplicates are eliminated above; they cannot matter below.
+      out.duplicates_relevant = false;
+      break;
+    case OpKind::kAggregate:
+    case OpKind::kAggregateT: {
+      // COUNT/SUM/AVG are multiplicity-sensitive; MIN/MAX are not.
+      bool sensitive = false;
+      for (const AggSpec& a : node.aggregates()) {
+        if (a.func == AggFunc::kCount || a.func == AggFunc::kSum ||
+            a.func == AggFunc::kAvg) {
+          sensitive = true;
+        }
+      }
+      out.duplicates_relevant = sensitive;
+      if (node.kind() == OpKind::kAggregateT) {
+        // ℵT's result depends on its input only through the input's
+        // snapshots: time periods below need not be preserved.
+        out.period_preserving = false;
+      }
+      break;
+    }
+    case OpKind::kDifference:
+      if (child_index == 0) {
+        // Left multiplicities always affect the difference.
+        out.duplicates_relevant = true;
+      } else {
+        // The order of the subtrahend never matters; its duplicates matter
+        // only when the left argument can carry duplicates.
+        out.order_required = false;
+        out.duplicates_relevant = !left_duplicate_free;
+      }
+      break;
+    case OpKind::kDifferenceT:
+      if (child_index == 0) {
+        out.duplicates_relevant = true;
+      } else {
+        out.order_required = false;
+        if (left_snapshot_dup_free) {
+          out.duplicates_relevant = false;
+          // With a snapshot-duplicate-free left argument, \T depends on the
+          // right argument only through its snapshots.
+          out.period_preserving = false;
+        }
+      }
+      break;
+    case OpKind::kCoalesce:
+      // coalT maps every snapshot-equivalent duplicate-free argument to the
+      // same result, so periods below need not be preserved.
+      if (child_snapshot_dup_free) out.period_preserving = false;
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+// The per-node bottom-up derivation step (the static columns of Table 1).
+// `cs` holds the children's already-derived information; `ni->schema` is set
+// by the caller.
+Status FillNodeInfo(const PlanPtr& node, const Catalog& catalog,
+                    const CardinalityParams& params,
+                    const std::vector<const NodeInfo*>& cs, NodeInfo* ni) {
+    switch (node->kind()) {
+      case OpKind::kScan: {
+        const CatalogEntry* e = catalog.Find(node->rel_name());
+        ni->site = e->site;
+        ni->order = e->order;
+        ni->duplicate_free = e->duplicate_free;
+        ni->snapshot_duplicate_free = e->snapshot_duplicate_free;
+        ni->coalesced = e->coalesced;
+        ni->cardinality = static_cast<double>(e->data.size());
+        return Status::OK();
+      }
+      case OpKind::kTransferS:
+      case OpKind::kTransferD: {
+        const NodeInfo& c = *cs[0];
+        bool to_stratum = node->kind() == OpKind::kTransferS;
+        if (to_stratum && c.site != Site::kDbms) {
+          return Status::InvalidArgument(
+              "transferS requires a DBMS-resident input");
+        }
+        if (!to_stratum && c.site != Site::kStratum) {
+          return Status::InvalidArgument(
+              "transferD requires a stratum-resident input");
+        }
+        ni->site = to_stratum ? Site::kStratum : Site::kDbms;
+        ni->order = c.order;
+        ni->duplicate_free = c.duplicate_free;
+        ni->snapshot_duplicate_free = c.snapshot_duplicate_free;
+        ni->coalesced = c.coalesced;
+        ni->cardinality = c.cardinality;
+        return Status::OK();
+      }
+      default:
+        break;
+    }
+
+    // Non-transfer operators: all children must execute at the same site.
+    Site site = cs[0]->site;
+    for (size_t i = 1; i < node->arity(); ++i) {
+      if (cs[i]->site != site) {
+        return Status::InvalidArgument(
+            std::string(OpKindName(node->kind())) +
+            " has children at different sites; insert transfers");
+      }
+    }
+    ni->site = site;
+
+    const NodeInfo& c0 = *cs[0];
+    switch (node->kind()) {
+      case OpKind::kSelect: {
+        ni->order = c0.order;
+        ni->duplicate_free = c0.duplicate_free;
+        ni->snapshot_duplicate_free = c0.snapshot_duplicate_free;
+        ni->coalesced = c0.coalesced;
+        ni->cardinality =
+            c0.cardinality * PredicateSelectivity(node->predicate(), params);
+        break;
+      }
+      case OpKind::kProject: {
+        // Order: longest prefix of the input order whose attributes are
+        // passed through unchanged (possibly renamed).
+        std::vector<std::pair<std::string, std::string>> pass;
+        bool permutation = node->projections().size() == c0.schema.size();
+        std::set<std::string> seen;
+        for (const ProjItem& item : node->projections()) {
+          if (item.expr->kind() == ExprKind::kAttr) {
+            pass.emplace_back(item.expr->attr_name(), item.name);
+            if (!seen.insert(item.expr->attr_name()).second) {
+              permutation = false;
+            }
+          } else {
+            permutation = false;
+          }
+        }
+        if (pass.size() != node->projections().size()) permutation = false;
+        ni->order = RenameOrder(c0.order, pass);
+        // π generates duplicates and destroys coalescing — unless it is a
+        // pure permutation of the input attributes.
+        ni->duplicate_free = permutation && c0.duplicate_free;
+        ni->snapshot_duplicate_free = permutation && c0.snapshot_duplicate_free;
+        ni->coalesced = permutation && c0.coalesced && ni->schema.IsTemporal();
+        ni->cardinality = c0.cardinality;
+        break;
+      }
+      case OpKind::kUnionAll: {
+        const NodeInfo& c1 = *cs[1];
+        ni->order = {};  // ⊎ is unordered (Table 1)
+        ni->duplicate_free = false;
+        ni->snapshot_duplicate_free = false;
+        ni->coalesced = false;
+        ni->cardinality = c0.cardinality + c1.cardinality;
+        break;
+      }
+      case OpKind::kUnion: {
+        const NodeInfo& c1 = *cs[1];
+        ni->order = {};
+        ni->duplicate_free = c0.duplicate_free && c1.duplicate_free;
+        ni->snapshot_duplicate_free = false;
+        ni->coalesced = false;
+        ni->cardinality = c0.cardinality + 0.5 * c1.cardinality;
+        break;
+      }
+      case OpKind::kUnionT: {
+        const NodeInfo& c1 = *cs[1];
+        ni->order = {};
+        ni->duplicate_free = c0.duplicate_free && c1.duplicate_free &&
+                             c0.snapshot_duplicate_free &&
+                             c1.snapshot_duplicate_free;
+        ni->snapshot_duplicate_free =
+            c0.snapshot_duplicate_free && c1.snapshot_duplicate_free;
+        ni->coalesced = false;
+        ni->cardinality = c0.cardinality + c1.cardinality;
+        break;
+      }
+      case OpKind::kProduct: {
+        const NodeInfo& c1 = *cs[1];
+        std::vector<std::pair<std::string, std::string>> mapping;
+        for (const Attribute& a : c0.schema.attrs()) {
+          mapping.emplace_back(
+              a.name, ProductName(a.name, c1.schema, "1."));
+        }
+        ni->order = RenameOrder(c0.order, mapping);
+        ni->duplicate_free = c0.duplicate_free && c1.duplicate_free;
+        ni->snapshot_duplicate_free = ni->duplicate_free;
+        ni->coalesced = false;
+        ni->cardinality = c0.cardinality * c1.cardinality;
+        break;
+      }
+      case OpKind::kProductT: {
+        const NodeInfo& c1 = *cs[1];
+        std::vector<std::pair<std::string, std::string>> mapping;
+        for (const Attribute& a : c0.schema.attrs()) {
+          if (a.name == kT1 || a.name == kT2) continue;
+          mapping.emplace_back(
+              a.name, ProductName(a.name, c1.schema, "1."));
+        }
+        ni->order = RenameOrder(DropTimeKeys(c0.order), mapping);
+        ni->duplicate_free = c0.duplicate_free && c1.duplicate_free;
+        ni->snapshot_duplicate_free =
+            c0.snapshot_duplicate_free && c1.snapshot_duplicate_free;
+        ni->coalesced = false;
+        ni->cardinality =
+            c0.cardinality * c1.cardinality * params.product_t_overlap;
+        break;
+      }
+      case OpKind::kDifference: {
+        const NodeInfo& c1 = *cs[1];
+        ni->order = c0.order;
+        ni->duplicate_free = c0.duplicate_free;
+        ni->snapshot_duplicate_free = c0.snapshot_duplicate_free;
+        ni->coalesced = c0.coalesced;
+        ni->cardinality =
+            std::max(c0.cardinality - c1.cardinality, 0.2 * c0.cardinality);
+        break;
+      }
+      case OpKind::kDifferenceT: {
+        ni->order = DropTimeKeys(c0.order);
+        ni->duplicate_free = c0.snapshot_duplicate_free;
+        ni->snapshot_duplicate_free = c0.snapshot_duplicate_free;
+        ni->coalesced = false;  // \T destroys coalescing (Table 1)
+        ni->cardinality = c0.cardinality;
+        break;
+      }
+      case OpKind::kAggregate: {
+        ni->order = OrderPrefixOnAttrs(c0.order, node->group_by());
+        ni->duplicate_free = true;
+        ni->snapshot_duplicate_free = true;
+        ni->coalesced = false;
+        ni->cardinality =
+            std::max(1.0, c0.cardinality * params.group_shrink);
+        break;
+      }
+      case OpKind::kAggregateT: {
+        ni->order = OrderPrefixOnAttrs(c0.order, node->group_by());
+        ni->duplicate_free = true;
+        ni->snapshot_duplicate_free = true;
+        ni->coalesced = false;  // ℵT destroys coalescing (Table 1)
+        ni->cardinality = std::max(1.0, 2.0 * c0.cardinality - 1.0);
+        break;
+      }
+      case OpKind::kRdup: {
+        std::vector<std::pair<std::string, std::string>> mapping;
+        for (const Attribute& a : c0.schema.attrs()) {
+          if (a.name == kT1 || a.name == kT2) {
+            mapping.emplace_back(a.name, "1." + a.name);
+          } else {
+            mapping.emplace_back(a.name, a.name);
+          }
+        }
+        ni->order = RenameOrder(c0.order, mapping);
+        ni->duplicate_free = true;
+        ni->snapshot_duplicate_free = ni->schema.IsTemporal() ? false : true;
+        ni->coalesced = false;
+        ni->cardinality =
+            c0.duplicate_free ? c0.cardinality
+                              : c0.cardinality * params.rdup_shrink;
+        break;
+      }
+      case OpKind::kRdupT: {
+        ni->order = DropTimeKeys(c0.order);
+        ni->duplicate_free = true;
+        ni->snapshot_duplicate_free = true;
+        ni->coalesced = false;  // rdupT destroys coalescing (Table 1)
+        ni->cardinality = c0.snapshot_duplicate_free
+                              ? c0.cardinality
+                              : std::max(1.0, 2.0 * c0.cardinality - 1.0) *
+                                    params.rdup_shrink;
+        break;
+      }
+      case OpKind::kSort: {
+        if (IsPrefixOf(node->sort_spec(), c0.order)) {
+          ni->order = c0.order;
+        } else {
+          // Stable sort refines: result is ordered by the sort spec, then
+          // by any previous order on ties.
+          ni->order = node->sort_spec();
+          for (const SortKey& k : c0.order) {
+            bool dup = false;
+            for (const SortKey& existing : ni->order) {
+              if (existing.attr == k.attr) {
+                dup = true;
+                break;
+              }
+            }
+            if (!dup) ni->order.push_back(k);
+          }
+        }
+        ni->duplicate_free = c0.duplicate_free;
+        ni->snapshot_duplicate_free = c0.snapshot_duplicate_free;
+        ni->coalesced = c0.coalesced;
+        ni->cardinality = c0.cardinality;
+        break;
+      }
+      case OpKind::kCoalesce: {
+        ni->order = DropTimeKeys(c0.order);
+        ni->duplicate_free = c0.duplicate_free;
+        ni->snapshot_duplicate_free = c0.snapshot_duplicate_free;
+        ni->coalesced = true;  // coalT enforces coalescing
+        ni->cardinality = c0.coalesced
+                              ? c0.cardinality
+                              : c0.cardinality * params.coalesce_shrink;
+        break;
+      }
+      default:
+        return Status::Error("unhandled operator in Fill");
+    }
+
+    // A conventional DBMS does not guarantee the order of operation
+    // results (Section 4.5); only sort (and clustered base-table scans)
+    // carries a known order at the DBMS site.
+    if (ni->site == Site::kDbms && node->kind() != OpKind::kSort &&
+        node->kind() != OpKind::kScan) {
+      ni->order = {};
+    }
+    return Status::OK();
+  }
+
+}  // namespace
+
+Status DerivationCache::Derive(const PlanPtr& plan, const Catalog& catalog,
+                               const CardinalityParams& params) {
+  if (entries_.count(plan.get()) > 0) return Status::OK();
+  std::vector<const NodeInfo*> cs;
+  std::vector<Schema> child_schemas;
+  cs.reserve(plan->arity());
+  child_schemas.reserve(plan->arity());
+  for (const PlanPtr& c : plan->children()) {
+    TQP_RETURN_IF_ERROR(Derive(c, catalog, params));
+    // Entry references are stable across rehashes (node-based map).
+    const NodeInfo* info = Find(c.get());
+    cs.push_back(info);
+    child_schemas.push_back(info->schema);
+  }
+  TQP_ASSIGN_OR_RETURN(schema, DeriveSchema(*plan, child_schemas, catalog));
+  NodeInfo ni;
+  ni.schema = schema;
+  TQP_RETURN_IF_ERROR(FillNodeInfo(plan, catalog, params, cs, &ni));
+  entries_.emplace(plan.get(), Entry{plan, std::move(ni)});
+  return Status::OK();
+}
+
 Result<AnnotatedPlan> AnnotatedPlan::Make(PlanPtr plan, const Catalog* catalog,
                                           QueryContract contract,
-                                          CardinalityParams params) {
+                                          CardinalityParams params,
+                                          DerivationCache* cache) {
   TQP_CHECK(catalog != nullptr);
   AnnotatedPlan out;
   out.plan_ = plan;
   out.catalog_ = catalog;
   out.contract_ = contract;
+  out.info_.reserve(plan->subtree_size());
 
   // ---- Bottom-up: schema, site, order, guarantees, cardinality. ----
-  struct Walker {
-    const Catalog& catalog;
-    const CardinalityParams& params;
+  // Purely structural, so it runs through a derivation cache (the caller's,
+  // so shared subtrees amortize across plans, or a local one) and is then
+  // materialized into this plan's per-node map.
+  DerivationCache local_cache;
+  DerivationCache* c = cache != nullptr ? cache : &local_cache;
+  TQP_RETURN_IF_ERROR(c->Derive(plan, *catalog, params));
+
+  struct Materialize {
+    const DerivationCache* cache;
     std::unordered_map<const PlanNode*, NodeInfo>* info;
-
-    Status Visit(const PlanPtr& node) {
-      if (info->count(node.get()) > 0) {
-        return Status::InvalidArgument(
-            "plan is not a tree: node occurs twice");
-      }
-      std::vector<Schema> child_schemas;
-      for (const PlanPtr& c : node->children()) {
-        TQP_RETURN_IF_ERROR(Visit(c));
-        child_schemas.push_back(info->at(c.get()).schema);
-      }
-      TQP_ASSIGN_OR_RETURN(schema,
-                           DeriveSchema(*node, child_schemas, catalog));
-      NodeInfo ni;
-      ni.schema = schema;
-      TQP_RETURN_IF_ERROR(Fill(node, &ni));
-      info->emplace(node.get(), std::move(ni));
-      return Status::OK();
-    }
-
-    const NodeInfo& Child(const PlanPtr& node, size_t i) const {
-      return info->at(node->child(i).get());
-    }
-
-    Status Fill(const PlanPtr& node, NodeInfo* ni) {
-      switch (node->kind()) {
-        case OpKind::kScan: {
-          const CatalogEntry* e = catalog.Find(node->rel_name());
-          ni->site = e->site;
-          ni->order = e->order;
-          ni->duplicate_free = e->duplicate_free;
-          ni->snapshot_duplicate_free = e->snapshot_duplicate_free;
-          ni->coalesced = e->coalesced;
-          ni->cardinality = static_cast<double>(e->data.size());
-          return Status::OK();
-        }
-        case OpKind::kTransferS:
-        case OpKind::kTransferD: {
-          const NodeInfo& c = Child(node, 0);
-          bool to_stratum = node->kind() == OpKind::kTransferS;
-          if (to_stratum && c.site != Site::kDbms) {
-            return Status::InvalidArgument(
-                "transferS requires a DBMS-resident input");
-          }
-          if (!to_stratum && c.site != Site::kStratum) {
-            return Status::InvalidArgument(
-                "transferD requires a stratum-resident input");
-          }
-          ni->site = to_stratum ? Site::kStratum : Site::kDbms;
-          ni->order = c.order;
-          ni->duplicate_free = c.duplicate_free;
-          ni->snapshot_duplicate_free = c.snapshot_duplicate_free;
-          ni->coalesced = c.coalesced;
-          ni->cardinality = c.cardinality;
-          return Status::OK();
-        }
-        default:
-          break;
-      }
-
-      // Non-transfer operators: all children must execute at the same site.
-      Site site = Child(node, 0).site;
-      for (size_t i = 1; i < node->arity(); ++i) {
-        if (Child(node, i).site != site) {
-          return Status::InvalidArgument(
-              std::string(OpKindName(node->kind())) +
-              " has children at different sites; insert transfers");
-        }
-      }
-      ni->site = site;
-
-      const NodeInfo& c0 = Child(node, 0);
-      switch (node->kind()) {
-        case OpKind::kSelect: {
-          ni->order = c0.order;
-          ni->duplicate_free = c0.duplicate_free;
-          ni->snapshot_duplicate_free = c0.snapshot_duplicate_free;
-          ni->coalesced = c0.coalesced;
-          ni->cardinality =
-              c0.cardinality * PredicateSelectivity(node->predicate(), params);
-          break;
-        }
-        case OpKind::kProject: {
-          // Order: longest prefix of the input order whose attributes are
-          // passed through unchanged (possibly renamed).
-          std::vector<std::pair<std::string, std::string>> pass;
-          bool permutation = node->projections().size() == c0.schema.size();
-          std::set<std::string> seen;
-          for (const ProjItem& item : node->projections()) {
-            if (item.expr->kind() == ExprKind::kAttr) {
-              pass.emplace_back(item.expr->attr_name(), item.name);
-              if (!seen.insert(item.expr->attr_name()).second) {
-                permutation = false;
-              }
-            } else {
-              permutation = false;
-            }
-          }
-          if (pass.size() != node->projections().size()) permutation = false;
-          ni->order = RenameOrder(c0.order, pass);
-          // π generates duplicates and destroys coalescing — unless it is a
-          // pure permutation of the input attributes.
-          ni->duplicate_free = permutation && c0.duplicate_free;
-          ni->snapshot_duplicate_free = permutation && c0.snapshot_duplicate_free;
-          ni->coalesced = permutation && c0.coalesced && ni->schema.IsTemporal();
-          ni->cardinality = c0.cardinality;
-          break;
-        }
-        case OpKind::kUnionAll: {
-          const NodeInfo& c1 = Child(node, 1);
-          ni->order = {};  // ⊎ is unordered (Table 1)
-          ni->duplicate_free = false;
-          ni->snapshot_duplicate_free = false;
-          ni->coalesced = false;
-          ni->cardinality = c0.cardinality + c1.cardinality;
-          break;
-        }
-        case OpKind::kUnion: {
-          const NodeInfo& c1 = Child(node, 1);
-          ni->order = {};
-          ni->duplicate_free = c0.duplicate_free && c1.duplicate_free;
-          ni->snapshot_duplicate_free = false;
-          ni->coalesced = false;
-          ni->cardinality = c0.cardinality + 0.5 * c1.cardinality;
-          break;
-        }
-        case OpKind::kUnionT: {
-          const NodeInfo& c1 = Child(node, 1);
-          ni->order = {};
-          ni->duplicate_free = c0.duplicate_free && c1.duplicate_free &&
-                               c0.snapshot_duplicate_free &&
-                               c1.snapshot_duplicate_free;
-          ni->snapshot_duplicate_free =
-              c0.snapshot_duplicate_free && c1.snapshot_duplicate_free;
-          ni->coalesced = false;
-          ni->cardinality = c0.cardinality + c1.cardinality;
-          break;
-        }
-        case OpKind::kProduct: {
-          const NodeInfo& c1 = Child(node, 1);
-          std::vector<std::pair<std::string, std::string>> mapping;
-          for (const Attribute& a : c0.schema.attrs()) {
-            mapping.emplace_back(
-                a.name, ProductName(a.name, c1.schema, "1."));
-          }
-          ni->order = RenameOrder(c0.order, mapping);
-          ni->duplicate_free = c0.duplicate_free && c1.duplicate_free;
-          ni->snapshot_duplicate_free = ni->duplicate_free;
-          ni->coalesced = false;
-          ni->cardinality = c0.cardinality * c1.cardinality;
-          break;
-        }
-        case OpKind::kProductT: {
-          const NodeInfo& c1 = Child(node, 1);
-          std::vector<std::pair<std::string, std::string>> mapping;
-          for (const Attribute& a : c0.schema.attrs()) {
-            if (a.name == kT1 || a.name == kT2) continue;
-            mapping.emplace_back(
-                a.name, ProductName(a.name, c1.schema, "1."));
-          }
-          ni->order = RenameOrder(DropTimeKeys(c0.order), mapping);
-          ni->duplicate_free = c0.duplicate_free && c1.duplicate_free;
-          ni->snapshot_duplicate_free =
-              c0.snapshot_duplicate_free && c1.snapshot_duplicate_free;
-          ni->coalesced = false;
-          ni->cardinality =
-              c0.cardinality * c1.cardinality * params.product_t_overlap;
-          break;
-        }
-        case OpKind::kDifference: {
-          const NodeInfo& c1 = Child(node, 1);
-          ni->order = c0.order;
-          ni->duplicate_free = c0.duplicate_free;
-          ni->snapshot_duplicate_free = c0.snapshot_duplicate_free;
-          ni->coalesced = c0.coalesced;
-          ni->cardinality =
-              std::max(c0.cardinality - c1.cardinality, 0.2 * c0.cardinality);
-          break;
-        }
-        case OpKind::kDifferenceT: {
-          ni->order = DropTimeKeys(c0.order);
-          ni->duplicate_free = c0.snapshot_duplicate_free;
-          ni->snapshot_duplicate_free = c0.snapshot_duplicate_free;
-          ni->coalesced = false;  // \T destroys coalescing (Table 1)
-          ni->cardinality = c0.cardinality;
-          break;
-        }
-        case OpKind::kAggregate: {
-          ni->order = OrderPrefixOnAttrs(c0.order, node->group_by());
-          ni->duplicate_free = true;
-          ni->snapshot_duplicate_free = true;
-          ni->coalesced = false;
-          ni->cardinality =
-              std::max(1.0, c0.cardinality * params.group_shrink);
-          break;
-        }
-        case OpKind::kAggregateT: {
-          ni->order = OrderPrefixOnAttrs(c0.order, node->group_by());
-          ni->duplicate_free = true;
-          ni->snapshot_duplicate_free = true;
-          ni->coalesced = false;  // ℵT destroys coalescing (Table 1)
-          ni->cardinality = std::max(1.0, 2.0 * c0.cardinality - 1.0);
-          break;
-        }
-        case OpKind::kRdup: {
-          std::vector<std::pair<std::string, std::string>> mapping;
-          for (const Attribute& a : c0.schema.attrs()) {
-            if (a.name == kT1 || a.name == kT2) {
-              mapping.emplace_back(a.name, "1." + a.name);
-            } else {
-              mapping.emplace_back(a.name, a.name);
-            }
-          }
-          ni->order = RenameOrder(c0.order, mapping);
-          ni->duplicate_free = true;
-          ni->snapshot_duplicate_free = ni->schema.IsTemporal() ? false : true;
-          ni->coalesced = false;
-          ni->cardinality =
-              c0.duplicate_free ? c0.cardinality
-                                : c0.cardinality * params.rdup_shrink;
-          break;
-        }
-        case OpKind::kRdupT: {
-          ni->order = DropTimeKeys(c0.order);
-          ni->duplicate_free = true;
-          ni->snapshot_duplicate_free = true;
-          ni->coalesced = false;  // rdupT destroys coalescing (Table 1)
-          ni->cardinality = c0.snapshot_duplicate_free
-                                ? c0.cardinality
-                                : std::max(1.0, 2.0 * c0.cardinality - 1.0) *
-                                      params.rdup_shrink;
-          break;
-        }
-        case OpKind::kSort: {
-          if (IsPrefixOf(node->sort_spec(), c0.order)) {
-            ni->order = c0.order;
-          } else {
-            // Stable sort refines: result is ordered by the sort spec, then
-            // by any previous order on ties.
-            ni->order = node->sort_spec();
-            for (const SortKey& k : c0.order) {
-              bool dup = false;
-              for (const SortKey& existing : ni->order) {
-                if (existing.attr == k.attr) {
-                  dup = true;
-                  break;
-                }
-              }
-              if (!dup) ni->order.push_back(k);
-            }
-          }
-          ni->duplicate_free = c0.duplicate_free;
-          ni->snapshot_duplicate_free = c0.snapshot_duplicate_free;
-          ni->coalesced = c0.coalesced;
-          ni->cardinality = c0.cardinality;
-          break;
-        }
-        case OpKind::kCoalesce: {
-          ni->order = DropTimeKeys(c0.order);
-          ni->duplicate_free = c0.duplicate_free;
-          ni->snapshot_duplicate_free = c0.snapshot_duplicate_free;
-          ni->coalesced = true;  // coalT enforces coalescing
-          ni->cardinality = c0.coalesced
-                                ? c0.cardinality
-                                : c0.cardinality * params.coalesce_shrink;
-          break;
-        }
-        default:
-          return Status::Error("unhandled operator in Fill");
-      }
-
-      // A conventional DBMS does not guarantee the order of operation
-      // results (Section 4.5); only sort (and clustered base-table scans)
-      // carries a known order at the DBMS site.
-      if (ni->site == Site::kDbms && node->kind() != OpKind::kSort &&
-          node->kind() != OpKind::kScan) {
-        ni->order = {};
-      }
-      return Status::OK();
+    void Visit(const PlanPtr& node) {
+      if (info->count(node.get()) > 0) return;  // shared subtree
+      for (const PlanPtr& ch : node->children()) Visit(ch);
+      info->emplace(node.get(), *cache->Find(node.get()));
     }
   };
-
-  Walker walker{*catalog, params, &out.info_};
-  TQP_RETURN_IF_ERROR(walker.Visit(plan));
+  Materialize materialize{c, &out.info_};
+  materialize.Visit(plan);
 
   // ---- Top-down: the Table 2 properties. ----
-  NodeInfo& root = out.info_.at(plan.get());
-  root.order_required = contract.result_type == ResultType::kList;
-  root.duplicates_relevant = contract.result_type != ResultType::kSet;
-  root.period_preserving = true;  // ≡SQL is never a snapshot equivalence
+  // Each parent→child edge contributes a property triple (DeriveChildProps)
+  // derived from the parent's resolved properties; a node's properties are
+  // the disjunction of its incoming edges' contributions. On a proper tree
+  // (one edge per node) this is exactly the single-parent assignment; on a
+  // hash-consed DAG the disjunction is the conservative combination (a true
+  // property only restricts rule applicability, never enables an unsound
+  // rewrite).
+  {
+    NodeInfo& root = out.info_.at(plan.get());
+    root.order_required = contract.result_type == ResultType::kList;
+    root.duplicates_relevant = contract.result_type != ResultType::kSet;
+    root.period_preserving = true;  // ≡SQL is never a snapshot equivalence
+  }
 
-  struct PropWalker {
-    std::unordered_map<const PlanNode*, NodeInfo>* info;
-
-    void Visit(const PlanPtr& node) {
-      const NodeInfo& ni = info->at(node.get());
-      for (size_t i = 0; i < node->arity(); ++i) {
-        NodeInfo& ci = info->at(node->child(i).get());
-        ci.order_required = ni.order_required;
-        ci.duplicates_relevant = ni.duplicates_relevant;
-        ci.period_preserving = ni.period_preserving;
-
-        switch (node->kind()) {
-          case OpKind::kSort:
-            // The sort re-establishes any required order.
-            ci.order_required = false;
-            break;
-          case OpKind::kRdup:
-          case OpKind::kRdupT:
-            // Duplicates are eliminated above; they cannot matter below.
-            ci.duplicates_relevant = false;
-            break;
-          case OpKind::kAggregate:
-          case OpKind::kAggregateT: {
-            // COUNT/SUM/AVG are multiplicity-sensitive; MIN/MAX are not.
-            bool sensitive = false;
-            for (const AggSpec& a : node->aggregates()) {
-              if (a.func == AggFunc::kCount || a.func == AggFunc::kSum ||
-                  a.func == AggFunc::kAvg) {
-                sensitive = true;
-              }
-            }
-            ci.duplicates_relevant = sensitive;
-            if (node->kind() == OpKind::kAggregateT) {
-              // ℵT's result depends on its input only through the input's
-              // snapshots: time periods below need not be preserved.
-              ci.period_preserving = false;
-            }
-            break;
-          }
-          case OpKind::kDifference: {
-            const NodeInfo& left = info->at(node->child(0).get());
-            if (i == 0) {
-              // Left multiplicities always affect the difference.
-              ci.duplicates_relevant = true;
-            } else {
-              // The order of the subtrahend never matters; its duplicates
-              // matter only when the left argument can carry duplicates.
-              ci.order_required = false;
-              ci.duplicates_relevant = !left.duplicate_free;
-            }
-            break;
-          }
-          case OpKind::kDifferenceT: {
-            const NodeInfo& left = info->at(node->child(0).get());
-            if (i == 0) {
-              ci.duplicates_relevant = true;
-            } else {
-              ci.order_required = false;
-              if (left.snapshot_duplicate_free) {
-                ci.duplicates_relevant = false;
-                // With a snapshot-duplicate-free left argument, \T depends on
-                // the right argument only through its snapshots.
-                ci.period_preserving = false;
-              }
-            }
-            break;
-          }
-          case OpKind::kCoalesce: {
-            // coalT maps every snapshot-equivalent duplicate-free argument to
-            // the same result, so periods below need not be preserved.
-            if (info->at(node->child(i).get()).snapshot_duplicate_free) {
-              ci.period_preserving = false;
-            }
-            break;
-          }
-          default:
-            break;
-        }
-        Visit(node->child(i));
+  // Fetches the bottom-up bits DeriveChildProps consults for this edge.
+  auto edge = [&out](const PlanNode* node, size_t i, const NodeProps& parent) {
+    bool ldf = false, lsdf = false, csdf = false;
+    switch (node->kind()) {
+      case OpKind::kDifference:
+      case OpKind::kDifferenceT: {
+        const NodeInfo& left = out.info_.at(node->child(0).get());
+        ldf = left.duplicate_free;
+        lsdf = left.snapshot_duplicate_free;
+        break;
       }
+      case OpKind::kCoalesce:
+        csdf = out.info_.at(node->child(i).get()).snapshot_duplicate_free;
+        break;
+      default:
+        break;
     }
+    return DeriveChildProps(*node, i, parent, ldf, lsdf, csdf);
   };
 
-  PropWalker pw{&out.info_};
-  pw.Visit(plan);
+  if (out.info_.size() == plan->subtree_size()) {
+    // Proper tree (no node occurs twice): single-parent assignment, walked
+    // recursively without any topological bookkeeping. This is the common
+    // case — rewrites only create shared subtrees when one logical
+    // subexpression occurs twice in a plan.
+    struct TreeWalker {
+      const decltype(edge)& edge_fn;
+      std::unordered_map<const PlanNode*, NodeInfo>* info;
+      void Visit(const PlanPtr& node) {
+        const NodeInfo& ni = info->at(node.get());
+        NodeProps parent{ni.order_required, ni.duplicates_relevant,
+                         ni.period_preserving};
+        for (size_t i = 0; i < node->arity(); ++i) {
+          NodeProps cp = edge_fn(node.get(), i, parent);
+          NodeInfo& ci = info->at(node->child(i).get());
+          ci.order_required = cp.order_required;
+          ci.duplicates_relevant = cp.duplicates_relevant;
+          ci.period_preserving = cp.period_preserving;
+          Visit(node->child(i));
+        }
+      }
+    };
+    TreeWalker tw{edge, &out.info_};
+    tw.Visit(plan);
+    return out;
+  }
+
+  // General DAG: process unique nodes in topological order (reverse DFS
+  // post-order), so every parent is fully resolved before its edges fire,
+  // OR-ing each edge's contribution into the child.
+  std::vector<const PlanNode*> topo;
+  {
+    std::unordered_set<const PlanNode*> visited;
+    struct TopoWalker {
+      std::unordered_set<const PlanNode*>* visited;
+      std::vector<const PlanNode*>* post;
+      void Visit(const PlanPtr& node) {
+        if (!visited->insert(node.get()).second) return;
+        for (const PlanPtr& ch : node->children()) Visit(ch);
+        post->push_back(node.get());
+      }
+    };
+    TopoWalker tw{&visited, &topo};
+    tw.Visit(plan);
+    std::reverse(topo.begin(), topo.end());
+  }
+
+  for (const PlanNode* node : topo) {
+    if (node == plan.get()) continue;
+    NodeInfo& ni = out.info_.at(node);
+    ni.order_required = false;
+    ni.duplicates_relevant = false;
+    ni.period_preserving = false;
+  }
+
+  for (const PlanNode* node : topo) {
+    // Safe reference: edges only mutate the three property bools of child
+    // entries, and a node is never its own descendant.
+    const NodeInfo& ni = out.info_.at(node);
+    NodeProps parent{ni.order_required, ni.duplicates_relevant,
+                     ni.period_preserving};
+    for (size_t i = 0; i < node->arity(); ++i) {
+      NodeProps cp = edge(node, i, parent);
+      NodeInfo& ci = out.info_.at(node->child(i).get());
+      ci.order_required |= cp.order_required;
+      ci.duplicates_relevant |= cp.duplicates_relevant;
+      ci.period_preserving |= cp.period_preserving;
+    }
+  }
   return out;
 }
 

@@ -80,17 +80,83 @@ struct NodeInfo {
   std::string PropertiesBrackets() const;
 };
 
-/// An annotated plan: the tree plus per-node derived information.
-/// Annotations are keyed by node identity; a plan must be a proper tree
-/// (no shared subtrees), which rewrite rules maintain.
+/// A cross-plan cache of bottom-up node information.
+///
+/// The bottom-up half of NodeInfo (schema, order, site, guarantees,
+/// cardinality) is a pure function of the subtree's structure, the catalog,
+/// and the cardinality parameters — so once hash-consed plans share subtree
+/// objects, the derivation of a shared subtree can be reused by every plan
+/// containing it. The memo enumerator passes one cache across the whole
+/// search; only nodes never seen before (the rebuilt spine of each rewrite)
+/// pay for schema derivation.
+///
+/// Entries pin their node (PlanPtr) so a cached pointer can never be
+/// recycled by the allocator and misattributed. A cache must only be reused
+/// across calls with the same catalog and cardinality parameters.
+class DerivationCache {
+ public:
+  /// Derives (memoized) the bottom-up information of every node in `plan`,
+  /// validating it along the way: unknown relations, schema mismatches, site
+  /// inconsistencies and temporal misuse all fail here. A node present in
+  /// the cache is guaranteed to head a fully valid subtree, so subtrees
+  /// shared with already-derived plans cost nothing.
+  Status Derive(const PlanPtr& plan, const Catalog& catalog,
+                const CardinalityParams& params);
+
+  /// The cached bottom-up information of `node`, or nullptr. The top-down
+  /// (Table 2) fields of the returned NodeInfo are meaningless.
+  const NodeInfo* Find(const PlanNode* node) const {
+    auto it = entries_.find(node);
+    return it == entries_.end() ? nullptr : &it->second.info;
+  }
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  friend class AnnotatedPlan;
+  struct Entry {
+    PlanPtr node;  // pin
+    NodeInfo info;  // top-down fields are meaningless here
+  };
+  std::unordered_map<const PlanNode*, Entry> entries_;
+};
+
+/// The Table 2 applicability properties of one node occurrence, as computed
+/// top-down from the query contract (Definition 5.1).
+struct NodeProps {
+  bool order_required = true;
+  bool duplicates_relevant = true;
+  bool period_preserving = true;
+};
+
+/// The per-edge Table 2 derivation step: the properties child `child_index`
+/// of `node` receives from a parent occurrence with properties `parent`.
+/// The three boolean arguments are the bottom-up guarantees the step
+/// consults: `left_*` describe child(0) (difference rules), and
+/// `child_snapshot_dup_free` describes the child itself (coalT). Shared by
+/// AnnotatedPlan::Make and the enumerator's lightweight property pass so the
+/// Figure 5 gating has exactly one definition.
+NodeProps DeriveChildProps(const PlanNode& node, size_t child_index,
+                           const NodeProps& parent, bool left_duplicate_free,
+                           bool left_snapshot_dup_free,
+                           bool child_snapshot_dup_free);
+
+/// An annotated plan: the operator graph plus per-node derived information.
+/// Annotations are keyed by node identity. Plans may share subtrees
+/// (hash-consed DAGs): bottom-up information is derived once per distinct
+/// node, and the top-down Table 2 properties of a shared node are the
+/// disjunction over its occurrences — conservative for rule gating, since a
+/// true property only ever restricts the admissible equivalence types.
 class AnnotatedPlan {
  public:
   /// Runs both analysis passes; fails on malformed plans (unknown relations,
   /// schema mismatches, site inconsistencies, temporal ops on snapshot
-  /// inputs, ...).
+  /// inputs, ...). `cache`, when given, is consulted and filled for the
+  /// bottom-up pass.
   static Result<AnnotatedPlan> Make(PlanPtr plan, const Catalog* catalog,
                                     QueryContract contract,
-                                    CardinalityParams params = {});
+                                    CardinalityParams params = {},
+                                    DerivationCache* cache = nullptr);
 
   const PlanPtr& plan() const { return plan_; }
   const QueryContract& contract() const { return contract_; }
@@ -106,6 +172,88 @@ class AnnotatedPlan {
   const Catalog* catalog_ = nullptr;
   QueryContract contract_;
   std::unordered_map<const PlanNode*, NodeInfo> info_;
+};
+
+/// The read-only annotation view handed to transformation rules and the
+/// Figure 5 gating. Two backings:
+///
+///  * a fully materialized AnnotatedPlan (implicit conversion), as used by
+///    tests, the optimizer's cost loop and ad-hoc rule application;
+///  * the enumerator's shared DerivationCache plus a small per-plan table of
+///    Table 2 properties — no per-plan NodeInfo copies at all, which is what
+///    makes memo expansion cheap.
+///
+/// info() exposes bottom-up facts only; its top-down fields are meaningless
+/// under the cache backing. Property gating must go through props().
+class PlanContext {
+ public:
+  /// Table 2 properties per node *occurrence*, in the plan's pre-order.
+  /// Hash-consing can make one node object occur at several locations of a
+  /// plan with different properties at each; keying by occurrence keeps the
+  /// gating exact (identical to the legacy per-object behavior).
+  using PropsTable = std::vector<std::pair<const PlanNode*, NodeProps>>;
+
+  // NOLINTNEXTLINE(runtime/explicit) — intentional implicit view conversion.
+  PlanContext(const AnnotatedPlan& ann) : ann_(&ann) {}
+  PlanContext(const DerivationCache* cache, const PropsTable* props,
+              const QueryContract* contract)
+      : cache_(cache), props_(props), contract_(contract) {}
+
+  /// Bottom-up information of `node` (schema, order, site, guarantees,
+  /// cardinality). Do not read the Table 2 fields through this — use
+  /// props().
+  const NodeInfo& info(const PlanNode* node) const {
+    if (ann_ != nullptr) return ann_->info(node);
+    const NodeInfo* info = cache_->Find(node);
+    TQP_CHECK(info != nullptr);
+    return *info;
+  }
+
+  /// Restricts props() to the occurrences in `[begin, end)` of the props
+  /// table — the enumerator sets this to the pre-order span of the subtree
+  /// a rule matched, so a shared node's properties are read at the matched
+  /// occurrence(s) only. No-op for the AnnotatedPlan backing.
+  void SetOccurrenceWindow(size_t begin, size_t end) {
+    window_begin_ = begin;
+    window_end_ = end;
+  }
+
+  /// The Table 2 properties of `node` in this plan. Under the table backing,
+  /// the OR over `node`'s occurrences inside the active window — for a rule
+  /// location list this matches checking each matched occurrence separately,
+  /// since RuleAdmitted requires every listed operation to qualify.
+  NodeProps props(const PlanNode* node) const {
+    if (ann_ != nullptr) {
+      const NodeInfo& info = ann_->info(node);
+      return NodeProps{info.order_required, info.duplicates_relevant,
+                       info.period_preserving};
+    }
+    NodeProps out{false, false, false};
+    bool found = false;
+    size_t end = window_end_ < props_->size() ? window_end_ : props_->size();
+    for (size_t i = window_begin_; i < end; ++i) {
+      const auto& [n, p] = (*props_)[i];
+      if (n != node) continue;
+      out.order_required |= p.order_required;
+      out.duplicates_relevant |= p.duplicates_relevant;
+      out.period_preserving |= p.period_preserving;
+      found = true;
+    }
+    TQP_CHECK(found && "node has no properties in the active window");
+    return out;
+  }
+
+  const QueryContract& contract() const {
+    return ann_ != nullptr ? ann_->contract() : *contract_;
+  }
+
+ private:
+  const AnnotatedPlan* ann_ = nullptr;
+  const DerivationCache* cache_ = nullptr;
+  const PropsTable* props_ = nullptr;
+  const QueryContract* contract_ = nullptr;
+  size_t window_begin_ = 0;
+  size_t window_end_ = static_cast<size_t>(-1);
 };
 
 /// Derives the result type of a scalar expression against an input schema.

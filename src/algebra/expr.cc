@@ -1,5 +1,7 @@
 #include "algebra/expr.h"
 
+#include "core/hash.h"
+
 #include <algorithm>
 
 namespace tqp {
@@ -60,6 +62,7 @@ ExprPtr Expr::Attr(std::string name) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kAttr;
   e->attr_name_ = std::move(name);
+  e->ComputeHash();
   return e;
 }
 
@@ -67,6 +70,7 @@ ExprPtr Expr::Const(Value v) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kConst;
   e->constant_ = std::move(v);
+  e->ComputeHash();
   return e;
 }
 
@@ -75,6 +79,7 @@ ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
   e->kind_ = ExprKind::kCompare;
   e->compare_op_ = op;
   e->children_ = {std::move(lhs), std::move(rhs)};
+  e->ComputeHash();
   return e;
 }
 
@@ -82,6 +87,7 @@ ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kAnd;
   e->children_ = {std::move(lhs), std::move(rhs)};
+  e->ComputeHash();
   return e;
 }
 
@@ -89,6 +95,7 @@ ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kOr;
   e->children_ = {std::move(lhs), std::move(rhs)};
+  e->ComputeHash();
   return e;
 }
 
@@ -96,6 +103,7 @@ ExprPtr Expr::Not(ExprPtr operand) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kNot;
   e->children_ = {std::move(operand)};
+  e->ComputeHash();
   return e;
 }
 
@@ -104,6 +112,7 @@ ExprPtr Expr::Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
   e->kind_ = ExprKind::kArith;
   e->arith_op_ = op;
   e->children_ = {std::move(lhs), std::move(rhs)};
+  e->ComputeHash();
   return e;
 }
 
@@ -111,6 +120,7 @@ ExprPtr Expr::Overlaps(ExprPtr a, ExprPtr b, ExprPtr c, ExprPtr d) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kOverlaps;
   e->children_ = {std::move(a), std::move(b), std::move(c), std::move(d)};
+  e->ComputeHash();
   return e;
 }
 
@@ -276,6 +286,55 @@ std::string Expr::ToString() const {
   return "?";
 }
 
+void Expr::ComputeHash() {
+  uint64_t h = HashMix64(static_cast<uint64_t>(kind_) + 1);
+  switch (kind_) {
+    case ExprKind::kAttr:
+      h = HashCombine(h, HashString(attr_name_));
+      break;
+    case ExprKind::kConst:
+      h = HashCombine(h, static_cast<uint64_t>(constant_.Hash()));
+      break;
+    case ExprKind::kCompare:
+      h = HashCombine(h, static_cast<uint64_t>(compare_op_));
+      break;
+    case ExprKind::kArith:
+      h = HashCombine(h, static_cast<uint64_t>(arith_op_));
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& c : children_) h = HashCombine(h, c->hash());
+  hash_ = h;
+}
+
+bool Expr::Equals(const ExprPtr& a, const ExprPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->hash_ != b->hash_ || a->kind_ != b->kind_) return false;
+  switch (a->kind_) {
+    case ExprKind::kAttr:
+      if (a->attr_name_ != b->attr_name_) return false;
+      break;
+    case ExprKind::kConst:
+      if (a->constant_ != b->constant_) return false;
+      break;
+    case ExprKind::kCompare:
+      if (a->compare_op_ != b->compare_op_) return false;
+      break;
+    case ExprKind::kArith:
+      if (a->arith_op_ != b->arith_op_) return false;
+      break;
+    default:
+      break;
+  }
+  if (a->children_.size() != b->children_.size()) return false;
+  for (size_t i = 0; i < a->children_.size(); ++i) {
+    if (!Equals(a->children_[i], b->children_[i])) return false;
+  }
+  return true;
+}
+
 ExprPtr Expr::RenameAttrs(
     const std::vector<std::pair<std::string, std::string>>& mapping) const {
   if (kind_ == ExprKind::kAttr) {
@@ -293,6 +352,7 @@ ExprPtr Expr::RenameAttrs(
   for (const ExprPtr& c : children_) {
     e->children_.push_back(c->RenameAttrs(mapping));
   }
+  e->ComputeHash();
   return e;
 }
 

@@ -72,6 +72,14 @@ class Expr {
   /// Structural rendering; doubles as a canonical form for plan dedup.
   std::string ToString() const;
 
+  /// Structural 64-bit hash, computed once at construction (bottom-up from
+  /// the children's hashes). Equal expressions have equal hashes; the
+  /// converse is confirmed with Equals() where it matters.
+  uint64_t hash() const { return hash_; }
+
+  /// Structural equality (pointer short-circuit, then hash, then recursion).
+  static bool Equals(const ExprPtr& a, const ExprPtr& b);
+
   /// Rewrites attribute references according to the given old->new mapping.
   ExprPtr RenameAttrs(
       const std::vector<std::pair<std::string, std::string>>& mapping) const;
@@ -79,12 +87,17 @@ class Expr {
  private:
   Expr() = default;
 
+  /// Seals the node: derives hash_ from the payload and children. Must be the
+  /// last step of every construction path.
+  void ComputeHash();
+
   ExprKind kind_ = ExprKind::kConst;
   std::string attr_name_;
   Value constant_;
   CompareOp compare_op_ = CompareOp::kEq;
   ArithOp arith_op_ = ArithOp::kAdd;
   std::vector<ExprPtr> children_;
+  uint64_t hash_ = 0;
 };
 
 /// One item of a projection list: an expression and its output name.

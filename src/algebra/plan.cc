@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/hash.h"
+
 namespace tqp {
 
 const char* OpKindName(OpKind k) {
@@ -117,12 +119,125 @@ std::string PlanNode::Describe() const {
   return out;
 }
 
+uint64_t PlanNode::FingerprintPrefix(OpKind kind, uint64_t payload_hash) {
+  return HashCombine(HashMix64(static_cast<uint64_t>(kind) + 0x51),
+                     payload_hash);
+}
+
+uint64_t PlanNode::FingerprintOf(OpKind kind, uint64_t payload_hash,
+                                 const std::vector<PlanPtr>& children) {
+  uint64_t h = FingerprintPrefix(kind, payload_hash);
+  for (const PlanPtr& c : children) h = HashCombine(h, c->fingerprint());
+  return h;
+}
+
+void PlanNode::Finalize() {
+  uint64_t h = 0;
+  switch (kind_) {
+    case OpKind::kScan:
+      h = HashCombine(h, HashString(rel_name_));
+      break;
+    case OpKind::kSelect:
+      h = HashCombine(h, predicate_->hash());
+      break;
+    case OpKind::kProject:
+      for (const ProjItem& item : projections_) {
+        h = HashCombine(h, item.expr->hash());
+        h = HashCombine(h, HashString(item.name));
+      }
+      break;
+    case OpKind::kAggregate:
+    case OpKind::kAggregateT:
+      for (const std::string& g : group_by_) h = HashCombine(h, HashString(g));
+      for (const AggSpec& a : aggregates_) {
+        h = HashCombine(h, static_cast<uint64_t>(a.func));
+        h = HashCombine(h, HashString(a.attr));
+        h = HashCombine(h, HashString(a.out_name));
+      }
+      break;
+    case OpKind::kSort:
+      for (const SortKey& k : sort_spec_) {
+        h = HashCombine(h, HashString(k.attr));
+        h = HashCombine(h, k.ascending ? 1 : 2);
+      }
+      break;
+    default:
+      break;
+  }
+  payload_hash_ = h;
+  fingerprint_ = FingerprintOf(kind_, payload_hash_, children_);
+  size_t size = 1;
+  for (const PlanPtr& c : children_) size += c->subtree_size();
+  subtree_size_ = size;
+}
+
+bool PlanNode::SamePayload(const PlanNode& a, const PlanNode& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case OpKind::kScan:
+      return a.rel_name_ == b.rel_name_;
+    case OpKind::kSelect:
+      return Expr::Equals(a.predicate_, b.predicate_);
+    case OpKind::kProject:
+      if (a.projections_.size() != b.projections_.size()) return false;
+      for (size_t i = 0; i < a.projections_.size(); ++i) {
+        if (a.projections_[i].name != b.projections_[i].name ||
+            !Expr::Equals(a.projections_[i].expr, b.projections_[i].expr)) {
+          return false;
+        }
+      }
+      return true;
+    case OpKind::kAggregate:
+    case OpKind::kAggregateT: {
+      if (a.group_by_ != b.group_by_ ||
+          a.aggregates_.size() != b.aggregates_.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a.aggregates_.size(); ++i) {
+        const AggSpec& x = a.aggregates_[i];
+        const AggSpec& y = b.aggregates_[i];
+        if (x.func != y.func || x.attr != y.attr || x.out_name != y.out_name) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case OpKind::kSort:
+      return a.sort_spec_ == b.sort_spec_;
+    default:
+      return true;  // payload-free operators
+  }
+}
+
+bool PlanNode::SameShallow(const PlanNode& a, const PlanNode& b) {
+  if (a.children_.size() != b.children_.size()) return false;
+  for (size_t i = 0; i < a.children_.size(); ++i) {
+    if (a.children_[i].get() != b.children_[i].get()) return false;
+  }
+  return SamePayload(a, b);
+}
+
+bool PlanNode::Equal(const PlanPtr& a, const PlanPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->fingerprint_ != b->fingerprint_ ||
+      a->subtree_size_ != b->subtree_size_ ||
+      a->children_.size() != b->children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a->children_.size(); ++i) {
+    if (!Equal(a->children_[i], b->children_[i])) return false;
+  }
+  return SamePayload(*a, *b);
+}
+
 // Builders assign private fields directly; PlanNode declares them privately,
 // so each builder constructs through a local subclass with setter access.
 struct PlanNodeBuilder : PlanNode {
   static std::shared_ptr<PlanNodeBuilder> Make() {
     return std::shared_ptr<PlanNodeBuilder>(new PlanNodeBuilder());
   }
+  void Seal() { Finalize(); }
   void set_kind(OpKind k) { kind_ = k; }
   void set_children(std::vector<PlanPtr> c) { children_ = std::move(c); }
   void set_rel_name(std::string n) { rel_name_ = std::move(n); }
@@ -140,6 +255,7 @@ PlanPtr PlanNode::Scan(std::string rel_name) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kScan);
   n->set_rel_name(std::move(rel_name));
+  n->Seal();
   return n;
 }
 
@@ -148,6 +264,7 @@ PlanPtr PlanNode::Select(PlanPtr input, ExprPtr predicate) {
   n->set_kind(OpKind::kSelect);
   n->set_children({std::move(input)});
   n->set_predicate(std::move(predicate));
+  n->Seal();
   return n;
 }
 
@@ -156,6 +273,7 @@ PlanPtr PlanNode::Project(PlanPtr input, std::vector<ProjItem> items) {
   n->set_kind(OpKind::kProject);
   n->set_children({std::move(input)});
   n->set_projections(std::move(items));
+  n->Seal();
   return n;
 }
 
@@ -163,6 +281,7 @@ PlanPtr PlanNode::UnionAll(PlanPtr left, PlanPtr right) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kUnionAll);
   n->set_children({std::move(left), std::move(right)});
+  n->Seal();
   return n;
 }
 
@@ -170,6 +289,7 @@ PlanPtr PlanNode::Product(PlanPtr left, PlanPtr right) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kProduct);
   n->set_children({std::move(left), std::move(right)});
+  n->Seal();
   return n;
 }
 
@@ -177,6 +297,7 @@ PlanPtr PlanNode::Difference(PlanPtr left, PlanPtr right) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kDifference);
   n->set_children({std::move(left), std::move(right)});
+  n->Seal();
   return n;
 }
 
@@ -187,6 +308,7 @@ PlanPtr PlanNode::Aggregate(PlanPtr input, std::vector<std::string> group_by,
   n->set_children({std::move(input)});
   n->set_group_by(std::move(group_by));
   n->set_aggregates(std::move(aggs));
+  n->Seal();
   return n;
 }
 
@@ -194,6 +316,7 @@ PlanPtr PlanNode::Rdup(PlanPtr input) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kRdup);
   n->set_children({std::move(input)});
+  n->Seal();
   return n;
 }
 
@@ -201,6 +324,7 @@ PlanPtr PlanNode::ProductT(PlanPtr left, PlanPtr right) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kProductT);
   n->set_children({std::move(left), std::move(right)});
+  n->Seal();
   return n;
 }
 
@@ -208,6 +332,7 @@ PlanPtr PlanNode::DifferenceT(PlanPtr left, PlanPtr right) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kDifferenceT);
   n->set_children({std::move(left), std::move(right)});
+  n->Seal();
   return n;
 }
 
@@ -218,6 +343,7 @@ PlanPtr PlanNode::AggregateT(PlanPtr input, std::vector<std::string> group_by,
   n->set_children({std::move(input)});
   n->set_group_by(std::move(group_by));
   n->set_aggregates(std::move(aggs));
+  n->Seal();
   return n;
 }
 
@@ -225,6 +351,7 @@ PlanPtr PlanNode::RdupT(PlanPtr input) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kRdupT);
   n->set_children({std::move(input)});
+  n->Seal();
   return n;
 }
 
@@ -232,6 +359,7 @@ PlanPtr PlanNode::Union(PlanPtr left, PlanPtr right) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kUnion);
   n->set_children({std::move(left), std::move(right)});
+  n->Seal();
   return n;
 }
 
@@ -239,6 +367,7 @@ PlanPtr PlanNode::UnionT(PlanPtr left, PlanPtr right) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kUnionT);
   n->set_children({std::move(left), std::move(right)});
+  n->Seal();
   return n;
 }
 
@@ -247,6 +376,7 @@ PlanPtr PlanNode::Sort(PlanPtr input, SortSpec spec) {
   n->set_kind(OpKind::kSort);
   n->set_children({std::move(input)});
   n->set_sort_spec(std::move(spec));
+  n->Seal();
   return n;
 }
 
@@ -254,6 +384,7 @@ PlanPtr PlanNode::Coalesce(PlanPtr input) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kCoalesce);
   n->set_children({std::move(input)});
+  n->Seal();
   return n;
 }
 
@@ -261,6 +392,7 @@ PlanPtr PlanNode::TransferS(PlanPtr input) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kTransferS);
   n->set_children({std::move(input)});
+  n->Seal();
   return n;
 }
 
@@ -268,6 +400,7 @@ PlanPtr PlanNode::TransferD(PlanPtr input) {
   auto n = PlanNodeBuilder::Make();
   n->set_kind(OpKind::kTransferD);
   n->set_children({std::move(input)});
+  n->Seal();
   return n;
 }
 
@@ -282,6 +415,7 @@ PlanPtr PlanNode::WithChildren(const PlanPtr& node,
   n->set_group_by(node->group_by_);
   n->set_aggregates(node->aggregates_);
   n->set_sort_spec(node->sort_spec_);
+  n->Seal();
   return n;
 }
 
@@ -298,15 +432,117 @@ std::string CanonicalString(const PlanPtr& plan) {
   return out;
 }
 
-size_t PlanSize(const PlanPtr& plan) {
-  size_t n = 1;
-  for (const PlanPtr& c : plan->children()) n += PlanSize(c);
-  return n;
-}
+size_t PlanSize(const PlanPtr& plan) { return plan->subtree_size(); }
 
 void CollectNodes(const PlanPtr& plan, std::vector<PlanPtr>* out) {
   out->push_back(plan);
   for (const PlanPtr& c : plan->children()) CollectNodes(c, out);
+}
+
+namespace {
+
+void CollectLocationsImpl(const PlanPtr& plan, PlanPath* path,
+                          std::vector<PlanLocation>* out) {
+  out->push_back(PlanLocation{plan, *path});
+  for (uint32_t i = 0; i < plan->children().size(); ++i) {
+    path->push_back(i);
+    CollectLocationsImpl(plan->child(i), path, out);
+    path->pop_back();
+  }
+}
+
+}  // namespace
+
+void CollectLocations(const PlanPtr& plan, std::vector<PlanLocation>* out) {
+  out->reserve(out->size() + plan->subtree_size());
+  PlanPath path;
+  path.reserve(32);
+  CollectLocationsImpl(plan, &path, out);
+}
+
+const PlanPtr& NodeAtPath(const PlanPtr& root, const PlanPath& path) {
+  const PlanPtr* cur = &root;
+  for (uint32_t step : path) {
+    TQP_CHECK(step < (*cur)->arity());
+    cur = &(*cur)->child(step);
+  }
+  return *cur;
+}
+
+namespace {
+
+PlanPtr ReplaceAtPathImpl(const PlanPtr& root, const PlanPath& path,
+                          size_t depth, PlanPtr replacement) {
+  if (depth == path.size()) return replacement;
+  uint32_t step = path[depth];
+  TQP_CHECK(step < root->arity());
+  std::vector<PlanPtr> children = root->children();
+  children[step] =
+      ReplaceAtPathImpl(root->child(step), path, depth + 1,
+                        std::move(replacement));
+  return PlanNode::WithChildren(root, std::move(children));
+}
+
+}  // namespace
+
+PlanPtr ReplaceAtPath(const PlanPtr& root, const PlanPath& path,
+                      PlanPtr replacement) {
+  return ReplaceAtPathImpl(root, path, 0, std::move(replacement));
+}
+
+namespace {
+
+// Must agree with PlanNode::FingerprintOf / Finalize: kind + payload hash,
+// then the children's fingerprints in order, with the spine child at
+// path[depth] substituted.
+uint64_t FingerprintAtPathImpl(const PlanPtr& node, const PlanPath& path,
+                               size_t depth, uint64_t rep_fp) {
+  if (depth == path.size()) return rep_fp;
+  uint32_t step = path[depth];
+  TQP_DCHECK(step < node->arity());
+  uint64_t child_fp =
+      FingerprintAtPathImpl(node->child(step), path, depth + 1, rep_fp);
+  uint64_t h = PlanNode::FingerprintPrefix(node->kind(), node->payload_hash());
+  for (size_t i = 0; i < node->arity(); ++i) {
+    h = HashCombine(h, i == step ? child_fp : node->child(i)->fingerprint());
+  }
+  return h;
+}
+
+bool EqualsWithReplacementImpl(const PlanPtr& target, const PlanPtr& base,
+                               const PlanPath& path, size_t depth,
+                               const PlanPtr& replacement) {
+  if (depth == path.size()) return PlanNode::Equal(target, replacement);
+  uint32_t step = path[depth];
+  if (target->kind() != base->kind() || target->arity() != base->arity()) {
+    return false;
+  }
+  if (!PlanNode::SamePayload(*target, *base)) return false;
+  for (size_t i = 0; i < base->arity(); ++i) {
+    if (i == static_cast<size_t>(step)) {
+      if (!EqualsWithReplacementImpl(target->child(i), base->child(i), path,
+                                     depth + 1, replacement)) {
+        return false;
+      }
+      continue;
+    }
+    const PlanPtr& t = target->child(i);
+    const PlanPtr& b = base->child(i);
+    if (t.get() != b.get() && !PlanNode::Equal(t, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t FingerprintAtPath(const PlanPtr& root, const PlanPath& path,
+                           uint64_t replacement_fingerprint) {
+  return FingerprintAtPathImpl(root, path, 0, replacement_fingerprint);
+}
+
+bool EqualsWithReplacement(const PlanPtr& target, const PlanPtr& base,
+                           const PlanPath& path, const PlanPtr& replacement) {
+  return EqualsWithReplacementImpl(target, base, path, 0, replacement);
 }
 
 PlanPtr ClonePlan(const PlanPtr& plan) {

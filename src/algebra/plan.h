@@ -41,6 +41,10 @@ enum class OpKind {
   kTransferD,    // T_D : stratum → DBMS
 };
 
+/// Number of OpKind values, for kind-indexed dispatch tables.
+inline constexpr size_t kOpKindCount =
+    static_cast<size_t>(OpKind::kTransferD) + 1;
+
 const char* OpKindName(OpKind k);
 
 /// True for ×T, \T, ℵT, rdupT, ∪T, coalT (operations with built-in temporal
@@ -55,6 +59,11 @@ bool IsOrderSensitiveOp(OpKind k);
 class PlanNode;
 using PlanPtr = std::shared_ptr<const PlanNode>;
 
+/// A location inside a plan: the child indices followed from the root.
+/// Rewrites happen "at a path": only the spine from the path's end back to
+/// the root is rebuilt (path copying); everything else is shared.
+using PlanPath = std::vector<uint32_t>;
+
 /// One immutable operator node.
 class PlanNode {
  public:
@@ -62,6 +71,45 @@ class PlanNode {
   const std::vector<PlanPtr>& children() const { return children_; }
   const PlanPtr& child(size_t i) const { return children_[i]; }
   size_t arity() const { return children_.size(); }
+
+  /// Structural 64-bit fingerprint, computed once at construction from the
+  /// operator kind, its payload, and the children's fingerprints. Two nodes
+  /// with different fingerprints are guaranteed distinct; equal fingerprints
+  /// are confirmed structurally where identity matters (PlanInterner).
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Hash of the operator kind and payload only (no children). Lets the
+  /// interner predict the fingerprint of "this node with different children"
+  /// without constructing it.
+  uint64_t payload_hash() const { return payload_hash_; }
+
+  /// The fingerprint a node with this kind/payload hash and these children
+  /// would have. Agrees with fingerprint() by construction.
+  static uint64_t FingerprintOf(OpKind kind, uint64_t payload_hash,
+                                const std::vector<PlanPtr>& children);
+
+  /// The (kind, payload)-dependent prefix of a fingerprint; callers fold the
+  /// children's fingerprints onto it in order with HashCombine. The single
+  /// source of truth for the mixing recipe (FingerprintOf, FingerprintAtPath
+  /// and the interner all build on it).
+  static uint64_t FingerprintPrefix(OpKind kind, uint64_t payload_hash);
+
+  /// Payload-only equality (kind, rel_name, predicate, projections, ...);
+  /// ignores children.
+  static bool SamePayload(const PlanNode& a, const PlanNode& b);
+
+  /// Number of operator nodes in the subtree rooted here (cached, O(1)).
+  /// Counts occurrences, so a hash-consed DAG reports its unfolded size.
+  size_t subtree_size() const { return subtree_size_; }
+
+  /// Shallow structural equality: same kind and payload, children compared
+  /// by pointer. Sufficient for full structural equality when both nodes'
+  /// children are already interned.
+  static bool SameShallow(const PlanNode& a, const PlanNode& b);
+
+  /// Deep structural equality (pointer short-circuit, fingerprint filter,
+  /// then recursion).
+  static bool Equal(const PlanPtr& a, const PlanPtr& b);
 
   const std::string& rel_name() const { return rel_name_; }
   const ExprPtr& predicate() const { return predicate_; }
@@ -102,6 +150,11 @@ class PlanNode {
  protected:
   PlanNode() = default;
 
+  /// Seals the node: derives payload_hash_, fingerprint_ and subtree_size_
+  /// from the payload and children. Must be the last step of every
+  /// construction path.
+  void Finalize();
+
   OpKind kind_ = OpKind::kScan;
   std::vector<PlanPtr> children_;
   std::string rel_name_;
@@ -110,6 +163,9 @@ class PlanNode {
   std::vector<std::string> group_by_;
   std::vector<AggSpec> aggregates_;
   SortSpec sort_spec_;
+  uint64_t payload_hash_ = 0;
+  uint64_t fingerprint_ = 0;
+  size_t subtree_size_ = 1;
 };
 
 /// Canonical, order-stable serialization of a plan tree; two plans are the
@@ -123,9 +179,43 @@ size_t PlanSize(const PlanPtr& plan);
 /// Pre-order list of all nodes.
 void CollectNodes(const PlanPtr& plan, std::vector<PlanPtr>* out);
 
+/// One rewrite location: a node occurrence and the path that reaches it.
+/// Unlike raw node pointers, paths stay unambiguous when hash-consing makes
+/// the same node object occur several times in one plan.
+struct PlanLocation {
+  PlanPtr node;
+  PlanPath path;
+};
+
+/// Pre-order list of all node occurrences with their paths.
+void CollectLocations(const PlanPtr& plan, std::vector<PlanLocation>* out);
+
+/// The node occurrence at `path`; TQP_CHECKs that the path is valid.
+const PlanPtr& NodeAtPath(const PlanPtr& root, const PlanPath& path);
+
+/// Replaces the subtree at `path` with `replacement`, rebuilding only the
+/// spine from the location to the root (path copying). The untouched
+/// siblings are shared with the input plan.
+PlanPtr ReplaceAtPath(const PlanPtr& root, const PlanPath& path,
+                      PlanPtr replacement);
+
+/// The fingerprint ReplaceAtPath(root, path, replacement) would produce,
+/// computed along the spine without constructing any node. Lets the
+/// enumerator probe its memo before deciding to materialize a rewrite.
+uint64_t FingerprintAtPath(const PlanPtr& root, const PlanPath& path,
+                           uint64_t replacement_fingerprint);
+
+/// True iff `target` is structurally equal to the (unconstructed) plan
+/// "ReplaceAtPath(base, path, replacement)". Off-spine subtrees short-circuit
+/// by pointer when shared, so confirming a memo probe on hash-consed plans is
+/// O(spine + replacement).
+bool EqualsWithReplacement(const PlanPtr& target, const PlanPtr& base,
+                           const PlanPath& path, const PlanPtr& replacement);
+
 /// Replaces `target` (by node identity) with `replacement` inside `root`,
 /// rebuilding the spine. Returns the (possibly new) root; returns `root`
-/// unchanged if `target` does not occur.
+/// unchanged if `target` does not occur. Replaces every occurrence, so it is
+/// only safe on proper trees; rule application uses ReplaceAtPath instead.
 PlanPtr ReplaceNode(const PlanPtr& root, const PlanNode* target,
                     PlanPtr replacement);
 

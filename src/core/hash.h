@@ -1,0 +1,47 @@
+// 64-bit structural hashing primitives used for plan/expression
+// fingerprints and the hash-consing tables of the algebra layer.
+//
+// Fingerprints are not trusted blindly: the interning table confirms every
+// bucket hit with a structural comparison, so a collision can never merge two
+// distinct plans. The mixers below (splitmix64 finalizer, FNV-1a for bytes)
+// keep collisions rare enough that those comparisons almost never recurse.
+#ifndef TQP_CORE_HASH_H_
+#define TQP_CORE_HASH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tqp {
+
+/// splitmix64 finalizer: a cheap full-avalanche mix of one 64-bit word.
+inline uint64_t HashMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of an accumulated hash with one more word.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return HashMix64(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                           (seed >> 2)));
+}
+
+/// FNV-1a over a byte string.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashString(const std::string& s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_HASH_H_

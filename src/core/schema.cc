@@ -30,9 +30,12 @@ std::string SortSpecToString(const SortSpec& spec) {
   return out;
 }
 
+const std::vector<Attribute> Schema::kNoAttrs;
+
 int Schema::IndexOf(const std::string& name) const {
-  for (size_t i = 0; i < attrs_.size(); ++i) {
-    if (attrs_[i].name == name) return static_cast<int>(i);
+  const std::vector<Attribute>& a = attrs();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name == name) return static_cast<int>(i);
   }
   return -1;
 }
@@ -40,13 +43,13 @@ int Schema::IndexOf(const std::string& name) const {
 bool Schema::IsTemporal() const {
   int i1 = T1Index();
   int i2 = T2Index();
-  return i1 >= 0 && i2 >= 0 && attrs_[i1].type == ValueType::kTime &&
-         attrs_[i2].type == ValueType::kTime;
+  return i1 >= 0 && i2 >= 0 && attr(i1).type == ValueType::kTime &&
+         attr(i2).type == ValueType::kTime;
 }
 
 std::vector<std::string> Schema::NonTemporalAttrNames() const {
   std::vector<std::string> out;
-  for (const Attribute& a : attrs_) {
+  for (const Attribute& a : attrs()) {
     if (a.name != kT1 && a.name != kT2) out.push_back(a.name);
   }
   return out;
@@ -54,16 +57,22 @@ std::vector<std::string> Schema::NonTemporalAttrNames() const {
 
 void Schema::Add(Attribute a) {
   TQP_CHECK(IndexOf(a.name) < 0);
-  attrs_.push_back(std::move(a));
+  if (attrs_ == nullptr) {
+    attrs_ = std::make_shared<std::vector<Attribute>>();
+  } else if (attrs_.use_count() > 1) {
+    attrs_ = std::make_shared<std::vector<Attribute>>(*attrs_);  // copy-on-write
+  }
+  attrs_->push_back(std::move(a));
 }
 
 std::string Schema::ToString() const {
+  const std::vector<Attribute>& a = attrs();
   std::string out = "(";
-  for (size_t i = 0; i < attrs_.size(); ++i) {
+  for (size_t i = 0; i < a.size(); ++i) {
     if (i > 0) out += ", ";
-    out += attrs_[i].name;
+    out += a[i].name;
     out += ":";
-    out += ValueTypeName(attrs_[i].type);
+    out += ValueTypeName(a[i].type);
   }
   out += ")";
   return out;

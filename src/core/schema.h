@@ -7,6 +7,7 @@
 #ifndef TQP_CORE_SCHEMA_H_
 #define TQP_CORE_SCHEMA_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,14 +60,23 @@ SortSpec OrderPrefixOnAttrs(const SortSpec& order,
 std::string SortSpecToString(const SortSpec& spec);
 
 /// An ordered attribute list with by-name lookup.
+///
+/// Value semantics with copy-on-write storage: schemas are copied far more
+/// often than they are built (every plan annotation carries one per node, and
+/// the optimizer's derivation cache replays them across thousands of plans),
+/// so a copy shares the attribute vector and only Add() materializes a
+/// private one when it is actually shared.
 class Schema {
  public:
   Schema() = default;
-  explicit Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {}
+  explicit Schema(std::vector<Attribute> attrs)
+      : attrs_(std::make_shared<std::vector<Attribute>>(std::move(attrs))) {}
 
-  size_t size() const { return attrs_.size(); }
-  const Attribute& attr(size_t i) const { return attrs_[i]; }
-  const std::vector<Attribute>& attrs() const { return attrs_; }
+  size_t size() const { return attrs_ == nullptr ? 0 : attrs_->size(); }
+  const Attribute& attr(size_t i) const { return (*attrs_)[i]; }
+  const std::vector<Attribute>& attrs() const {
+    return attrs_ == nullptr ? kNoAttrs : *attrs_;
+  }
 
   /// Index of the attribute with the given name, or -1.
   int IndexOf(const std::string& name) const;
@@ -86,13 +96,20 @@ class Schema {
   void Add(Attribute a);
 
   /// Schema equality is by attribute sequence (names and types).
-  bool operator==(const Schema& o) const { return attrs_ == o.attrs_; }
+  bool operator==(const Schema& o) const {
+    if (attrs_ == o.attrs_) return true;  // shared storage or both empty
+    return attrs() == o.attrs();
+  }
   bool operator!=(const Schema& o) const { return !(*this == o); }
 
   std::string ToString() const;
 
  private:
-  std::vector<Attribute> attrs_;
+  static const std::vector<Attribute> kNoAttrs;
+
+  /// Shared storage; nullptr denotes the empty schema. Mutation goes through
+  /// Add(), which copies the vector iff it is shared with another Schema.
+  std::shared_ptr<std::vector<Attribute>> attrs_;
 };
 
 }  // namespace tqp

@@ -37,7 +37,7 @@ double OpWorkUnits(OpKind kind, double in1, double in2, double out) {
 
 namespace {
 
-double NodeCost(const AnnotatedPlan& plan, const PlanPtr& node,
+double NodeCost(const PlanContext& plan, const PlanPtr& node,
                 const EngineConfig& config) {
   const NodeInfo& info = plan.info(node.get());
   double in1 = node->arity() > 0
@@ -57,7 +57,7 @@ double NodeCost(const AnnotatedPlan& plan, const PlanPtr& node,
   return units * config.stratum_cpu_factor;
 }
 
-double SubtreeCost(const AnnotatedPlan& plan, const PlanPtr& node,
+double SubtreeCost(const PlanContext& plan, const PlanPtr& node,
                    const EngineConfig& config) {
   double total = NodeCost(plan, node, config);
   for (const PlanPtr& c : node->children()) {
@@ -70,6 +70,11 @@ double SubtreeCost(const AnnotatedPlan& plan, const PlanPtr& node,
 
 double EstimatePlanCost(const AnnotatedPlan& plan, const EngineConfig& config) {
   return SubtreeCost(plan, plan.plan(), config);
+}
+
+double EstimatePlanCost(const PlanPtr& root, const PlanContext& ctx,
+                        const EngineConfig& config) {
+  return SubtreeCost(ctx, root, config);
 }
 
 }  // namespace tqp

@@ -37,6 +37,11 @@ struct EngineConfig {
 /// cardinalities, weighted by site factors, plus transfer charges.
 double EstimatePlanCost(const AnnotatedPlan& plan, const EngineConfig& config);
 
+/// Same, against any annotation backing (e.g. the enumerator's shared
+/// derivation cache) — only bottom-up information is consulted.
+double EstimatePlanCost(const PlanPtr& root, const PlanContext& ctx,
+                        const EngineConfig& config);
+
 }  // namespace tqp
 
 #endif  // TQP_EXEC_COST_MODEL_H_

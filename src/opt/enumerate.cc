@@ -1,6 +1,12 @@
 #include "opt/enumerate.h"
 
+#include <array>
+#include <deque>
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
+
+#include "algebra/intern.h"
 
 namespace tqp {
 
@@ -17,7 +23,7 @@ std::vector<std::string> EnumerationResult::DerivationOf(size_t index) const {
 
 bool RuleAdmitted(EquivalenceType equiv,
                   const std::vector<const PlanNode*>& location,
-                  const AnnotatedPlan& ann) {
+                  const PlanContext& ctx) {
   bool need_no_order = false, need_no_dups = false, need_no_periods = false;
   switch (equiv) {
     case EquivalenceType::kList:
@@ -43,10 +49,10 @@ bool RuleAdmitted(EquivalenceType equiv,
       break;
   }
   for (const PlanNode* op : location) {
-    const NodeInfo& info = ann.info(op);
-    if (need_no_order && info.order_required) return false;
-    if (need_no_dups && info.duplicates_relevant) return false;
-    if (need_no_periods && info.period_preserving) return false;
+    NodeProps props = ctx.props(op);
+    if (need_no_order && props.order_required) return false;
+    if (need_no_dups && props.duplicates_relevant) return false;
+    if (need_no_periods && props.period_preserving) return false;
   }
   return true;
 }
@@ -56,15 +62,59 @@ bool IsOrderSafeAcrossSites(const std::string& rule_id) {
          rule_id == "S3";
 }
 
-Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
-                                         const Catalog& catalog,
-                                         const QueryContract& contract,
-                                         const std::vector<Rule>& rules,
-                                         const EnumerationOptions& options) {
-  // The initial plan must be well-formed; everything downstream re-validates.
+namespace {
+
+// Bound on a plan's unfolded (per-occurrence) node count: the per-plan walks
+// are linear in it, and adversarial DAG chains could otherwise make it
+// exponential in the node count.
+constexpr size_t kMaxUnfoldedPlanSize = 1u << 20;
+
+// Section 4.5: ≡L rules are weakened to ≡M when the location spans DBMS-site
+// operations, except the order-safe sort rules.
+EquivalenceType EffectiveEquivalence(const Rule& rule, const RuleMatch& match,
+                                     const PlanContext& ctx) {
+  EquivalenceType effective = rule.equivalence();
+  if (effective == EquivalenceType::kList &&
+      !IsOrderSafeAcrossSites(rule.id())) {
+    for (const PlanNode* op : match.location) {
+      if (ctx.info(op).site == Site::kDbms) {
+        return EquivalenceType::kMultiset;
+      }
+    }
+  }
+  return effective;
+}
+
+// The seed implementation: canonical-string dedup, a full rule × location
+// scan per plan, and two annotation passes per distinct plan. Retained
+// verbatim as the "before" side of bench_fig5_enumeration's A/B comparison;
+// it must keep producing the identical plan sequence as the memo path.
+Result<EnumerationResult> EnumerateLegacy(const PlanPtr& initial,
+                                          const Catalog& catalog,
+                                          const QueryContract& contract,
+                                          const std::vector<Rule>& rules,
+                                          const EnumerationOptions& options) {
+  if (initial->subtree_size() > kMaxUnfoldedPlanSize) {
+    return Status::InvalidArgument("initial plan too large when unfolded");
+  }
+  // The seed algorithm rewrites with ReplaceNode (which replaces every
+  // occurrence of a node object), so it is only sound on proper trees;
+  // reject shared-subtree inputs exactly as the seed's annotation pass did.
+  // The memo path handles them (path-based rewrites, per-occurrence props).
+  {
+    std::vector<PlanPtr> nodes;
+    CollectNodes(initial, &nodes);
+    std::unordered_set<const PlanNode*> unique;
+    for (const PlanPtr& n : nodes) unique.insert(n.get());
+    if (unique.size() != nodes.size()) {
+      return Status::InvalidArgument(
+          "legacy enumeration requires a proper tree plan (no shared "
+          "subtrees); use the memo enumerator");
+    }
+  }
   {
     Result<AnnotatedPlan> check =
-        AnnotatedPlan::Make(initial, &catalog, contract);
+        AnnotatedPlan::Make(initial, &catalog, contract, options.cardinality);
     if (!check.ok()) return check.status();
   }
 
@@ -72,8 +122,8 @@ Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
   std::unordered_set<std::string> seen;
   size_t size_cap = PlanSize(initial) + options.max_plan_growth;
 
-  result.plans.push_back(
-      EnumeratedPlan{initial, CanonicalString(initial), -1, ""});
+  result.plans.push_back(EnumeratedPlan{initial, CanonicalString(initial),
+                                        initial->fingerprint(), -1, ""});
   seen.insert(result.plans[0].canonical);
 
   for (size_t p = 0; p < result.plans.size(); ++p) {
@@ -83,7 +133,7 @@ Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
     }
     PlanPtr plan = result.plans[p].plan;
     Result<AnnotatedPlan> ann_res =
-        AnnotatedPlan::Make(plan, &catalog, contract);
+        AnnotatedPlan::Make(plan, &catalog, contract, options.cardinality);
     if (!ann_res.ok()) continue;  // defensive: skip invalid derived plans
     const AnnotatedPlan& ann = ann_res.value();
 
@@ -96,19 +146,7 @@ Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
         if (!match.has_value()) continue;
         ++result.matches;
 
-        // Section 4.5: ≡L rules are weakened to ≡M when the location spans
-        // DBMS-site operations, except the order-safe sort rules.
-        EquivalenceType effective = rule.equivalence();
-        if (effective == EquivalenceType::kList &&
-            !IsOrderSafeAcrossSites(rule.id())) {
-          for (const PlanNode* op : match->location) {
-            if (ann.info(op).site == Site::kDbms) {
-              effective = EquivalenceType::kMultiset;
-              break;
-            }
-          }
-        }
-
+        EquivalenceType effective = EffectiveEquivalence(rule, *match, ann);
         if (options.admitted.count(effective) == 0) continue;
         if (!RuleAdmitted(effective, match->location, ann)) {
           ++result.gated_out;
@@ -122,11 +160,14 @@ Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
         if (!seen.insert(canon).second) continue;
         // Re-validate: a rewrite may produce a site-inconsistent or
         // schema-invalid plan in rare compositions; those are dropped.
-        if (!AnnotatedPlan::Make(rewritten, &catalog, contract).ok()) {
+        if (!AnnotatedPlan::Make(rewritten, &catalog, contract,
+                                 options.cardinality)
+                 .ok()) {
           seen.erase(canon);
           continue;
         }
         result.plans.push_back(EnumeratedPlan{rewritten, std::move(canon),
+                                              rewritten->fingerprint(),
                                               static_cast<int>(p), rule.id()});
         if (result.plans.size() >= options.max_plans) break;
       }
@@ -135,6 +176,246 @@ Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
   }
   if (result.plans.size() >= options.max_plans) result.truncated = true;
   return result;
+}
+
+// Canonical strings of interned plans, memoized per canonical node so the
+// serialization of a shared subtree is built once across the whole plan
+// space. Produces byte-identical output to CanonicalString().
+class CanonicalCache {
+ public:
+  const std::string& Of(const PlanPtr& plan) {
+    auto it = memo_.find(plan.get());
+    if (it != memo_.end()) return it->second;
+    std::string out = plan->Describe();
+    if (!plan->children().empty()) {
+      out += "(";
+      for (size_t i = 0; i < plan->children().size(); ++i) {
+        if (i > 0) out += ",";
+        out += Of(plan->child(i));
+      }
+      out += ")";
+    }
+    return memo_.emplace(plan.get(), std::move(out)).first->second;
+  }
+
+ private:
+  std::unordered_map<const PlanNode*, std::string> memo_;
+};
+
+// The memo path: hash-consed plans, pointer-keyed dedup, path-copy rewrites,
+// one annotation per distinct plan against a shared bottom-up cache, and
+// optional cost-bounded pruning.
+Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
+                                        const Catalog& catalog,
+                                        const QueryContract& contract,
+                                        const std::vector<Rule>& rules,
+                                        const EnumerationOptions& options) {
+  if (initial->subtree_size() > kMaxUnfoldedPlanSize) {
+    return Status::InvalidArgument("initial plan too large when unfolded");
+  }
+
+  PlanInterner interner;
+  DerivationCache cache;
+  CanonicalCache canon;
+
+  PlanPtr root = interner.Intern(initial);
+  TQP_RETURN_IF_ERROR(cache.Derive(root, catalog, options.cardinality));
+
+  const bool pruning = options.cost_prune_factor > 0.0;
+
+  EnumerationResult result;
+  // Memo: plan fingerprint -> indices in result.plans. Probed BEFORE a
+  // candidate rewrite is materialized (FingerprintAtPath walks the spine
+  // without constructing a node); a hit is confirmed structurally with
+  // EqualsWithReplacement, so fingerprint collisions can never merge
+  // distinct plans — they only make the bucket vector longer than one.
+  std::unordered_map<uint64_t, std::vector<size_t>> memo;
+  memo.reserve(std::min<size_t>(options.max_plans, 4096));
+  std::vector<double> costs;
+  double best_cost = 0.0;
+
+  // Annotation view for rules, gating and costing: bottom-up facts come
+  // straight from the shared derivation cache (zero per-plan copies); the
+  // Table 2 properties of the plan being expanded live in `props`, rebuilt
+  // per plan by a single cheap walk.
+  PlanContext::PropsTable props;
+  PlanContext ctx(&cache, &props, &contract);
+
+  // Computes the Table 2 properties of every node occurrence of `plan`, one
+  // entry per occurrence in pre-order — the same order CollectLocations
+  // uses, so occurrence i of the props table is location i. The walk
+  // touches exactly subtree_size() occurrences, which the enumeration's
+  // size bound keeps small.
+  struct PropsWalker {
+    const DerivationCache& cache;
+    PlanContext::PropsTable* table;
+
+    void Visit(const PlanPtr& node, const NodeProps& p) {
+      table->push_back({node.get(), p});
+      for (size_t i = 0; i < node->arity(); ++i) {
+        bool ldf = false, lsdf = false, csdf = false;
+        switch (node->kind()) {
+          case OpKind::kDifference:
+          case OpKind::kDifferenceT: {
+            const NodeInfo* left = cache.Find(node->child(0).get());
+            ldf = left->duplicate_free;
+            lsdf = left->snapshot_duplicate_free;
+            break;
+          }
+          case OpKind::kCoalesce:
+            csdf = cache.Find(node->child(i).get())->snapshot_duplicate_free;
+            break;
+          default:
+            break;
+        }
+        Visit(node->child(i), DeriveChildProps(*node, i, p, ldf, lsdf, csdf));
+      }
+    }
+  };
+  PropsWalker props_walker{cache, &props};
+  NodeProps root_props{contract.result_type == ResultType::kList,
+                       contract.result_type != ResultType::kSet,
+                       /*period_preserving=*/true};
+
+  size_t size_cap = root->subtree_size() + options.max_plan_growth;
+
+  result.plans.push_back(
+      EnumeratedPlan{root, canon.Of(root), root->fingerprint(), -1, ""});
+  memo[root->fingerprint()].push_back(0);
+  if (pruning) {
+    best_cost = EstimatePlanCost(root, ctx, options.cost_engine);
+    costs.push_back(best_cost);
+  }
+
+  // Per-plan location index: locations in pre-order, plus per-root-kind
+  // buckets so each rule only visits locations it could match (in the same
+  // pre-order, so the admission sequence is identical to a full scan).
+  std::vector<PlanLocation> locations;
+  std::array<std::vector<uint32_t>, kOpKindCount> by_kind;
+
+  for (size_t p = 0; p < result.plans.size(); ++p) {
+    if (result.plans.size() >= options.max_plans) {
+      result.truncated = true;
+      break;
+    }
+    if (pruning && costs[p] > best_cost * options.cost_prune_factor) {
+      ++result.cost_pruned;
+      continue;
+    }
+    PlanPtr plan = result.plans[p].plan;
+
+    props.clear();
+    props.reserve(plan->subtree_size());
+    props_walker.Visit(plan, root_props);
+
+    locations.clear();
+    CollectLocations(plan, &locations);
+    for (auto& bucket : by_kind) bucket.clear();
+    for (uint32_t i = 0; i < locations.size(); ++i) {
+      by_kind[static_cast<size_t>(locations[i].node->kind())].push_back(i);
+    }
+
+    // Attempts one rule application at location index `li`; returns false
+    // once the plan cap is hit.
+    auto try_location = [&](const Rule& rule, uint32_t li) {
+      const PlanLocation& loc = locations[li];
+      if (!rule.MatchesChild0(*loc.node)) return true;
+      // Gate against the matched occurrence(s) only: restrict property
+      // lookups to the pre-order span of the matched subtree.
+      ctx.SetOccurrenceWindow(li, li + loc.node->subtree_size());
+      std::optional<RuleMatch> match = rule.TryApply(loc.node, ctx);
+      if (!match.has_value()) return true;
+      ++result.matches;
+
+      EquivalenceType effective = EffectiveEquivalence(rule, *match, ctx);
+      if (options.admitted.count(effective) == 0) return true;
+      if (!RuleAdmitted(effective, match->location, ctx)) {
+        ++result.gated_out;
+        return true;
+      }
+      ++result.admitted;
+
+      // O(1) size bound check before any rewriting happens.
+      size_t new_size = plan->subtree_size() - loc.node->subtree_size() +
+                        match->replacement->subtree_size();
+      if (new_size > size_cap) return true;
+
+      // Probe the memo before materializing the rewrite: a duplicate
+      // candidate costs one spine hash walk and one confirmed probe.
+      uint64_t cand_fp = FingerprintAtPath(plan, loc.path,
+                                           match->replacement->fingerprint());
+      if (auto it = memo.find(cand_fp); it != memo.end()) {
+        for (size_t idx : it->second) {
+          if (EqualsWithReplacement(result.plans[idx].plan, plan, loc.path,
+                                    match->replacement)) {
+            ++result.memo_hits;
+            return true;
+          }
+        }
+      }
+
+      PlanPtr rewritten = interner.RewriteInterned(
+          plan, loc.path, std::move(match->replacement));
+      TQP_DCHECK(rewritten->fingerprint() == cand_fp);
+      // Validate: only nodes the cache has never seen (the rebuilt spine)
+      // are actually derived; a cached node heads a known-valid subtree.
+      if (!cache.Derive(rewritten, catalog, options.cardinality).ok()) {
+        return true;  // invalid composition; not memoized
+      }
+      memo[cand_fp].push_back(result.plans.size());
+      result.plans.push_back(EnumeratedPlan{rewritten, canon.Of(rewritten),
+                                            rewritten->fingerprint(),
+                                            static_cast<int>(p), rule.id()});
+      if (pruning) {
+        double cost = EstimatePlanCost(rewritten, ctx, options.cost_engine);
+        costs.push_back(cost);
+        if (cost < best_cost) best_cost = cost;
+      }
+      return result.plans.size() < options.max_plans;
+    };
+
+    bool keep_going = true;
+    for (const Rule& rule : rules) {
+      const std::vector<OpKind>& kinds = rule.root_kinds();
+      if (kinds.size() == 1) {
+        for (uint32_t idx : by_kind[static_cast<size_t>(kinds[0])]) {
+          keep_going = try_location(rule, idx);
+          if (!keep_going) break;
+        }
+      } else if (kinds.empty()) {
+        for (uint32_t idx = 0; idx < locations.size(); ++idx) {
+          keep_going = try_location(rule, idx);
+          if (!keep_going) break;
+        }
+      } else {
+        for (uint32_t idx = 0; idx < locations.size(); ++idx) {
+          if (!rule.MatchesRootKind(locations[idx].node->kind())) continue;
+          keep_going = try_location(rule, idx);
+          if (!keep_going) break;
+        }
+      }
+      if (!keep_going) break;
+    }
+  }
+  if (result.plans.size() >= options.max_plans) result.truncated = true;
+
+  result.interner_nodes = interner.unique_nodes();
+  result.interner_hits = interner.hits();
+  result.cache_nodes = cache.size();
+  return result;
+}
+
+}  // namespace
+
+Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
+                                         const Catalog& catalog,
+                                         const QueryContract& contract,
+                                         const std::vector<Rule>& rules,
+                                         const EnumerationOptions& options) {
+  if (options.use_legacy_string_dedup) {
+    return EnumerateLegacy(initial, catalog, contract, rules, options);
+  }
+  return EnumerateMemo(initial, catalog, contract, rules, options);
 }
 
 }  // namespace tqp

@@ -1,4 +1,4 @@
-// The query plan enumeration algorithm of Figure 5.
+// The query plan enumeration algorithm of Figure 5, memo-based.
 //
 // A deterministic worklist explores the space of plans reachable from the
 // initial plan through the given transformation rules. A rule of equivalence
@@ -16,9 +16,20 @@
 // weakened to ≡M (the DBMS does not guarantee result order), except for
 // order-safe rules (the sort relocation rules and sort elimination).
 //
+// Search structure: every produced plan is hash-consed through a
+// PlanInterner, so plan identity is a pointer comparison and the set of
+// explored plans is a memo keyed by canonical root (an O(1) probe per
+// candidate, instead of the seed implementation's canonical-string
+// serialization). Rules rewrite at a location path — only the spine above
+// the rewritten node is rebuilt — and each distinct plan is annotated exactly
+// once, against a cross-plan DerivationCache of bottom-up node information.
+// The legacy string-dedup worklist is kept behind
+// EnumerationOptions::use_legacy_string_dedup for A/B measurement
+// (bench_fig5_enumeration); both produce the identical plan sequence.
+//
 // Termination: the default rule set excludes expanding rules (Section 6) and
 // a plan-size growth bound caps rule chains that grow plans (e.g. repeated
-// commutativity wrappers); plan dedup uses canonical serialization.
+// commutativity wrappers).
 #ifndef TQP_OPT_ENUMERATE_H_
 #define TQP_OPT_ENUMERATE_H_
 
@@ -26,13 +37,15 @@
 #include <string>
 #include <vector>
 
+#include "exec/cost_model.h"
 #include "rules/rules.h"
 
 namespace tqp {
 
 /// Options controlling the enumeration.
 struct EnumerationOptions {
-  /// Stop after this many distinct plans (the initial plan counts).
+  /// Stop after this many distinct plans admitted to the memo (the initial
+  /// plan counts). Raw rule matches and memo hits do not count.
   size_t max_plans = 4000;
   /// Skip replacement plans that exceed the initial size by this many nodes.
   size_t max_plan_growth = 8;
@@ -44,12 +57,27 @@ struct EnumerationOptions {
       EquivalenceType::kSet,          EquivalenceType::kSnapshotList,
       EquivalenceType::kSnapshotMultiset, EquivalenceType::kSnapshotSet,
   };
+  /// Cost-bounded pruning: when > 0, a plan whose estimated cost exceeds
+  /// `cost_prune_factor` times the cheapest cost seen so far is still
+  /// admitted to the result but never expanded. 0 (default) disables
+  /// pruning, so exhaustive benches and the completeness tests are
+  /// unaffected. Only the memo path supports pruning.
+  double cost_prune_factor = 0.0;
+  /// Cost/cardinality models backing the pruning bound.
+  EngineConfig cost_engine;
+  CardinalityParams cardinality;
+  /// Run the seed implementation (canonical-string dedup, two annotation
+  /// passes per plan, no interning). Kept as the before-side of the
+  /// before/after comparison in bench_fig5_enumeration.
+  bool use_legacy_string_dedup = false;
 };
 
 /// One enumerated plan with its derivation edge.
 struct EnumeratedPlan {
   PlanPtr plan;
   std::string canonical;
+  /// Structural fingerprint of the plan (equals plan->fingerprint()).
+  uint64_t fingerprint = 0;
   /// Index of the plan this one was derived from; -1 for the initial plan.
   int parent = -1;
   /// Rule that produced it (empty for the initial plan).
@@ -65,9 +93,21 @@ struct EnumerationResult {
   size_t admitted = 0;
   /// Applications rejected by the Figure 5 property gating.
   size_t gated_out = 0;
+  /// Candidates dropped because their canonical root was already in the memo
+  /// (the memo path's analogue of a string-dedup rejection).
+  size_t memo_hits = 0;
+  /// Distinct plan nodes owned by the interning table at the end.
+  size_t interner_nodes = 0;
+  /// Intern() visits resolved to an already-canonical node.
+  size_t interner_hits = 0;
+  /// Bottom-up derivation-cache entries at the end.
+  size_t cache_nodes = 0;
+  /// Plans admitted to the result but not expanded due to cost pruning.
+  size_t cost_pruned = 0;
 
   /// Reconstructs the rule chain that derived plan `index` from the initial
-  /// plan (oldest first).
+  /// plan (oldest first). Robust to plans whose parents appear at any
+  /// earlier index, regardless of expansion order.
   std::vector<std::string> DerivationOf(size_t index) const;
 };
 
@@ -80,10 +120,11 @@ Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
 
 /// True iff a rule of type `equiv` is admitted at a location given the
 /// properties of the location's operations (the Figure 5 disjunction).
-/// Exposed for tests and the property benches.
+/// Exposed for tests and the property benches; an AnnotatedPlan converts
+/// implicitly into the PlanContext view.
 bool RuleAdmitted(EquivalenceType equiv,
                   const std::vector<const PlanNode*>& location,
-                  const AnnotatedPlan& ann);
+                  const PlanContext& ctx);
 
 /// Rules that may keep their ≡L claim when their location includes DBMS-site
 /// operations (Section 4.5's sort exception).

@@ -6,21 +6,31 @@ Result<OptimizeResult> Optimize(const PlanPtr& initial, const Catalog& catalog,
                                 const QueryContract& contract,
                                 const std::vector<Rule>& rules,
                                 const OptimizerOptions& options) {
-  TQP_ASSIGN_OR_RETURN(enumeration,
-                       EnumeratePlans(initial, catalog, contract, rules,
-                                      options.enumeration));
+  // The enumeration shares the optimizer's cost and cardinality models, so
+  // cost-bounded pruning (when enabled) bounds against the same costs the
+  // final plan choice uses.
+  EnumerationOptions enum_options = options.enumeration;
+  enum_options.cardinality = options.cardinality;
+  enum_options.cost_engine = options.engine;
+  TQP_ASSIGN_OR_RETURN(
+      enumeration,
+      EnumeratePlans(initial, catalog, contract, rules, enum_options));
 
   OptimizeResult out;
   out.plans_considered = enumeration.plans.size();
   out.truncated = enumeration.truncated;
 
+  // Cost every plan against one shared bottom-up derivation cache — the
+  // enumerated plans are structurally overlapping, so most nodes are derived
+  // once across the whole set.
+  DerivationCache cache;
+  PlanContext ctx(&cache, nullptr, &contract);
   size_t best_index = 0;
   double best_cost = 0.0;
   for (size_t i = 0; i < enumeration.plans.size(); ++i) {
-    Result<AnnotatedPlan> ann = AnnotatedPlan::Make(
-        enumeration.plans[i].plan, &catalog, contract, options.cardinality);
-    if (!ann.ok()) continue;
-    double cost = EstimatePlanCost(ann.value(), options.engine);
+    const PlanPtr& plan = enumeration.plans[i].plan;
+    if (!cache.Derive(plan, catalog, options.cardinality).ok()) continue;
+    double cost = EstimatePlanCost(plan, ctx, options.engine);
     if (i == 0) out.initial_cost = cost;
     if (i == 0 || cost < best_cost) {
       best_cost = cost;

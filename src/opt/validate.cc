@@ -1,5 +1,8 @@
 #include "opt/validate.h"
 
+#include <set>
+#include <utility>
+
 namespace tqp {
 
 namespace {
@@ -9,8 +12,13 @@ namespace {
 // sensitivity of operations below it cannot reach the result (this is what
 // legitimizes the paper's own Figure 2(a) plan, whose bottom rdupT feeds \T
 // under a top-level coalT∘rdupT).
+//
+// Hash-consed plans may share subtrees; `seen` keeps the walk linear in the
+// number of distinct (node, scope) states and each warning unique.
 void Visit(const AnnotatedPlan& plan, const PlanPtr& node, bool normalized,
+           std::set<std::pair<const PlanNode*, bool>>* seen,
            std::vector<ValidationWarning>* out) {
+  if (!seen->emplace(node.get(), normalized).second) return;
   const NodeInfo* child_info =
       node->arity() > 0 ? &plan.info(node->child(0).get()) : nullptr;
   if (!normalized) {
@@ -61,7 +69,7 @@ void Visit(const AnnotatedPlan& plan, const PlanPtr& node, bool normalized,
   bool enters_idiom = node->kind() == OpKind::kCoalesce &&
                       node->child(0)->kind() == OpKind::kRdupT;
   for (const PlanPtr& c : node->children()) {
-    Visit(plan, c, normalized || enters_idiom, out);
+    Visit(plan, c, normalized || enters_idiom, seen, out);
   }
 }
 
@@ -70,7 +78,8 @@ void Visit(const AnnotatedPlan& plan, const PlanPtr& node, bool normalized,
 std::vector<ValidationWarning> ValidateOrderSensitivity(
     const AnnotatedPlan& plan) {
   std::vector<ValidationWarning> out;
-  Visit(plan, plan.plan(), /*normalized=*/false, &out);
+  std::set<std::pair<const PlanNode*, bool>> seen;
+  Visit(plan, plan.plan(), /*normalized=*/false, &seen, &out);
   return out;
 }
 

@@ -75,7 +75,7 @@ inline bool SortSpecIsTimeFree(const SortSpec& spec) {
 }
 
 /// Shorthand: the node info of a child subtree root.
-inline const NodeInfo& Info(const AnnotatedPlan& ann, const PlanPtr& node) {
+inline const NodeInfo& Info(const PlanContext& ann, const PlanPtr& node) {
   return ann.info(node.get());
 }
 

@@ -36,6 +36,12 @@
 namespace tqp {
 
 /// A successful rule application at some location.
+///
+/// `replacement` must be a freshly built subtree that *shares* (not clones)
+/// the operand subtrees of the matched plan: the enumerator rewrites at a
+/// location path and rebuilds only the spine above it (path copying), so
+/// everything below the rewritten operators stays physically shared with the
+/// source plan — which is what makes hash-consed enumeration cheap.
 struct RuleMatch {
   /// Replacement for the matched subtree root.
   PlanPtr replacement;
@@ -49,19 +55,50 @@ struct RuleMatch {
 class Rule {
  public:
   using ApplyFn = std::function<std::optional<RuleMatch>(
-      const PlanPtr&, const AnnotatedPlan&)>;
+      const PlanPtr&, const PlanContext&)>;
 
+  /// `root_kinds` lists the operator kinds the rule's left-hand side can
+  /// match as the location root, and `child0_kinds` the kinds its first
+  /// operand position can take when the left-hand side constrains it; empty
+  /// means "any". The enumerator uses both to skip guaranteed non-matches
+  /// without the indirect TryApply call — the rule body remains the source
+  /// of truth and re-checks the kinds.
   Rule(std::string id, std::string description, EquivalenceType equivalence,
-       bool expanding, ApplyFn apply)
+       bool expanding, ApplyFn apply, std::vector<OpKind> root_kinds = {},
+       std::vector<OpKind> child0_kinds = {})
       : id_(std::move(id)),
         description_(std::move(description)),
         equivalence_(equivalence),
         expanding_(expanding),
-        apply_(std::move(apply)) {}
+        apply_(std::move(apply)),
+        root_kinds_(std::move(root_kinds)),
+        child0_kinds_(std::move(child0_kinds)) {}
 
   const std::string& id() const { return id_; }
   const std::string& description() const { return description_; }
   EquivalenceType equivalence() const { return equivalence_; }
+  const std::vector<OpKind>& root_kinds() const { return root_kinds_; }
+  const std::vector<OpKind>& child0_kinds() const { return child0_kinds_; }
+
+  /// True iff a location rooted at an operator of kind `k` could match.
+  bool MatchesRootKind(OpKind k) const {
+    if (root_kinds_.empty()) return true;
+    for (OpKind rk : root_kinds_) {
+      if (rk == k) return true;
+    }
+    return false;
+  }
+
+  /// True iff the location root `node` passes the first-operand kind filter.
+  bool MatchesChild0(const PlanNode& node) const {
+    if (child0_kinds_.empty()) return true;
+    if (node.arity() == 0) return false;
+    OpKind k = node.child(0)->kind();
+    for (OpKind ck : child0_kinds_) {
+      if (ck == k) return true;
+    }
+    return false;
+  }
 
   /// True for rules that introduce additional operations (e.g. r → rdup(r)).
   /// The default heuristic of Section 6 excludes them so enumeration
@@ -71,9 +108,11 @@ class Rule {
   /// Attempts to apply the rule with `node` as the location root.
   /// Returns nullopt if the left-hand side does not match or a precondition
   /// fails. Applicability gating per Figure 5 happens in the enumerator.
+  /// `ctx` provides the bottom-up annotations the preconditions consult; an
+  /// AnnotatedPlan converts implicitly.
   std::optional<RuleMatch> TryApply(const PlanPtr& node,
-                                    const AnnotatedPlan& ann) const {
-    return apply_(node, ann);
+                                    const PlanContext& ctx) const {
+    return apply_(node, ctx);
   }
 
  private:
@@ -82,6 +121,8 @@ class Rule {
   EquivalenceType equivalence_;
   bool expanding_;
   ApplyFn apply_;
+  std::vector<OpKind> root_kinds_;
+  std::vector<OpKind> child0_kinds_;
 };
 
 /// Which rule families to instantiate.

@@ -85,7 +85,7 @@ ExprPtr Substitute(const ExprPtr& e, const std::vector<ProjItem>& defs) {
 // Select-pushdown through a product side, shared by P4/P5 and their ×T
 // counterparts.
 std::optional<RuleMatch> PushSelectThroughProduct(const PlanPtr& n,
-                                                  const AnnotatedPlan& ann,
+                                                  const PlanContext& ann,
                                                   bool temporal, bool left) {
   OpKind prod_kind = temporal ? OpKind::kProductT : OpKind::kProduct;
   if (n->kind() != OpKind::kSelect) return NoMatch();
@@ -118,7 +118,7 @@ void AppendConventionalRules(std::vector<Rule>* out) {
   out->emplace_back(
       "P1", "select_p(select_q(r)) -> select_q(select_p(r))", ET::kList,
       false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kSelect) return NoMatch();
@@ -128,12 +128,14 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         PlanPtr rep = PlanNode::Select(PlanNode::Select(r, n->predicate()),
                                        inner->predicate());
         return RuleMatch{rep, Loc({&n, &inner, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kSelect});
 
   // (P2) σp∧q(r) ≡L σp(σq(r)) and back.
   out->emplace_back(
       "P2", "select_{p AND q}(r) -> select_p(select_q(r))", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kSelect) return NoMatch();
@@ -143,10 +145,11 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         ExprPtr q = n->predicate()->children()[1];
         PlanPtr rep = PlanNode::Select(PlanNode::Select(r, q), p);
         return RuleMatch{rep, Loc({&n, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect});
   out->emplace_back(
       "P2'", "select_p(select_q(r)) -> select_{p AND q}(r)", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kSelect) return NoMatch();
@@ -156,13 +159,15 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         PlanPtr rep = PlanNode::Select(
             r, Expr::And(n->predicate(), inner->predicate()));
         return RuleMatch{rep, Loc({&n, &inner, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kSelect});
 
   // (P3) σp(πF(r)) ≡L πF(σp'(r)), p' = p with projection defs substituted.
   out->emplace_back(
       "P3", "select_p(project_F(r)) -> project_F(select_p'(r))", ET::kList,
       false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kSelect) return NoMatch();
@@ -173,43 +178,53 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         PlanPtr rep = PlanNode::Project(PlanNode::Select(r, pushed),
                                         proj->projections());
         return RuleMatch{rep, Loc({&n, &proj, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kProject});
 
   // (P4/P5) σp over × pushes into the side covering attr(p); ≡L.
   out->emplace_back(
       "P4", "select_p(r1 x r2) -> select_p(r1) x r2  [attr(p) in r1]",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+      [](const PlanPtr& n, const PlanContext& ann) {
         return PushSelectThroughProduct(n, ann, /*temporal=*/false,
                                         /*left=*/true);
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kProduct});
   out->emplace_back(
       "P5", "select_p(r1 x r2) -> r1 x select_p(r2)  [attr(p) in r2]",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+      [](const PlanPtr& n, const PlanContext& ann) {
         return PushSelectThroughProduct(n, ann, /*temporal=*/false,
                                         /*left=*/false);
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kProduct});
   // (P4T/P5T) temporal counterparts; p must be time-free.
   out->emplace_back(
       "P4T", "select_p(r1 xT r2) -> select_p(r1) xT r2  [p time-free, in r1]",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+      [](const PlanPtr& n, const PlanContext& ann) {
         return PushSelectThroughProduct(n, ann, /*temporal=*/true,
                                         /*left=*/true);
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kProductT});
   out->emplace_back(
       "P5T", "select_p(r1 xT r2) -> r1 xT select_p(r2)  [p time-free, in r2]",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+      [](const PlanPtr& n, const PlanContext& ann) {
         return PushSelectThroughProduct(n, ann, /*temporal=*/true,
                                         /*left=*/false);
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kProductT});
 
   // (P6) σp(r1 ⊎ r2) ≡L σp(r1) ⊎ σp(r2); (P7) the ∪ counterpart;
   // (P7T) the ∪T counterpart with a time-free predicate.
   auto push_select_binary = [](OpKind op, bool need_time_free) {
-    return [op, need_time_free](const PlanPtr& n, const AnnotatedPlan& ann)
+    return [op, need_time_free](const PlanPtr& n, const PlanContext& ann)
                -> std::optional<RuleMatch> {
       (void)ann;
       if (n->kind() != OpKind::kSelect) return NoMatch();
@@ -247,29 +262,39 @@ void AppendConventionalRules(std::vector<Rule>* out) {
                     "select_p(r1 UNION-ALL r2) -> select_p(r1) UNION-ALL "
                     "select_p(r2)",
                     ET::kList, false,
-                    push_select_binary(OpKind::kUnionAll, false));
+                    push_select_binary(OpKind::kUnionAll, false),
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kUnionAll});
   out->emplace_back("P7", "select_p(r1 U r2) -> select_p(r1) U select_p(r2)",
                     ET::kList, false,
-                    push_select_binary(OpKind::kUnion, false));
+                    push_select_binary(OpKind::kUnion, false),
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kUnion});
   out->emplace_back(
       "P7T",
       "select_p(r1 U^T r2) -> select_p(r1) U^T select_p(r2)  [p time-free]",
-      ET::kList, false, push_select_binary(OpKind::kUnionT, true));
+      ET::kList, false, push_select_binary(OpKind::kUnionT, true),
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kUnionT});
 
   // (P8/P8T) σp distributes over difference.
   out->emplace_back("P8",
                     "select_p(r1 \\ r2) -> select_p(r1) \\ select_p(r2)",
                     ET::kList, false,
-                    push_select_binary(OpKind::kDifference, false));
+                    push_select_binary(OpKind::kDifference, false),
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kDifference});
   out->emplace_back(
       "P8T",
       "select_p(r1 \\T r2) -> select_p(r1) \\T select_p(r2)  [p time-free]",
-      ET::kList, false, push_select_binary(OpKind::kDifferenceT, true));
+      ET::kList, false, push_select_binary(OpKind::kDifferenceT, true),
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kDifferenceT});
 
   // (P9) σp(rdup(r)) ≡L rdup(σp'(r)); p' maps the 1.T1/1.T2 renames back.
   out->emplace_back(
       "P9", "select_p(rdup(r)) -> rdup(select_p'(r))", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kSelect) return NoMatch();
         const PlanPtr& dup = n->child(0);
@@ -282,13 +307,15 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         }
         PlanPtr rep = PlanNode::Rdup(PlanNode::Select(r, pushed));
         return RuleMatch{rep, Loc({&n, &dup, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kRdup});
 
   // (P9T) σp(rdupT(r)) ≡L rdupT(σp(r)), p time-free.
   out->emplace_back(
       "P9T", "select_p(rdupT(r)) -> rdupT(select_p(r))  [p time-free]",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kSelect) return NoMatch();
@@ -298,11 +325,13 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         const PlanPtr& r = dup->child(0);
         PlanPtr rep = PlanNode::RdupT(PlanNode::Select(r, n->predicate()));
         return RuleMatch{rep, Loc({&n, &dup, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kRdupT});
 
   // (P10/P10T) σp over aggregation when attr(p) ⊆ grouping attributes.
   auto push_select_agg = [](OpKind op) {
-    return [op](const PlanPtr& n, const AnnotatedPlan& ann)
+    return [op](const PlanPtr& n, const PlanContext& ann)
                -> std::optional<RuleMatch> {
       (void)ann;
       if (n->kind() != OpKind::kSelect) return NoMatch();
@@ -325,17 +354,21 @@ void AppendConventionalRules(std::vector<Rule>* out) {
   out->emplace_back("P10",
                     "select_p(agg_{G;F}(r)) -> agg_{G;F}(select_p(r))  "
                     "[attr(p) in G]",
-                    ET::kList, false, push_select_agg(OpKind::kAggregate));
+                    ET::kList, false, push_select_agg(OpKind::kAggregate),
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kAggregate});
   out->emplace_back("P10T",
                     "select_p(aggT_{G;F}(r)) -> aggT_{G;F}(select_p(r))  "
                     "[attr(p) in G]",
-                    ET::kList, false, push_select_agg(OpKind::kAggregateT));
+                    ET::kList, false, push_select_agg(OpKind::kAggregateT),
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kAggregateT});
 
   // ---- J: projection rules ----------------------------------------------
   // (J1) πA(πB(r)) ≡L π(A∘B)(r).
   out->emplace_back(
       "J1", "project_A(project_B(r)) -> project_{A.B}(r)", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kProject) return NoMatch();
@@ -349,14 +382,16 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         }
         PlanPtr rep = PlanNode::Project(r, std::move(composed));
         return RuleMatch{rep, Loc({&n, &inner, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kProject},
+      std::vector<OpKind>{OpKind::kProject});
 
   // (J2) πF(r1 ⊎ r2) ≡L πF(r1) ⊎ πF(r2), both directions.
   out->emplace_back(
       "J2", "project_F(r1 UNION-ALL r2) -> project_F(r1) UNION-ALL "
             "project_F(r2)",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kProject) return NoMatch();
@@ -368,12 +403,14 @@ void AppendConventionalRules(std::vector<Rule>* out) {
             PlanNode::UnionAll(PlanNode::Project(r1, n->projections()),
                                PlanNode::Project(r2, n->projections()));
         return RuleMatch{rep, Loc({&n, &u, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kProject},
+      std::vector<OpKind>{OpKind::kUnionAll});
   out->emplace_back(
       "J2'", "project_F(r1) UNION-ALL project_F(r2) -> project_F(r1 "
              "UNION-ALL r2)",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kUnionAll) return NoMatch();
         const PlanPtr& p1 = n->child(0);
@@ -399,14 +436,16 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         PlanPtr rep = PlanNode::Project(PlanNode::UnionAll(r1, r2),
                                         p1->projections());
         return RuleMatch{rep, Loc({&n, &p1, &p2, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kUnionAll},
+      std::vector<OpKind>{OpKind::kProject});
 
   // ---- A: commutativity / associativity ---------------------------------
   // (A1) r1 × r2 ≡M π_reorder(r2 × r1).
   out->emplace_back(
       "A1", "r1 x r2 -> project(r2 x r1)  (multiset level)", ET::kMultiset,
       false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kProduct) return NoMatch();
         const PlanPtr& r1 = n->child(0);
@@ -429,13 +468,14 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         PlanPtr rep = PlanNode::Project(PlanNode::Product(r2, r1),
                                         std::move(items));
         return RuleMatch{rep, Loc({&n, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kProduct});
 
   // (A1T) r1 ×T r2 ≡M π_reorder(r2 ×T r1) (swaps the retained timestamps).
   out->emplace_back(
       "A1T", "r1 xT r2 -> project(r2 xT r1)  (multiset level)", ET::kMultiset,
       false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kProductT) return NoMatch();
         const PlanPtr& r1 = n->child(0);
@@ -469,7 +509,8 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         PlanPtr rep = PlanNode::Project(PlanNode::ProductT(r2, r1),
                                         std::move(items));
         return RuleMatch{rep, Loc({&n, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kProductT});
 
   // (A2) (r1 × r2) × r3 ≡L r1 × (r2 × r3) when no attribute names clash.
   auto no_clash = [](const Schema& a, const Schema& b, const Schema& c) {
@@ -484,7 +525,7 @@ void AppendConventionalRules(std::vector<Rule>* out) {
   out->emplace_back(
       "A2", "(r1 x r2) x r3 -> r1 x (r2 x r3)  [no name clashes]", ET::kList,
       false,
-      [no_clash](const PlanPtr& n, const AnnotatedPlan& ann)
+      [no_clash](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kProduct) return NoMatch();
         const PlanPtr& lp = n->child(0);
@@ -498,11 +539,13 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         }
         PlanPtr rep = PlanNode::Product(r1, PlanNode::Product(r2, r3));
         return RuleMatch{rep, Loc({&n, &lp, &r1, &r2, &r3})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kProduct},
+      std::vector<OpKind>{OpKind::kProduct});
   out->emplace_back(
       "A2'", "r1 x (r2 x r3) -> (r1 x r2) x r3  [no name clashes]", ET::kList,
       false,
-      [no_clash](const PlanPtr& n, const AnnotatedPlan& ann)
+      [no_clash](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kProduct) return NoMatch();
         const PlanPtr& rp = n->child(1);
@@ -516,26 +559,28 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         }
         PlanPtr rep = PlanNode::Product(PlanNode::Product(r1, r2), r3);
         return RuleMatch{rep, Loc({&n, &rp, &r1, &r2, &r3})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kProduct});
 
   // (A3) r1 ⊎ r2 ≡M r2 ⊎ r1;  (A4) ⊎ associativity ≡L;
   // (A5) ∪ commutativity ≡M;  (A5T) ∪T commutativity ≡SM.
   out->emplace_back(
       "A3", "r1 UNION-ALL r2 -> r2 UNION-ALL r1  (multiset level)",
       ET::kMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kUnionAll) return NoMatch();
         const PlanPtr& r1 = n->child(0);
         const PlanPtr& r2 = n->child(1);
         return RuleMatch{PlanNode::UnionAll(r2, r1), Loc({&n, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kUnionAll});
   out->emplace_back(
       "A4", "(r1 UNION-ALL r2) UNION-ALL r3 -> r1 UNION-ALL (r2 UNION-ALL "
             "r3)",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kUnionAll) return NoMatch();
@@ -546,34 +591,38 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         const PlanPtr& r3 = n->child(1);
         PlanPtr rep = PlanNode::UnionAll(r1, PlanNode::UnionAll(r2, r3));
         return RuleMatch{rep, Loc({&n, &lu, &r1, &r2, &r3})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kUnionAll},
+      std::vector<OpKind>{OpKind::kUnionAll});
   out->emplace_back(
       "A5", "r1 U r2 -> r2 U r1  (multiset level)", ET::kMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kUnion) return NoMatch();
         const PlanPtr& r1 = n->child(0);
         const PlanPtr& r2 = n->child(1);
         return RuleMatch{PlanNode::Union(r2, r1), Loc({&n, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kUnion});
   out->emplace_back(
       "A5T", "r1 U^T r2 -> r2 U^T r1  (snapshot-multiset level)",
       ET::kSnapshotMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kUnionT) return NoMatch();
         const PlanPtr& r1 = n->child(0);
         const PlanPtr& r2 = n->child(1);
         return RuleMatch{PlanNode::UnionT(r2, r1), Loc({&n, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kUnionT});
 
   // ---- F: difference rules ----------------------------------------------
   // (F1) (r1 \ r2) \ r3 ≡L r1 \ (r2 ⊎ r3), both directions.
   out->emplace_back(
       "F1", "(r1 \\ r2) \\ r3 -> r1 \\ (r2 UNION-ALL r3)", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kDifference) return NoMatch();
@@ -585,10 +634,12 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         PlanPtr rep =
             PlanNode::Difference(r1, PlanNode::UnionAll(r2, r3));
         return RuleMatch{rep, Loc({&n, &ld, &r1, &r2, &r3})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kDifference},
+      std::vector<OpKind>{OpKind::kDifference});
   out->emplace_back(
       "F1'", "r1 \\ (r2 UNION-ALL r3) -> (r1 \\ r2) \\ r3", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kDifference) return NoMatch();
@@ -600,7 +651,8 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         PlanPtr rep =
             PlanNode::Difference(PlanNode::Difference(r1, r2), r3);
         return RuleMatch{rep, Loc({&n, &u, &r1, &r2, &r3})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kDifference});
 
   // (F1T) (r1 \T r2) \T r3 ≡L r1 \T (r2 ⊎ r3), r1 snapshot-duplicate-free.
   out->emplace_back(
@@ -608,7 +660,7 @@ void AppendConventionalRules(std::vector<Rule>* out) {
       "(r1 \\T r2) \\T r3 -> r1 \\T (r2 UNION-ALL r3)  "
       "[r1 snapshot-duplicate-free]",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kDifferenceT) return NoMatch();
         const PlanPtr& ld = n->child(0);
@@ -620,13 +672,15 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         PlanPtr rep =
             PlanNode::DifferenceT(r1, PlanNode::UnionAll(r2, r3));
         return RuleMatch{rep, Loc({&n, &ld, &r1, &r2, &r3})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kDifferenceT},
+      std::vector<OpKind>{OpKind::kDifferenceT});
 
   // ---- G: duplicate-elimination interplay --------------------------------
   // (G1) rdup(r1 × r2) ≡L rdup(r1) × rdup(r2) (non-temporal arguments).
   out->emplace_back(
       "G1", "rdup(r1 x r2) -> rdup(r1) x rdup(r2)", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kRdup) return NoMatch();
         const PlanPtr& prod = n->child(0);
@@ -640,11 +694,13 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         PlanPtr rep =
             PlanNode::Product(PlanNode::Rdup(r1), PlanNode::Rdup(r2));
         return RuleMatch{rep, Loc({&n, &prod, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kRdup},
+      std::vector<OpKind>{OpKind::kProduct});
 
   // (G2) rdup(rdup(r)) ≡L rdup(r); (G3/G4) rdupT and coalT idempotence.
   auto idempotent = [](OpKind op) {
-    return [op](const PlanPtr& n, const AnnotatedPlan& ann)
+    return [op](const PlanPtr& n, const PlanContext& ann)
                -> std::optional<RuleMatch> {
       (void)ann;
       if (n->kind() != op) return NoMatch();
@@ -654,18 +710,24 @@ void AppendConventionalRules(std::vector<Rule>* out) {
     };
   };
   out->emplace_back("G2", "rdup(rdup(r)) -> rdup(r)", ET::kList, false,
-                    idempotent(OpKind::kRdup));
+                    idempotent(OpKind::kRdup),
+      std::vector<OpKind>{OpKind::kRdup},
+      std::vector<OpKind>{OpKind::kRdup});
   out->emplace_back("G3", "rdupT(rdupT(r)) -> rdupT(r)", ET::kList, false,
-                    idempotent(OpKind::kRdupT));
+                    idempotent(OpKind::kRdupT),
+      std::vector<OpKind>{OpKind::kRdupT},
+      std::vector<OpKind>{OpKind::kRdupT});
   out->emplace_back("G4", "coalT(coalT(r)) -> coalT(r)", ET::kList, false,
-                    idempotent(OpKind::kCoalesce));
+                    idempotent(OpKind::kCoalesce),
+      std::vector<OpKind>{OpKind::kCoalesce},
+      std::vector<OpKind>{OpKind::kCoalesce});
 
   // (G5) rdupT(coalT(rdupT(r))) ≡L coalT(rdupT(r)): after the rdupT+coalT
   // idiom the relation is snapshot-duplicate-free, so the outer rdupT is
   // superfluous (this also falls out of D2 via the guarantees).
   out->emplace_back(
       "G5", "rdupT(coalT(rdupT(r))) -> coalT(rdupT(r))", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kRdupT) return NoMatch();
@@ -673,7 +735,9 @@ void AppendConventionalRules(std::vector<Rule>* out) {
         if (coal->kind() != OpKind::kCoalesce) return NoMatch();
         if (coal->child(0)->kind() != OpKind::kRdupT) return NoMatch();
         return RuleMatch{coal, Loc({&n, &coal})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kRdupT},
+      std::vector<OpKind>{OpKind::kCoalesce});
 
   // (B2) coalT(π_A(r1 ×T r2)) ≡SM π_A(coalT(r1) ×T coalT(r2)), the Böhlen
   // variant of C9 without preconditions.
@@ -682,7 +746,7 @@ void AppendConventionalRules(std::vector<Rule>* out) {
       "coalT(project_A(r1 xT r2)) -> project_A(coalT(r1) xT coalT(r2))  "
       "(snapshot-multiset level)",
       ET::kSnapshotMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kCoalesce) return NoMatch();
         const PlanPtr& proj = n->child(0);
@@ -715,7 +779,9 @@ void AppendConventionalRules(std::vector<Rule>* out) {
             PlanNode::ProductT(PlanNode::Coalesce(r1), PlanNode::Coalesce(r2)),
             proj->projections());
         return RuleMatch{rep, Loc({&n, &proj, &prod, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kCoalesce},
+      std::vector<OpKind>{OpKind::kProject});
 }
 
 }  // namespace tqp

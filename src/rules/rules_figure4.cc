@@ -27,52 +27,56 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
   // it would change the schema.
   out->emplace_back(
       "D1", "rdup(r) -> r  [r duplicate-free]", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kRdup) return NoMatch();
         const PlanPtr& r = n->child(0);
         if (Info(ann, r).schema.IsTemporal()) return NoMatch();
         if (!Info(ann, r).duplicate_free) return NoMatch();
         return RuleMatch{r, Loc({&n, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kRdup});
 
   // (D2) rdupT(r) ≡L r, if r has no duplicates in snapshots.
   out->emplace_back(
       "D2", "rdupT(r) -> r  [r snapshot-duplicate-free]", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kRdupT) return NoMatch();
         const PlanPtr& r = n->child(0);
         if (!Info(ann, r).snapshot_duplicate_free) return NoMatch();
         return RuleMatch{r, Loc({&n, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kRdupT});
 
   // (D3) rdup(r) ≡S r (non-temporal inputs; see D1 note).
   out->emplace_back(
       "D3", "rdup(r) -> r  (set level)", ET::kSet, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kRdup) return NoMatch();
         const PlanPtr& r = n->child(0);
         if (Info(ann, r).schema.IsTemporal()) return NoMatch();
         return RuleMatch{r, Loc({&n, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kRdup});
 
   // (D4) rdupT(r) ≡SS r.
   out->emplace_back(
       "D4", "rdupT(r) -> r  (snapshot-set level)", ET::kSnapshotSet, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kRdupT) return NoMatch();
         const PlanPtr& r = n->child(0);
         return RuleMatch{r, Loc({&n, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kRdupT});
 
   // (D5) rdup(r1 ∪ r2) ≡L rdup(r1) ∪ rdup(r2), both directions.
   out->emplace_back(
       "D5", "rdup(r1 U r2) -> rdup(r1) U rdup(r2)", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kRdup) return NoMatch();
@@ -82,10 +86,12 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         const PlanPtr& r2 = u->child(1);
         PlanPtr rep = PlanNode::Union(PlanNode::Rdup(r1), PlanNode::Rdup(r2));
         return RuleMatch{rep, Loc({&n, &u, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kRdup},
+      std::vector<OpKind>{OpKind::kUnion});
   out->emplace_back(
       "D5'", "rdup(r1) U rdup(r2) -> rdup(r1 U r2)", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kUnion) return NoMatch();
@@ -98,12 +104,14 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         const PlanPtr& r2 = d2->child(0);
         PlanPtr rep = PlanNode::Rdup(PlanNode::Union(r1, r2));
         return RuleMatch{rep, Loc({&n, &d1, &d2, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kUnion},
+      std::vector<OpKind>{OpKind::kRdup});
 
   // (D6) rdupT(r1 ∪T r2) ≡L rdupT(r1) ∪T rdupT(r2), both directions.
   out->emplace_back(
       "D6", "rdupT(r1 U^T r2) -> rdupT(r1) U^T rdupT(r2)", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kRdupT) return NoMatch();
@@ -114,10 +122,12 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         PlanPtr rep =
             PlanNode::UnionT(PlanNode::RdupT(r1), PlanNode::RdupT(r2));
         return RuleMatch{rep, Loc({&n, &u, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kRdupT},
+      std::vector<OpKind>{OpKind::kUnionT});
   out->emplace_back(
       "D6'", "rdupT(r1) U^T rdupT(r2) -> rdupT(r1 U^T r2)", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kUnionT) return NoMatch();
@@ -130,37 +140,41 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         const PlanPtr& r2 = d2->child(0);
         PlanPtr rep = PlanNode::RdupT(PlanNode::UnionT(r1, r2));
         return RuleMatch{rep, Loc({&n, &d1, &d2, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kUnionT},
+      std::vector<OpKind>{OpKind::kRdupT});
 
   // ---- Coalescing -------------------------------------------------------
   // (C1) coalT(r) ≡L r, if r is coalesced.
   out->emplace_back(
       "C1", "coalT(r) -> r  [r coalesced]", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kCoalesce) return NoMatch();
         const PlanPtr& r = n->child(0);
         if (!Info(ann, r).coalesced) return NoMatch();
         return RuleMatch{r, Loc({&n, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kCoalesce});
 
   // (C2) coalT(r) ≡SM r.
   out->emplace_back(
       "C2", "coalT(r) -> r  (snapshot-multiset level)", ET::kSnapshotMultiset,
       false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kCoalesce) return NoMatch();
         const PlanPtr& r = n->child(0);
         return RuleMatch{r, Loc({&n, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kCoalesce});
 
   // (C3) coalT(σP(r)) ≡L σP(coalT(r)), if T1,T2 ∉ attr(P); both directions.
   out->emplace_back(
       "C3", "coalT(select_P(r)) -> select_P(coalT(r))  [P time-free]",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kCoalesce) return NoMatch();
@@ -171,11 +185,13 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         PlanPtr rep =
             PlanNode::Select(PlanNode::Coalesce(r), sel->predicate());
         return RuleMatch{rep, Loc({&n, &sel, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kCoalesce},
+      std::vector<OpKind>{OpKind::kSelect});
   out->emplace_back(
       "C3'", "select_P(coalT(r)) -> coalT(select_P(r))  [P time-free]",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kSelect) return NoMatch();
@@ -186,13 +202,15 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         PlanPtr rep =
             PlanNode::Coalesce(PlanNode::Select(r, n->predicate()));
         return RuleMatch{rep, Loc({&n, &coal, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kCoalesce});
 
   // (C4) π_f(coalT(r)) ≡S π_f(r), if T1,T2 ∉ attr(f).
   out->emplace_back(
       "C4", "project_f(coalT(r)) -> project_f(r)  [f time-free, set level]",
       ET::kSet, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kProject) return NoMatch();
@@ -202,13 +220,15 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         const PlanPtr& r = coal->child(0);
         PlanPtr rep = PlanNode::Project(r, n->projections());
         return RuleMatch{rep, Loc({&n, &coal, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kProject},
+      std::vector<OpKind>{OpKind::kCoalesce});
 
   // (C5) coalT(coalT(r1) ⊎ coalT(r2)) ≡L coalT(r1 ⊎ r2).
   out->emplace_back(
       "C5", "coalT(coalT(r1) UNION-ALL coalT(r2)) -> coalT(r1 UNION-ALL r2)",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kCoalesce) return NoMatch();
@@ -223,13 +243,15 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         const PlanPtr& r2 = c2->child(0);
         PlanPtr rep = PlanNode::Coalesce(PlanNode::UnionAll(r1, r2));
         return RuleMatch{rep, Loc({&n, &u, &c1, &c2, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kCoalesce},
+      std::vector<OpKind>{OpKind::kUnionAll});
 
   // (C6) coalT(coalT(r1) ∪T coalT(r2)) ≡L coalT(r1 ∪T r2).
   out->emplace_back(
       "C6", "coalT(coalT(r1) U^T coalT(r2)) -> coalT(r1 U^T r2)", ET::kList,
       false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kCoalesce) return NoMatch();
@@ -244,12 +266,14 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         const PlanPtr& r2 = c2->child(0);
         PlanPtr rep = PlanNode::Coalesce(PlanNode::UnionT(r1, r2));
         return RuleMatch{rep, Loc({&n, &u, &c1, &c2, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kCoalesce},
+      std::vector<OpKind>{OpKind::kUnionT});
 
   // (C7) coalT(ℵT(coalT(r))) ≡L coalT(ℵT(r)).
   out->emplace_back(
       "C7", "coalT(aggT(coalT(r))) -> coalT(aggT(r))", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kCoalesce) return NoMatch();
@@ -261,7 +285,9 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         PlanPtr rep = PlanNode::Coalesce(PlanNode::AggregateT(
             r, agg->group_by(), agg->aggregates()));
         return RuleMatch{rep, Loc({&n, &agg, &inner, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kCoalesce},
+      std::vector<OpKind>{OpKind::kAggregateT});
 
   // (C8) coalT(π_{f,T1,T2}(coalT(r))) ≡L coalT(π_{f,T1,T2}(r)),
   //      if r has no duplicates in snapshots.
@@ -277,7 +303,7 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
       "coalT(project_{f,T1,T2}(coalT(r))) -> coalT(project_{f,T1,T2}(r))  "
       "[r snapshot-duplicate-free; permutation projection]",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kCoalesce) return NoMatch();
         const PlanPtr& proj = n->child(0);
@@ -294,7 +320,9 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         PlanPtr rep =
             PlanNode::Coalesce(PlanNode::Project(r, proj->projections()));
         return RuleMatch{rep, Loc({&n, &proj, &inner, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kCoalesce},
+      std::vector<OpKind>{OpKind::kProject});
 
   // (C9) coalT(π_A(r1 ×T r2)) ≡ π_A(coalT(r1) ×T coalT(r2)),
   //      A = Ω \ {1.T1,1.T2,2.T1,2.T2}, r1 and r2 snapshot-duplicate-free.
@@ -307,7 +335,7 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
       "coalT(project_A(r1 xT r2)) -> project_A(coalT(r1) xT coalT(r2))  "
       "[A drops argument timestamps; args snapshot-duplicate-free]",
       ET::kMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kCoalesce) return NoMatch();
         const PlanPtr& proj = n->child(0);
@@ -344,7 +372,9 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
             PlanNode::ProductT(PlanNode::Coalesce(r1), PlanNode::Coalesce(r2)),
             proj->projections());
         return RuleMatch{rep, Loc({&n, &proj, &prod, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kCoalesce},
+      std::vector<OpKind>{OpKind::kProject});
 
   // (C10) coalT(r1 \T r2) ≡M coalT(r1) \T coalT(r2),
   //       if r1 has no duplicates in snapshots; both directions.
@@ -353,7 +383,7 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
       "coalT(r1 \\T r2) -> coalT(r1) \\T coalT(r2)  "
       "[r1 snapshot-duplicate-free]",
       ET::kMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kCoalesce) return NoMatch();
         const PlanPtr& diff = n->child(0);
@@ -364,13 +394,15 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         PlanPtr rep = PlanNode::DifferenceT(PlanNode::Coalesce(r1),
                                             PlanNode::Coalesce(r2));
         return RuleMatch{rep, Loc({&n, &diff, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kCoalesce},
+      std::vector<OpKind>{OpKind::kDifferenceT});
   out->emplace_back(
       "C10'",
       "coalT(r1) \\T coalT(r2) -> coalT(r1 \\T r2)  "
       "[r1 snapshot-duplicate-free]",
       ET::kMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kDifferenceT) return NoMatch();
         const PlanPtr& c1 = n->child(0);
@@ -383,36 +415,40 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         if (!Info(ann, r1).snapshot_duplicate_free) return NoMatch();
         PlanPtr rep = PlanNode::Coalesce(PlanNode::DifferenceT(r1, r2));
         return RuleMatch{rep, Loc({&n, &c1, &c2, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kDifferenceT},
+      std::vector<OpKind>{OpKind::kCoalesce});
 
   // ---- Sorting ----------------------------------------------------------
   // (S1) sort_A(r) ≡L r, if IsPrefixOf(A, Order(r)).
   out->emplace_back(
       "S1", "sort_A(r) -> r  [A prefix of Order(r)]", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kSort) return NoMatch();
         const PlanPtr& r = n->child(0);
         if (!IsPrefixOf(n->sort_spec(), Info(ann, r).order)) return NoMatch();
         return RuleMatch{r, Loc({&n, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSort});
 
   // (S2) sort_A(r) ≡M r.
   out->emplace_back(
       "S2", "sort_A(r) -> r  (multiset level)", ET::kMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kSort) return NoMatch();
         const PlanPtr& r = n->child(0);
         return RuleMatch{r, Loc({&n, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSort});
 
   // (S3) sort_A(sort_B(r)) ≡L sort_A(r), if IsPrefixOf(B, A).
   out->emplace_back(
       "S3", "sort_A(sort_B(r)) -> sort_A(r)  [B prefix of A]", ET::kList,
       false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kSort) return NoMatch();
@@ -422,7 +458,9 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         const PlanPtr& r = inner->child(0);
         PlanPtr rep = PlanNode::Sort(r, n->sort_spec());
         return RuleMatch{rep, Loc({&n, &inner, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSort},
+      std::vector<OpKind>{OpKind::kSort});
 
   // ---- Böhlen et al. ≡SM coalescing variants (Section 4.3) --------------
   // (B1) coalT(π_{f,T1,T2}(coalT(r))) ≡SM coalT(π_{f,T1,T2}(r)).
@@ -431,7 +469,7 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
       "coalT(project_{f,T1,T2}(coalT(r))) -> coalT(project_{f,T1,T2}(r))  "
       "(snapshot-multiset level)",
       ET::kSnapshotMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kCoalesce) return NoMatch();
@@ -444,7 +482,9 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         PlanPtr rep =
             PlanNode::Coalesce(PlanNode::Project(r, proj->projections()));
         return RuleMatch{rep, Loc({&n, &proj, &inner, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kCoalesce},
+      std::vector<OpKind>{OpKind::kProject});
 
   // (B3) coalT(r1 \T r2) ≡SM coalT(r1) \T coalT(r2) (no precondition).
   out->emplace_back(
@@ -452,7 +492,7 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
       "coalT(r1 \\T r2) -> coalT(r1) \\T coalT(r2)  "
       "(snapshot-multiset level)",
       ET::kSnapshotMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kCoalesce) return NoMatch();
@@ -463,14 +503,16 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
         PlanPtr rep = PlanNode::DifferenceT(PlanNode::Coalesce(r1),
                                             PlanNode::Coalesce(r2));
         return RuleMatch{rep, Loc({&n, &diff, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kCoalesce},
+      std::vector<OpKind>{OpKind::kDifferenceT});
 
   // ---- Expanding rules (excluded by the default heuristic, Section 6) ---
   if (expanding_rules) {
     // r ≡S rdup(r): introduces a duplicate elimination.
     out->emplace_back(
         "X1", "r -> rdup(r)  (set level, expanding)", ET::kSet, true,
-        [](const PlanPtr& n, const AnnotatedPlan& ann)
+        [](const PlanPtr& n, const PlanContext& ann)
             -> std::optional<RuleMatch> {
           if (Info(ann, n).schema.IsTemporal()) return NoMatch();
           if (n->kind() == OpKind::kRdup) return NoMatch();
@@ -480,7 +522,7 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
     out->emplace_back(
         "X2", "r -> rdupT(r)  (snapshot-set level, expanding)",
         ET::kSnapshotSet, true,
-        [](const PlanPtr& n, const AnnotatedPlan& ann)
+        [](const PlanPtr& n, const PlanContext& ann)
             -> std::optional<RuleMatch> {
           if (!Info(ann, n).schema.IsTemporal()) return NoMatch();
           if (n->kind() == OpKind::kRdupT) return NoMatch();
@@ -490,7 +532,7 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
     out->emplace_back(
         "X3", "r -> coalT(r)  (snapshot-multiset level, expanding)",
         ET::kSnapshotMultiset, true,
-        [](const PlanPtr& n, const AnnotatedPlan& ann)
+        [](const PlanPtr& n, const PlanContext& ann)
             -> std::optional<RuleMatch> {
           if (!Info(ann, n).schema.IsTemporal()) return NoMatch();
           if (n->kind() == OpKind::kCoalesce) return NoMatch();
@@ -502,7 +544,7 @@ void AppendFigure4Rules(std::vector<Rule>* out, bool expanding_rules) {
     out->emplace_back(
         "X4", "r -> sort_A(r)  (multiset level, expanding; A = ORDER BY)",
         ET::kMultiset, true,
-        [](const PlanPtr& n, const AnnotatedPlan& ann)
+        [](const PlanPtr& n, const PlanContext& ann)
             -> std::optional<RuleMatch> {
           const SortSpec& spec = ann.contract().order_by;
           if (spec.empty()) return NoMatch();

@@ -45,13 +45,15 @@ void AppendSortPushdownRules(std::vector<Rule>* out) {
   // (SP1) sort_A(σp(r)) ≡L σp(sort_A(r)), both directions.
   out->emplace_back(
       "SP1", "sort_A(select_p(r)) -> select_p(sort_A(r))", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+      [](const PlanPtr& n, const PlanContext& ann) {
         (void)ann;
         return PushSortThroughFirstChild(n, OpKind::kSelect, false);
-      });
+      },
+      std::vector<OpKind>{OpKind::kSort},
+      std::vector<OpKind>{OpKind::kSelect});
   out->emplace_back(
       "SP1'", "select_p(sort_A(r)) -> sort_A(select_p(r))", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kSelect) return NoMatch();
@@ -61,7 +63,9 @@ void AppendSortPushdownRules(std::vector<Rule>* out) {
         PlanPtr rep = PlanNode::Sort(PlanNode::Select(r, n->predicate()),
                                      srt->sort_spec());
         return RuleMatch{rep, Loc({&n, &srt, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect},
+      std::vector<OpKind>{OpKind::kSort});
 
   // (SP2) sort_A(πF(r)) ≡L πF(sort_A'(r)) when every key of A is a plain
   // pass-through column; A' uses the input-side names.
@@ -69,7 +73,7 @@ void AppendSortPushdownRules(std::vector<Rule>* out) {
       "SP2",
       "sort_A(project_F(r)) -> project_F(sort_A'(r))  [A passed through]",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kSort) return NoMatch();
@@ -92,14 +96,16 @@ void AppendSortPushdownRules(std::vector<Rule>* out) {
         PlanPtr rep = PlanNode::Project(PlanNode::Sort(r, pushed),
                                         proj->projections());
         return RuleMatch{rep, Loc({&n, &proj, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSort},
+      std::vector<OpKind>{OpKind::kProject});
 
   // (SP3) sort_A(r1 × r2) ≡L sort_A'(r1) × r2 when A only references
   // left-side columns.
   out->emplace_back(
       "SP3", "sort_A(r1 x r2) -> sort_A'(r1) x r2  [A from r1]", ET::kList,
       false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kSort) return NoMatch();
         const PlanPtr& prod = n->child(0);
@@ -121,31 +127,37 @@ void AppendSortPushdownRules(std::vector<Rule>* out) {
         }
         PlanPtr rep = PlanNode::Product(PlanNode::Sort(r1, pushed), r2);
         return RuleMatch{rep, Loc({&n, &prod, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSort},
+      std::vector<OpKind>{OpKind::kProduct});
 
   // (SP4) sort_A(r1 \ r2) ≡L sort_A(r1) \ r2.
   out->emplace_back(
       "SP4", "sort_A(r1 \\ r2) -> sort_A(r1) \\ r2", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+      [](const PlanPtr& n, const PlanContext& ann) {
         (void)ann;
         return PushSortThroughFirstChild(n, OpKind::kDifference, false);
-      });
+      },
+      std::vector<OpKind>{OpKind::kSort},
+      std::vector<OpKind>{OpKind::kDifference});
 
   // (SP5) sort_A(r1 \T r2) ≡L sort_A(r1) \T r2, A time-free (\T rewrites
   // the time attributes).
   out->emplace_back(
       "SP5", "sort_A(r1 \\T r2) -> sort_A(r1) \\T r2  [A time-free]",
       ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+      [](const PlanPtr& n, const PlanContext& ann) {
         (void)ann;
         return PushSortThroughFirstChild(n, OpKind::kDifferenceT, true);
-      });
+      },
+      std::vector<OpKind>{OpKind::kSort},
+      std::vector<OpKind>{OpKind::kDifferenceT});
 
   // (SP6) sort_A(rdup(r)) ≡L rdup(sort_A'(r)); the 1.T1/1.T2 renames map
   // back to T1/T2 below the rdup.
   out->emplace_back(
       "SP6", "sort_A(rdup(r)) -> rdup(sort_A'(r))", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         if (n->kind() != OpKind::kSort) return NoMatch();
         const PlanPtr& dup = n->child(0);
@@ -160,32 +172,38 @@ void AppendSortPushdownRules(std::vector<Rule>* out) {
         }
         PlanPtr rep = PlanNode::Rdup(PlanNode::Sort(r, pushed));
         return RuleMatch{rep, Loc({&n, &dup, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSort},
+      std::vector<OpKind>{OpKind::kRdup});
 
   // (SP7) sort_A(rdupT(r)) ≡L rdupT(sort_A(r)), A time-free: a stable sort
   // on value attributes preserves the within-class order rdupT depends on.
   out->emplace_back(
       "SP7", "sort_A(rdupT(r)) -> rdupT(sort_A(r))  [A time-free]", ET::kList,
       false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+      [](const PlanPtr& n, const PlanContext& ann) {
         (void)ann;
         return PushSortThroughFirstChild(n, OpKind::kRdupT, true);
-      });
+      },
+      std::vector<OpKind>{OpKind::kSort},
+      std::vector<OpKind>{OpKind::kRdupT});
 
   // (SP8) sort_A(coalT(r)) ≡L coalT(sort_A(r)), A time-free.
   out->emplace_back(
       "SP8", "sort_A(coalT(r)) -> coalT(sort_A(r))  [A time-free]", ET::kList,
       false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann) {
+      [](const PlanPtr& n, const PlanContext& ann) {
         (void)ann;
         return PushSortThroughFirstChild(n, OpKind::kCoalesce, true);
-      });
+      },
+      std::vector<OpKind>{OpKind::kSort},
+      std::vector<OpKind>{OpKind::kCoalesce});
 
   // (SP9/SP9T) sort_A(ℵ_{G;F}(r)) ≡L ℵ_{G;F}(sort_A(r)) when attr(A) ⊆ G:
   // groups appear in first-occurrence order, so pre-sorting the input by
   // grouping attributes orders the groups.
   auto push_sort_agg = [](OpKind op) {
-    return [op](const PlanPtr& n, const AnnotatedPlan& ann)
+    return [op](const PlanPtr& n, const PlanContext& ann)
                -> std::optional<RuleMatch> {
       (void)ann;
       if (n->kind() != OpKind::kSort) return NoMatch();
@@ -207,10 +225,14 @@ void AppendSortPushdownRules(std::vector<Rule>* out) {
   };
   out->emplace_back("SP9",
                     "sort_A(agg_{G;F}(r)) -> agg_{G;F}(sort_A(r))  [A in G]",
-                    ET::kList, false, push_sort_agg(OpKind::kAggregate));
+                    ET::kList, false, push_sort_agg(OpKind::kAggregate),
+      std::vector<OpKind>{OpKind::kSort},
+      std::vector<OpKind>{OpKind::kAggregate});
   out->emplace_back("SP9T",
                     "sort_A(aggT_{G;F}(r)) -> aggT_{G;F}(sort_A(r))  [A in G]",
-                    ET::kList, false, push_sort_agg(OpKind::kAggregateT));
+                    ET::kList, false, push_sort_agg(OpKind::kAggregateT),
+      std::vector<OpKind>{OpKind::kSort},
+      std::vector<OpKind>{OpKind::kAggregateT});
 }
 
 }  // namespace tqp

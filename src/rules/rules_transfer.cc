@@ -56,7 +56,7 @@ void AppendTransferRules(std::vector<Rule>* out) {
   // (T-ID1) T_S(T_D(r)) ≡L r;  (T-ID2) T_D(T_S(r)) ≡L r.
   out->emplace_back(
       "T-ID1", "transferS(transferD(r)) -> r", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kTransferS) return NoMatch();
@@ -64,10 +64,12 @@ void AppendTransferRules(std::vector<Rule>* out) {
         if (td->kind() != OpKind::kTransferD) return NoMatch();
         const PlanPtr& r = td->child(0);
         return RuleMatch{r, Loc({&n, &td, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kTransferS},
+      std::vector<OpKind>{OpKind::kTransferD});
   out->emplace_back(
       "T-ID2", "transferD(transferS(r)) -> r", ET::kList, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kTransferD) return NoMatch();
@@ -75,14 +77,16 @@ void AppendTransferRules(std::vector<Rule>* out) {
         if (ts->kind() != OpKind::kTransferS) return NoMatch();
         const PlanPtr& r = ts->child(0);
         return RuleMatch{r, Loc({&n, &ts, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kTransferD},
+      std::vector<OpKind>{OpKind::kTransferS});
 
   // (T-U) T_S(op(r)) -> op(T_S(r)): relocate a unary operation from the DBMS
   // to the stratum (push the transfer down). ≡M in general, ≡L for sort.
   out->emplace_back(
       "T-U", "transferS(op(r)) -> op(transferS(r))  (op to stratum)",
       ET::kMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kTransferS) return NoMatch();
@@ -93,13 +97,15 @@ void AppendTransferRules(std::vector<Rule>* out) {
         PlanPtr rep =
             PlanNode::WithChildren(op, {PlanNode::TransferS(r)});
         return RuleMatch{rep, Loc({&n, &op, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kTransferS},
+      std::vector<OpKind>{OpKind::kSelect, OpKind::kProject, OpKind::kRdup, OpKind::kAggregate, OpKind::kRdupT, OpKind::kCoalesce, OpKind::kAggregateT});
   // (T-U') op(T_S(r)) -> T_S(op(r)): relocate a unary operation into the
   // DBMS (pull the transfer up).
   out->emplace_back(
       "T-U'", "op(transferS(r)) -> transferS(op(r))  (op to DBMS)",
       ET::kMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (!IsRelocatableUnary(n->kind())) return NoMatch();
@@ -110,13 +116,15 @@ void AppendTransferRules(std::vector<Rule>* out) {
         PlanPtr rep =
             PlanNode::TransferS(PlanNode::WithChildren(n, {r}));
         return RuleMatch{rep, Loc({&n, &ts, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect, OpKind::kProject, OpKind::kRdup, OpKind::kAggregate, OpKind::kRdupT, OpKind::kCoalesce, OpKind::kAggregateT},
+      std::vector<OpKind>{OpKind::kTransferS});
 
   // (T-USORT / T-USORT') the sort exception: relocating a sort preserves ≡L.
   out->emplace_back(
       "T-USORT", "transferS(sort_A(r)) -> sort_A(transferS(r))", ET::kList,
       false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kTransferS) return NoMatch();
@@ -125,11 +133,13 @@ void AppendTransferRules(std::vector<Rule>* out) {
         const PlanPtr& r = op->child(0);
         PlanPtr rep = PlanNode::Sort(PlanNode::TransferS(r), op->sort_spec());
         return RuleMatch{rep, Loc({&n, &op, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kTransferS},
+      std::vector<OpKind>{OpKind::kSort});
   out->emplace_back(
       "T-USORT'", "sort_A(transferS(r)) -> transferS(sort_A(r))", ET::kList,
       false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kSort) return NoMatch();
@@ -139,14 +149,16 @@ void AppendTransferRules(std::vector<Rule>* out) {
         PlanPtr rep =
             PlanNode::TransferS(PlanNode::Sort(r, n->sort_spec()));
         return RuleMatch{rep, Loc({&n, &ts, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSort},
+      std::vector<OpKind>{OpKind::kTransferS});
 
   // (T-B) T_S(op(r1, r2)) -> op(T_S(r1), T_S(r2)): relocate a binary
   // operation to the stratum.
   out->emplace_back(
       "T-B", "transferS(op(r1,r2)) -> op(transferS(r1), transferS(r2))",
       ET::kMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kTransferS) return NoMatch();
@@ -157,12 +169,14 @@ void AppendTransferRules(std::vector<Rule>* out) {
         PlanPtr rep = PlanNode::WithChildren(
             op, {PlanNode::TransferS(r1), PlanNode::TransferS(r2)});
         return RuleMatch{rep, Loc({&n, &op, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kTransferS},
+      std::vector<OpKind>{OpKind::kUnionAll, OpKind::kUnion, OpKind::kProduct, OpKind::kDifference, OpKind::kProductT, OpKind::kDifferenceT, OpKind::kUnionT});
   // (T-B') op(T_S(r1), T_S(r2)) -> T_S(op(r1, r2)).
   out->emplace_back(
       "T-B'", "op(transferS(r1), transferS(r2)) -> transferS(op(r1,r2))",
       ET::kMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (!IsRelocatableBinary(n->kind())) return NoMatch();
@@ -177,13 +191,15 @@ void AppendTransferRules(std::vector<Rule>* out) {
         PlanPtr rep =
             PlanNode::TransferS(PlanNode::WithChildren(n, {r1, r2}));
         return RuleMatch{rep, Loc({&n, &t1, &t2, &r1, &r2})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kUnionAll, OpKind::kUnion, OpKind::kProduct, OpKind::kDifference, OpKind::kProductT, OpKind::kDifferenceT, OpKind::kUnionT},
+      std::vector<OpKind>{OpKind::kTransferS});
 
   // (T-D / T-D') the symmetric T_D rules: op(T_D(r)) ⇄ T_D(op(r)).
   out->emplace_back(
       "T-D", "transferD(op(r)) -> op(transferD(r))  (op to DBMS)",
       ET::kMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (n->kind() != OpKind::kTransferD) return NoMatch();
@@ -193,11 +209,13 @@ void AppendTransferRules(std::vector<Rule>* out) {
         PlanPtr rep =
             PlanNode::WithChildren(op, {PlanNode::TransferD(r)});
         return RuleMatch{rep, Loc({&n, &op, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kTransferD},
+      std::vector<OpKind>{OpKind::kSelect, OpKind::kProject, OpKind::kRdup, OpKind::kAggregate, OpKind::kSort, OpKind::kRdupT, OpKind::kCoalesce, OpKind::kAggregateT});
   out->emplace_back(
       "T-D'", "op(transferD(r)) -> transferD(op(r))  (op to stratum)",
       ET::kMultiset, false,
-      [](const PlanPtr& n, const AnnotatedPlan& ann)
+      [](const PlanPtr& n, const PlanContext& ann)
           -> std::optional<RuleMatch> {
         (void)ann;
         if (!IsRelocatableUnary(n->kind())) return NoMatch();
@@ -207,7 +225,9 @@ void AppendTransferRules(std::vector<Rule>* out) {
         PlanPtr rep =
             PlanNode::TransferD(PlanNode::WithChildren(n, {r}));
         return RuleMatch{rep, Loc({&n, &td, &r})};
-      });
+      },
+      std::vector<OpKind>{OpKind::kSelect, OpKind::kProject, OpKind::kRdup, OpKind::kAggregate, OpKind::kSort, OpKind::kRdupT, OpKind::kCoalesce, OpKind::kAggregateT},
+      std::vector<OpKind>{OpKind::kTransferD});
 }
 
 std::vector<Rule> DefaultRuleSet(const RuleSetOptions& options) {
