@@ -1,22 +1,20 @@
-// The paper's running example (Sections 2.1, 5.2, 6), end to end:
-// Figure 1 relations, the Figure 2(a) initial plan with its property
-// annotations (Figure 6 style), the optimization walkthrough, and the exact
-// result table from Figure 1.
+// The paper's running example (Sections 2.1, 5.2, 6), end to end through
+// the tqp::Engine facade: Figure 1 relations, the Figure 2(a) initial plan
+// with its property annotations (Figure 6 style), the optimization
+// walkthrough, and the exact result table from Figure 1.
 //
 // Build & run:  ./build/examples/employee_project
 #include <cstdio>
 
 #include "algebra/printer.h"
+#include "api/engine.h"
 #include "core/equivalence.h"
-#include "exec/evaluator.h"
-#include "opt/optimizer.h"
-#include "tql/translator.h"
 #include "workload/paper_example.h"
 
 using namespace tqp;  // NOLINT — example code
 
 int main() {
-  Catalog catalog = PaperCatalog();
+  Engine engine(PaperCatalog());
 
   std::printf("%s\n", PaperEmployee().ToTable("EMPLOYEE").c_str());
   std::printf("%s\n", PaperProject().ToTable("PROJECT").c_str());
@@ -27,55 +25,57 @@ int main() {
       "duplicates.\n\nTQL:\n  %s\n\n",
       PaperQueryText().c_str());
 
-  Result<TranslatedQuery> q = CompileQuery(PaperQueryText(), catalog);
-  TQP_CHECK(q.ok());
+  Result<PreparedQuery> prepared = engine.Prepare(PaperQueryText());
+  TQP_CHECK(prepared.ok());
 
   PrintOptions opts;
   opts.show_properties = true;
   opts.show_site = true;
-  Result<AnnotatedPlan> initial =
-      AnnotatedPlan::Make(q->plan, &catalog, q->contract);
+  Result<AnnotatedPlan> initial = AnnotatedPlan::Make(
+      prepared->initial_plan(), &engine.catalog(), prepared->contract());
   TQP_CHECK(initial.ok());
   std::printf(
       "Initial plan — Figure 2(a); brackets are "
       "[OrderRequired DuplicatesRelevant PeriodPreserving]:\n%s\n",
       PrintPlan(initial.value(), opts).c_str());
 
-  Result<OptimizeResult> opt = Optimize(q->plan, catalog, q->contract,
-                                        DefaultRuleSet());
-  TQP_CHECK(opt.ok());
   std::printf("Optimization: %zu equivalent plans, estimated cost %.0f -> "
               "%.0f\nDerivation:",
-              opt->plans_considered, opt->initial_cost, opt->best_cost);
-  for (const std::string& rule : opt->derivation) {
+              prepared->plans_considered(), prepared->initial_cost(),
+              prepared->best_cost());
+  for (const std::string& rule : prepared->derivation()) {
     std::printf(" %s", rule.c_str());
   }
 
-  Result<AnnotatedPlan> best =
-      AnnotatedPlan::Make(opt->best_plan, &catalog, q->contract);
+  Result<AnnotatedPlan> best = AnnotatedPlan::Make(
+      prepared->best_plan(), &engine.catalog(), prepared->contract());
   TQP_CHECK(best.ok());
   std::printf("\n\nOptimized plan — compare Figure 2(b)/6(b):\n%s\n",
               PrintPlan(best.value(), opts).c_str());
 
-  ExecStats initial_stats, best_stats;
+  // Execute the chosen plan through the facade, and the initial plan
+  // hand-wired, to show both agree.
+  Result<QueryResult> best_run = prepared.value().Execute();
+  TQP_CHECK(best_run.ok());
+  ExecStats initial_stats;
   Result<Relation> r_initial =
-      Evaluate(initial.value(), EngineConfig{}, &initial_stats);
-  Result<Relation> r_best = Evaluate(best.value(), EngineConfig{}, &best_stats);
-  TQP_CHECK(r_initial.ok() && r_best.ok());
+      Evaluate(initial.value(), engine.options().engine, &initial_stats);
+  TQP_CHECK(r_initial.ok());
 
-  std::printf("%s\n", r_best->ToTable("Result — Figure 1, bottom right:")
-                          .c_str());
+  std::printf("%s\n",
+              best_run->relation.ToTable("Result — Figure 1, bottom right:")
+                  .c_str());
   bool matches = EquivalentAsLists(r_initial.value(), PaperExpectedResult());
   std::printf("Initial plan reproduces the paper's table exactly: %s\n",
               matches ? "yes" : "NO");
   std::printf("Both plans agree (as multisets): %s\n",
-              EquivalentAsMultisets(r_initial.value(), r_best.value())
+              EquivalentAsMultisets(r_initial.value(), best_run->relation)
                   ? "yes"
                   : "NO");
   std::printf(
       "Simulated work: initial %.0f units -> optimized %.0f units "
       "(%.1fx)\n",
-      initial_stats.total_work(), best_stats.total_work(),
-      initial_stats.total_work() / best_stats.total_work());
+      initial_stats.total_work(), best_run->exec.total_work(),
+      initial_stats.total_work() / best_run->exec.total_work());
   return 0;
 }

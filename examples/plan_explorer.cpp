@@ -1,5 +1,6 @@
 // Plan explorer: enumerate the full space of equivalent plans for a TQL
-// query (Figure 5) and print each plan with its derivation and cost.
+// query (Figure 5) and print each plan with its derivation and cost —
+// through a session Engine, so repeated explorations share its caches.
 //
 // Usage:  ./build/examples/plan_explorer ["TQL query"] [max_plans]
 // Without arguments it explores the paper's running example.
@@ -8,19 +9,17 @@
 #include <string>
 
 #include "algebra/printer.h"
-#include "exec/cost_model.h"
-#include "opt/enumerate.h"
-#include "tql/translator.h"
+#include "api/engine.h"
 #include "workload/paper_example.h"
 
 using namespace tqp;  // NOLINT — example code
 
 int main(int argc, char** argv) {
-  Catalog catalog = PaperCatalog();
+  Engine engine(PaperCatalog());
   std::string query = argc > 1 ? argv[1] : PaperQueryText();
   size_t max_plans = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 40;
 
-  Result<TranslatedQuery> q = CompileQuery(query, catalog);
+  Result<TranslatedQuery> q = engine.Compile(query);
   if (!q.ok()) {
     std::fprintf(stderr, "query error: %s\n", q.status().message().c_str());
     std::fprintf(stderr,
@@ -29,22 +28,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  EnumerationOptions options;
+  EnumerationOptions options = engine.options().enumeration;
   options.max_plans = max_plans;
-  Result<EnumerationResult> res = EnumeratePlans(
-      q->plan, catalog, q->contract, DefaultRuleSet(), options);
+  Result<EnumerationResult> res = engine.Enumerate(query, options);
   TQP_CHECK(res.ok());
 
   std::printf("Query: %s\nResult type: %s%s\n\n", query.c_str(),
               ResultTypeName(q->contract.result_type),
               res->truncated ? "  (plan space truncated)" : "");
 
-  EngineConfig engine;
   for (size_t i = 0; i < res->plans.size(); ++i) {
-    Result<AnnotatedPlan> ann =
-        AnnotatedPlan::Make(res->plans[i].plan, &catalog, q->contract);
+    Result<AnnotatedPlan> ann = AnnotatedPlan::Make(
+        res->plans[i].plan, &engine.catalog(), q->contract);
     if (!ann.ok()) continue;
-    double cost = EstimatePlanCost(ann.value(), engine);
+    double cost = EstimatePlanCost(ann.value(), engine.options().engine);
     std::printf("== plan %zu  cost %.0f", i, cost);
     std::vector<std::string> chain = res->DerivationOf(i);
     if (!chain.empty()) {

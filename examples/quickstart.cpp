@@ -1,13 +1,12 @@
-// Quickstart: register temporal relations, compile a TQL query, optimize it,
-// and execute it in the simulated layered architecture.
+// Quickstart: register temporal relations, then let a session-scoped
+// tqp::Engine compile, optimize, and execute TQL — with prepared queries and
+// cross-query cache reuse.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
 #include "algebra/printer.h"
-#include "exec/evaluator.h"
-#include "opt/optimizer.h"
-#include "tql/translator.h"
+#include "api/engine.h"
 
 using namespace tqp;  // NOLINT — example code
 
@@ -40,43 +39,54 @@ int main() {
                                                 Site::kDbms);
   TQP_CHECK(st.ok());
 
-  // 2. Compile a temporal query: which rooms were occupied, and when —
-  //    coalesced, duplicate-free snapshots, sorted by room.
+  // 2. One Engine per session: it owns the catalog plus the caches that make
+  //    repeated queries cheap (hash-consed plan nodes, derived subtree
+  //    facts, and a plan cache keyed by query text and catalog version).
+  Engine engine(std::move(catalog));
+
+  // 3. Prepare a temporal query once: which rooms were occupied, and when —
+  //    coalesced, duplicate-free snapshots, sorted by room. Prepare parses,
+  //    enumerates the equivalent plans (Figure 5 of the paper), and picks
+  //    the cheapest under the layered-architecture cost model.
   const char* query =
       "VALIDTIME COALESCED SELECT DISTINCT Room FROM BOOKINGS "
       "ORDER BY Room ASC";
-  Result<TranslatedQuery> compiled = CompileQuery(query, catalog);
-  TQP_CHECK(compiled.ok());
+  Result<PreparedQuery> prepared = engine.Prepare(query);
+  TQP_CHECK(prepared.ok());
 
   std::printf("Query:\n  %s\n\nInitial plan (computed in the DBMS):\n%s\n",
-              query, PrintPlan(compiled->plan).c_str());
-
-  // 3. Optimize: enumerate equivalent plans (Figure 5 of the paper) and pick
-  //    the cheapest under the layered-architecture cost model.
-  Result<OptimizeResult> opt = Optimize(compiled->plan, catalog,
-                                        compiled->contract, DefaultRuleSet());
-  TQP_CHECK(opt.ok());
+              query, PrintPlan(prepared->initial_plan()).c_str());
   std::printf("Optimizer: %zu plans considered, cost %.0f -> %.0f\n",
-              opt->plans_considered, opt->initial_cost, opt->best_cost);
+              prepared->plans_considered(), prepared->initial_cost(),
+              prepared->best_cost());
   std::printf("Rules applied:");
-  for (const std::string& rule : opt->derivation) {
+  for (const std::string& rule : prepared->derivation()) {
     std::printf(" %s", rule.c_str());
   }
-  std::printf("\n\nBest plan:\n%s\n", PrintPlan(opt->best_plan).c_str());
+  std::printf("\n\nBest plan:\n%s\n", PrintPlan(prepared->best_plan()).c_str());
 
-  // 4. Execute.
-  Result<AnnotatedPlan> ann =
-      AnnotatedPlan::Make(opt->best_plan, &catalog, compiled->contract);
-  TQP_CHECK(ann.ok());
-  ExecStats stats;
-  Result<Relation> result = Evaluate(ann.value(), EngineConfig{}, &stats);
+  // 4. Execute — any number of times; the compile+optimize work above is
+  //    never repeated.
+  Result<QueryResult> result = prepared.value().Execute();
   TQP_CHECK(result.ok());
 
-  std::printf("%s", result->ToTable("Occupied rooms (coalesced):").c_str());
+  std::printf("%s",
+              result->relation.ToTable("Occupied rooms (coalesced):").c_str());
   std::printf(
       "\nSimulated work: DBMS %.0f units, stratum %.0f units, "
       "%lld tuples transferred\n",
-      stats.dbms_work, stats.stratum_work,
-      static_cast<long long>(stats.tuples_transferred));
+      result->exec.dbms_work, result->exec.stratum_work,
+      static_cast<long long>(result->exec.tuples_transferred));
+
+  // 5. Repeated traffic: the same query text now comes straight from the
+  //    session plan cache — no parsing, no enumeration.
+  Result<QueryResult> repeat = engine.Query(query);
+  TQP_CHECK(repeat.ok() && repeat->plan_cache_hit);
+  EngineStats stats = engine.stats();
+  std::printf(
+      "Second run served from the plan cache (hits %llu, pipelines run "
+      "%llu).\n",
+      static_cast<unsigned long long>(stats.plan_cache_hits),
+      static_cast<unsigned long long>(stats.prepares));
   return 0;
 }

@@ -1,38 +1,51 @@
 // Layered-architecture demo: how transfer costs and the DBMS's temporal-SQL
 // penalty decide where each operation runs (Sections 2.1 and 4.5).
 //
-// The same query is optimized under different engine configurations; the
-// demo prints the chosen plan and the resulting stratum/DBMS partitioning.
+// The same query is optimized under different engine configurations — one
+// tqp::Engine per environment, since the cost model is session state — and
+// the demo prints the chosen plan and the resulting stratum/DBMS
+// partitioning.
 //
 // Build & run:  ./build/examples/stratum_demo
 #include <cstdio>
 
 #include "algebra/printer.h"
-#include "exec/evaluator.h"
-#include "opt/optimizer.h"
-#include "tql/translator.h"
+#include "api/engine.h"
 #include "workload/paper_example.h"
 
 using namespace tqp;  // NOLINT — example code
 
 namespace {
 
-void Report(const char* title, const Catalog& catalog,
-            const TranslatedQuery& q, const EngineConfig& engine) {
-  OptimizerOptions options;
-  options.engine = engine;
-  options.enumeration.max_plans = 3000;
-  Result<OptimizeResult> opt =
-      Optimize(q.plan, catalog, q.contract, DefaultRuleSet(), options);
-  TQP_CHECK(opt.ok());
+Catalog ScaledCatalog() {
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("EMPLOYEE", ScaledEmployee(40),
+                                           Site::kDbms)
+                .ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("PROJECT", ScaledProject(40),
+                                           Site::kDbms)
+                .ok());
+  return catalog;
+}
 
-  Result<AnnotatedPlan> ann =
-      AnnotatedPlan::Make(opt->best_plan, &catalog, q.contract);
+void Report(const char* title, const EngineConfig& config) {
+  EngineOptions options;
+  options.engine = config;
+  options.enumeration.max_plans = 3000;
+  Engine engine(ScaledCatalog(), std::move(options));
+
+  Result<PreparedQuery> prepared = engine.Prepare(PaperQueryText());
+  TQP_CHECK(prepared.ok());
+
+  Result<AnnotatedPlan> ann = AnnotatedPlan::Make(
+      prepared->best_plan(), &engine.catalog(), prepared->contract());
   TQP_CHECK(ann.ok());
 
   size_t stratum_ops = 0, dbms_ops = 0;
   std::vector<PlanPtr> nodes;
-  CollectNodes(opt->best_plan, &nodes);
+  CollectNodes(prepared->best_plan(), &nodes);
   for (const PlanPtr& n : nodes) {
     if (n->kind() == OpKind::kTransferS || n->kind() == OpKind::kTransferD) {
       continue;
@@ -44,18 +57,18 @@ void Report(const char* title, const Catalog& catalog,
     }
   }
 
-  ExecStats stats;
-  TQP_CHECK(Evaluate(ann.value(), engine, &stats).ok());
+  Result<QueryResult> run = prepared.value().Execute();
+  TQP_CHECK(run.ok());
   std::printf(
       "--- %s ---\n"
       "  transfer cost/tuple: %.1f   DBMS temporal penalty: %.0fx   "
       "stratum slowdown: %.1fx\n"
       "  chosen plan: %zu ops at stratum, %zu at DBMS, %lld tuples moved\n"
       "  estimated cost %.0f, simulated work %.0f\n",
-      title, engine.transfer_cost_per_tuple, engine.dbms_temporal_penalty,
-      engine.stratum_cpu_factor, stratum_ops, dbms_ops,
-      static_cast<long long>(stats.tuples_transferred), opt->best_cost,
-      stats.total_work());
+      title, config.transfer_cost_per_tuple, config.dbms_temporal_penalty,
+      config.stratum_cpu_factor, stratum_ops, dbms_ops,
+      static_cast<long long>(run->exec.tuples_transferred), run->best_cost,
+      run->exec.total_work());
   PrintOptions popts;
   popts.show_site = true;
   std::printf("%s\n", PrintPlan(ann.value(), popts).c_str());
@@ -64,19 +77,6 @@ void Report(const char* title, const Catalog& catalog,
 }  // namespace
 
 int main() {
-  Catalog catalog;
-  TQP_CHECK(catalog
-                .RegisterWithInferredFlags("EMPLOYEE", ScaledEmployee(40),
-                                           Site::kDbms)
-                .ok());
-  TQP_CHECK(catalog
-                .RegisterWithInferredFlags("PROJECT", ScaledProject(40),
-                                           Site::kDbms)
-                .ok());
-
-  Result<TranslatedQuery> q = CompileQuery(PaperQueryText(), catalog);
-  TQP_CHECK(q.ok());
-
   std::printf(
       "One query, three environments. The optimizer repartitions the plan\n"
       "between the stratum and the DBMS as the cost ratios change.\n\n");
@@ -84,19 +84,19 @@ int main() {
   // Balanced: the paper's default story — temporal ops to the stratum, sort
   // stays in the DBMS.
   EngineConfig balanced;
-  Report("balanced (paper's assumptions)", catalog, q.value(), balanced);
+  Report("balanced (paper's assumptions)", balanced);
 
   // Expensive network: shipping tuples dominates; keep work in the DBMS as
   // long as possible.
   EngineConfig pricey_net = balanced;
   pricey_net.transfer_cost_per_tuple = 200.0;
   pricey_net.dbms_temporal_penalty = 4.0;
-  Report("expensive transfers", catalog, q.value(), pricey_net);
+  Report("expensive transfers", pricey_net);
 
   // Hopeless DBMS temporal support: even at high transfer cost, temporal
   // operations flee to the stratum.
   EngineConfig slow_dbms = balanced;
   slow_dbms.dbms_temporal_penalty = 500.0;
-  Report("very slow DBMS temporal SQL", catalog, q.value(), slow_dbms);
+  Report("very slow DBMS temporal SQL", slow_dbms);
   return 0;
 }

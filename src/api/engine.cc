@@ -1,0 +1,226 @@
+#include "api/engine.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace tqp {
+
+EngineOptions::EngineOptions() : rules(DefaultRuleSet()) {
+  // The facade's plan identity is fingerprint/pointer-based end to end;
+  // canonical strings are only for callers that assert on them.
+  enumeration.fill_canonical = false;
+}
+
+/// The immutable outcome of one compile+optimize run, shared between the
+/// plan cache and every PreparedQuery handed out for it.
+struct PreparedQuery::State {
+  /// Plan-cache key this state is stored under.
+  std::string key;
+  /// Original query text; empty for plan-keyed preparations.
+  std::string text;
+  QueryContract contract;
+  PlanPtr initial_plan;
+  PlanPtr best_plan;
+  double best_cost = 0.0;
+  double initial_cost = 0.0;
+  size_t plans_considered = 0;
+  bool truncated = false;
+  std::vector<std::string> derivation;
+  /// Catalog version the optimization ran under; a mismatch with the live
+  /// catalog marks this state stale.
+  uint64_t catalog_version = 0;
+};
+
+const PlanPtr& PreparedQuery::initial_plan() const {
+  return state_->initial_plan;
+}
+const PlanPtr& PreparedQuery::best_plan() const { return state_->best_plan; }
+uint64_t PreparedQuery::fingerprint() const {
+  return state_->best_plan->fingerprint();
+}
+double PreparedQuery::best_cost() const { return state_->best_cost; }
+double PreparedQuery::initial_cost() const { return state_->initial_cost; }
+size_t PreparedQuery::plans_considered() const {
+  return state_->plans_considered;
+}
+const std::vector<std::string>& PreparedQuery::derivation() const {
+  return state_->derivation;
+}
+const QueryContract& PreparedQuery::contract() const {
+  return state_->contract;
+}
+
+Result<QueryResult> PreparedQuery::Execute() {
+  engine_->SyncWithCatalog();
+  if (state_->catalog_version != engine_->catalog_.version()) {
+    // The catalog moved on since this query was prepared: re-prepare against
+    // the live catalog rather than run a stale plan.
+    Result<PreparedQuery> fresh =
+        state_->text.empty()
+            ? engine_->Prepare(state_->initial_plan, state_->contract)
+            : engine_->Prepare(state_->text);
+    if (!fresh.ok()) return fresh.status();
+    state_ = fresh.value().state_;
+    from_cache_ = fresh.value().from_cache_;
+  }
+
+  const bool reuse = engine_->options_.reuse_search_caches;
+  Result<AnnotatedPlan> ann = AnnotatedPlan::Make(
+      state_->best_plan, &engine_->catalog_, state_->contract,
+      engine_->options_.cardinality,
+      reuse ? engine_->derivation_.get() : nullptr);
+  if (!ann.ok()) return ann.status();
+
+  QueryResult out;
+  Result<Relation> relation =
+      Evaluate(ann.value(), engine_->options_.engine, &out.exec);
+  if (!relation.ok()) return relation.status();
+  out.relation = std::move(relation).value();
+  out.best_cost = state_->best_cost;
+  out.initial_cost = state_->initial_cost;
+  out.plans_considered = state_->plans_considered;
+  out.truncated = state_->truncated;
+  out.derivation = state_->derivation;
+  out.plan_fingerprint = state_->best_plan->fingerprint();
+  out.plan_cache_hit = from_cache_;
+  return out;
+}
+
+Engine::Engine(Catalog catalog, EngineOptions options)
+    : catalog_(std::move(catalog)),
+      options_(std::move(options)),
+      caches_version_(catalog_.version()),
+      interner_(std::make_unique<PlanInterner>()),
+      derivation_(std::make_unique<DerivationCache>()) {}
+
+Engine::~Engine() = default;
+
+void Engine::ClearCaches() {
+  interner_ = std::make_unique<PlanInterner>();
+  derivation_ = std::make_unique<DerivationCache>();
+  plan_cache_.clear();
+  caches_version_ = catalog_.version();
+}
+
+void Engine::SyncWithCatalog() {
+  if (caches_version_ == catalog_.version()) return;
+  // Everything cached was derived under an older catalog: relation contents
+  // drive cardinalities and validation, so all of it is suspect. Flush
+  // rather than serve anything stale.
+  ++stats_.invalidations;
+  ClearCaches();
+}
+
+Result<std::shared_ptr<const PreparedQuery::State>> Engine::PrepareImpl(
+    const std::string& key, const std::string& text, const PlanPtr& initial,
+    const QueryContract& contract) {
+  ++stats_.prepares;
+  const bool reuse = options_.reuse_search_caches;
+  PlanPtr root = reuse ? interner_->Intern(initial) : initial;
+
+  OptimizerOptions opt;
+  opt.enumeration = options_.enumeration;
+  opt.engine = options_.engine;
+  opt.cardinality = options_.cardinality;
+  TQP_ASSIGN_OR_RETURN(
+      optimized,
+      Optimize(root, catalog_, contract, options_.rules, opt,
+               reuse ? interner_.get() : nullptr,
+               reuse ? derivation_.get() : nullptr));
+
+  auto state = std::make_shared<PreparedQuery::State>();
+  state->key = key;
+  state->text = text;
+  state->contract = contract;
+  state->initial_plan = root;
+  state->best_plan = optimized.best_plan;
+  state->best_cost = optimized.best_cost;
+  state->initial_cost = optimized.initial_cost;
+  state->plans_considered = optimized.plans_considered;
+  state->truncated = optimized.truncated;
+  state->derivation = std::move(optimized.derivation);
+  state->catalog_version = catalog_.version();
+
+  std::shared_ptr<const PreparedQuery::State> shared = state;
+  if (options_.cache_plans) plan_cache_[key] = shared;
+  return shared;
+}
+
+Result<PreparedQuery> Engine::Prepare(const std::string& text) {
+  SyncWithCatalog();
+  if (options_.cache_plans) {
+    auto it = plan_cache_.find(text);
+    if (it != plan_cache_.end()) {
+      ++stats_.plan_cache_hits;
+      return PreparedQuery(this, it->second, /*from_cache=*/true);
+    }
+  }
+  ++stats_.plan_cache_misses;
+  TQP_ASSIGN_OR_RETURN(compiled,
+                       CompileQuery(text, catalog_, options_.translator));
+  TQP_ASSIGN_OR_RETURN(
+      state, PrepareImpl(text, text, compiled.plan, compiled.contract));
+  return PreparedQuery(this, state, /*from_cache=*/false);
+}
+
+Result<PreparedQuery> Engine::Prepare(const PlanPtr& initial,
+                                      const QueryContract& contract) {
+  SyncWithCatalog();
+  // Key hand-built plans by structural fingerprint + contract. Fingerprints
+  // are 64-bit and never trusted blindly anywhere in this codebase: a cache
+  // hit is confirmed structurally before it is served.
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "#plan:%016llx",
+                static_cast<unsigned long long>(initial->fingerprint()));
+  std::string key = std::string(fp) + "/" +
+                    ResultTypeName(contract.result_type) + "/" +
+                    SortSpecToString(contract.order_by);
+  if (options_.cache_plans) {
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end() &&
+        PlanNode::Equal(it->second->initial_plan, initial)) {
+      ++stats_.plan_cache_hits;
+      return PreparedQuery(this, it->second, /*from_cache=*/true);
+    }
+  }
+  ++stats_.plan_cache_misses;
+  TQP_ASSIGN_OR_RETURN(state,
+                       PrepareImpl(key, /*text=*/"", initial, contract));
+  return PreparedQuery(this, state, /*from_cache=*/false);
+}
+
+Result<QueryResult> Engine::Query(const std::string& text) {
+  TQP_ASSIGN_OR_RETURN(prepared, Prepare(text));
+  return prepared.Execute();
+}
+
+Result<TranslatedQuery> Engine::Compile(const std::string& text) const {
+  return CompileQuery(text, catalog_, options_.translator);
+}
+
+Result<EnumerationResult> Engine::Enumerate(const std::string& text,
+                                            EnumerationOptions options) {
+  SyncWithCatalog();
+  TQP_ASSIGN_OR_RETURN(compiled,
+                       CompileQuery(text, catalog_, options_.translator));
+  // A session DerivationCache is only sound for one cost/cardinality
+  // parameterization; force the Engine's unified models.
+  options.cardinality = options_.cardinality;
+  options.cost_engine = options_.engine;
+  const bool reuse = options_.reuse_search_caches;
+  PlanPtr root = reuse ? interner_->Intern(compiled.plan) : compiled.plan;
+  return EnumeratePlans(root, catalog_, compiled.contract, options_.rules,
+                        options, reuse ? interner_.get() : nullptr,
+                        reuse ? derivation_.get() : nullptr);
+}
+
+EngineStats Engine::stats() const {
+  EngineStats out = stats_;
+  out.plan_cache_entries = plan_cache_.size();
+  out.interner_nodes = interner_->unique_nodes();
+  out.interner_hits = interner_->hits();
+  out.derivation_nodes = derivation_->size();
+  return out;
+}
+
+}  // namespace tqp

@@ -1,0 +1,207 @@
+// tqp::Engine — the session-scoped facade over the whole pipeline.
+//
+// The paper's pipeline (TQL text → initial plan → Figure 5 enumeration →
+// cost-based choice → layered execution) is implemented by four layers with
+// four separate option structs. An Engine binds them behind one stable entry
+// point and — the point of a *session* — keeps the state worth keeping
+// between queries:
+//
+//   * one PlanInterner + DerivationCache shared across all queries, so a
+//     subtree enumerated for any earlier query is never re-derived;
+//   * a plan cache keyed by query text (or initial-plan fingerprint), so a
+//     repeated query skips parsing, enumeration, and costing entirely.
+//
+// Both are primed on first use and invalidated when the catalog's version
+// changes (see Catalog::version()) — a stale plan is never served. Cache
+// warmth is an optimization only: a warm Engine returns byte-identical
+// relations, the same chosen-plan fingerprints, and the same costs as a cold
+// one, and as the hand-wired CompileQuery + Optimize + Evaluate pipeline
+// (enforced by tests/test_api_engine.cc and bench/bench_engine_warm.cc).
+//
+// Usage:
+//   Engine engine(std::move(catalog));
+//   TQP_ASSIGN_OR_RETURN(result, engine.Query("SELECT ..."));      // one-shot
+//   TQP_ASSIGN_OR_RETURN(prepared, engine.Prepare("SELECT ..."));  // repeated
+//   for (...) { auto r = prepared.Execute(); ... }
+//
+// An Engine is single-session state, not a shared server object: like the
+// rest of the library it is not thread-safe.
+#ifndef TQP_API_ENGINE_H_
+#define TQP_API_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/intern.h"
+#include "exec/evaluator.h"
+#include "opt/optimizer.h"
+#include "tql/translator.h"
+
+namespace tqp {
+
+/// The unified option set, subsuming the per-layer structs. One EngineConfig
+/// and one CardinalityParams drive enumeration pruning, plan choice, and
+/// execution alike (`enumeration.cost_engine`/`.cardinality` are overridden
+/// by the unified fields, exactly as OptimizerOptions always did).
+struct EngineOptions {
+  EngineOptions();
+
+  /// TQL → initial plan (layered architecture on/off).
+  TranslatorOptions translator;
+  /// Figure 5 search knobs. `fill_canonical` defaults OFF here — the facade
+  /// never asserts on canonical strings — unlike the bare EnumeratePlans
+  /// default, which stays on for the string-asserting tests and benches.
+  EnumerationOptions enumeration;
+  /// Cost model + simulated execution environment.
+  EngineConfig engine;
+  /// Cardinality estimation parameters.
+  CardinalityParams cardinality;
+  /// Transformation rule catalogue.
+  std::vector<Rule> rules;
+  /// Serve repeated queries from the plan cache.
+  bool cache_plans = true;
+  /// Share one PlanInterner/DerivationCache across queries. Off = every
+  /// Prepare runs cold (useful for measuring, never for serving).
+  bool reuse_search_caches = true;
+};
+
+/// Everything one query execution returns: the relation plus execution and
+/// optimizer telemetry.
+struct QueryResult {
+  Relation relation;
+  /// Simulated execution statistics (work by site, transfer volume, ...).
+  ExecStats exec;
+  /// Optimizer telemetry for this query's plan.
+  double best_cost = 0.0;
+  double initial_cost = 0.0;
+  size_t plans_considered = 0;
+  bool truncated = false;
+  std::vector<std::string> derivation;
+  /// Structural fingerprint of the executed (chosen) plan.
+  uint64_t plan_fingerprint = 0;
+  /// True iff the plan came from the session plan cache (no enumeration ran).
+  bool plan_cache_hit = false;
+};
+
+/// Session cache counters, for observability and the warm-path benches.
+struct EngineStats {
+  /// Full compile+optimize pipelines actually run.
+  uint64_t prepares = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  /// Times the session caches were flushed because the catalog changed.
+  uint64_t invalidations = 0;
+  size_t plan_cache_entries = 0;
+  size_t interner_nodes = 0;
+  size_t interner_hits = 0;
+  size_t derivation_nodes = 0;
+};
+
+class Engine;
+
+/// A compiled-and-optimized query bound to its Engine. Cheap to copy (shared
+/// immutable state); must not outlive the Engine. Execute() re-prepares
+/// transparently if the catalog changed since preparation, so a
+/// PreparedQuery can be held across catalog mutations without ever running
+/// a stale plan.
+class PreparedQuery {
+ public:
+  /// Evaluates the chosen plan against the Engine's catalog.
+  Result<QueryResult> Execute();
+
+  const PlanPtr& initial_plan() const;
+  const PlanPtr& best_plan() const;
+  /// Structural fingerprint of the chosen plan.
+  uint64_t fingerprint() const;
+  double best_cost() const;
+  double initial_cost() const;
+  size_t plans_considered() const;
+  const std::vector<std::string>& derivation() const;
+  const QueryContract& contract() const;
+  /// True iff this preparation was served from the plan cache.
+  bool from_cache() const { return from_cache_; }
+
+ private:
+  friend class Engine;
+  struct State;
+  PreparedQuery(Engine* engine, std::shared_ptr<const State> state,
+                bool from_cache)
+      : engine_(engine), state_(std::move(state)), from_cache_(from_cache) {}
+
+  Engine* engine_;
+  std::shared_ptr<const State> state_;
+  bool from_cache_;
+};
+
+/// The facade. Owns the catalog and all session-lived caches.
+class Engine {
+ public:
+  explicit Engine(Catalog catalog, EngineOptions options = EngineOptions());
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const Catalog& catalog() const { return catalog_; }
+  /// Mutable access for registrations/updates. Mutations bump
+  /// Catalog::version(); the Engine notices lazily and flushes every session
+  /// cache before serving the next query.
+  Catalog& mutable_catalog() { return catalog_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Compiles and optimizes `text` once; Execute() the result any number of
+  /// times. Served from the plan cache when possible.
+  Result<PreparedQuery> Prepare(const std::string& text);
+
+  /// Same for a hand-built initial plan + contract (no TQL involved). The
+  /// plan cache keys these by the initial plan's structural fingerprint.
+  Result<PreparedQuery> Prepare(const PlanPtr& initial,
+                                const QueryContract& contract);
+
+  /// One-shot: Prepare + Execute.
+  Result<QueryResult> Query(const std::string& text);
+
+  /// Parses and translates only (no optimization, no caching of the result).
+  Result<TranslatedQuery> Compile(const std::string& text) const;
+
+  /// Enumerates the full equivalent-plan space of `text` through the session
+  /// caches — the facade behind examples/plan_explorer. `options.cardinality`
+  /// and `options.cost_engine` are overridden by the Engine's unified models
+  /// (a session DerivationCache is only sound for one parameter setting).
+  Result<EnumerationResult> Enumerate(const std::string& text,
+                                      EnumerationOptions options);
+
+  /// Session cache counters (plan cache, interner, derivation cache).
+  EngineStats stats() const;
+
+  /// Drops every session cache (plan cache, interner, derivation cache).
+  /// Equivalent to what a catalog mutation triggers automatically.
+  void ClearCaches();
+
+ private:
+  friend class PreparedQuery;
+
+  /// Flushes the session caches if the catalog version moved since they were
+  /// primed.
+  void SyncWithCatalog();
+
+  Result<std::shared_ptr<const PreparedQuery::State>> PrepareImpl(
+      const std::string& key, const std::string& text, const PlanPtr& initial,
+      const QueryContract& contract);
+
+  Catalog catalog_;
+  EngineOptions options_;
+  /// Catalog version the caches below are valid for.
+  uint64_t caches_version_ = 0;
+  std::unique_ptr<PlanInterner> interner_;
+  std::unique_ptr<DerivationCache> derivation_;
+  std::map<std::string, std::shared_ptr<const PreparedQuery::State>>
+      plan_cache_;
+  EngineStats stats_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_API_ENGINE_H_

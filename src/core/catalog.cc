@@ -10,6 +10,29 @@ Status Catalog::Register(const std::string& name, CatalogEntry entry) {
   if (entries_.count(name) > 0) {
     return Status::InvalidArgument("relation '" + name + "' already registered");
   }
+  TQP_RETURN_IF_ERROR(Verify(name, entry));
+  entry.data.set_order(entry.order);
+  entries_.emplace(name, std::move(entry));
+  ++version_;
+  return Status::OK();
+}
+
+Status Catalog::Update(const std::string& name, CatalogEntry entry) {
+  TQP_RETURN_IF_ERROR(Verify(name, entry));
+  entry.data.set_order(entry.order);
+  entries_[name] = std::move(entry);
+  ++version_;
+  return Status::OK();
+}
+
+bool Catalog::Drop(const std::string& name) {
+  if (entries_.erase(name) == 0) return false;
+  ++version_;
+  return true;
+}
+
+Status Catalog::Verify(const std::string& name,
+                       const CatalogEntry& entry) const {
   // Verify declared metadata so downstream precondition checks can trust it.
   if (entry.duplicate_free && entry.data.HasDuplicates()) {
     return Status::InvalidArgument("relation '" + name +
@@ -32,8 +55,6 @@ Status Catalog::Register(const std::string& name, CatalogEntry entry) {
     return Status::InvalidArgument("relation '" + name +
                                    "' declared order does not hold");
   }
-  entry.data.set_order(entry.order);
-  entries_.emplace(name, std::move(entry));
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #ifndef TQP_CORE_CATALOG_H_
 #define TQP_CORE_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -40,23 +41,42 @@ struct CatalogEntry {
 };
 
 /// Name → relation registry shared by the planner and the executor.
+///
+/// Every successful mutation (register/update/drop) bumps a monotonically
+/// increasing version. Session-scoped consumers (tqp::Engine's plan and
+/// derivation caches) key their cached state on it: anything derived under
+/// version v is stale — and must be invalidated, never served — once
+/// version() != v.
 class Catalog {
  public:
   /// Registers a relation; metadata flags are *verified* against the data so
-  /// the optimizer can trust them.
+  /// the optimizer can trust them. Fails if `name` is already registered.
   Status Register(const std::string& name, CatalogEntry entry);
+
+  /// Registers or replaces a relation, with the same metadata verification.
+  Status Update(const std::string& name, CatalogEntry entry);
 
   /// Convenience: registers and derives all metadata flags from the data.
   Status RegisterWithInferredFlags(const std::string& name, Relation data,
                                    Site site = Site::kDbms);
+
+  /// Removes a relation. Returns false (and does not bump the version) if
+  /// `name` is not registered.
+  bool Drop(const std::string& name);
 
   bool Contains(const std::string& name) const;
   const CatalogEntry* Find(const std::string& name) const;
 
   std::vector<std::string> Names() const;
 
+  /// Number of successful mutations so far; 0 for a fresh catalog.
+  uint64_t version() const { return version_; }
+
  private:
+  Status Verify(const std::string& name, const CatalogEntry& entry) const;
+
   std::map<std::string, CatalogEntry> entries_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace tqp

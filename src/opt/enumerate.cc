@@ -209,13 +209,21 @@ Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
                                         const Catalog& catalog,
                                         const QueryContract& contract,
                                         const std::vector<Rule>& rules,
-                                        const EnumerationOptions& options) {
+                                        const EnumerationOptions& options,
+                                        PlanInterner* ext_interner,
+                                        DerivationCache* ext_derivation) {
   if (initial->subtree_size() > kMaxUnfoldedPlanSize) {
     return Status::InvalidArgument("initial plan too large when unfolded");
   }
 
-  PlanInterner interner;
-  DerivationCache cache;
+  // Session-scoped state when the caller provides it (cross-query reuse in
+  // tqp::Engine), call-local otherwise. Warmth never changes which plans are
+  // admitted or their order: interning only affects pointer identity, and a
+  // cached node is guaranteed to head a valid subtree under the same catalog.
+  PlanInterner local_interner;
+  DerivationCache local_derivation;
+  PlanInterner& interner = ext_interner ? *ext_interner : local_interner;
+  DerivationCache& cache = ext_derivation ? *ext_derivation : local_derivation;
   CanonicalCache canon;
 
   PlanPtr root = interner.Intern(initial);
@@ -279,8 +287,15 @@ Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
 
   size_t size_cap = root->subtree_size() + options.max_plan_growth;
 
+  // Canonical strings are presentation-only here (identity is the
+  // fingerprint-keyed memo); skip serialization entirely when the caller
+  // doesn't assert on them.
+  auto canon_of = [&](const PlanPtr& p) {
+    return options.fill_canonical ? canon.Of(p) : std::string();
+  };
+
   result.plans.push_back(
-      EnumeratedPlan{root, canon.Of(root), root->fingerprint(), -1, ""});
+      EnumeratedPlan{root, canon_of(root), root->fingerprint(), -1, ""});
   memo[root->fingerprint()].push_back(0);
   if (pruning) {
     best_cost = EstimatePlanCost(root, ctx, options.cost_engine);
@@ -363,7 +378,7 @@ Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
         return true;  // invalid composition; not memoized
       }
       memo[cand_fp].push_back(result.plans.size());
-      result.plans.push_back(EnumeratedPlan{rewritten, canon.Of(rewritten),
+      result.plans.push_back(EnumeratedPlan{rewritten, canon_of(rewritten),
                                             rewritten->fingerprint(),
                                             static_cast<int>(p), rule.id()});
       if (pruning) {
@@ -412,10 +427,22 @@ Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
                                          const QueryContract& contract,
                                          const std::vector<Rule>& rules,
                                          const EnumerationOptions& options) {
+  return EnumeratePlans(initial, catalog, contract, rules, options,
+                        /*interner=*/nullptr, /*derivation=*/nullptr);
+}
+
+Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
+                                         const Catalog& catalog,
+                                         const QueryContract& contract,
+                                         const std::vector<Rule>& rules,
+                                         const EnumerationOptions& options,
+                                         PlanInterner* interner,
+                                         DerivationCache* derivation) {
   if (options.use_legacy_string_dedup) {
     return EnumerateLegacy(initial, catalog, contract, rules, options);
   }
-  return EnumerateMemo(initial, catalog, contract, rules, options);
+  return EnumerateMemo(initial, catalog, contract, rules, options, interner,
+                       derivation);
 }
 
 }  // namespace tqp

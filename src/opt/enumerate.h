@@ -42,6 +42,8 @@
 
 namespace tqp {
 
+class PlanInterner;
+
 /// Options controlling the enumeration.
 struct EnumerationOptions {
   /// Stop after this many distinct plans admitted to the memo (the initial
@@ -70,6 +72,12 @@ struct EnumerationOptions {
   /// passes per plan, no interning). Kept as the before-side of the
   /// before/after comparison in bench_fig5_enumeration.
   bool use_legacy_string_dedup = false;
+  /// Fill EnumeratedPlan::canonical with the plan's canonical string. Plan
+  /// identity is fingerprint/pointer-based, so the memo path only serializes
+  /// for callers that assert on strings (tests, the A/B bench); the Engine
+  /// facade turns this off. The legacy path always fills it — the string IS
+  /// its dedup key.
+  bool fill_canonical = true;
 };
 
 /// One enumerated plan with its derivation edge.
@@ -117,6 +125,24 @@ Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
                                          const QueryContract& contract,
                                          const std::vector<Rule>& rules,
                                          const EnumerationOptions& options = {});
+
+/// Same, threading session-scoped search state: `interner` hash-conses every
+/// admitted plan and `derivation` memoizes bottom-up node information, so a
+/// caller serving repeated queries (tqp::Engine) pays for subtree derivation
+/// only the first time a subtree appears anywhere in the session. Either may
+/// be nullptr (a call-local one is used). A shared cache is only sound
+/// against one catalog version and one CardinalityParams setting — the
+/// Engine invalidates both on catalog mutation. The legacy string-dedup path
+/// does not intern and ignores both. The enumerated plan sequence is
+/// independent of cache warmth (warm/cold runs are byte-identical); only the
+/// interner/cache counters in EnumerationResult reflect session totals.
+Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
+                                         const Catalog& catalog,
+                                         const QueryContract& contract,
+                                         const std::vector<Rule>& rules,
+                                         const EnumerationOptions& options,
+                                         PlanInterner* interner,
+                                         DerivationCache* derivation);
 
 /// True iff a rule of type `equiv` is admitted at a location given the
 /// properties of the location's operations (the Figure 5 disjunction).

@@ -6,15 +6,25 @@ Result<OptimizeResult> Optimize(const PlanPtr& initial, const Catalog& catalog,
                                 const QueryContract& contract,
                                 const std::vector<Rule>& rules,
                                 const OptimizerOptions& options) {
+  return Optimize(initial, catalog, contract, rules, options,
+                  /*interner=*/nullptr, /*derivation=*/nullptr);
+}
+
+Result<OptimizeResult> Optimize(const PlanPtr& initial, const Catalog& catalog,
+                                const QueryContract& contract,
+                                const std::vector<Rule>& rules,
+                                const OptimizerOptions& options,
+                                PlanInterner* interner,
+                                DerivationCache* derivation) {
   // The enumeration shares the optimizer's cost and cardinality models, so
   // cost-bounded pruning (when enabled) bounds against the same costs the
   // final plan choice uses.
   EnumerationOptions enum_options = options.enumeration;
   enum_options.cardinality = options.cardinality;
   enum_options.cost_engine = options.engine;
-  TQP_ASSIGN_OR_RETURN(
-      enumeration,
-      EnumeratePlans(initial, catalog, contract, rules, enum_options));
+  TQP_ASSIGN_OR_RETURN(enumeration,
+                       EnumeratePlans(initial, catalog, contract, rules,
+                                      enum_options, interner, derivation));
 
   OptimizeResult out;
   out.plans_considered = enumeration.plans.size();
@@ -22,8 +32,10 @@ Result<OptimizeResult> Optimize(const PlanPtr& initial, const Catalog& catalog,
 
   // Cost every plan against one shared bottom-up derivation cache — the
   // enumerated plans are structurally overlapping, so most nodes are derived
-  // once across the whole set.
-  DerivationCache cache;
+  // once across the whole set. With a session cache this is the same cache
+  // the enumeration validated against, so it is already fully primed.
+  DerivationCache local_cache;
+  DerivationCache& cache = derivation ? *derivation : local_cache;
   PlanContext ctx(&cache, nullptr, &contract);
   size_t best_index = 0;
   double best_cost = 0.0;

@@ -16,6 +16,8 @@
 
 namespace tqp {
 
+class PlanInterner;
+
 /// Options for the full optimization pipeline.
 struct OptimizerOptions {
   EnumerationOptions enumeration;
@@ -39,6 +41,20 @@ Result<OptimizeResult> Optimize(const PlanPtr& initial, const Catalog& catalog,
                                 const QueryContract& contract,
                                 const std::vector<Rule>& rules,
                                 const OptimizerOptions& options = {});
+
+/// Same, threading session-scoped search state (see the EnumeratePlans
+/// overload): the enumeration interns through `interner` and both the
+/// enumeration's validation and the costing loop share `derivation`, so a
+/// repeated or structurally overlapping query re-derives almost nothing.
+/// Either may be nullptr. The chosen plan, costs, and derivation chain are
+/// identical to a cold call — cache warmth only changes how much work is
+/// re-done, never the outcome.
+Result<OptimizeResult> Optimize(const PlanPtr& initial, const Catalog& catalog,
+                                const QueryContract& contract,
+                                const std::vector<Rule>& rules,
+                                const OptimizerOptions& options,
+                                PlanInterner* interner,
+                                DerivationCache* derivation);
 
 }  // namespace tqp
 

@@ -1,0 +1,346 @@
+// Tests for the tqp::Engine facade: equivalence with the hand-wired
+// pipeline, warm-vs-cold determinism of the session caches, plan-cache
+// behavior, and catalog-version invalidation.
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "core/equivalence.h"
+#include "test_util.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace {
+
+/// Byte-identical: same tuples, same order, same rendered table.
+void ExpectIdentical(const Relation& a, const Relation& b) {
+  EXPECT_TRUE(EquivalentAsLists(a, b)) << a.ToTable("a") << b.ToTable("b");
+  EXPECT_EQ(a.ToTable(), b.ToTable());
+}
+
+/// EMPLOYEE/PROJECT plus two generated relations R (temporal) and S
+/// (temporal, different seed) for the workload queries.
+Catalog WorkloadCatalog() {
+  Catalog catalog = PaperCatalog();
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "R", testing_util::RandomTemporal(3, 20), Site::kDbms)
+                .ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "S", testing_util::RandomTemporal(8, 16), Site::kDbms)
+                .ok());
+  return catalog;
+}
+
+/// The TQL suite the warm-vs-cold tests sweep: the paper's example plus
+/// conventional/temporal queries over the generated relations.
+std::vector<std::string> WorkloadQueries() {
+  return {
+      PaperQueryText(),
+      "SELECT Name, Val FROM R WHERE Val > 10",
+      "SELECT DISTINCT Name FROM R ORDER BY Name ASC",
+      "VALIDTIME SELECT DISTINCT Name FROM R ORDER BY Name ASC",
+      "VALIDTIME COALESCED SELECT DISTINCT Name FROM R",
+      "SELECT Name FROM R UNION SELECT Name FROM S",
+      "SELECT Cat, COUNT(*) AS n FROM R GROUP BY Cat ORDER BY Cat",
+  };
+}
+
+TEST(ApiEngineTest, FacadeMatchesHandWiredPipeline) {
+  // The A/B guarantee: Engine::Query is byte-identical to the hand-wired
+  // CompileQuery + Optimize + AnnotatedPlan::Make + Evaluate pipeline with
+  // the same (default) models — same relation, fingerprint, costs, and
+  // derivation chain, even though the facade skips canonical strings and
+  // runs through session caches.
+  Catalog catalog = PaperCatalog();
+
+  Result<TranslatedQuery> q = CompileQuery(PaperQueryText(), catalog);
+  ASSERT_TRUE(q.ok());
+  Result<OptimizeResult> opt =
+      Optimize(q->plan, catalog, q->contract, DefaultRuleSet());
+  ASSERT_TRUE(opt.ok());
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(opt->best_plan, &catalog, q->contract);
+  ASSERT_TRUE(ann.ok());
+  ExecStats hand_stats;
+  Result<Relation> hand = Evaluate(ann.value(), EngineConfig{}, &hand_stats);
+  ASSERT_TRUE(hand.ok());
+
+  Engine engine(PaperCatalog());
+  Result<QueryResult> facade = engine.Query(PaperQueryText());
+  ASSERT_TRUE(facade.ok()) << facade.status().message();
+
+  ExpectIdentical(facade->relation, hand.value());
+  EXPECT_EQ(facade->plan_fingerprint, opt->best_plan->fingerprint());
+  EXPECT_EQ(facade->best_cost, opt->best_cost);
+  EXPECT_EQ(facade->initial_cost, opt->initial_cost);
+  EXPECT_EQ(facade->plans_considered, opt->plans_considered);
+  EXPECT_EQ(facade->derivation, opt->derivation);
+  EXPECT_EQ(facade->exec.total_work(), hand_stats.total_work());
+  EXPECT_FALSE(facade->plan_cache_hit);
+}
+
+TEST(ApiEngineTest, WarmRunsMatchColdAcrossWorkload) {
+  // For every workload query: the warm engine's second run (plan-cache hit,
+  // primed interner/derivation cache) returns the identical relation, chosen
+  // fingerprint, and costs as its first run AND as a fresh engine.
+  EngineOptions options;
+  options.enumeration.max_plans = 1500;
+  Engine warm(WorkloadCatalog(), options);
+
+  for (const std::string& text : WorkloadQueries()) {
+    SCOPED_TRACE(text);
+    Result<QueryResult> first = warm.Query(text);
+    ASSERT_TRUE(first.ok()) << first.status().message();
+    EXPECT_FALSE(first->plan_cache_hit);
+
+    Result<QueryResult> second = warm.Query(text);
+    ASSERT_TRUE(second.ok());
+    EXPECT_TRUE(second->plan_cache_hit);
+
+    EngineOptions cold_options;
+    cold_options.enumeration.max_plans = 1500;
+    Engine cold(WorkloadCatalog(), cold_options);
+    Result<QueryResult> fresh = cold.Query(text);
+    ASSERT_TRUE(fresh.ok());
+
+    ExpectIdentical(second->relation, first->relation);
+    ExpectIdentical(second->relation, fresh->relation);
+    EXPECT_EQ(second->plan_fingerprint, first->plan_fingerprint);
+    EXPECT_EQ(second->plan_fingerprint, fresh->plan_fingerprint);
+    EXPECT_EQ(second->best_cost, fresh->best_cost);
+    EXPECT_EQ(second->initial_cost, fresh->initial_cost);
+    EXPECT_EQ(second->plans_considered, fresh->plans_considered);
+    EXPECT_EQ(second->derivation, fresh->derivation);
+  }
+
+  EngineStats stats = warm.stats();
+  EXPECT_EQ(stats.plan_cache_hits, WorkloadQueries().size());
+  EXPECT_EQ(stats.plan_cache_misses, WorkloadQueries().size());
+  EXPECT_EQ(stats.prepares, WorkloadQueries().size());
+  EXPECT_EQ(stats.plan_cache_entries, WorkloadQueries().size());
+  EXPECT_GT(stats.interner_nodes, 0u);
+  EXPECT_GT(stats.derivation_nodes, 0u);
+  EXPECT_EQ(stats.invalidations, 0u);
+}
+
+TEST(ApiEngineTest, SessionCachesOffIsStillCorrect) {
+  // reuse_search_caches / cache_plans only change how much work is redone.
+  EngineOptions no_caches;
+  no_caches.cache_plans = false;
+  no_caches.reuse_search_caches = false;
+  Engine bare(WorkloadCatalog(), no_caches);
+  Engine cached(WorkloadCatalog());
+
+  Result<QueryResult> a = bare.Query(PaperQueryText());
+  Result<QueryResult> b = bare.Query(PaperQueryText());
+  Result<QueryResult> c = cached.Query(PaperQueryText());
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_FALSE(b->plan_cache_hit);
+  ExpectIdentical(a->relation, b->relation);
+  ExpectIdentical(a->relation, c->relation);
+  EXPECT_EQ(a->plan_fingerprint, c->plan_fingerprint);
+  EXPECT_EQ(bare.stats().prepares, 2u);
+  EXPECT_EQ(bare.stats().plan_cache_entries, 0u);
+}
+
+TEST(ApiEngineTest, PreparedQueryExecutesRepeatedly) {
+  Engine engine(PaperCatalog());
+  Result<PreparedQuery> prepared = engine.Prepare(PaperQueryText());
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(prepared->from_cache());
+  EXPECT_FALSE(prepared->derivation().empty());
+  EXPECT_LT(prepared->best_cost(), prepared->initial_cost());
+
+  Result<QueryResult> first = prepared.value().Execute();
+  Result<QueryResult> again = prepared.value().Execute();
+  ASSERT_TRUE(first.ok() && again.ok());
+  ExpectIdentical(first->relation, again->relation);
+  EXPECT_EQ(first->plan_fingerprint, prepared->fingerprint());
+  // One pipeline run serves any number of executions.
+  EXPECT_EQ(engine.stats().prepares, 1u);
+
+  // A later Prepare of the same text is a cache hit sharing the same plan.
+  Result<PreparedQuery> reprepared = engine.Prepare(PaperQueryText());
+  ASSERT_TRUE(reprepared.ok());
+  EXPECT_TRUE(reprepared->from_cache());
+  EXPECT_EQ(reprepared->fingerprint(), prepared->fingerprint());
+  EXPECT_EQ(engine.stats().prepares, 1u);
+}
+
+TEST(ApiEngineTest, PlanKeyedPrepareMatchesTextPath) {
+  // A hand-built initial plan prepares to the same chosen plan as its TQL
+  // text (the translator emits exactly the Figure 2(a) tree), and repeated
+  // plan-keyed preparations hit the fingerprint-keyed cache.
+  Engine engine(PaperCatalog());
+  Result<PreparedQuery> from_plan =
+      engine.Prepare(PaperInitialPlan(), PaperContract());
+  ASSERT_TRUE(from_plan.ok()) << from_plan.status().message();
+  EXPECT_FALSE(from_plan->from_cache());
+
+  Result<PreparedQuery> from_text = engine.Prepare(PaperQueryText());
+  ASSERT_TRUE(from_text.ok());
+  EXPECT_EQ(from_plan->fingerprint(), from_text->fingerprint());
+
+  Result<PreparedQuery> again =
+      engine.Prepare(PaperInitialPlan(), PaperContract());
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->from_cache());
+
+  Result<QueryResult> a = from_plan.value().Execute();
+  Result<QueryResult> b = from_text.value().Execute();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectIdentical(a->relation, b->relation);
+}
+
+TEST(ApiEngineTest, CatalogMutationInvalidatesCaches) {
+  // A catalog mutation must flush the plan cache and the derivation cache:
+  // the next query re-optimizes against the new contents instead of serving
+  // a stale plan or stale cardinalities.
+  const std::string query =
+      "VALIDTIME SELECT DISTINCT Name FROM R ORDER BY Name ASC";
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "R",
+                    testing_util::TemporalRel(
+                        {{"a", 1, 0, 5}, {"b", 2, 2, 9}, {"a", 1, 5, 7}}),
+                    Site::kDbms)
+                .ok());
+  Engine engine(catalog);
+
+  Result<QueryResult> before = engine.Query(query);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(engine.Query(query)->plan_cache_hit);  // warm now
+
+  // Replace R's contents through the engine's own catalog handle.
+  CatalogEntry updated;
+  updated.data = testing_util::TemporalRel(
+      {{"c", 7, 1, 4}, {"d", 8, 3, 6}, {"e", 9, 0, 2}});
+  updated.site = Site::kDbms;
+  ASSERT_TRUE(engine.mutable_catalog().Update("R", std::move(updated)).ok());
+
+  Result<QueryResult> after = engine.Query(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->plan_cache_hit);  // cache was flushed, not served
+  EXPECT_FALSE(EquivalentAsMultisets(after->relation, before->relation));
+
+  // The post-mutation answer matches a fresh engine over the same catalog.
+  Engine fresh(engine.catalog());
+  Result<QueryResult> expected = fresh.Query(query);
+  ASSERT_TRUE(expected.ok());
+  ExpectIdentical(after->relation, expected->relation);
+  EXPECT_EQ(after->plan_fingerprint, expected->plan_fingerprint);
+  EXPECT_EQ(after->best_cost, expected->best_cost);
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.plan_cache_entries, 1u);  // only the re-prepared query
+}
+
+TEST(ApiEngineTest, StalePreparedQueryRepreparesTransparently) {
+  const std::string query = "SELECT DISTINCT Name FROM R ORDER BY Name ASC";
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "R", testing_util::ConventionalRel({{"x", 1}, {"y", 2}}),
+                    Site::kDbms)
+                .ok());
+  Engine engine(catalog);
+  Result<PreparedQuery> prepared = engine.Prepare(query);
+  ASSERT_TRUE(prepared.ok());
+
+  CatalogEntry updated;
+  updated.data = testing_util::ConventionalRel({{"z", 3}});
+  updated.site = Site::kDbms;
+  ASSERT_TRUE(engine.mutable_catalog().Update("R", std::move(updated)).ok());
+
+  // Executing the pre-mutation handle picks up the new catalog.
+  Result<QueryResult> out = prepared.value().Execute();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->relation.size(), 1u);
+  EXPECT_EQ(out->relation.tuple(0).at(0).AsString(), "z");
+  EXPECT_EQ(engine.stats().invalidations, 1u);
+}
+
+TEST(ApiEngineTest, EnumerateThreadsSessionCaches) {
+  Engine engine(PaperCatalog());
+  EnumerationOptions options = engine.options().enumeration;
+  options.max_plans = 200;
+  Result<EnumerationResult> first =
+      engine.Enumerate(PaperQueryText(), options);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->plans.size(), 1u);
+  // The facade path skips canonical serialization by default...
+  EXPECT_TRUE(first->plans[0].canonical.empty());
+  size_t cold_cache = first->cache_nodes;
+
+  // ...and a re-enumeration against the primed session caches produces the
+  // identical plan sequence while deriving almost nothing new.
+  Result<EnumerationResult> second =
+      engine.Enumerate(PaperQueryText(), options);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->plans.size(), first->plans.size());
+  for (size_t i = 0; i < first->plans.size(); ++i) {
+    EXPECT_EQ(second->plans[i].fingerprint, first->plans[i].fingerprint);
+    EXPECT_EQ(second->plans[i].parent, first->plans[i].parent);
+    EXPECT_EQ(second->plans[i].rule_id, first->plans[i].rule_id);
+  }
+  EXPECT_EQ(second->cache_nodes, cold_cache);  // nothing new to derive
+}
+
+TEST(ApiEngineTest, FillCanonicalOffPreservesTheSequence) {
+  // fill_canonical only controls the string field, never the search.
+  Catalog catalog = PaperCatalog();
+  EnumerationOptions with, without;
+  with.max_plans = without.max_plans = 300;
+  with.fill_canonical = true;
+  without.fill_canonical = false;
+
+  Result<EnumerationResult> a = EnumeratePlans(
+      PaperInitialPlan(), catalog, PaperContract(), DefaultRuleSet(), with);
+  Result<EnumerationResult> b = EnumeratePlans(
+      PaperInitialPlan(), catalog, PaperContract(), DefaultRuleSet(), without);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->plans.size(), b->plans.size());
+  EXPECT_EQ(a->matches, b->matches);
+  EXPECT_EQ(a->admitted, b->admitted);
+  EXPECT_EQ(a->gated_out, b->gated_out);
+  EXPECT_EQ(a->memo_hits, b->memo_hits);
+  for (size_t i = 0; i < a->plans.size(); ++i) {
+    EXPECT_FALSE(a->plans[i].canonical.empty());
+    EXPECT_TRUE(b->plans[i].canonical.empty());
+    EXPECT_EQ(a->plans[i].fingerprint, b->plans[i].fingerprint);
+    EXPECT_EQ(a->plans[i].parent, b->plans[i].parent);
+    EXPECT_EQ(a->plans[i].rule_id, b->plans[i].rule_id);
+  }
+}
+
+TEST(ApiEngineTest, CatalogVersioning) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.version(), 0u);
+  ASSERT_TRUE(catalog
+                  .RegisterWithInferredFlags(
+                      "A", testing_util::ConventionalRel({{"x", 1}}))
+                  .ok());
+  EXPECT_EQ(catalog.version(), 1u);
+
+  // Failed mutations do not bump the version.
+  EXPECT_FALSE(catalog
+                   .RegisterWithInferredFlags(
+                       "A", testing_util::ConventionalRel({{"y", 2}}))
+                   .ok());
+  EXPECT_FALSE(catalog.Drop("NOPE"));
+  EXPECT_EQ(catalog.version(), 1u);
+
+  CatalogEntry entry;
+  entry.data = testing_util::ConventionalRel({{"y", 2}});
+  ASSERT_TRUE(catalog.Update("A", std::move(entry)).ok());
+  EXPECT_EQ(catalog.version(), 2u);
+  EXPECT_TRUE(catalog.Drop("A"));
+  EXPECT_EQ(catalog.version(), 3u);
+  EXPECT_FALSE(catalog.Contains("A"));
+}
+
+}  // namespace
+}  // namespace tqp

@@ -2,6 +2,7 @@
 // counting, DBMS order scrambling, and the cost model's consistency.
 #include <gtest/gtest.h>
 
+#include "api/engine.h"
 #include "core/equivalence.h"
 #include "exec/evaluator.h"
 #include "test_util.h"
@@ -100,6 +101,36 @@ TEST(EngineTest, ResultOrderAnnotationMatchesDerivedOrder) {
   EXPECT_EQ(SortSpecToString(out->order()),
             SortSpecToString(ann->root_info().order));
   EXPECT_TRUE(out->IsSortedBy(out->order()));
+}
+
+TEST(EngineTest, FacadeExecStatsMatchHandWiredEvaluation) {
+  // The facade's QueryResult::exec is the same accounting Evaluate produces
+  // for the same plan. max_plans=1 pins the chosen plan to the initial one
+  // so both sides execute the identical tree.
+  Catalog catalog = PaperCatalog();
+  PlanPtr plan = PaperInitialPlan();
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(plan, &catalog, PaperContract());
+  ASSERT_TRUE(ann.ok());
+  ExecStats hand;
+  Result<Relation> expected = Evaluate(ann.value(), EngineConfig{}, &hand);
+  ASSERT_TRUE(expected.ok());
+
+  EngineOptions options;
+  options.enumeration.max_plans = 1;
+  Engine engine(PaperCatalog(), std::move(options));
+  Result<PreparedQuery> prepared = engine.Prepare(plan, PaperContract());
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_EQ(prepared->fingerprint(), plan->fingerprint());
+  Result<QueryResult> out = prepared.value().Execute();
+  ASSERT_TRUE(out.ok());
+
+  EXPECT_TRUE(EquivalentAsLists(out->relation, expected.value()));
+  EXPECT_EQ(out->exec.dbms_work, hand.dbms_work);
+  EXPECT_EQ(out->exec.stratum_work, hand.stratum_work);
+  EXPECT_EQ(out->exec.tuples_transferred, hand.tuples_transferred);
+  EXPECT_EQ(out->exec.tuples_produced, hand.tuples_produced);
+  EXPECT_EQ(out->exec.op_counts, hand.op_counts);
 }
 
 TEST(CostModelTest, EstimateTracksActualWorkDirectionally) {
