@@ -3,7 +3,27 @@
 #include <cstdio>
 #include <utility>
 
+#include "tql/lexer.h"
+
 namespace tqp {
+
+namespace {
+
+/// Plan-cache key for a TQL query: the lexed token stream, so whitespace,
+/// "--" comments, and keyword-case variants of one query share a cache
+/// entry. Unlexable text is keyed by the raw string under its own prefix —
+/// such a query cannot compile, so the key only routes it to the real
+/// CompileQuery error, and the prefix keeps it from ever colliding with a
+/// lexable query's token key (a raw string can contain anything, including
+/// a verbatim copy of some other query's token rendering). All prefixes are
+/// likewise disjoint from the "#plan:" keys of hand-built plans.
+std::string TextPlanCacheKey(const std::string& text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return "#rawtext:" + text;
+  return "#tql:" + TokenStreamKey(tokens.value());
+}
+
+}  // namespace
 
 EngineOptions::EngineOptions() : rules(DefaultRuleSet()) {
   // The facade's plan identity is fingerprint/pointer-based end to end;
@@ -148,8 +168,14 @@ Result<std::shared_ptr<const PreparedQuery::State>> Engine::PrepareImpl(
 
 Result<PreparedQuery> Engine::Prepare(const std::string& text) {
   SyncWithCatalog();
+  // Token-stream keying: "SELECT  x" with extra spaces or a trailing
+  // comment hits the entry its normalized twin created. The original text
+  // is still what a stale PreparedQuery re-prepares from; re-lexing it
+  // reproduces the same key. With the plan cache off the key is never
+  // looked up or stored, so skip computing it.
+  std::string key = options_.cache_plans ? TextPlanCacheKey(text) : text;
   if (options_.cache_plans) {
-    auto it = plan_cache_.find(text);
+    auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
       ++stats_.plan_cache_hits;
       return PreparedQuery(this, it->second, /*from_cache=*/true);
@@ -159,7 +185,7 @@ Result<PreparedQuery> Engine::Prepare(const std::string& text) {
   TQP_ASSIGN_OR_RETURN(compiled,
                        CompileQuery(text, catalog_, options_.translator));
   TQP_ASSIGN_OR_RETURN(
-      state, PrepareImpl(text, text, compiled.plan, compiled.contract));
+      state, PrepareImpl(key, text, compiled.plan, compiled.contract));
   return PreparedQuery(this, state, /*from_cache=*/false);
 }
 

@@ -8,8 +8,10 @@
 //
 //   * one PlanInterner + DerivationCache shared across all queries, so a
 //     subtree enumerated for any earlier query is never re-derived;
-//   * a plan cache keyed by query text (or initial-plan fingerprint), so a
-//     repeated query skips parsing, enumeration, and costing entirely.
+//   * a plan cache keyed by the query's lexed token stream (or initial-plan
+//     fingerprint), so a repeated query — including whitespace/comment/
+//     keyword-case variants of it — skips parsing, enumeration, and costing
+//     entirely.
 //
 // Both are primed on first use and invalidated when the catalog's version
 // changes (see Catalog::version()) — a stale plan is never served. Cache
@@ -50,9 +52,11 @@ struct EngineOptions {
 
   /// TQL → initial plan (layered architecture on/off).
   TranslatorOptions translator;
-  /// Figure 5 search knobs. `fill_canonical` defaults OFF here — the facade
-  /// never asserts on canonical strings — unlike the bare EnumeratePlans
-  /// default, which stays on for the string-asserting tests and benches.
+  /// Figure 5 search knobs, including the frontier strategy (breadth-first
+  /// vs cost-directed best-first) and the pruning/expansion budgets.
+  /// `fill_canonical` defaults OFF here — the facade never asserts on
+  /// canonical strings — unlike the bare EnumeratePlans default, which
+  /// stays on for the string-asserting tests and benches.
   EnumerationOptions enumeration;
   /// Cost model + simulated execution environment.
   EngineConfig engine;
@@ -152,7 +156,9 @@ class Engine {
   const EngineOptions& options() const { return options_; }
 
   /// Compiles and optimizes `text` once; Execute() the result any number of
-  /// times. Served from the plan cache when possible.
+  /// times. Served from the plan cache when possible; the cache is keyed on
+  /// the lexed token stream, so whitespace/comment/keyword-case variants of
+  /// one query share an entry.
   Result<PreparedQuery> Prepare(const std::string& text);
 
   /// Same for a hand-built initial plan + contract (no TQL involved). The

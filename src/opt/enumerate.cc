@@ -3,6 +3,7 @@
 #include <array>
 #include <deque>
 #include <optional>
+#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -97,6 +98,11 @@ Result<EnumerationResult> EnumerateLegacy(const PlanPtr& initial,
   if (initial->subtree_size() > kMaxUnfoldedPlanSize) {
     return Status::InvalidArgument("initial plan too large when unfolded");
   }
+  if (options.strategy != SearchStrategy::kBreadthFirst) {
+    return Status::InvalidArgument(
+        "legacy enumeration supports breadth-first only; use the memo "
+        "enumerator for cost-directed search");
+  }
   // The seed algorithm rewrites with ReplaceNode (which replaces every
   // occurrence of a node object), so it is only sound on proper trees;
   // reject shared-subtree inputs exactly as the seed's annotation pass did.
@@ -135,6 +141,7 @@ Result<EnumerationResult> EnumerateLegacy(const PlanPtr& initial,
     Result<AnnotatedPlan> ann_res =
         AnnotatedPlan::Make(plan, &catalog, contract, options.cardinality);
     if (!ann_res.ok()) continue;  // defensive: skip invalid derived plans
+    ++result.expanded;
     const AnnotatedPlan& ann = ann_res.value();
 
     std::vector<PlanPtr> locations;
@@ -202,6 +209,81 @@ class CanonicalCache {
   std::unordered_map<const PlanNode*, std::string> memo_;
 };
 
+// The memo over admitted plans: fingerprint -> indices in result.plans,
+// optionally sharded by the probed plan's root-operator kind. Sharding is a
+// first cut at partitioned search — each shard is an independent hash table,
+// so a future parallel driver can probe and grow partitions without
+// cross-shard coordination. It only routes probes: the admitted plan
+// sequence is identical with sharding on or off, because a plan's root kind
+// is a pure function of the plan and every probe/insert for one plan goes
+// to the same shard.
+class MemoIndex {
+ public:
+  MemoIndex(bool sharded, size_t reserve_hint)
+      : shards_(sharded ? kOpKindCount : 1) {
+    for (auto& shard : shards_) {
+      shard.reserve(reserve_hint / shards_.size() + 1);
+    }
+  }
+
+  const std::vector<size_t>* Find(OpKind root_kind, uint64_t fp) const {
+    const Shard& shard = shards_[ShardOf(root_kind)];
+    auto it = shard.find(fp);
+    return it == shard.end() ? nullptr : &it->second;
+  }
+
+  void Add(OpKind root_kind, uint64_t fp, size_t plan_index) {
+    shards_[ShardOf(root_kind)][fp].push_back(plan_index);
+  }
+
+ private:
+  using Shard = std::unordered_map<uint64_t, std::vector<size_t>>;
+
+  size_t ShardOf(OpKind kind) const {
+    return shards_.size() == 1 ? 0 : static_cast<size_t>(kind);
+  }
+
+  std::vector<Shard> shards_;
+};
+
+// The frontier of unexpanded plan indices. Breadth-first consumes admitted
+// plans in index order (the exact Figure 5 worklist); best-first pops the
+// cheapest plan first, breaking cost ties on the admission index so repeated
+// runs pop in the identical order.
+class Frontier {
+ public:
+  explicit Frontier(bool best_first) : best_first_(best_first) {}
+
+  /// Breadth-first reads plans straight out of result.plans, so only the
+  /// best-first heap needs explicit pushes.
+  void Push(size_t index, double cost) {
+    if (best_first_) heap_.emplace(cost, index);
+  }
+
+  /// Next plan index to consider, or nullopt when the frontier is drained.
+  /// `admitted` is the current result.plans.size().
+  std::optional<size_t> Pop(size_t admitted) {
+    if (best_first_) {
+      if (heap_.empty()) return std::nullopt;
+      size_t index = heap_.top().second;
+      heap_.pop();
+      return index;
+    }
+    if (next_ >= admitted) return std::nullopt;
+    return next_++;
+  }
+
+ private:
+  bool best_first_;
+  size_t next_ = 0;  // breadth-first cursor
+  // (cost, admission index), cheapest first; index tie-break via
+  // std::greater on the pair.
+  std::priority_queue<std::pair<double, size_t>,
+                      std::vector<std::pair<double, size_t>>,
+                      std::greater<std::pair<double, size_t>>>
+      heap_;
+};
+
 // The memo path: hash-consed plans, pointer-keyed dedup, path-copy rewrites,
 // one annotation per distinct plan against a shared bottom-up cache, and
 // optional cost-bounded pruning.
@@ -230,24 +312,36 @@ Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
   TQP_RETURN_IF_ERROR(cache.Derive(root, catalog, options.cardinality));
 
   const bool pruning = options.cost_prune_factor > 0.0;
+  const bool best_first = options.strategy == SearchStrategy::kBestFirst;
+  // Plans are costed whenever cost can steer the search: for the pruning
+  // bound, or to order the best-first frontier.
+  const bool costing = pruning || best_first;
 
   EnumerationResult result;
-  // Memo: plan fingerprint -> indices in result.plans. Probed BEFORE a
-  // candidate rewrite is materialized (FingerprintAtPath walks the spine
-  // without constructing a node); a hit is confirmed structurally with
-  // EqualsWithReplacement, so fingerprint collisions can never merge
-  // distinct plans — they only make the bucket vector longer than one.
-  std::unordered_map<uint64_t, std::vector<size_t>> memo;
-  memo.reserve(std::min<size_t>(options.max_plans, 4096));
-  std::vector<double> costs;
+  // Memo: plan fingerprint -> indices in result.plans (optionally sharded by
+  // root kind). Probed BEFORE a candidate rewrite is materialized
+  // (FingerprintAtPath walks the spine without constructing a node); a hit
+  // is confirmed structurally with EqualsWithReplacement, so fingerprint
+  // collisions can never merge distinct plans — they only make the bucket
+  // vector longer than one.
+  MemoIndex memo(options.shard_memo_by_root_kind,
+                 std::min<size_t>(options.max_plans, 4096));
+  std::vector<double>& costs = result.costs;
   double best_cost = 0.0;
 
-  // Annotation view for rules, gating and costing: bottom-up facts come
-  // straight from the shared derivation cache (zero per-plan copies); the
-  // Table 2 properties of the plan being expanded live in `props`, rebuilt
-  // per plan by a single cheap walk.
+  // Annotation view for rules and gating: bottom-up facts come straight from
+  // the shared derivation cache (zero per-plan copies); the Table 2
+  // properties of the plan being expanded live in `props`, rebuilt per plan
+  // by a single cheap walk.
   PlanContext::PropsTable props;
   PlanContext ctx(&cache, &props, &contract);
+  // Costing runs against a context of its own, backed solely by the shared
+  // derivation cache: each plan is costed right after it is derived, so
+  // every bottom-up fact it needs is present, and the context cannot read
+  // the *expanding* plan's props table or occurrence window (which describe
+  // the parent, not the rewritten plan). The cost model consults bottom-up
+  // information only, so no props backing is needed.
+  PlanContext cost_ctx(&cache, /*props=*/nullptr, &contract);
 
   // Computes the Table 2 properties of every node occurrence of `plan`, one
   // entry per occurrence in pre-order — the same order CollectLocations
@@ -257,6 +351,13 @@ Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
   struct PropsWalker {
     const DerivationCache& cache;
     PlanContext::PropsTable* table;
+    // Every node of an expanded plan was derived into the cache when the
+    // plan was admitted, so a miss here means the cache and the plan set
+    // went out of sync — an internal invariant violation, never valid input.
+    // DCHECK loudly in debug builds; in release, flag the walk as failed so
+    // the enumeration surfaces an error status instead of dereferencing
+    // null.
+    bool ok = true;
 
     void Visit(const PlanPtr& node, const NodeProps& p) {
       table->push_back({node.get(), p});
@@ -266,17 +367,32 @@ Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
           case OpKind::kDifference:
           case OpKind::kDifferenceT: {
             const NodeInfo* left = cache.Find(node->child(0).get());
+            TQP_DCHECK(left != nullptr &&
+                       "derivation cache miss under a difference node");
+            if (left == nullptr) {
+              ok = false;
+              return;
+            }
             ldf = left->duplicate_free;
             lsdf = left->snapshot_duplicate_free;
             break;
           }
-          case OpKind::kCoalesce:
-            csdf = cache.Find(node->child(i).get())->snapshot_duplicate_free;
+          case OpKind::kCoalesce: {
+            const NodeInfo* child = cache.Find(node->child(i).get());
+            TQP_DCHECK(child != nullptr &&
+                       "derivation cache miss under a coalesce node");
+            if (child == nullptr) {
+              ok = false;
+              return;
+            }
+            csdf = child->snapshot_duplicate_free;
             break;
+          }
           default:
             break;
         }
         Visit(node->child(i), DeriveChildProps(*node, i, p, ldf, lsdf, csdf));
+        if (!ok) return;
       }
     }
   };
@@ -296,11 +412,15 @@ Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
 
   result.plans.push_back(
       EnumeratedPlan{root, canon_of(root), root->fingerprint(), -1, ""});
-  memo[root->fingerprint()].push_back(0);
-  if (pruning) {
-    best_cost = EstimatePlanCost(root, ctx, options.cost_engine);
+  memo.Add(root->kind(), root->fingerprint(), 0);
+  Frontier frontier(best_first);
+  if (costing) {
+    // The root is costed only now, after cache.Derive(root) above made its
+    // bottom-up facts (cardinalities, sites) available.
+    best_cost = EstimatePlanCost(root, cost_ctx, options.cost_engine);
     costs.push_back(best_cost);
   }
+  frontier.Push(0, costing ? costs[0] : 0.0);
 
   // Per-plan location index: locations in pre-order, plus per-root-kind
   // buckets so each rule only visits locations it could match (in the same
@@ -308,20 +428,41 @@ Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
   std::vector<PlanLocation> locations;
   std::array<std::vector<uint32_t>, kOpKindCount> by_kind;
 
-  for (size_t p = 0; p < result.plans.size(); ++p) {
+  while (true) {
     if (result.plans.size() >= options.max_plans) {
       result.truncated = true;
       break;
     }
+    std::optional<size_t> popped = frontier.Pop(result.plans.size());
+    if (!popped.has_value()) break;
+    size_t p = *popped;
+    // The pruning decision happens at pop time, against the bound as it
+    // stands now. best_cost only ever tightens, so a plan failing here could
+    // never pass later — pruned plans are final, never re-queued — and every
+    // admitted plan is popped exactly once unless a budget ends the search
+    // first, which makes cost_pruned deterministic under both strategies.
     if (pruning && costs[p] > best_cost * options.cost_prune_factor) {
       ++result.cost_pruned;
       continue;
     }
+    if (options.max_expansions > 0 &&
+        result.expanded >= options.max_expansions) {
+      // Expansion budget exhausted with this (unpruned) plan still pending.
+      result.truncated = true;
+      break;
+    }
+    ++result.expanded;
     PlanPtr plan = result.plans[p].plan;
 
     props.clear();
     props.reserve(plan->subtree_size());
+    props_walker.ok = true;
     props_walker.Visit(plan, root_props);
+    if (!props_walker.ok) {
+      return Status::Error(
+          "internal: derivation cache miss while computing Table 2 "
+          "properties");
+    }
 
     locations.clear();
     CollectLocations(plan, &locations);
@@ -356,11 +497,16 @@ Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
       if (new_size > size_cap) return true;
 
       // Probe the memo before materializing the rewrite: a duplicate
-      // candidate costs one spine hash walk and one confirmed probe.
+      // candidate costs one spine hash walk and one confirmed probe. The
+      // candidate's root kind (its memo shard) is known without
+      // materializing anything: a root rewrite adopts the replacement's
+      // kind, any deeper rewrite keeps the plan's.
       uint64_t cand_fp = FingerprintAtPath(plan, loc.path,
                                            match->replacement->fingerprint());
-      if (auto it = memo.find(cand_fp); it != memo.end()) {
-        for (size_t idx : it->second) {
+      OpKind cand_kind =
+          loc.path.empty() ? match->replacement->kind() : plan->kind();
+      if (const std::vector<size_t>* bucket = memo.Find(cand_kind, cand_fp)) {
+        for (size_t idx : *bucket) {
           if (EqualsWithReplacement(result.plans[idx].plan, plan, loc.path,
                                     match->replacement)) {
             ++result.memo_hits;
@@ -372,19 +518,30 @@ Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
       PlanPtr rewritten = interner.RewriteInterned(
           plan, loc.path, std::move(match->replacement));
       TQP_DCHECK(rewritten->fingerprint() == cand_fp);
+      TQP_DCHECK(rewritten->kind() == cand_kind);
       // Validate: only nodes the cache has never seen (the rebuilt spine)
       // are actually derived; a cached node heads a known-valid subtree.
       if (!cache.Derive(rewritten, catalog, options.cardinality).ok()) {
         return true;  // invalid composition; not memoized
       }
-      memo[cand_fp].push_back(result.plans.size());
+      size_t new_index = result.plans.size();
+      memo.Add(cand_kind, cand_fp, new_index);
       result.plans.push_back(EnumeratedPlan{rewritten, canon_of(rewritten),
                                             rewritten->fingerprint(),
                                             static_cast<int>(p), rule.id()});
-      if (pruning) {
-        double cost = EstimatePlanCost(rewritten, ctx, options.cost_engine);
+      if (costing) {
+        // Costed against cost_ctx, never ctx: the occurrence window above
+        // still describes the *parent's* matched location, and the props
+        // table describes the parent plan — neither may leak into the
+        // rewritten plan's cost. cache.Derive just ran, so every bottom-up
+        // fact the cost model reads is present.
+        double cost =
+            EstimatePlanCost(rewritten, cost_ctx, options.cost_engine);
         costs.push_back(cost);
         if (cost < best_cost) best_cost = cost;
+        frontier.Push(new_index, cost);
+      } else {
+        frontier.Push(new_index, 0.0);
       }
       return result.plans.size() < options.max_plans;
     };

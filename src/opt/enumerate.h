@@ -27,6 +27,12 @@
 // EnumerationOptions::use_legacy_string_dedup for A/B measurement
 // (bench_fig5_enumeration); both produce the identical plan sequence.
 //
+// Frontier ordering: unexpanded plans are held in a frontier that is either
+// FIFO (breadth-first, the default — the exact Figure 5 order) or a priority
+// queue keyed by estimated plan cost with admission-index tie-break
+// (best-first, cost-directed). Cost-bounded pruning and an explicit
+// expansion budget apply under either order; see EnumerationOptions.
+//
 // Termination: the default rule set excludes expanding rules (Section 6) and
 // a plan-size growth bound caps rule chains that grow plans (e.g. repeated
 // commutativity wrappers).
@@ -44,6 +50,20 @@ namespace tqp {
 
 class PlanInterner;
 
+/// How the memo enumerator orders its frontier of unexpanded plans.
+enum class SearchStrategy {
+  /// Expand plans in admission order (the paper's Figure 5 loop). The
+  /// default: exhaustive up to the budgets, and the reference order the A/B
+  /// byte-identity checks compare against.
+  kBreadthFirst,
+  /// Expand the cheapest unexpanded plan first (cost-directed), under the
+  /// same cost model the optimizer's final choice uses. With a pruning
+  /// factor and/or an expansion budget this reaches near-optimal plans
+  /// while expanding a fraction of the space (bench_bestfirst_search).
+  /// Ties break on admission index, so the search stays deterministic.
+  kBestFirst,
+};
+
 /// Options controlling the enumeration.
 struct EnumerationOptions {
   /// Stop after this many distinct plans admitted to the memo (the initial
@@ -59,13 +79,32 @@ struct EnumerationOptions {
       EquivalenceType::kSet,          EquivalenceType::kSnapshotList,
       EquivalenceType::kSnapshotMultiset, EquivalenceType::kSnapshotSet,
   };
+  /// Frontier ordering; see SearchStrategy. Only the memo path supports
+  /// kBestFirst (the legacy path rejects it).
+  SearchStrategy strategy = SearchStrategy::kBreadthFirst;
   /// Cost-bounded pruning: when > 0, a plan whose estimated cost exceeds
   /// `cost_prune_factor` times the cheapest cost seen so far is still
-  /// admitted to the result but never expanded. 0 (default) disables
-  /// pruning, so exhaustive benches and the completeness tests are
-  /// unaffected. Only the memo path supports pruning.
+  /// admitted to the result but never expanded. The decision is made when
+  /// the plan is popped from the frontier, against the bound at that moment;
+  /// the bound only ever tightens, so a plan that fails the check once could
+  /// never pass it later — pruned plans are final and are not re-queued,
+  /// which makes `cost_pruned` a deterministic function of the admitted
+  /// sequence under both strategies. 0 (default) disables pruning, so
+  /// exhaustive benches and the completeness tests are unaffected. Only the
+  /// memo path supports pruning.
   double cost_prune_factor = 0.0;
-  /// Cost/cardinality models backing the pruning bound.
+  /// Exploration budget: stop after this many plans have been expanded
+  /// (pruned pops do not count). 0 (default) = unlimited. Only the memo
+  /// path enforces it.
+  size_t max_expansions = 0;
+  /// Shard the memo by the root operator kind of the probed plan — a first
+  /// cut at partitioned search: each shard is an independent hash table, so
+  /// a future parallel driver can probe and grow partitions without
+  /// cross-shard coordination. Sharding only routes probes; the admitted
+  /// plan sequence is byte-identical either way.
+  bool shard_memo_by_root_kind = false;
+  /// Cost/cardinality models backing the pruning bound and the best-first
+  /// frontier order.
   EngineConfig cost_engine;
   CardinalityParams cardinality;
   /// Run the seed implementation (canonical-string dedup, two annotation
@@ -112,6 +151,16 @@ struct EnumerationResult {
   size_t cache_nodes = 0;
   /// Plans admitted to the result but not expanded due to cost pruning.
   size_t cost_pruned = 0;
+  /// Plans actually expanded (popped from the frontier and not pruned).
+  /// Equals plans.size() for an exhaustive run, on the memo and legacy
+  /// paths alike.
+  size_t expanded = 0;
+  /// Estimated cost of each admitted plan, aligned with `plans`. Filled only
+  /// when the enumeration costs plans at all (pruning enabled or best-first
+  /// strategy); empty otherwise. Computed against the same derivation cache
+  /// and models the optimizer's final choice uses, so Optimize can reuse
+  /// these instead of re-costing the whole set.
+  std::vector<double> costs;
 
   /// Reconstructs the rule chain that derived plan `index` from the initial
   /// plan (oldest first). Robust to plans whose parents appear at any

@@ -30,23 +30,37 @@ Result<OptimizeResult> Optimize(const PlanPtr& initial, const Catalog& catalog,
   out.plans_considered = enumeration.plans.size();
   out.truncated = enumeration.truncated;
 
-  // Cost every plan against one shared bottom-up derivation cache — the
-  // enumerated plans are structurally overlapping, so most nodes are derived
-  // once across the whole set. With a session cache this is the same cache
-  // the enumeration validated against, so it is already fully primed.
-  DerivationCache local_cache;
-  DerivationCache& cache = derivation ? *derivation : local_cache;
-  PlanContext ctx(&cache, nullptr, &contract);
   size_t best_index = 0;
   double best_cost = 0.0;
-  for (size_t i = 0; i < enumeration.plans.size(); ++i) {
-    const PlanPtr& plan = enumeration.plans[i].plan;
-    if (!cache.Derive(plan, catalog, options.cardinality).ok()) continue;
-    double cost = EstimatePlanCost(plan, ctx, options.engine);
-    if (i == 0) out.initial_cost = cost;
-    if (i == 0 || cost < best_cost) {
-      best_cost = cost;
-      best_index = i;
+  if (enumeration.costs.size() == enumeration.plans.size()) {
+    // A cost-directed enumeration (pruning or best-first) already costed
+    // every admitted plan against the same derivation cache and models this
+    // loop would use; reuse those costs instead of re-deriving the set.
+    for (size_t i = 0; i < enumeration.costs.size(); ++i) {
+      if (i == 0) out.initial_cost = enumeration.costs[i];
+      if (i == 0 || enumeration.costs[i] < best_cost) {
+        best_cost = enumeration.costs[i];
+        best_index = i;
+      }
+    }
+  } else {
+    // Cost every plan against one shared bottom-up derivation cache — the
+    // enumerated plans are structurally overlapping, so most nodes are
+    // derived once across the whole set. With a session cache this is the
+    // same cache the enumeration validated against, so it is already fully
+    // primed.
+    DerivationCache local_cache;
+    DerivationCache& cache = derivation ? *derivation : local_cache;
+    PlanContext ctx(&cache, nullptr, &contract);
+    for (size_t i = 0; i < enumeration.plans.size(); ++i) {
+      const PlanPtr& plan = enumeration.plans[i].plan;
+      if (!cache.Derive(plan, catalog, options.cardinality).ok()) continue;
+      double cost = EstimatePlanCost(plan, ctx, options.engine);
+      if (i == 0) out.initial_cost = cost;
+      if (i == 0 || cost < best_cost) {
+        best_cost = cost;
+        best_index = i;
+      }
     }
   }
   out.best_plan = enumeration.plans[best_index].plan;

@@ -39,6 +39,12 @@ Result<std::vector<Token>> Lex(const std::string& input) {
       ++i;
       continue;
     }
+    // SQL-style "--" line comments lex as whitespace.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      i += 2;
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
     size_t start = i;
     if (IsIdentStart(c)) {
       while (i < n && IsIdentChar(input[i])) ++i;
@@ -117,6 +123,22 @@ Result<std::vector<Token>> Lex(const std::string& input) {
   }
   out.push_back(Token{TokenKind::kEnd, "", n});
   return out;
+}
+
+std::string TokenStreamKey(const std::vector<Token>& tokens) {
+  std::string key;
+  key.reserve(tokens.size() * 8);
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kEnd) break;
+    // kind tag + length-prefixed text: length prefixes make the rendering
+    // injective even when token text contains any byte (string literals are
+    // unrestricted), so two different token streams can never share a key.
+    key += static_cast<char>('a' + static_cast<int>(token.kind));
+    key += std::to_string(token.text.size());
+    key += ':';
+    key += token.text;
+  }
+  return key;
 }
 
 }  // namespace tqp

@@ -35,8 +35,16 @@ struct Token {
 /// Tokenizes a TQL string. Keywords are recognized case-insensitively and
 /// normalized to upper case; anything identifier-shaped that is not a
 /// keyword stays an identifier (attribute names like "1.T1" are lexed as
-/// identifier tokens via the dotted-name rule).
+/// identifier tokens via the dotted-name rule). SQL-style "--" line
+/// comments are skipped like whitespace.
 Result<std::vector<Token>> Lex(const std::string& input);
+
+/// A canonical single-string rendering of a token stream (kind tags plus
+/// length-prefixed token text; the kEnd sentinel is excluded). Two inputs
+/// produce the same key iff they lex to the same tokens, so whitespace,
+/// comment, and keyword-case variants of one query collapse to one key —
+/// the Engine keys its plan cache on this instead of the raw query text.
+std::string TokenStreamKey(const std::vector<Token>& tokens);
 
 }  // namespace tqp
 

@@ -6,6 +6,7 @@
 #include "api/engine.h"
 #include "core/equivalence.h"
 #include "test_util.h"
+#include "tql/lexer.h"
 #include "workload/paper_example.h"
 
 namespace tqp {
@@ -191,6 +192,73 @@ TEST(ApiEngineTest, PlanKeyedPrepareMatchesTextPath) {
   Result<QueryResult> b = from_text.value().Execute();
   ASSERT_TRUE(a.ok() && b.ok());
   ExpectIdentical(a->relation, b->relation);
+}
+
+TEST(ApiEngineTest, PlanCacheKeysOnTokenStreamNotRawText) {
+  // Regression: the plan cache used to key on raw query text, so
+  // whitespace/comment variants of one query each paid a full prepare.
+  // Keying on the lexed token stream makes every variant below one entry.
+  Engine engine(WorkloadCatalog());
+  const std::string canonical = "SELECT Name, Val FROM R WHERE Val > 10";
+  Result<QueryResult> first = engine.Query(canonical);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  EXPECT_FALSE(first->plan_cache_hit);
+
+  const std::vector<std::string> variants = {
+      "SELECT  Name,  Val  FROM R WHERE Val > 10",
+      "select Name, Val from R where Val > 10",
+      "SELECT Name, Val -- projection\nFROM R\nWHERE Val > 10 -- filter",
+      "\tSELECT\nName, Val FROM R WHERE Val > 10  ",
+  };
+  for (const std::string& text : variants) {
+    SCOPED_TRACE(text);
+    Result<QueryResult> out = engine.Query(text);
+    ASSERT_TRUE(out.ok()) << out.status().message();
+    EXPECT_TRUE(out->plan_cache_hit);
+    ExpectIdentical(out->relation, first->relation);
+    EXPECT_EQ(out->plan_fingerprint, first->plan_fingerprint);
+  }
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.prepares, 1u);
+  EXPECT_EQ(stats.plan_cache_entries, 1u);
+  EXPECT_EQ(stats.plan_cache_hits, variants.size());
+
+  // A genuinely different query still misses.
+  Result<QueryResult> other =
+      engine.Query("SELECT Name, Val FROM R WHERE Val > 11");
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->plan_cache_hit);
+  EXPECT_EQ(engine.stats().plan_cache_entries, 2u);
+
+  // Unlexable text must fail with the lexer's error, never hit the cache —
+  // even when the garbage text happens to spell out a cached query's
+  // token-stream rendering verbatim (raw-text keys live under their own
+  // prefix, disjoint from token keys).
+  Result<std::vector<Token>> tokens = Lex(canonical);
+  ASSERT_TRUE(tokens.ok());
+  Result<QueryResult> collision = engine.Query(TokenStreamKey(tokens.value()));
+  EXPECT_FALSE(collision.ok());
+}
+
+TEST(ApiEngineTest, BestFirstEngineMatchesBreadthFirstChoice) {
+  // The facade threads SearchStrategy through: a best-first engine with a
+  // generous bound chooses the same plan (same fingerprint, cost, and
+  // relation) as the default breadth-first engine.
+  Engine breadth(PaperCatalog());
+  EngineOptions directed_options;
+  directed_options.enumeration.strategy = SearchStrategy::kBestFirst;
+  directed_options.enumeration.cost_prune_factor = 1.5;
+  Engine directed(PaperCatalog(), directed_options);
+
+  Result<QueryResult> a = breadth.Query(PaperQueryText());
+  Result<QueryResult> b = directed.Query(PaperQueryText());
+  ASSERT_TRUE(a.ok() && b.ok()) << a.status().message()
+                                << b.status().message();
+  ExpectIdentical(a->relation, b->relation);
+  EXPECT_EQ(a->plan_fingerprint, b->plan_fingerprint);
+  EXPECT_EQ(a->best_cost, b->best_cost);
+  // The cost-directed engine considered strictly fewer plans.
+  EXPECT_LT(b->plans_considered, a->plans_considered);
 }
 
 TEST(ApiEngineTest, CatalogMutationInvalidatesCaches) {

@@ -45,6 +45,37 @@ TEST(LexerTest, RejectsUnterminatedString) {
   EXPECT_FALSE(Lex("SELECT 'oops").ok());
 }
 
+TEST(LexerTest, SkipsLineComments) {
+  Result<std::vector<Token>> toks =
+      Lex("SELECT -- the projection\n EmpName -- trailing");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 3u);  // SELECT, EmpName, kEnd
+  EXPECT_TRUE((*toks)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*toks)[1].text, "EmpName");
+  EXPECT_EQ((*toks)[2].kind, TokenKind::kEnd);
+  // A lone minus still lexes as an operator.
+  Result<std::vector<Token>> minus = Lex("a - b");
+  ASSERT_TRUE(minus.ok());
+  EXPECT_TRUE((*minus)[1].IsSymbol("-"));
+}
+
+TEST(LexerTest, TokenStreamKeyNormalizesSpacingCommentsAndKeywordCase) {
+  auto key = [](const std::string& text) {
+    Result<std::vector<Token>> toks = Lex(text);
+    TQP_CHECK(toks.ok());
+    return TokenStreamKey(toks.value());
+  };
+  EXPECT_EQ(key("SELECT Dept FROM EMPLOYEE"),
+            key("select  Dept\n\tFROM -- comment\n EMPLOYEE"));
+  // Different token streams must never share a key: the length prefixes
+  // keep adjacent tokens from re-associating.
+  EXPECT_NE(key("SELECT Dept FROM EMPLOYEE"), key("SELECT Dep FROM EMPLOYEE"));
+  EXPECT_NE(key("SELECT 'a b'"), key("SELECT 'a' 'b'"));
+  EXPECT_NE(key("SELECT ab"), key("SELECT a b"));
+  // Identifier case is significant (only keywords normalize).
+  EXPECT_NE(key("SELECT Dept"), key("SELECT DEPT"));
+}
+
 TEST(ParserTest, ParsesTheFullGrammar) {
   Result<QueryAst> ast = ParseQuery(
       "VALIDTIME COALESCED SELECT DISTINCT EmpName, Dept AS D "
