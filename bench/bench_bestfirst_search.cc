@@ -19,7 +19,7 @@
 #include <algorithm>
 #include <set>
 
-#include "bench_common.h"
+#include "bench_util.h"
 #include "opt/enumerate.h"
 #include "opt/optimizer.h"
 
@@ -55,10 +55,9 @@ void CompareBestFirstAgainstExhaustive() {
   Catalog catalog = PaperCatalog();
   std::vector<Rule> rules = DefaultRuleSet();
 
-  EnumerationOptions exhaustive_opts;
-  exhaustive_opts.max_plans = 4000;
-  Result<EnumerationResult> exhaustive = EnumeratePlans(
-      PaperInitialPlan(), catalog, PaperContract(), rules, exhaustive_opts);
+  EnumerationOptions exhaustive_opts = bench::SearchOptions(4000);
+  Result<EnumerationResult> exhaustive =
+      bench::RunPaperSearch(catalog, rules, exhaustive_opts);
   TQP_CHECK(exhaustive.ok());
   double optimum = ExhaustiveOptimum(exhaustive.value(), catalog);
   std::printf("exhaustive: %zu plans, %zu expanded, optimum cost %.1f\n\n",
@@ -70,13 +69,10 @@ void CompareBestFirstAgainstExhaustive() {
 
   auto run = [&](const char* name, double factor, size_t max_expansions,
                  SearchStrategy strategy) {
-    EnumerationOptions opts;
-    opts.max_plans = 4000;
-    opts.strategy = strategy;
+    EnumerationOptions opts = bench::SearchOptions(4000, strategy);
     opts.cost_prune_factor = factor;
     opts.max_expansions = max_expansions;
-    Result<EnumerationResult> res = EnumeratePlans(
-        PaperInitialPlan(), catalog, PaperContract(), rules, opts);
+    Result<EnumerationResult> res = bench::RunPaperSearch(catalog, rules, opts);
     TQP_CHECK(res.ok());
     double best = MinCost(res.value());
     std::printf("%-28s | %8zu | %8zu | %8zu | %10.1f | %6.2f%%\n", name,
@@ -108,11 +104,9 @@ void CompareBestFirstAgainstExhaustive() {
 
   // Order-independence: with unlimited budgets the frontier order cannot
   // change the closure — best-first reaches exactly the breadth-first set.
-  EnumerationOptions bf_all;
-  bf_all.max_plans = 4000;
-  bf_all.strategy = SearchStrategy::kBestFirst;
-  Result<EnumerationResult> all = EnumeratePlans(
-      PaperInitialPlan(), catalog, PaperContract(), rules, bf_all);
+  EnumerationOptions bf_all =
+      bench::SearchOptions(4000, SearchStrategy::kBestFirst);
+  Result<EnumerationResult> all = bench::RunPaperSearch(catalog, rules, bf_all);
   TQP_CHECK(all.ok());
   TQP_CHECK(all->plans.size() == exhaustive->plans.size());
   std::set<uint64_t> a, b;
@@ -127,8 +121,8 @@ void CompareBestFirstAgainstExhaustive() {
   // the admitted sequence.
   EnumerationOptions sharded = exhaustive_opts;
   sharded.shard_memo_by_root_kind = true;
-  Result<EnumerationResult> shard_res = EnumeratePlans(
-      PaperInitialPlan(), catalog, PaperContract(), rules, sharded);
+  Result<EnumerationResult> shard_res =
+      bench::RunPaperSearch(catalog, rules, sharded);
   TQP_CHECK(shard_res.ok());
   TQP_CHECK(shard_res->plans.size() == exhaustive->plans.size());
   for (size_t i = 0; i < shard_res->plans.size(); ++i) {
@@ -145,15 +139,12 @@ void BM_Search(benchmark::State& state, SearchStrategy strategy,
                double factor) {
   Catalog catalog = PaperCatalog();
   std::vector<Rule> rules = DefaultRuleSet();
-  EnumerationOptions opts;
-  opts.max_plans = 4000;
-  opts.strategy = strategy;
+  EnumerationOptions opts = bench::SearchOptions(4000, strategy);
   opts.cost_prune_factor = factor;
   opts.fill_canonical = false;
   size_t expanded = 0, plans = 0;
   for (auto _ : state) {
-    Result<EnumerationResult> res = EnumeratePlans(
-        PaperInitialPlan(), catalog, PaperContract(), rules, opts);
+    Result<EnumerationResult> res = bench::RunPaperSearch(catalog, rules, opts);
     TQP_CHECK(res.ok());
     expanded = res->expanded;
     plans = res->plans.size();

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "api/engine.h"
-#include "bench_common.h"
+#include "bench_util.h"
 
 namespace tqp {
 
@@ -22,32 +22,6 @@ namespace {
 double Seconds(std::chrono::steady_clock::time_point t0) {
   std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
   return dt.count();
-}
-
-/// EMPLOYEE/PROJECT plus two messy generated relations for the mixed suite.
-Catalog BenchCatalog() {
-  Catalog catalog = bench::ScaledCatalog(4);
-  TQP_CHECK(catalog
-                .RegisterWithInferredFlags(
-                    "R", bench::MessyTemporal(64, 0.2, 0.2, 0.2, 5),
-                    Site::kDbms)
-                .ok());
-  TQP_CHECK(catalog
-                .RegisterWithInferredFlags(
-                    "S", bench::MessyTemporal(48, 0.1, 0.3, 0.1, 17),
-                    Site::kDbms)
-                .ok());
-  return catalog;
-}
-
-std::vector<std::string> MixedQueries() {
-  return {
-      PaperQueryText(),
-      "VALIDTIME SELECT DISTINCT Name FROM R ORDER BY Name ASC",
-      "VALIDTIME COALESCED SELECT DISTINCT Name FROM R",
-      "SELECT Name FROM R UNION SELECT Name FROM S",
-      "SELECT Cat, COUNT(*) AS n FROM R GROUP BY Cat ORDER BY Cat",
-  };
 }
 
 }  // namespace
@@ -121,19 +95,19 @@ void CompareWarmAgainstCold() {
 // derivation cache amortize overlapping subtrees across queries.
 void CompareSessionAgainstIsolated() {
   Banner("Engine session reuse — 5 distinct queries, shared vs fresh caches");
-  std::vector<std::string> queries = MixedQueries();
+  std::vector<std::string> queries = bench::MixedWorkloadQueries();
   const int rounds = 10;
 
   auto run = [&](bool shared) {
     auto t0 = std::chrono::steady_clock::now();
     EngineStats last;
     for (int r = 0; r < rounds; ++r) {
-      Engine engine(BenchCatalog());
+      Engine engine(bench::MixedWorkloadCatalog());
       for (const std::string& q : queries) {
         if (shared) {
           TQP_CHECK(engine.Query(q).ok());
         } else {
-          Engine isolated(BenchCatalog());
+          Engine isolated(bench::MixedWorkloadCatalog());
           TQP_CHECK(isolated.Query(q).ok());
         }
       }

@@ -9,7 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "algebra/printer.h"
-#include "bench_common.h"
+#include "bench_util.h"
 #include "core/equivalence.h"
 #include "opt/optimizer.h"
 #include "tql/translator.h"
@@ -39,11 +39,7 @@ void ReproduceFigure2() {
   std::printf("(a) initial plan, entirely computed in the DBMS:\n%s\n",
               PrintPlan(PaperInitialPlan()).c_str());
 
-  OptimizerOptions options;
-  options.enumeration.max_plans = 4000;
-  Result<OptimizeResult> opt = Optimize(PaperInitialPlan(), catalog,
-                                        PaperContract(), DefaultRuleSet(),
-                                        options);
+  Result<OptimizeResult> opt = bench::OptimizePaperExample(catalog, 4000);
   TQP_CHECK(opt.ok());
   std::printf("(b) cost-chosen plan:\n%s\n",
               PrintPlan(opt->best_plan).c_str());
@@ -63,10 +59,7 @@ void RunPlanAtScale(benchmark::State& state, bool optimized) {
   Catalog catalog = bench::ScaledCatalog(static_cast<size_t>(state.range(0)));
   PlanPtr plan = PaperInitialPlan();
   if (optimized) {
-    OptimizerOptions options;
-    options.enumeration.max_plans = 600;
-    Result<OptimizeResult> opt = Optimize(plan, catalog, PaperContract(),
-                                          DefaultRuleSet(), options);
+    Result<OptimizeResult> opt = bench::OptimizePaperExample(catalog, 600);
     TQP_CHECK(opt.ok());
     plan = opt->best_plan;
   }

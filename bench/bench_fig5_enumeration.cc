@@ -10,7 +10,7 @@
 #include <chrono>
 #include <set>
 
-#include "bench_common.h"
+#include "bench_util.h"
 #include "opt/enumerate.h"
 #include "tql/translator.h"
 
@@ -42,11 +42,9 @@ void ReproduceFigure5() {
               "matches", "admitted", "gated-out");
   std::printf("%s\n", std::string(60, '-').c_str());
   for (const Config& config : configs) {
-    EnumerationOptions opts;
-    opts.max_plans = 100000;
+    EnumerationOptions opts = bench::SearchOptions(100000);
     opts.admitted = config.admitted;
-    Result<EnumerationResult> res = EnumeratePlans(
-        PaperInitialPlan(), catalog, PaperContract(), rules, opts);
+    Result<EnumerationResult> res = bench::RunPaperSearch(catalog, rules, opts);
     TQP_CHECK(res.ok());
     std::printf("%-10s | %8zu | %9zu | %9zu | %9zu\n", config.name,
                 res->plans.size(), res->matches, res->admitted,
@@ -68,8 +66,7 @@ void ReproduceFigure5() {
       {"set (DISTINCT)", QueryContract::Set()},
   };
   for (const CC& cc : contracts) {
-    EnumerationOptions opts;
-    opts.max_plans = 100000;
+    EnumerationOptions opts = bench::SearchOptions(100000);
     Result<EnumerationResult> res = EnumeratePlans(
         PaperInitialPlan(), catalog, cc.contract, rules, opts);
     TQP_CHECK(res.ok());
@@ -87,13 +84,11 @@ void CompareMemoAgainstLegacy() {
   std::vector<Rule> rules = DefaultRuleSet();
 
   auto run = [&](bool legacy, int iters, EnumerationResult* out) {
-    EnumerationOptions opts;
-    opts.max_plans = 4000;
+    EnumerationOptions opts = bench::SearchOptions(4000);
     opts.use_legacy_string_dedup = legacy;
     auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < iters; ++i) {
-      Result<EnumerationResult> res = EnumeratePlans(
-          PaperInitialPlan(), catalog, PaperContract(), rules, opts);
+      Result<EnumerationResult> res = bench::RunPaperSearch(catalog, rules, opts);
       TQP_CHECK(res.ok());
       *out = std::move(res.value());
     }
@@ -147,11 +142,9 @@ void CompareMemoAgainstLegacy() {
   // estimated cost exceeds factor x best-so-far.
   std::printf("\nCost-bounded pruning (factor -> plans / expanded / pruned):\n");
   for (double factor : {1.5, 4.0, 16.0}) {
-    EnumerationOptions opts;
-    opts.max_plans = 4000;
+    EnumerationOptions opts = bench::SearchOptions(4000);
     opts.cost_prune_factor = factor;
-    Result<EnumerationResult> res = EnumeratePlans(
-        PaperInitialPlan(), catalog, PaperContract(), rules, opts);
+    Result<EnumerationResult> res = bench::RunPaperSearch(catalog, rules, opts);
     TQP_CHECK(res.ok());
     std::printf("  %5.1f -> %zu plans, %zu expanded, %zu pruned\n", factor,
                 res->plans.size(), res->plans.size() - res->cost_pruned,
@@ -164,8 +157,8 @@ namespace {
 void BM_EnumeratePaperQuery(benchmark::State& state) {
   Catalog catalog = PaperCatalog();
   std::vector<Rule> rules = DefaultRuleSet();
-  EnumerationOptions opts;
-  opts.max_plans = static_cast<size_t>(state.range(0));
+  EnumerationOptions opts =
+      bench::SearchOptions(static_cast<size_t>(state.range(0)));
   size_t plans = 0;
   for (auto _ : state) {
     Result<EnumerationResult> res = EnumeratePlans(
@@ -181,8 +174,8 @@ BENCHMARK(BM_EnumeratePaperQuery)->Arg(50)->Arg(200)->Arg(1000)->Arg(4000);
 void BM_EnumeratePaperQueryLegacy(benchmark::State& state) {
   Catalog catalog = PaperCatalog();
   std::vector<Rule> rules = DefaultRuleSet();
-  EnumerationOptions opts;
-  opts.max_plans = static_cast<size_t>(state.range(0));
+  EnumerationOptions opts =
+      bench::SearchOptions(static_cast<size_t>(state.range(0)));
   opts.use_legacy_string_dedup = true;
   size_t plans = 0;
   for (auto _ : state) {
@@ -201,21 +194,14 @@ void BM_EnumerateByQuerySize(benchmark::State& state) {
   // (EmpName is ambiguous in EMPLOYEE x PROJECT — it gets 1./2. prefixes —
   // so the projection sticks to the unambiguous attributes.)
   Catalog catalog = bench::ScaledCatalog(4);
-  std::string query =
-      "VALIDTIME SELECT Dept, Prj FROM EMPLOYEE, PROJECT WHERE "
-      "Dept = 'dept1'";
-  for (int64_t i = 1; i < state.range(0); ++i) {
-    query += " AND Prj <> 'prj" + std::to_string(i) + "'";
-  }
-  Result<TranslatedQuery> q = CompileQuery(query, catalog);
-  TQP_CHECK(q.ok());
+  TranslatedQuery q =
+      bench::ChainQuery(catalog, static_cast<int>(state.range(0)));
   std::vector<Rule> rules = DefaultRuleSet();
-  EnumerationOptions opts;
-  opts.max_plans = 3000;
+  EnumerationOptions opts = bench::SearchOptions(3000);
   size_t plans = 0;
   for (auto _ : state) {
     Result<EnumerationResult> res =
-        EnumeratePlans(q->plan, catalog, q->contract, rules, opts);
+        EnumeratePlans(q.plan, catalog, q.contract, rules, opts);
     TQP_CHECK(res.ok());
     plans = res->plans.size();
   }

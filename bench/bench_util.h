@@ -1,0 +1,99 @@
+// Shared catalog/workload/search setup for the bench mains.
+//
+// The engine- and search-facing benches all serve the same workloads: the
+// paper's running example, a mixed catalog with two messy temporal
+// relations, the TQL query suite over it, and the Figure 5 search on a
+// predicate-chain query whose plan space actually reaches the bench plan
+// caps. Each bench previously wired its own copy; this header is the one
+// copy (bench_common.h keeps the lower-level primitives: printing, scaled
+// relations, the messy-relation generator).
+#ifndef TQP_BENCH_BENCH_UTIL_H_
+#define TQP_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "opt/enumerate.h"
+#include "opt/optimizer.h"
+#include "tql/translator.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace bench {
+
+/// EMPLOYEE/PROJECT at the paper's size plus two messy temporal relations R
+/// and S — the catalog the engine-facing benches serve queries against.
+inline Catalog MixedWorkloadCatalog() {
+  Catalog catalog = ScaledCatalog(4);
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "R", MessyTemporal(64, 0.2, 0.2, 0.2, 5), Site::kDbms)
+                .ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "S", MessyTemporal(48, 0.1, 0.3, 0.1, 17), Site::kDbms)
+                .ok());
+  return catalog;
+}
+
+/// The TQL suite the engine benches sweep: the paper's example plus
+/// conventional/temporal queries over R and S.
+inline std::vector<std::string> MixedWorkloadQueries() {
+  return {
+      PaperQueryText(),
+      "VALIDTIME SELECT DISTINCT Name FROM R ORDER BY Name ASC",
+      "VALIDTIME COALESCED SELECT DISTINCT Name FROM R",
+      "SELECT Name FROM R UNION SELECT Name FROM S",
+      "SELECT Cat, COUNT(*) AS n FROM R GROUP BY Cat ORDER BY Cat",
+  };
+}
+
+/// Baseline Figure 5 search options at a plan cap — the configuration the
+/// search benches ablate from.
+inline EnumerationOptions SearchOptions(
+    size_t max_plans,
+    SearchStrategy strategy = SearchStrategy::kBreadthFirst) {
+  EnumerationOptions opts;
+  opts.max_plans = max_plans;
+  opts.strategy = strategy;
+  return opts;
+}
+
+/// Runs the Figure 5 search over the paper's running example.
+inline Result<EnumerationResult> RunPaperSearch(
+    const Catalog& catalog, const std::vector<Rule>& rules,
+    const EnumerationOptions& options) {
+  return EnumeratePlans(PaperInitialPlan(), catalog, PaperContract(), rules,
+                        options);
+}
+
+/// Optimizes the paper's initial plan under the default rules at a plan
+/// cap — the repeated "reach Figure 2(b)" setup of the plan benches.
+inline Result<OptimizeResult> OptimizePaperExample(const Catalog& catalog,
+                                                   size_t max_plans) {
+  OptimizerOptions options;
+  options.enumeration = SearchOptions(max_plans);
+  return Optimize(PaperInitialPlan(), catalog, PaperContract(),
+                  DefaultRuleSet(), options);
+}
+
+/// A temporal join with a chain of `predicates` extra selections — the
+/// plan-space scaling workload (the paper example's closure is only ~174
+/// plans; this one exceeds the 4000-plan cap from 4 predicates up).
+inline TranslatedQuery ChainQuery(const Catalog& catalog, int predicates) {
+  std::string query =
+      "VALIDTIME SELECT Dept, Prj FROM EMPLOYEE, PROJECT WHERE "
+      "Dept = 'dept1'";
+  for (int i = 1; i < predicates; ++i) {
+    query += " AND Prj <> 'prj" + std::to_string(i) + "'";
+  }
+  Result<TranslatedQuery> q = CompileQuery(query, catalog);
+  TQP_CHECK(q.ok());
+  return q.value();
+}
+
+}  // namespace bench
+}  // namespace tqp
+
+#endif  // TQP_BENCH_BENCH_UTIL_H_

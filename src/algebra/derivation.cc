@@ -687,14 +687,15 @@ Status FillNodeInfo(const PlanPtr& node, const Catalog& catalog,
 
 Status DerivationCache::Derive(const PlanPtr& plan, const Catalog& catalog,
                                const CardinalityParams& params) {
-  if (entries_.count(plan.get()) > 0) return Status::OK();
+  if (Find(plan.get()) != nullptr) return Status::OK();
   std::vector<const NodeInfo*> cs;
   std::vector<Schema> child_schemas;
   cs.reserve(plan->arity());
   child_schemas.reserve(plan->arity());
   for (const PlanPtr& c : plan->children()) {
     TQP_RETURN_IF_ERROR(Derive(c, catalog, params));
-    // Entry references are stable across rehashes (node-based map).
+    // Entry references are stable across rehashes (node-based map) and
+    // across concurrent inserts (entries are never erased).
     const NodeInfo* info = Find(c.get());
     cs.push_back(info);
     child_schemas.push_back(info->schema);
@@ -703,7 +704,15 @@ Status DerivationCache::Derive(const PlanPtr& plan, const Catalog& catalog,
   NodeInfo ni;
   ni.schema = schema;
   TQP_RETURN_IF_ERROR(FillNodeInfo(plan, catalog, params, cs, &ni));
-  entries_.emplace(plan.get(), Entry{plan, std::move(ni)});
+  // Probe + insert atomically under the shard's stripe lock. A racing
+  // derivation of the same node computed identical info (it is a pure
+  // function of the subtree, catalog, and params); the first insert wins.
+  uint64_t h = HashOf(plan.get());
+  MaybeLockGuard lock(LockFor(h));
+  Shard& shard = shards_[StripedMutex::IndexOf(h)];
+  if (shard.entries.emplace(plan.get(), Entry{plan, std::move(ni)}).second) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
   return Status::OK();
 }
 

@@ -12,19 +12,28 @@
 // The table buckets nodes by their structural fingerprint and confirms every
 // bucket hit with a payload/children comparison, so a 64-bit collision can
 // never merge two distinct plans.
+//
+// Concurrency: the table is sharded by fingerprint into striped-lock shards.
+// By default no locks are taken (the single-threaded fast path is lock-free
+// and byte-identical to the unsharded original); EnableConcurrentAccess()
+// switches every probe/insert to its shard's stripe lock, which is what lets
+// tqp::Engine share one interner between concurrent sessions.
 #ifndef TQP_ALGEBRA_INTERN_H_
 #define TQP_ALGEBRA_INTERN_H_
 
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "algebra/plan.h"
+#include "core/sync.h"
 
 namespace tqp {
 
-/// An interning table for plan nodes. Not thread-safe; each enumeration owns
-/// one. Canonical nodes are kept alive by the table for its lifetime.
+/// An interning table for plan nodes. Canonical nodes are kept alive by the
+/// table for its lifetime. Not thread-safe by default; see
+/// EnableConcurrentAccess().
 class PlanInterner {
  public:
   /// Returns the canonical node for `plan`, interning the whole subtree
@@ -43,17 +52,46 @@ class PlanInterner {
                           PlanPtr replacement);
 
   /// True iff `node` is a canonical node owned by this table.
-  bool IsCanonical(const PlanNode* node) const {
-    return canonical_.count(node) > 0;
-  }
+  bool IsCanonical(const PlanNode* node) const;
 
   /// Number of distinct nodes owned by the table.
-  size_t unique_nodes() const { return canonical_.size(); }
+  size_t unique_nodes() const {
+    return node_count_.load(std::memory_order_relaxed);
+  }
 
   /// Number of Intern() node visits resolved to an existing canonical node.
-  size_t hits() const { return hits_; }
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  /// Switches the table to concurrent mode: every probe/insert takes the
+  /// striped lock of the shard it touches. One-way (the flag is a monotonic
+  /// relaxed atomic, so concurrent re-enables — e.g. every parallel search
+  /// over one session interner — are benign), and must be called before the
+  /// table is first shared between threads. Interning stays deterministic
+  /// in what it *stores* (the set of canonical nodes is a pure function of
+  /// the set of interned plans); only which racing thread's
+  /// structurally-equal node becomes the canonical object depends on timing,
+  /// and pointer values are never observable in results.
+  void EnableConcurrentAccess() {
+    concurrent_.store(true, std::memory_order_relaxed);
+  }
 
  private:
+  /// One fingerprint-routed shard: the bucket table plus the canonical-node
+  /// membership set for nodes whose fingerprint falls in this shard.
+  struct Shard {
+    std::unordered_map<uint64_t, std::vector<PlanPtr>> buckets;
+    std::unordered_set<const PlanNode*> canonical;
+  };
+
+  Shard& ShardFor(uint64_t fp) { return shards_[StripedMutex::IndexOf(fp)]; }
+  const Shard& ShardFor(uint64_t fp) const {
+    return shards_[StripedMutex::IndexOf(fp)];
+  }
+  std::mutex* LockFor(uint64_t fp) const {
+    return concurrent_.load(std::memory_order_relaxed) ? &mu_.For(fp)
+                                                       : nullptr;
+  }
+
   /// Canonical node equal to "`proto` with its `child_index`-th child being
   /// `new_child`"; constructs it only on a table miss. `proto`'s other
   /// children and `new_child` must be canonical.
@@ -63,9 +101,11 @@ class PlanInterner {
   PlanPtr RewriteInternedImpl(const PlanPtr& root, const PlanPath& path,
                               size_t depth, PlanPtr replacement);
 
-  std::unordered_map<uint64_t, std::vector<PlanPtr>> buckets_;
-  std::unordered_set<const PlanNode*> canonical_;
-  size_t hits_ = 0;
+  Shard shards_[StripedMutex::kStripes];
+  mutable StripedMutex mu_;
+  std::atomic<bool> concurrent_{false};
+  std::atomic<size_t> node_count_{0};
+  std::atomic<size_t> hits_{0};
 };
 
 }  // namespace tqp

@@ -23,6 +23,10 @@ std::string TextPlanCacheKey(const std::string& text) {
   return "#tql:" + TokenStreamKey(tokens.value());
 }
 
+/// How many times Execute() retries when the catalog keeps mutating out
+/// from under its re-prepared state before giving up.
+constexpr int kMaxExecuteReprepares = 8;
+
 }  // namespace
 
 EngineOptions::EngineOptions() : rules(DefaultRuleSet()) {
@@ -71,10 +75,21 @@ const QueryContract& PreparedQuery::contract() const {
 }
 
 Result<QueryResult> PreparedQuery::Execute() {
-  engine_->SyncWithCatalog();
-  if (state_->catalog_version != engine_->catalog_.version()) {
+  for (int attempt = 0; attempt < kMaxExecuteReprepares; ++attempt) {
+    {
+      // Evaluation runs under the shared catalog lock, gated by admission
+      // control. The ticket is taken before the lock (lock order: semaphore
+      // → catalog → state), and released before any re-prepare — Prepare
+      // takes its own ticket, so permits never nest.
+      Engine::AdmissionTicket ticket(engine_);
+      std::shared_lock<std::shared_mutex> cat(engine_->catalog_mu_);
+      engine_->SyncWithCatalog();
+      if (state_->catalog_version == engine_->catalog_.version()) {
+        return engine_->ExecuteState(*state_, from_cache_);
+      }
+    }
     // The catalog moved on since this query was prepared: re-prepare against
-    // the live catalog rather than run a stale plan.
+    // the live catalog rather than run a stale plan, then re-verify.
     Result<PreparedQuery> fresh =
         state_->text.empty()
             ? engine_->Prepare(state_->initial_plan, state_->contract)
@@ -83,27 +98,21 @@ Result<QueryResult> PreparedQuery::Execute() {
     state_ = fresh.value().state_;
     from_cache_ = fresh.value().from_cache_;
   }
+  return Status::Error(
+      "catalog kept mutating while Execute was re-preparing; giving up");
+}
 
-  const bool reuse = engine_->options_.reuse_search_caches;
-  Result<AnnotatedPlan> ann = AnnotatedPlan::Make(
-      state_->best_plan, &engine_->catalog_, state_->contract,
-      engine_->options_.cardinality,
-      reuse ? engine_->derivation_.get() : nullptr);
-  if (!ann.ok()) return ann.status();
+Engine::AdmissionTicket::AdmissionTicket(Engine* engine)
+    : engine_(engine), permit_(engine->query_sem_.get()) {
+  uint64_t now = engine_->in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t peak = engine_->peak_in_flight_.load(std::memory_order_relaxed);
+  while (now > peak && !engine_->peak_in_flight_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
 
-  QueryResult out;
-  Result<Relation> relation =
-      Evaluate(ann.value(), engine_->options_.engine, &out.exec);
-  if (!relation.ok()) return relation.status();
-  out.relation = std::move(relation).value();
-  out.best_cost = state_->best_cost;
-  out.initial_cost = state_->initial_cost;
-  out.plans_considered = state_->plans_considered;
-  out.truncated = state_->truncated;
-  out.derivation = state_->derivation;
-  out.plan_fingerprint = state_->best_plan->fingerprint();
-  out.plan_cache_hit = from_cache_;
-  return out;
+Engine::AdmissionTicket::~AdmissionTicket() {
+  engine_->in_flight_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 Engine::Engine(Catalog catalog, EngineOptions options)
@@ -111,32 +120,108 @@ Engine::Engine(Catalog catalog, EngineOptions options)
       options_(std::move(options)),
       caches_version_(catalog_.version()),
       interner_(std::make_unique<PlanInterner>()),
-      derivation_(std::make_unique<DerivationCache>()) {}
+      derivation_(std::make_unique<DerivationCache>()) {
+  // Session caches are shared by every concurrent session of this Engine.
+  interner_->EnableConcurrentAccess();
+  derivation_->EnableConcurrentAccess();
+  if (options_.max_concurrent_queries > 0) {
+    query_sem_ = std::make_unique<Semaphore>(options_.max_concurrent_queries);
+  }
+}
 
 Engine::~Engine() = default;
 
-void Engine::ClearCaches() {
+void Engine::FlushCachesLocked() {
   interner_ = std::make_unique<PlanInterner>();
   derivation_ = std::make_unique<DerivationCache>();
+  interner_->EnableConcurrentAccess();
+  derivation_->EnableConcurrentAccess();
+  lru_.clear();
   plan_cache_.clear();
   caches_version_ = catalog_.version();
 }
 
+void Engine::ClearCaches() {
+  // Exclusive catalog lock: wait for in-flight queries (which hold it
+  // shared) to drain, so the swap can never pull caches out from under a
+  // running enumeration.
+  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  std::lock_guard<std::mutex> state(state_mu_);
+  FlushCachesLocked();
+}
+
 void Engine::SyncWithCatalog() {
+  std::lock_guard<std::mutex> state(state_mu_);
   if (caches_version_ == catalog_.version()) return;
   // Everything cached was derived under an older catalog: relation contents
   // drive cardinalities and validation, so all of it is suspect. Flush
-  // rather than serve anything stale.
+  // rather than serve anything stale. Exactly one thread flushes per
+  // version change (the check and the flush are atomic under state_mu_),
+  // and no in-flight query can still hold the old cache pointers: the
+  // mutation that bumped the version held the catalog lock exclusively, so
+  // every query that captured them has already drained.
   ++stats_.invalidations;
-  ClearCaches();
+  FlushCachesLocked();
+}
+
+Status Engine::MutateCatalog(const std::function<Status(Catalog&)>& mutation) {
+  std::unique_lock<std::shared_mutex> cat(catalog_mu_);
+  return mutation(catalog_);
+}
+
+std::shared_ptr<const PreparedQuery::State> Engine::LookupPlanCache(
+    const std::string& key, const PlanPtr* confirm) {
+  std::lock_guard<std::mutex> state(state_mu_);
+  auto it = plan_cache_.find(key);
+  if (it == plan_cache_.end()) return nullptr;
+  if (confirm != nullptr &&
+      !PlanNode::Equal(it->second->state->initial_plan, *confirm)) {
+    return nullptr;
+  }
+  ++stats_.plan_cache_hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
+  return it->second->state;
+}
+
+void Engine::StorePlanCache(
+    const std::string& key,
+    std::shared_ptr<const PreparedQuery::State> state) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) {
+    // A concurrent prepare of the same query beat us; results are
+    // identical, so just refresh the entry.
+    it->second->state = std::move(state);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(LruEntry{key, std::move(state)});
+  plan_cache_[key] = lru_.begin();
+  if (options_.plan_cache_capacity > 0) {
+    while (lru_.size() > options_.plan_cache_capacity) {
+      plan_cache_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++stats_.plan_cache_evictions;
+    }
+  }
 }
 
 Result<std::shared_ptr<const PreparedQuery::State>> Engine::PrepareImpl(
     const std::string& key, const std::string& text, const PlanPtr& initial,
     const QueryContract& contract) {
-  ++stats_.prepares;
   const bool reuse = options_.reuse_search_caches;
-  PlanPtr root = reuse ? interner_->Intern(initial) : initial;
+  PlanInterner* interner;
+  DerivationCache* derivation;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    ++stats_.prepares;
+    ++stats_.plan_cache_misses;
+    // Captured under state_mu_ after SyncWithCatalog: no flush can replace
+    // them while this query holds the catalog lock shared.
+    interner = interner_.get();
+    derivation = derivation_.get();
+  }
+  PlanPtr root = reuse ? interner->Intern(initial) : initial;
 
   OptimizerOptions opt;
   opt.enumeration = options_.enumeration;
@@ -145,8 +230,7 @@ Result<std::shared_ptr<const PreparedQuery::State>> Engine::PrepareImpl(
   TQP_ASSIGN_OR_RETURN(
       optimized,
       Optimize(root, catalog_, contract, options_.rules, opt,
-               reuse ? interner_.get() : nullptr,
-               reuse ? derivation_.get() : nullptr));
+               reuse ? interner : nullptr, reuse ? derivation : nullptr));
 
   auto state = std::make_shared<PreparedQuery::State>();
   state->key = key;
@@ -162,26 +246,41 @@ Result<std::shared_ptr<const PreparedQuery::State>> Engine::PrepareImpl(
   state->catalog_version = catalog_.version();
 
   std::shared_ptr<const PreparedQuery::State> shared = state;
-  if (options_.cache_plans) plan_cache_[key] = shared;
+  if (options_.cache_plans) StorePlanCache(key, shared);
   return shared;
 }
 
 Result<PreparedQuery> Engine::Prepare(const std::string& text) {
-  SyncWithCatalog();
   // Token-stream keying: "SELECT  x" with extra spaces or a trailing
   // comment hits the entry its normalized twin created. The original text
   // is still what a stale PreparedQuery re-prepares from; re-lexing it
   // reproduces the same key. With the plan cache off the key is never
   // looked up or stored, so skip computing it.
-  std::string key = options_.cache_plans ? TextPlanCacheKey(text) : text;
-  if (options_.cache_plans) {
-    auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) {
-      ++stats_.plan_cache_hits;
-      return PreparedQuery(this, it->second, /*from_cache=*/true);
+  const bool caching = options_.cache_plans;
+  std::string key = caching ? TextPlanCacheKey(text) : text;
+
+  // Fast path: a cached plan is served without an admission permit, so a
+  // warm engine keeps answering instantly even when the pipeline gate is
+  // saturated.
+  if (caching) {
+    std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+    SyncWithCatalog();
+    if (auto hit = LookupPlanCache(key, /*confirm=*/nullptr)) {
+      return PreparedQuery(this, std::move(hit), /*from_cache=*/true);
     }
   }
-  ++stats_.plan_cache_misses;
+
+  // Miss: the full pipeline, under admission control. Re-probe first — a
+  // concurrent session may have prepared the same query while we waited for
+  // the permit.
+  AdmissionTicket ticket(this);
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  SyncWithCatalog();
+  if (caching) {
+    if (auto hit = LookupPlanCache(key, /*confirm=*/nullptr)) {
+      return PreparedQuery(this, std::move(hit), /*from_cache=*/true);
+    }
+  }
   TQP_ASSIGN_OR_RETURN(compiled,
                        CompileQuery(text, catalog_, options_.translator));
   TQP_ASSIGN_OR_RETURN(
@@ -191,7 +290,6 @@ Result<PreparedQuery> Engine::Prepare(const std::string& text) {
 
 Result<PreparedQuery> Engine::Prepare(const PlanPtr& initial,
                                       const QueryContract& contract) {
-  SyncWithCatalog();
   // Key hand-built plans by structural fingerprint + contract. Fingerprints
   // are 64-bit and never trusted blindly anywhere in this codebase: a cache
   // hit is confirmed structurally before it is served.
@@ -201,15 +299,24 @@ Result<PreparedQuery> Engine::Prepare(const PlanPtr& initial,
   std::string key = std::string(fp) + "/" +
                     ResultTypeName(contract.result_type) + "/" +
                     SortSpecToString(contract.order_by);
-  if (options_.cache_plans) {
-    auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end() &&
-        PlanNode::Equal(it->second->initial_plan, initial)) {
-      ++stats_.plan_cache_hits;
-      return PreparedQuery(this, it->second, /*from_cache=*/true);
+  const bool caching = options_.cache_plans;
+
+  if (caching) {
+    std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+    SyncWithCatalog();
+    if (auto hit = LookupPlanCache(key, &initial)) {
+      return PreparedQuery(this, std::move(hit), /*from_cache=*/true);
     }
   }
-  ++stats_.plan_cache_misses;
+
+  AdmissionTicket ticket(this);
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  SyncWithCatalog();
+  if (caching) {
+    if (auto hit = LookupPlanCache(key, &initial)) {
+      return PreparedQuery(this, std::move(hit), /*from_cache=*/true);
+    }
+  }
   TQP_ASSIGN_OR_RETURN(state,
                        PrepareImpl(key, /*text=*/"", initial, contract));
   return PreparedQuery(this, state, /*from_cache=*/false);
@@ -221,11 +328,42 @@ Result<QueryResult> Engine::Query(const std::string& text) {
 }
 
 Result<TranslatedQuery> Engine::Compile(const std::string& text) const {
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
   return CompileQuery(text, catalog_, options_.translator);
+}
+
+Result<QueryResult> Engine::ExecuteState(const PreparedQuery::State& state,
+                                         bool from_cache) {
+  DerivationCache* derivation;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    derivation = derivation_.get();
+  }
+  const bool reuse = options_.reuse_search_caches;
+  Result<AnnotatedPlan> ann = AnnotatedPlan::Make(
+      state.best_plan, &catalog_, state.contract, options_.cardinality,
+      reuse ? derivation : nullptr);
+  if (!ann.ok()) return ann.status();
+
+  QueryResult out;
+  Result<Relation> relation =
+      Evaluate(ann.value(), options_.engine, &out.exec);
+  if (!relation.ok()) return relation.status();
+  out.relation = std::move(relation).value();
+  out.best_cost = state.best_cost;
+  out.initial_cost = state.initial_cost;
+  out.plans_considered = state.plans_considered;
+  out.truncated = state.truncated;
+  out.derivation = state.derivation;
+  out.plan_fingerprint = state.best_plan->fingerprint();
+  out.plan_cache_hit = from_cache;
+  return out;
 }
 
 Result<EnumerationResult> Engine::Enumerate(const std::string& text,
                                             EnumerationOptions options) {
+  AdmissionTicket ticket(this);
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
   SyncWithCatalog();
   TQP_ASSIGN_OR_RETURN(compiled,
                        CompileQuery(text, catalog_, options_.translator));
@@ -234,14 +372,24 @@ Result<EnumerationResult> Engine::Enumerate(const std::string& text,
   options.cardinality = options_.cardinality;
   options.cost_engine = options_.engine;
   const bool reuse = options_.reuse_search_caches;
-  PlanPtr root = reuse ? interner_->Intern(compiled.plan) : compiled.plan;
+  PlanInterner* interner;
+  DerivationCache* derivation;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    interner = interner_.get();
+    derivation = derivation_.get();
+  }
+  PlanPtr root = reuse ? interner->Intern(compiled.plan) : compiled.plan;
   return EnumeratePlans(root, catalog_, compiled.contract, options_.rules,
-                        options, reuse ? interner_.get() : nullptr,
-                        reuse ? derivation_.get() : nullptr);
+                        options, reuse ? interner : nullptr,
+                        reuse ? derivation : nullptr);
 }
 
 EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
   EngineStats out = stats_;
+  out.peak_concurrent_queries =
+      peak_in_flight_.load(std::memory_order_relaxed);
   out.plan_cache_entries = plan_cache_.size();
   out.interner_nodes = interner_->unique_nodes();
   out.interner_hits = interner_->hits();

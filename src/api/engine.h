@@ -1,4 +1,5 @@
-// tqp::Engine — the session-scoped facade over the whole pipeline.
+// tqp::Engine — the concurrency-aware session facade over the whole
+// pipeline.
 //
 // The paper's pipeline (TQL text → initial plan → Figure 5 enumeration →
 // cost-based choice → layered execution) is implemented by four layers with
@@ -8,10 +9,10 @@
 //
 //   * one PlanInterner + DerivationCache shared across all queries, so a
 //     subtree enumerated for any earlier query is never re-derived;
-//   * a plan cache keyed by the query's lexed token stream (or initial-plan
-//     fingerprint), so a repeated query — including whitespace/comment/
-//     keyword-case variants of it — skips parsing, enumeration, and costing
-//     entirely.
+//   * a bounded (LRU) plan cache keyed by the query's lexed token stream (or
+//     initial-plan fingerprint), so a repeated query — including whitespace/
+//     comment/keyword-case variants of it — skips parsing, enumeration, and
+//     costing entirely.
 //
 // Both are primed on first use and invalidated when the catalog's version
 // changes (see Catalog::version()) — a stale plan is never served. Cache
@@ -20,23 +21,38 @@
 // one, and as the hand-wired CompileQuery + Optimize + Evaluate pipeline
 // (enforced by tests/test_api_engine.cc and bench/bench_engine_warm.cc).
 //
+// Concurrency: one Engine serves any number of threads over its one shared
+// catalog. Queries hold the catalog lock shared for their whole duration;
+// MutateCatalog takes it exclusively, so every query sees one consistent
+// catalog version and stale state is never served mid-mutation. The session
+// interner/derivation caches run in concurrent (striped-lock) mode, the
+// plan cache and counters sit behind one mutex, and
+// EngineOptions::max_concurrent_queries bounds how many expensive pipeline
+// runs are in flight at once (a counting semaphore; excess callers queue),
+// so heavy traffic degrades gracefully instead of thrashing. Individual
+// PreparedQuery handles are not thread-safe objects — give each thread its
+// own handle (they share the immutable prepared state).
+//
 // Usage:
 //   Engine engine(std::move(catalog));
 //   TQP_ASSIGN_OR_RETURN(result, engine.Query("SELECT ..."));      // one-shot
 //   TQP_ASSIGN_OR_RETURN(prepared, engine.Prepare("SELECT ..."));  // repeated
 //   for (...) { auto r = prepared.Execute(); ... }
-//
-// An Engine is single-session state, not a shared server object: like the
-// rest of the library it is not thread-safe.
 #ifndef TQP_API_ENGINE_H_
 #define TQP_API_ENGINE_H_
 
-#include <map>
+#include <atomic>
+#include <functional>
+#include <list>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "algebra/intern.h"
+#include "core/sync.h"
 #include "exec/evaluator.h"
 #include "opt/optimizer.h"
 #include "tql/translator.h"
@@ -53,10 +69,11 @@ struct EngineOptions {
   /// TQL → initial plan (layered architecture on/off).
   TranslatorOptions translator;
   /// Figure 5 search knobs, including the frontier strategy (breadth-first
-  /// vs cost-directed best-first) and the pruning/expansion budgets.
-  /// `fill_canonical` defaults OFF here — the facade never asserts on
-  /// canonical strings — unlike the bare EnumeratePlans default, which
-  /// stays on for the string-asserting tests and benches.
+  /// vs cost-directed best-first), the pruning/expansion budgets, and
+  /// `num_threads` for the parallel driver. `fill_canonical` defaults OFF
+  /// here — the facade never asserts on canonical strings — unlike the bare
+  /// EnumeratePlans default, which stays on for the string-asserting tests
+  /// and benches.
   EnumerationOptions enumeration;
   /// Cost model + simulated execution environment.
   EngineConfig engine;
@@ -66,6 +83,18 @@ struct EngineOptions {
   std::vector<Rule> rules;
   /// Serve repeated queries from the plan cache.
   bool cache_plans = true;
+  /// Bound on plan-cache entries; the least-recently-used entry is evicted
+  /// beyond it (stats().plan_cache_evictions counts them). 0 (default) =
+  /// unbounded, the pre-bound behavior.
+  size_t plan_cache_capacity = 0;
+  /// Admission control: at most this many queries inside the expensive
+  /// sections (full prepare pipelines, plan evaluation) at once; excess
+  /// callers block on a semaphore until a permit frees. A plan-cache hit
+  /// skips the gate at *prepare* time (Prepare of a warm query returns
+  /// instantly even when the gate is saturated); Execute's evaluation is
+  /// always gated — it is per-query work that must degrade gracefully too.
+  /// 0 (default) = unlimited.
+  size_t max_concurrent_queries = 0;
   /// Share one PlanInterner/DerivationCache across queries. Off = every
   /// Prepare runs cold (useful for measuring, never for serving).
   bool reuse_search_caches = true;
@@ -95,8 +124,14 @@ struct EngineStats {
   uint64_t prepares = 0;
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
+  /// LRU evictions forced by EngineOptions::plan_cache_capacity.
+  uint64_t plan_cache_evictions = 0;
   /// Times the session caches were flushed because the catalog changed.
   uint64_t invalidations = 0;
+  /// Highest number of queries simultaneously inside the admission-gated
+  /// sections since construction; with max_concurrent_queries = N this
+  /// never exceeds N.
+  uint64_t peak_concurrent_queries = 0;
   size_t plan_cache_entries = 0;
   size_t interner_nodes = 0;
   size_t interner_hits = 0;
@@ -109,7 +144,7 @@ class Engine;
 /// immutable state); must not outlive the Engine. Execute() re-prepares
 /// transparently if the catalog changed since preparation, so a
 /// PreparedQuery can be held across catalog mutations without ever running
-/// a stale plan.
+/// a stale plan. One handle serves one thread; copies are independent.
 class PreparedQuery {
  public:
   /// Evaluates the chosen plan against the Engine's catalog.
@@ -139,7 +174,8 @@ class PreparedQuery {
   bool from_cache_;
 };
 
-/// The facade. Owns the catalog and all session-lived caches.
+/// The facade. Owns the catalog and all session-lived caches; safe for
+/// concurrent use by any number of threads.
 class Engine {
  public:
   explicit Engine(Catalog catalog, EngineOptions options = EngineOptions());
@@ -148,11 +184,23 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Direct read access to the catalog. Unsynchronized: only safe while no
+  /// concurrent MutateCatalog (or mutable_catalog() mutation) can run —
+  /// e.g. single-threaded use, or quiescent points between traffic. Queries
+  /// themselves never need this; they read the catalog under the engine's
+  /// internal lock.
   const Catalog& catalog() const { return catalog_; }
-  /// Mutable access for registrations/updates. Mutations bump
-  /// Catalog::version(); the Engine notices lazily and flushes every session
-  /// cache before serving the next query.
+  /// Mutable access for registrations/updates. Single-threaded use only:
+  /// callers must guarantee no query is in flight. Concurrent sessions
+  /// mutate through MutateCatalog instead, which excludes running queries.
+  /// Mutations bump Catalog::version(); the Engine notices lazily and
+  /// flushes every session cache before serving the next query.
   Catalog& mutable_catalog() { return catalog_; }
+  /// Applies `mutation` to the catalog under the engine's exclusive lock:
+  /// it waits for in-flight queries to drain, runs the mutation, and lets
+  /// traffic resume — the next query sees the bumped version and re-prepares
+  /// against the new contents. Safe to call from any thread at any time.
+  Status MutateCatalog(const std::function<Status(Catalog&)>& mutation);
   const EngineOptions& options() const { return options_; }
 
   /// Compiles and optimizes `text` once; Execute() the result any number of
@@ -162,7 +210,8 @@ class Engine {
   Result<PreparedQuery> Prepare(const std::string& text);
 
   /// Same for a hand-built initial plan + contract (no TQL involved). The
-  /// plan cache keys these by the initial plan's structural fingerprint.
+  /// plan cache keys these by the initial plan's structural fingerprint;
+  /// hits are confirmed structurally before being served.
   Result<PreparedQuery> Prepare(const PlanPtr& initial,
                                 const QueryContract& contract);
 
@@ -182,30 +231,86 @@ class Engine {
   /// Session cache counters (plan cache, interner, derivation cache).
   EngineStats stats() const;
 
-  /// Drops every session cache (plan cache, interner, derivation cache).
-  /// Equivalent to what a catalog mutation triggers automatically.
+  /// Drops every session cache (plan cache, interner, derivation cache)
+  /// after waiting for in-flight queries to drain. Equivalent to what a
+  /// catalog mutation triggers automatically.
   void ClearCaches();
 
  private:
   friend class PreparedQuery;
 
-  /// Flushes the session caches if the catalog version moved since they were
-  /// primed.
-  void SyncWithCatalog();
+  struct LruEntry {
+    std::string key;
+    std::shared_ptr<const PreparedQuery::State> state;
+  };
+  using LruList = std::list<LruEntry>;
 
+  /// RAII admission ticket: takes a semaphore permit (when configured) and
+  /// tracks the in-flight peak for stats().
+  class AdmissionTicket {
+   public:
+    explicit AdmissionTicket(Engine* engine);
+    ~AdmissionTicket();
+    AdmissionTicket(const AdmissionTicket&) = delete;
+    AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+   private:
+    Engine* engine_;
+    SemaphoreGuard permit_;
+  };
+
+  /// Flushes the session caches if the catalog version moved since they were
+  /// primed. Requires the catalog lock (shared suffices: a mismatch can only
+  /// be observed once the mutating writer has drained every older reader, so
+  /// no in-flight query can still be using the flushed objects).
+  void SyncWithCatalog();
+  /// Drops all caches; state_mu_ must be held.
+  void FlushCachesLocked();
+
+  /// Plan-cache probe under state_mu_: on a hit bumps the entry to the LRU
+  /// front and counts a hit. `confirm` (optional) structurally verifies the
+  /// entry's initial plan before serving — fingerprint keys are never
+  /// trusted blindly.
+  std::shared_ptr<const PreparedQuery::State> LookupPlanCache(
+      const std::string& key, const PlanPtr* confirm);
+  /// Inserts/overwrites under state_mu_, evicting LRU entries beyond
+  /// plan_cache_capacity.
+  void StorePlanCache(const std::string& key,
+                      std::shared_ptr<const PreparedQuery::State> state);
+
+  /// The full compile-free pipeline (intern, optimize, cache). Requires the
+  /// caller to hold the catalog lock shared and to have synced.
   Result<std::shared_ptr<const PreparedQuery::State>> PrepareImpl(
       const std::string& key, const std::string& text, const PlanPtr& initial,
       const QueryContract& contract);
 
+  /// Annotate + evaluate `state`'s chosen plan. Requires the catalog lock
+  /// shared and `state` to be current for the live catalog version.
+  Result<QueryResult> ExecuteState(const PreparedQuery::State& state,
+                                   bool from_cache);
+
   Catalog catalog_;
   EngineOptions options_;
+
+  /// Queries hold this shared for their full duration; catalog mutation and
+  /// explicit cache flushes hold it exclusive. Lock order: admission
+  /// semaphore → catalog_mu_ → state_mu_.
+  mutable std::shared_mutex catalog_mu_;
+  /// Guards the plan cache, counters, cache pointers, and caches_version_.
+  mutable std::mutex state_mu_;
+
   /// Catalog version the caches below are valid for.
   uint64_t caches_version_ = 0;
   std::unique_ptr<PlanInterner> interner_;
   std::unique_ptr<DerivationCache> derivation_;
-  std::map<std::string, std::shared_ptr<const PreparedQuery::State>>
-      plan_cache_;
+  /// LRU plan cache: list front = most recently used; map points into it.
+  LruList lru_;
+  std::unordered_map<std::string, LruList::iterator> plan_cache_;
   EngineStats stats_;
+
+  std::unique_ptr<Semaphore> query_sem_;
+  std::atomic<uint64_t> in_flight_{0};
+  std::atomic<uint64_t> peak_in_flight_{0};
 };
 
 }  // namespace tqp

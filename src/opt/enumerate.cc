@@ -1,13 +1,11 @@
 #include "opt/enumerate.h"
 
-#include <array>
-#include <deque>
+#include <algorithm>
 #include <optional>
-#include <queue>
-#include <unordered_map>
+#include <thread>
 #include <unordered_set>
 
-#include "algebra/intern.h"
+#include "opt/enumerate_internal.h"
 
 namespace tqp {
 
@@ -65,26 +63,11 @@ bool IsOrderSafeAcrossSites(const std::string& rule_id) {
 
 namespace {
 
-// Bound on a plan's unfolded (per-occurrence) node count: the per-plan walks
-// are linear in it, and adversarial DAG chains could otherwise make it
-// exponential in the node count.
-constexpr size_t kMaxUnfoldedPlanSize = 1u << 20;
-
-// Section 4.5: ≡L rules are weakened to ≡M when the location spans DBMS-site
-// operations, except the order-safe sort rules.
-EquivalenceType EffectiveEquivalence(const Rule& rule, const RuleMatch& match,
-                                     const PlanContext& ctx) {
-  EquivalenceType effective = rule.equivalence();
-  if (effective == EquivalenceType::kList &&
-      !IsOrderSafeAcrossSites(rule.id())) {
-    for (const PlanNode* op : match.location) {
-      if (ctx.info(op).site == Site::kDbms) {
-        return EquivalenceType::kMultiset;
-      }
-    }
-  }
-  return effective;
-}
+using enumerate_internal::CandidateEvent;
+using enumerate_internal::EnumerateMemoParallel;
+using enumerate_internal::kMaxUnfoldedPlanSize;
+using enumerate_internal::PlanExpander;
+using enumerate_internal::SearchState;
 
 // The seed implementation: canonical-string dedup, a full rule × location
 // scan per plan, and two annotation passes per distinct plan. Retained
@@ -153,7 +136,8 @@ Result<EnumerationResult> EnumerateLegacy(const PlanPtr& initial,
         if (!match.has_value()) continue;
         ++result.matches;
 
-        EquivalenceType effective = EffectiveEquivalence(rule, *match, ann);
+        EquivalenceType effective =
+            enumerate_internal::EffectiveEquivalence(rule, *match, ann);
         if (options.admitted.count(effective) == 0) continue;
         if (!RuleAdmitted(effective, match->location, ann)) {
           ++result.gated_out;
@@ -185,108 +169,12 @@ Result<EnumerationResult> EnumerateLegacy(const PlanPtr& initial,
   return result;
 }
 
-// Canonical strings of interned plans, memoized per canonical node so the
-// serialization of a shared subtree is built once across the whole plan
-// space. Produces byte-identical output to CanonicalString().
-class CanonicalCache {
- public:
-  const std::string& Of(const PlanPtr& plan) {
-    auto it = memo_.find(plan.get());
-    if (it != memo_.end()) return it->second;
-    std::string out = plan->Describe();
-    if (!plan->children().empty()) {
-      out += "(";
-      for (size_t i = 0; i < plan->children().size(); ++i) {
-        if (i > 0) out += ",";
-        out += Of(plan->child(i));
-      }
-      out += ")";
-    }
-    return memo_.emplace(plan.get(), std::move(out)).first->second;
-  }
-
- private:
-  std::unordered_map<const PlanNode*, std::string> memo_;
-};
-
-// The memo over admitted plans: fingerprint -> indices in result.plans,
-// optionally sharded by the probed plan's root-operator kind. Sharding is a
-// first cut at partitioned search — each shard is an independent hash table,
-// so a future parallel driver can probe and grow partitions without
-// cross-shard coordination. It only routes probes: the admitted plan
-// sequence is identical with sharding on or off, because a plan's root kind
-// is a pure function of the plan and every probe/insert for one plan goes
-// to the same shard.
-class MemoIndex {
- public:
-  MemoIndex(bool sharded, size_t reserve_hint)
-      : shards_(sharded ? kOpKindCount : 1) {
-    for (auto& shard : shards_) {
-      shard.reserve(reserve_hint / shards_.size() + 1);
-    }
-  }
-
-  const std::vector<size_t>* Find(OpKind root_kind, uint64_t fp) const {
-    const Shard& shard = shards_[ShardOf(root_kind)];
-    auto it = shard.find(fp);
-    return it == shard.end() ? nullptr : &it->second;
-  }
-
-  void Add(OpKind root_kind, uint64_t fp, size_t plan_index) {
-    shards_[ShardOf(root_kind)][fp].push_back(plan_index);
-  }
-
- private:
-  using Shard = std::unordered_map<uint64_t, std::vector<size_t>>;
-
-  size_t ShardOf(OpKind kind) const {
-    return shards_.size() == 1 ? 0 : static_cast<size_t>(kind);
-  }
-
-  std::vector<Shard> shards_;
-};
-
-// The frontier of unexpanded plan indices. Breadth-first consumes admitted
-// plans in index order (the exact Figure 5 worklist); best-first pops the
-// cheapest plan first, breaking cost ties on the admission index so repeated
-// runs pop in the identical order.
-class Frontier {
- public:
-  explicit Frontier(bool best_first) : best_first_(best_first) {}
-
-  /// Breadth-first reads plans straight out of result.plans, so only the
-  /// best-first heap needs explicit pushes.
-  void Push(size_t index, double cost) {
-    if (best_first_) heap_.emplace(cost, index);
-  }
-
-  /// Next plan index to consider, or nullopt when the frontier is drained.
-  /// `admitted` is the current result.plans.size().
-  std::optional<size_t> Pop(size_t admitted) {
-    if (best_first_) {
-      if (heap_.empty()) return std::nullopt;
-      size_t index = heap_.top().second;
-      heap_.pop();
-      return index;
-    }
-    if (next_ >= admitted) return std::nullopt;
-    return next_++;
-  }
-
- private:
-  bool best_first_;
-  size_t next_ = 0;  // breadth-first cursor
-  // (cost, admission index), cheapest first; index tie-break via
-  // std::greater on the pair.
-  std::priority_queue<std::pair<double, size_t>,
-                      std::vector<std::pair<double, size_t>>,
-                      std::greater<std::pair<double, size_t>>>
-      heap_;
-};
-
-// The memo path: hash-consed plans, pointer-keyed dedup, path-copy rewrites,
-// one annotation per distinct plan against a shared bottom-up cache, and
-// optional cost-bounded pruning.
+// The serial memo path: hash-consed plans, pointer-keyed dedup, path-copy
+// rewrites, one annotation per distinct plan against a shared bottom-up
+// cache, and optional cost-bounded pruning. Structured as expand-then-replay
+// over the shared SearchState so that the parallel driver — which runs the
+// same replay against events computed on worker threads — is byte-identical
+// by construction.
 Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
                                         const Catalog& catalog,
                                         const QueryContract& contract,
@@ -306,275 +194,23 @@ Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
   DerivationCache local_derivation;
   PlanInterner& interner = ext_interner ? *ext_interner : local_interner;
   DerivationCache& cache = ext_derivation ? *ext_derivation : local_derivation;
-  CanonicalCache canon;
 
-  PlanPtr root = interner.Intern(initial);
-  TQP_RETURN_IF_ERROR(cache.Derive(root, catalog, options.cardinality));
+  SearchState state(catalog, contract, options, interner, cache);
+  TQP_RETURN_IF_ERROR(state.Start(initial));
+  PlanExpander expander(cache, contract, rules, options, state.size_cap());
 
-  const bool pruning = options.cost_prune_factor > 0.0;
-  const bool best_first = options.strategy == SearchStrategy::kBestFirst;
-  // Plans are costed whenever cost can steer the search: for the pruning
-  // bound, or to order the best-first frontier.
-  const bool costing = pruning || best_first;
-
-  EnumerationResult result;
-  // Memo: plan fingerprint -> indices in result.plans (optionally sharded by
-  // root kind). Probed BEFORE a candidate rewrite is materialized
-  // (FingerprintAtPath walks the spine without constructing a node); a hit
-  // is confirmed structurally with EqualsWithReplacement, so fingerprint
-  // collisions can never merge distinct plans — they only make the bucket
-  // vector longer than one.
-  MemoIndex memo(options.shard_memo_by_root_kind,
-                 std::min<size_t>(options.max_plans, 4096));
-  std::vector<double>& costs = result.costs;
-  double best_cost = 0.0;
-
-  // Annotation view for rules and gating: bottom-up facts come straight from
-  // the shared derivation cache (zero per-plan copies); the Table 2
-  // properties of the plan being expanded live in `props`, rebuilt per plan
-  // by a single cheap walk.
-  PlanContext::PropsTable props;
-  PlanContext ctx(&cache, &props, &contract);
-  // Costing runs against a context of its own, backed solely by the shared
-  // derivation cache: each plan is costed right after it is derived, so
-  // every bottom-up fact it needs is present, and the context cannot read
-  // the *expanding* plan's props table or occurrence window (which describe
-  // the parent, not the rewritten plan). The cost model consults bottom-up
-  // information only, so no props backing is needed.
-  PlanContext cost_ctx(&cache, /*props=*/nullptr, &contract);
-
-  // Computes the Table 2 properties of every node occurrence of `plan`, one
-  // entry per occurrence in pre-order — the same order CollectLocations
-  // uses, so occurrence i of the props table is location i. The walk
-  // touches exactly subtree_size() occurrences, which the enumeration's
-  // size bound keeps small.
-  struct PropsWalker {
-    const DerivationCache& cache;
-    PlanContext::PropsTable* table;
-    // Every node of an expanded plan was derived into the cache when the
-    // plan was admitted, so a miss here means the cache and the plan set
-    // went out of sync — an internal invariant violation, never valid input.
-    // DCHECK loudly in debug builds; in release, flag the walk as failed so
-    // the enumeration surfaces an error status instead of dereferencing
-    // null.
-    bool ok = true;
-
-    void Visit(const PlanPtr& node, const NodeProps& p) {
-      table->push_back({node.get(), p});
-      for (size_t i = 0; i < node->arity(); ++i) {
-        bool ldf = false, lsdf = false, csdf = false;
-        switch (node->kind()) {
-          case OpKind::kDifference:
-          case OpKind::kDifferenceT: {
-            const NodeInfo* left = cache.Find(node->child(0).get());
-            TQP_DCHECK(left != nullptr &&
-                       "derivation cache miss under a difference node");
-            if (left == nullptr) {
-              ok = false;
-              return;
-            }
-            ldf = left->duplicate_free;
-            lsdf = left->snapshot_duplicate_free;
-            break;
-          }
-          case OpKind::kCoalesce: {
-            const NodeInfo* child = cache.Find(node->child(i).get());
-            TQP_DCHECK(child != nullptr &&
-                       "derivation cache miss under a coalesce node");
-            if (child == nullptr) {
-              ok = false;
-              return;
-            }
-            csdf = child->snapshot_duplicate_free;
-            break;
-          }
-          default:
-            break;
-        }
-        Visit(node->child(i), DeriveChildProps(*node, i, p, ldf, lsdf, csdf));
-        if (!ok) return;
-      }
-    }
-  };
-  PropsWalker props_walker{cache, &props};
-  NodeProps root_props{contract.result_type == ResultType::kList,
-                       contract.result_type != ResultType::kSet,
-                       /*period_preserving=*/true};
-
-  size_t size_cap = root->subtree_size() + options.max_plan_growth;
-
-  // Canonical strings are presentation-only here (identity is the
-  // fingerprint-keyed memo); skip serialization entirely when the caller
-  // doesn't assert on them.
-  auto canon_of = [&](const PlanPtr& p) {
-    return options.fill_canonical ? canon.Of(p) : std::string();
-  };
-
-  result.plans.push_back(
-      EnumeratedPlan{root, canon_of(root), root->fingerprint(), -1, ""});
-  memo.Add(root->kind(), root->fingerprint(), 0);
-  Frontier frontier(best_first);
-  if (costing) {
-    // The root is costed only now, after cache.Derive(root) above made its
-    // bottom-up facts (cardinalities, sites) available.
-    best_cost = EstimatePlanCost(root, cost_ctx, options.cost_engine);
-    costs.push_back(best_cost);
-  }
-  frontier.Push(0, costing ? costs[0] : 0.0);
-
-  // Per-plan location index: locations in pre-order, plus per-root-kind
-  // buckets so each rule only visits locations it could match (in the same
-  // pre-order, so the admission sequence is identical to a full scan).
-  std::vector<PlanLocation> locations;
-  std::array<std::vector<uint32_t>, kOpKindCount> by_kind;
-
+  std::vector<CandidateEvent> events;
   while (true) {
-    if (result.plans.size() >= options.max_plans) {
-      result.truncated = true;
-      break;
-    }
-    std::optional<size_t> popped = frontier.Pop(result.plans.size());
+    std::optional<size_t> popped = state.NextToExpand();
     if (!popped.has_value()) break;
     size_t p = *popped;
-    // The pruning decision happens at pop time, against the bound as it
-    // stands now. best_cost only ever tightens, so a plan failing here could
-    // never pass later — pruned plans are final, never re-queued — and every
-    // admitted plan is popped exactly once unless a budget ends the search
-    // first, which makes cost_pruned deterministic under both strategies.
-    if (pruning && costs[p] > best_cost * options.cost_prune_factor) {
-      ++result.cost_pruned;
-      continue;
-    }
-    if (options.max_expansions > 0 &&
-        result.expanded >= options.max_expansions) {
-      // Expansion budget exhausted with this (unpruned) plan still pending.
-      result.truncated = true;
-      break;
-    }
-    ++result.expanded;
-    PlanPtr plan = result.plans[p].plan;
-
-    props.clear();
-    props.reserve(plan->subtree_size());
-    props_walker.ok = true;
-    props_walker.Visit(plan, root_props);
-    if (!props_walker.ok) {
-      return Status::Error(
-          "internal: derivation cache miss while computing Table 2 "
-          "properties");
-    }
-
-    locations.clear();
-    CollectLocations(plan, &locations);
-    for (auto& bucket : by_kind) bucket.clear();
-    for (uint32_t i = 0; i < locations.size(); ++i) {
-      by_kind[static_cast<size_t>(locations[i].node->kind())].push_back(i);
-    }
-
-    // Attempts one rule application at location index `li`; returns false
-    // once the plan cap is hit.
-    auto try_location = [&](const Rule& rule, uint32_t li) {
-      const PlanLocation& loc = locations[li];
-      if (!rule.MatchesChild0(*loc.node)) return true;
-      // Gate against the matched occurrence(s) only: restrict property
-      // lookups to the pre-order span of the matched subtree.
-      ctx.SetOccurrenceWindow(li, li + loc.node->subtree_size());
-      std::optional<RuleMatch> match = rule.TryApply(loc.node, ctx);
-      if (!match.has_value()) return true;
-      ++result.matches;
-
-      EquivalenceType effective = EffectiveEquivalence(rule, *match, ctx);
-      if (options.admitted.count(effective) == 0) return true;
-      if (!RuleAdmitted(effective, match->location, ctx)) {
-        ++result.gated_out;
-        return true;
-      }
-      ++result.admitted;
-
-      // O(1) size bound check before any rewriting happens.
-      size_t new_size = plan->subtree_size() - loc.node->subtree_size() +
-                        match->replacement->subtree_size();
-      if (new_size > size_cap) return true;
-
-      // Probe the memo before materializing the rewrite: a duplicate
-      // candidate costs one spine hash walk and one confirmed probe. The
-      // candidate's root kind (its memo shard) is known without
-      // materializing anything: a root rewrite adopts the replacement's
-      // kind, any deeper rewrite keeps the plan's.
-      uint64_t cand_fp = FingerprintAtPath(plan, loc.path,
-                                           match->replacement->fingerprint());
-      OpKind cand_kind =
-          loc.path.empty() ? match->replacement->kind() : plan->kind();
-      if (const std::vector<size_t>* bucket = memo.Find(cand_kind, cand_fp)) {
-        for (size_t idx : *bucket) {
-          if (EqualsWithReplacement(result.plans[idx].plan, plan, loc.path,
-                                    match->replacement)) {
-            ++result.memo_hits;
-            return true;
-          }
-        }
-      }
-
-      PlanPtr rewritten = interner.RewriteInterned(
-          plan, loc.path, std::move(match->replacement));
-      TQP_DCHECK(rewritten->fingerprint() == cand_fp);
-      TQP_DCHECK(rewritten->kind() == cand_kind);
-      // Validate: only nodes the cache has never seen (the rebuilt spine)
-      // are actually derived; a cached node heads a known-valid subtree.
-      if (!cache.Derive(rewritten, catalog, options.cardinality).ok()) {
-        return true;  // invalid composition; not memoized
-      }
-      size_t new_index = result.plans.size();
-      memo.Add(cand_kind, cand_fp, new_index);
-      result.plans.push_back(EnumeratedPlan{rewritten, canon_of(rewritten),
-                                            rewritten->fingerprint(),
-                                            static_cast<int>(p), rule.id()});
-      if (costing) {
-        // Costed against cost_ctx, never ctx: the occurrence window above
-        // still describes the *parent's* matched location, and the props
-        // table describes the parent plan — neither may leak into the
-        // rewritten plan's cost. cache.Derive just ran, so every bottom-up
-        // fact the cost model reads is present.
-        double cost =
-            EstimatePlanCost(rewritten, cost_ctx, options.cost_engine);
-        costs.push_back(cost);
-        if (cost < best_cost) best_cost = cost;
-        frontier.Push(new_index, cost);
-      } else {
-        frontier.Push(new_index, 0.0);
-      }
-      return result.plans.size() < options.max_plans;
-    };
-
-    bool keep_going = true;
-    for (const Rule& rule : rules) {
-      const std::vector<OpKind>& kinds = rule.root_kinds();
-      if (kinds.size() == 1) {
-        for (uint32_t idx : by_kind[static_cast<size_t>(kinds[0])]) {
-          keep_going = try_location(rule, idx);
-          if (!keep_going) break;
-        }
-      } else if (kinds.empty()) {
-        for (uint32_t idx = 0; idx < locations.size(); ++idx) {
-          keep_going = try_location(rule, idx);
-          if (!keep_going) break;
-        }
-      } else {
-        for (uint32_t idx = 0; idx < locations.size(); ++idx) {
-          if (!rule.MatchesRootKind(locations[idx].node->kind())) continue;
-          keep_going = try_location(rule, idx);
-          if (!keep_going) break;
-        }
-      }
-      if (!keep_going) break;
+    events.clear();
+    TQP_RETURN_IF_ERROR(expander.Expand(state.plan(p), &events));
+    for (CandidateEvent& ev : events) {
+      if (!state.ReplayEvent(ev, p)) break;  // plan cap reached
     }
   }
-  if (result.plans.size() >= options.max_plans) result.truncated = true;
-
-  result.interner_nodes = interner.unique_nodes();
-  result.interner_hits = interner.hits();
-  result.cache_nodes = cache.size();
-  return result;
+  return state.Finish();
 }
 
 }  // namespace
@@ -595,8 +231,20 @@ Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
                                          const EnumerationOptions& options,
                                          PlanInterner* interner,
                                          DerivationCache* derivation) {
+  size_t threads = options.num_threads != 0
+                       ? options.num_threads
+                       : std::max<size_t>(1, std::thread::hardware_concurrency());
   if (options.use_legacy_string_dedup) {
+    if (threads > 1) {
+      return Status::InvalidArgument(
+          "legacy enumeration is single-threaded; the parallel driver "
+          "requires the memo enumerator");
+    }
     return EnumerateLegacy(initial, catalog, contract, rules, options);
+  }
+  if (threads > 1) {
+    return EnumerateMemoParallel(initial, catalog, contract, rules, options,
+                                 interner, derivation);
   }
   return EnumerateMemo(initial, catalog, contract, rules, options, interner,
                        derivation);

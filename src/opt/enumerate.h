@@ -33,6 +33,14 @@
 // (best-first, cost-directed). Cost-bounded pruning and an explicit
 // expansion budget apply under either order; see EnumerationOptions.
 //
+// Parallelism: with EnumerationOptions::num_threads > 1, worker threads
+// expand plans (rule matching, gating, candidate fingerprints — the pure,
+// memo-independent part) from a shared work-stealing frontier while the
+// calling thread replays admission serially in the exact single-threaded
+// order. The admitted plan set, derivation edges, costs, and all counters
+// are byte-identical to the serial run by construction; see
+// enumerate_internal.h for the expand/replay split.
+//
 // Termination: the default rule set excludes expanding rules (Section 6) and
 // a plan-size growth bound caps rule chains that grow plans (e.g. repeated
 // commutativity wrappers).
@@ -97,12 +105,29 @@ struct EnumerationOptions {
   /// (pruned pops do not count). 0 (default) = unlimited. Only the memo
   /// path enforces it.
   size_t max_expansions = 0;
-  /// Shard the memo by the root operator kind of the probed plan — a first
-  /// cut at partitioned search: each shard is an independent hash table, so
-  /// a future parallel driver can probe and grow partitions without
-  /// cross-shard coordination. Sharding only routes probes; the admitted
-  /// plan sequence is byte-identical either way.
+  /// Shard the memo by the root operator kind of the probed plan: each shard
+  /// is an independent hash table, so probes for plans of different root
+  /// kinds never touch the same structure. Sharding only routes probes; the
+  /// admitted plan sequence is byte-identical either way. The parallel
+  /// driver (num_threads > 1) always runs with the sharded memo.
   bool shard_memo_by_root_kind = false;
+  /// Threads for the memo search. 1 (default) runs the serial driver — the
+  /// lock-free fast path, byte-identical to every earlier release. >1 runs
+  /// the parallel driver: worker threads expand and materialize plans from
+  /// a shared work-stealing frontier while the calling thread replays
+  /// admission serially, so the admitted plan sequence (fingerprints,
+  /// parents, rule ids, canonical strings), the per-plan costs, and every
+  /// search counter (matches, admitted, gated_out, memo_hits, cost_pruned,
+  /// expanded, truncated) are byte-identical to the num_threads=1 run under
+  /// either search strategy, with pruning and budgets included
+  /// (tests/test_parallel_enumerate.cc locks this; bench_parallel_search
+  /// gates the speedup). Only the interner/cache session totals may differ
+  /// — they additionally count speculative work. 0 = one thread per
+  /// hardware core. The parallel driver switches any session
+  /// interner/derivation pair it is given into concurrent (striped-lock)
+  /// mode permanently. The legacy string-dedup path rejects
+  /// num_threads > 1.
+  size_t num_threads = 1;
   /// Cost/cardinality models backing the pruning bound and the best-first
   /// frontier order.
   EngineConfig cost_engine;
@@ -144,10 +169,14 @@ struct EnumerationResult {
   /// (the memo path's analogue of a string-dedup rejection).
   size_t memo_hits = 0;
   /// Distinct plan nodes owned by the interning table at the end.
+  /// Session/driver totals, not search outcomes: with session caches they
+  /// accumulate across queries, and under the parallel driver they include
+  /// speculative materialization of candidates the admission loop later
+  /// dropped. All other counters are deterministic across drivers.
   size_t interner_nodes = 0;
-  /// Intern() visits resolved to an already-canonical node.
+  /// Intern() visits resolved to an already-canonical node (same caveat).
   size_t interner_hits = 0;
-  /// Bottom-up derivation-cache entries at the end.
+  /// Bottom-up derivation-cache entries at the end (same caveat).
   size_t cache_nodes = 0;
   /// Plans admitted to the result but not expanded due to cost pruning.
   size_t cost_pruned = 0;

@@ -1,7 +1,15 @@
 // Tests for the tqp::Engine facade: equivalence with the hand-wired
 // pipeline, warm-vs-cold determinism of the session caches, plan-cache
-// behavior, and catalog-version invalidation.
+// behavior (including the LRU bound), catalog-version invalidation, and the
+// concurrent-session guarantees (M threads × K queries byte-identical to a
+// fresh single-threaded engine, admission control, mid-flight catalog
+// mutation never serving stale or torn state). CI runs this suite under
+// TSan.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
 
 #include "api/engine.h"
 #include "core/equivalence.h"
@@ -382,6 +390,229 @@ TEST(ApiEngineTest, FillCanonicalOffPreservesTheSequence) {
     EXPECT_EQ(a->plans[i].parent, b->plans[i].parent);
     EXPECT_EQ(a->plans[i].rule_id, b->plans[i].rule_id);
   }
+}
+
+TEST(ApiEngineTest, PlanCacheLruEviction) {
+  // plan_cache_capacity bounds the cache with least-recently-used eviction;
+  // the unbounded default never evicts (the pre-bound behavior).
+  const std::string q1 = "SELECT Name, Val FROM R WHERE Val > 1";
+  const std::string q2 = "SELECT Name, Val FROM R WHERE Val > 2";
+  const std::string q3 = "SELECT Name, Val FROM R WHERE Val > 3";
+
+  EngineOptions options;
+  options.plan_cache_capacity = 2;
+  Engine engine(WorkloadCatalog(), options);
+
+  ASSERT_TRUE(engine.Query(q1).ok());
+  ASSERT_TRUE(engine.Query(q2).ok());
+  EXPECT_EQ(engine.stats().plan_cache_entries, 2u);
+  EXPECT_EQ(engine.stats().plan_cache_evictions, 0u);
+
+  // Touch q1 so q2 becomes the LRU entry, then insert q3: q2 is evicted.
+  EXPECT_TRUE(engine.Query(q1)->plan_cache_hit);
+  ASSERT_TRUE(engine.Query(q3).ok());
+  EXPECT_EQ(engine.stats().plan_cache_entries, 2u);
+  EXPECT_EQ(engine.stats().plan_cache_evictions, 1u);
+
+  EXPECT_TRUE(engine.Query(q1)->plan_cache_hit);   // survived
+  EXPECT_FALSE(engine.Query(q2)->plan_cache_hit);  // evicted: full re-prepare
+  EXPECT_EQ(engine.stats().plan_cache_evictions, 2u);  // q2's insert evicted q3
+  EXPECT_FALSE(engine.Query(q3)->plan_cache_hit);
+  EXPECT_EQ(engine.stats().plan_cache_entries, 2u);
+
+  // Results served around evictions are still correct.
+  Engine fresh(WorkloadCatalog());
+  ExpectIdentical(engine.Query(q2)->relation, fresh.Query(q2)->relation);
+
+  // Capacity 0 = unbounded: the same traffic never evicts.
+  Engine unbounded(WorkloadCatalog());
+  for (const std::string& q : {q1, q2, q3, q1, q2, q3}) {
+    ASSERT_TRUE(unbounded.Query(q).ok());
+  }
+  EXPECT_EQ(unbounded.stats().plan_cache_entries, 3u);
+  EXPECT_EQ(unbounded.stats().plan_cache_evictions, 0u);
+}
+
+TEST(ApiEngineTest, ConcurrentSessionsAreByteIdentical) {
+  // M threads × K queries × R rounds against ONE shared Engine (shared plan
+  // cache, interner, derivation cache, parallel-capable enumeration): every
+  // result must be byte-identical to a fresh single-threaded engine's.
+  const std::vector<std::string> queries = WorkloadQueries();
+
+  // Expected outcomes from isolated single-threaded engines.
+  std::map<std::string, std::string> expected_table;
+  std::map<std::string, uint64_t> expected_fp;
+  std::map<std::string, double> expected_cost;
+  for (const std::string& q : queries) {
+    Engine fresh(WorkloadCatalog());
+    Result<QueryResult> r = fresh.Query(q);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    expected_table[q] = r->relation.ToTable();
+    expected_fp[q] = r->plan_fingerprint;
+    expected_cost[q] = r->best_cost;
+  }
+
+  EngineOptions options;
+  options.enumeration.num_threads = 2;  // concurrent sessions × parallel search
+  Engine shared(WorkloadCatalog(), options);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Stagger the starting query per thread so cold misses race.
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < queries.size(); ++i) {
+          const std::string& q =
+              queries[(i + static_cast<size_t>(t)) % queries.size()];
+          Result<QueryResult> r = shared.Query(q);
+          if (!r.ok() || r->relation.ToTable() != expected_table[q] ||
+              r->plan_fingerprint != expected_fp[q] ||
+              r->best_cost != expected_cost[q]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  EngineStats stats = shared.stats();
+  EXPECT_EQ(stats.plan_cache_entries, queries.size());
+  // Every query beyond each entry's first prepare was a cache hit; racing
+  // cold misses may each run a full pipeline, so prepares >= entries rather
+  // than == entries.
+  EXPECT_GE(stats.prepares, queries.size());
+  EXPECT_GT(stats.plan_cache_hits, 0u);
+  EXPECT_EQ(stats.invalidations, 0u);
+}
+
+TEST(ApiEngineTest, AdmissionControlBoundsConcurrency) {
+  // max_concurrent_queries = 1: four threads hammer the engine, but at most
+  // one query is ever inside the gated sections (peak counter proves it),
+  // and every result is still correct. cache_plans off so every Query pays
+  // the full gated pipeline.
+  EngineOptions options;
+  options.cache_plans = false;
+  options.max_concurrent_queries = 1;
+  Engine engine(WorkloadCatalog(), options);
+  const std::string query = "SELECT DISTINCT Name FROM R ORDER BY Name ASC";
+  Engine fresh(WorkloadCatalog());
+  const std::string expected = fresh.Query(query)->relation.ToTable();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5; ++i) {
+        Result<QueryResult> r = engine.Query(query);
+        if (!r.ok() || r->relation.ToTable() != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(engine.stats().peak_concurrent_queries, 1u);
+  EXPECT_EQ(engine.stats().prepares, 20u);
+}
+
+TEST(ApiEngineTest, CatalogMutationMidFlightNeverServesStalePlans) {
+  // Readers hammer the engine while the catalog is replaced mid-flight
+  // through MutateCatalog. Every observed result must equal the pre- or the
+  // post-mutation truth in full — never a stale plan over new data or any
+  // torn in-between — and after the mutation the new truth must be served.
+  const std::string query =
+      "VALIDTIME SELECT DISTINCT Name FROM R ORDER BY Name ASC";
+  auto catalog_v1 = [] {
+    Catalog catalog;
+    TQP_CHECK(catalog
+                  .RegisterWithInferredFlags(
+                      "R",
+                      testing_util::TemporalRel(
+                          {{"a", 1, 0, 5}, {"b", 2, 2, 9}, {"a", 1, 5, 7}}),
+                      Site::kDbms)
+                  .ok());
+    return catalog;
+  };
+  CatalogEntry v2_entry;
+  v2_entry.data = testing_util::TemporalRel(
+      {{"c", 7, 1, 4}, {"d", 8, 3, 6}, {"e", 9, 0, 2}});
+  v2_entry.site = Site::kDbms;
+
+  const std::string before = Engine(catalog_v1()).Query(query)->relation.ToTable();
+  Catalog after_catalog = catalog_v1();
+  TQP_CHECK(after_catalog.Update("R", v2_entry).ok());
+  const std::string after = Engine(std::move(after_catalog))
+                                .Query(query)
+                                ->relation.ToTable();
+  ASSERT_NE(before, after);
+
+  Engine engine(catalog_v1());
+  std::atomic<int> torn{0};
+  std::atomic<int> post_mutation_before{0};
+  std::atomic<bool> mutated{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        bool mutation_done = mutated.load();
+        Result<QueryResult> r = engine.Query(query);
+        if (!r.ok()) {
+          torn.fetch_add(1);
+          continue;
+        }
+        std::string table = r->relation.ToTable();
+        if (table != before && table != after) {
+          torn.fetch_add(1);  // a mixed/stale answer
+        } else if (mutation_done && table == before) {
+          // The mutation completed before this query started, yet it saw
+          // the old contents: stale state was served.
+          post_mutation_before.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Let the readers warm up, then swap R's contents mid-traffic.
+  Result<QueryResult> warmup = engine.Query(query);
+  ASSERT_TRUE(warmup.ok());
+  ASSERT_TRUE(engine
+                  .MutateCatalog([&](Catalog& catalog) {
+                    return catalog.Update("R", v2_entry);
+                  })
+                  .ok());
+  mutated.store(true);
+  for (std::thread& th : readers) th.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(post_mutation_before.load(), 0);
+  EXPECT_EQ(engine.Query(query)->relation.ToTable(), after);
+  EXPECT_EQ(engine.stats().invalidations, 1u);
+}
+
+TEST(ApiEngineTest, ParallelEnumerationThreadsThroughTheFacade) {
+  // An engine with num_threads = 4 serves byte-identical results, plan
+  // fingerprints, costs, and plans_considered as the serial default.
+  Engine serial(PaperCatalog());
+  EngineOptions options;
+  options.enumeration.num_threads = 4;
+  Engine parallel(PaperCatalog(), options);
+
+  Result<QueryResult> a = serial.Query(PaperQueryText());
+  Result<QueryResult> b = parallel.Query(PaperQueryText());
+  ASSERT_TRUE(a.ok() && b.ok()) << a.status().message()
+                                << b.status().message();
+  ExpectIdentical(a->relation, b->relation);
+  EXPECT_EQ(a->plan_fingerprint, b->plan_fingerprint);
+  EXPECT_EQ(a->best_cost, b->best_cost);
+  EXPECT_EQ(a->initial_cost, b->initial_cost);
+  EXPECT_EQ(a->plans_considered, b->plans_considered);
+  EXPECT_EQ(a->derivation, b->derivation);
 }
 
 TEST(ApiEngineTest, CatalogVersioning) {

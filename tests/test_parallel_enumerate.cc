@@ -1,0 +1,303 @@
+// Tests for the parallel memo-search driver: an N-thread run must be
+// byte-identical to the serial (num_threads = 1) run — the admitted plan
+// sequence with parents, rule ids, and canonical strings, the per-plan
+// costs, and every counter (matches, admitted, gated_out, memo_hits,
+// cost_pruned, expanded, truncated, interner/cache totals) — under both
+// search strategies, with pruning, plan caps, and expansion budgets, and
+// against warm session caches. CI runs this suite under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "algebra/intern.h"
+#include "opt/enumerate.h"
+#include "opt/optimizer.h"
+#include "test_util.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace {
+
+EnumerationOptions Options(size_t num_threads,
+                           SearchStrategy strategy = SearchStrategy::kBreadthFirst,
+                           double prune_factor = 0.0,
+                           size_t max_expansions = 0) {
+  EnumerationOptions opts;
+  opts.max_plans = 4000;
+  opts.num_threads = num_threads;
+  opts.strategy = strategy;
+  opts.cost_prune_factor = prune_factor;
+  opts.max_expansions = max_expansions;
+  return opts;
+}
+
+Result<EnumerationResult> RunSearch(const EnumerationOptions& opts,
+                                    PlanInterner* interner = nullptr,
+                                    DerivationCache* derivation = nullptr) {
+  Catalog catalog = PaperCatalog();
+  return EnumeratePlans(PaperInitialPlan(), catalog, PaperContract(),
+                        DefaultRuleSet(), opts, interner, derivation);
+}
+
+/// The byte-identity claim: the admitted plan sequence (with parents, rule
+/// ids, and canonical strings), the per-plan costs, and every search
+/// counter. The interner/cache session totals are deliberately excluded —
+/// they count the parallel driver's speculative materialization too and are
+/// documented as non-deterministic driver/session observability.
+void ExpectIdenticalOutcome(const EnumerationResult& a,
+                            const EnumerationResult& b) {
+  ASSERT_EQ(a.plans.size(), b.plans.size());
+  for (size_t i = 0; i < a.plans.size(); ++i) {
+    EXPECT_EQ(a.plans[i].fingerprint, b.plans[i].fingerprint) << i;
+    EXPECT_EQ(a.plans[i].parent, b.plans[i].parent) << i;
+    EXPECT_EQ(a.plans[i].rule_id, b.plans[i].rule_id) << i;
+    EXPECT_EQ(a.plans[i].canonical, b.plans[i].canonical) << i;
+  }
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.gated_out, b.gated_out);
+  EXPECT_EQ(a.memo_hits, b.memo_hits);
+  EXPECT_EQ(a.cost_pruned, b.cost_pruned);
+  EXPECT_EQ(a.expanded, b.expanded);
+  EXPECT_EQ(a.costs, b.costs);
+}
+
+TEST(ParallelEnumerateTest, BreadthFirstIsByteIdenticalToSerial) {
+  Result<EnumerationResult> serial = RunSearch(Options(1));
+  ASSERT_TRUE(serial.ok());
+  EXPECT_GT(serial->plans.size(), 100u);  // a real search space
+  for (size_t threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE(threads);
+    Result<EnumerationResult> parallel = RunSearch(Options(threads));
+    ASSERT_TRUE(parallel.ok());
+    ExpectIdenticalOutcome(serial.value(), parallel.value());
+  }
+}
+
+TEST(ParallelEnumerateTest, BestFirstWithPruningIsByteIdentical) {
+  EnumerationOptions serial_opts =
+      Options(1, SearchStrategy::kBestFirst, /*prune_factor=*/1.5);
+  Result<EnumerationResult> serial = RunSearch(serial_opts);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_GT(serial->cost_pruned, 0u);  // pruning actually engaged
+
+  for (size_t threads : {2u, 4u}) {
+    SCOPED_TRACE(threads);
+    Result<EnumerationResult> parallel =
+        RunSearch(Options(threads, SearchStrategy::kBestFirst, 1.5));
+    ASSERT_TRUE(parallel.ok());
+    ExpectIdenticalOutcome(serial.value(), parallel.value());
+  }
+}
+
+TEST(ParallelEnumerateTest, BreadthFirstWithPruningIsByteIdentical) {
+  Result<EnumerationResult> serial =
+      RunSearch(Options(1, SearchStrategy::kBreadthFirst, 1.3));
+  Result<EnumerationResult> parallel =
+      RunSearch(Options(4, SearchStrategy::kBreadthFirst, 1.3));
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_GT(serial->cost_pruned, 0u);
+  ExpectIdenticalOutcome(serial.value(), parallel.value());
+}
+
+TEST(ParallelEnumerateTest, PlanCapTruncationIsByteIdentical) {
+  // A cap that cuts the search mid-expansion: the last expanded plan's
+  // counters stop at the exact event where the cap was reached, which the
+  // parallel replay must reproduce.
+  for (size_t cap : {2u, 17u, 120u}) {
+    SCOPED_TRACE(cap);
+    EnumerationOptions serial_opts = Options(1);
+    serial_opts.max_plans = cap;
+    EnumerationOptions parallel_opts = Options(4);
+    parallel_opts.max_plans = cap;
+    Result<EnumerationResult> serial = RunSearch(serial_opts);
+    Result<EnumerationResult> parallel = RunSearch(parallel_opts);
+    ASSERT_TRUE(serial.ok() && parallel.ok());
+    EXPECT_TRUE(serial->truncated);
+    ExpectIdenticalOutcome(serial.value(), parallel.value());
+  }
+}
+
+TEST(ParallelEnumerateTest, ExpansionBudgetIsByteIdentical) {
+  for (SearchStrategy strategy :
+       {SearchStrategy::kBreadthFirst, SearchStrategy::kBestFirst}) {
+    SCOPED_TRACE(static_cast<int>(strategy));
+    Result<EnumerationResult> serial =
+        RunSearch(Options(1, strategy, 0.0, /*max_expansions=*/37));
+    Result<EnumerationResult> parallel =
+        RunSearch(Options(4, strategy, 0.0, /*max_expansions=*/37));
+    ASSERT_TRUE(serial.ok() && parallel.ok());
+    EXPECT_EQ(serial->expanded, 37u);
+    ExpectIdenticalOutcome(serial.value(), parallel.value());
+  }
+}
+
+TEST(ParallelEnumerateTest, WarmSessionCachesAreByteIdenticalToo) {
+  // The Engine's invariant, now concurrent: against primed session caches
+  // the parallel driver still admits the identical sequence, and a warm
+  // re-run of an exhaustive search derives nothing new (in an exhaustive
+  // run every admitted plan is expanded, so speculation does exactly the
+  // serial driver's work and the cache totals are deterministic too).
+  Catalog catalog = PaperCatalog();
+  std::vector<Rule> rules = DefaultRuleSet();
+  EnumerationOptions opts = Options(4);
+
+  PlanInterner interner;
+  DerivationCache derivation;
+  Result<EnumerationResult> cold =
+      EnumeratePlans(PaperInitialPlan(), catalog, PaperContract(), rules,
+                     opts, &interner, &derivation);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_FALSE(cold->truncated);
+  size_t cold_cache = cold->cache_nodes;
+
+  Result<EnumerationResult> warm =
+      EnumeratePlans(PaperInitialPlan(), catalog, PaperContract(), rules,
+                     opts, &interner, &derivation);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->plans.size(), cold->plans.size());
+  for (size_t i = 0; i < cold->plans.size(); ++i) {
+    EXPECT_EQ(warm->plans[i].fingerprint, cold->plans[i].fingerprint);
+    EXPECT_EQ(warm->plans[i].parent, cold->plans[i].parent);
+    EXPECT_EQ(warm->plans[i].rule_id, cold->plans[i].rule_id);
+  }
+  EXPECT_EQ(warm->cache_nodes, cold_cache);  // nothing new to derive
+
+  // And the warm parallel sequence equals the cold serial sequence —
+  // including under best-first with pruning, where speculation is heaviest.
+  Result<EnumerationResult> warm_pruned =
+      EnumeratePlans(PaperInitialPlan(), catalog, PaperContract(), rules,
+                     Options(4, SearchStrategy::kBestFirst, 1.5), &interner,
+                     &derivation);
+  Result<EnumerationResult> serial = RunSearch(
+      Options(1, SearchStrategy::kBestFirst, 1.5));
+  ASSERT_TRUE(warm_pruned.ok() && serial.ok());
+  ExpectIdenticalOutcome(serial.value(), warm_pruned.value());
+}
+
+TEST(ParallelEnumerateTest, ContractVariantsAreByteIdentical) {
+  Catalog catalog = PaperCatalog();
+  std::vector<Rule> rules = DefaultRuleSet();
+  for (const QueryContract& contract :
+       {QueryContract::Multiset(), QueryContract::Set()}) {
+    SCOPED_TRACE(ResultTypeName(contract.result_type));
+    Result<EnumerationResult> serial = EnumeratePlans(
+        PaperInitialPlan(), catalog, contract, rules, Options(1));
+    Result<EnumerationResult> parallel = EnumeratePlans(
+        PaperInitialPlan(), catalog, contract, rules, Options(4));
+    ASSERT_TRUE(serial.ok() && parallel.ok());
+    ExpectIdenticalOutcome(serial.value(), parallel.value());
+  }
+}
+
+TEST(ParallelEnumerateTest, AutoThreadCountRuns) {
+  // num_threads = 0 resolves to the hardware concurrency (>= 1) and must
+  // produce the same outcome whichever driver that selects.
+  Result<EnumerationResult> serial = RunSearch(Options(1));
+  Result<EnumerationResult> any = RunSearch(Options(0));
+  ASSERT_TRUE(serial.ok() && any.ok());
+  ExpectIdenticalOutcome(serial.value(), any.value());
+}
+
+TEST(ParallelEnumerateTest, OptimizerThreadsThroughParallelDriver) {
+  // Optimize with num_threads = 4 chooses the identical plan at the
+  // identical cost as the serial optimizer.
+  Catalog catalog = PaperCatalog();
+  OptimizerOptions serial_opt, parallel_opt;
+  serial_opt.enumeration = Options(1);
+  parallel_opt.enumeration = Options(4);
+  Result<OptimizeResult> serial =
+      Optimize(PaperInitialPlan(), catalog, PaperContract(), DefaultRuleSet(),
+               serial_opt);
+  Result<OptimizeResult> parallel =
+      Optimize(PaperInitialPlan(), catalog, PaperContract(), DefaultRuleSet(),
+               parallel_opt);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(parallel->best_plan->fingerprint(),
+            serial->best_plan->fingerprint());
+  EXPECT_EQ(parallel->best_cost, serial->best_cost);
+  EXPECT_EQ(parallel->initial_cost, serial->initial_cost);
+  EXPECT_EQ(parallel->plans_considered, serial->plans_considered);
+  EXPECT_EQ(parallel->derivation, serial->derivation);
+}
+
+TEST(ParallelEnumerateTest, LegacyPathRejectsThreads) {
+  EnumerationOptions opts = Options(2);
+  opts.use_legacy_string_dedup = true;
+  Result<EnumerationResult> res = RunSearch(opts);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(ParallelEnumerateTest, ConcurrentInternerResolvesEqualPlansToOneNode) {
+  // The striped-lock interner under direct contention: many threads intern
+  // structurally equal plans concurrently; pointer identity must still
+  // coincide with structural equality.
+  PlanInterner interner;
+  interner.EnableConcurrentAccess();
+  const PlanPtr model = PaperInitialPlan();
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::vector<const PlanNode*> roots(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const PlanNode* last = nullptr;
+      for (int i = 0; i < kRounds; ++i) {
+        // A fresh structural copy per round: every node allocation races
+        // with the other threads' interning of the equal structure.
+        last = interner.Intern(ClonePlan(model)).get();
+      }
+      roots[static_cast<size_t>(t)] = last;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(roots[static_cast<size_t>(t)], roots[0]);
+  }
+  // One canonical copy of the plan's nodes, however many threads raced.
+  EXPECT_EQ(interner.unique_nodes(), PlanSize(model));
+}
+
+TEST(ParallelEnumerateTest, ConcurrentDerivationCacheIsConsistent) {
+  // Concurrent Derive/Find of overlapping plans against one cache: all
+  // threads must see complete, valid info and the cache ends with exactly
+  // one entry per distinct node.
+  Catalog catalog = PaperCatalog();
+  DerivationCache cache;
+  cache.EnableConcurrentAccess();
+  PlanInterner interner;
+  interner.EnableConcurrentAccess();
+  PlanPtr plan = interner.Intern(PaperInitialPlan());
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (!cache.Derive(plan, catalog, CardinalityParams{}).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        std::vector<PlanPtr> nodes;
+        CollectNodes(plan, &nodes);
+        for (const PlanPtr& n : nodes) {
+          if (cache.Find(n.get()) == nullptr) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache.size(), PlanSize(plan));
+}
+
+}  // namespace
+}  // namespace tqp
