@@ -101,6 +101,10 @@ void CompareBestFirstAgainstExhaustive() {
       100.0 * gated_best / optimum,
       100.0 * static_cast<double>(gated->expanded) /
           static_cast<double>(exhaustive->expanded));
+  bench::SetMetric("best_cost_pct_of_optimum", 100.0 * gated_best / optimum);
+  bench::SetMetric("expanded_pct_of_exhaustive",
+                   100.0 * static_cast<double>(gated->expanded) /
+                       static_cast<double>(exhaustive->expanded));
 
   // Order-independence: with unlimited budgets the frontier order cannot
   // change the closure — best-first reaches exactly the breadth-first set.
@@ -168,7 +172,8 @@ BENCHMARK(BM_BestFirstPruned);
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::CompareBestFirstAgainstExhaustive();
+  tqp::bench::TimedSection("bestfirst_vs_exhaustive", [] { tqp::CompareBestFirstAgainstExhaustive(); });
+  tqp::bench::WriteBenchJson("bestfirst_search");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -85,6 +85,9 @@ void CompareWarmAgainstCold() {
   std::printf("%-34s | %12s | %12zu\n", "derivation cache entries", "-",
               stats.derivation_nodes);
   double speedup = cold_s / warm_s;
+  bench::SetMetric("cold_ms_per_query", cold_s * 1e3);
+  bench::SetMetric("warm_ms_per_query", warm_s * 1e3);
+  bench::SetMetric("warm_speedup", speedup);
   std::printf("\nresults byte-identical; warm speedup: %.1fx queries/second\n",
               speedup);
   TQP_CHECK(speedup >= 5.0);
@@ -179,8 +182,9 @@ BENCHMARK(BM_PreparedExecute);
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::CompareWarmAgainstCold();
-  tqp::CompareSessionAgainstIsolated();
+  tqp::bench::TimedSection("warm_vs_cold", [] { tqp::CompareWarmAgainstCold(); });
+  tqp::bench::TimedSection("session_vs_isolated", [] { tqp::CompareSessionAgainstIsolated(); });
+  tqp::bench::WriteBenchJson("engine_warm");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

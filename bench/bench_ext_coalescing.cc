@@ -15,6 +15,7 @@
 #include <chrono>
 
 #include "bench_common.h"
+#include "bench_util.h"
 #include "core/equivalence.h"
 #include "exec/evaluator.h"
 
@@ -161,7 +162,8 @@ BENCHMARK(BM_CoalesceAfterDifference)->Args({2000, 10})->Args({2000, 70});
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::ReproduceCoalescingSweep();
+  tqp::bench::TimedSection("coalescing_sweep", [] { tqp::ReproduceCoalescingSweep(); });
+  tqp::bench::WriteBenchJson("ext_coalescing");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

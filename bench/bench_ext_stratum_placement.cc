@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "bench_util.h"
 #include "opt/optimizer.h"
 #include "tql/translator.h"
 
@@ -119,7 +120,8 @@ BENCHMARK(BM_OptimizeUnderConfig)->Arg(1)->Arg(50)->Arg(250);
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::ReproducePlacementSweep();
+  tqp::bench::TimedSection("placement_sweep", [] { tqp::ReproducePlacementSweep(); });
+  tqp::bench::WriteBenchJson("ext_stratum_placement");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

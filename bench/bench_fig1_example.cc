@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "bench_util.h"
 #include "core/equivalence.h"
 #include "opt/optimizer.h"
 #include "tql/translator.h"
@@ -79,7 +80,8 @@ BENCHMARK(BM_ExecuteOnly)->Arg(10)->Arg(50)->Arg(200)->Arg(800);
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::ReproduceFigure1();
+  tqp::bench::TimedSection("reproduce_figure1", [] { tqp::ReproduceFigure1(); });
+  tqp::bench::WriteBenchJson("fig1_example");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -91,7 +91,8 @@ BENCHMARK(BM_OptimizedPlan)->Arg(20)->Arg(100)->Arg(400);
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::ReproduceFigure2();
+  tqp::bench::TimedSection("reproduce_figure2", [] { tqp::ReproduceFigure2(); });
+  tqp::bench::WriteBenchJson("fig2_plans");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

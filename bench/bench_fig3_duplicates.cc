@@ -5,6 +5,7 @@
 
 #include "algebra/derivation.h"
 #include "bench_common.h"
+#include "bench_util.h"
 #include "exec/evaluator.h"
 #include "exec/reference_ops.h"
 
@@ -121,7 +122,8 @@ BENCHMARK(BM_NormalizeIdiom)->Arg(1000)->Arg(10000);
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::ReproduceFigure3();
+  tqp::bench::TimedSection("reproduce_figure3", [] { tqp::ReproduceFigure3(); });
+  tqp::bench::WriteBenchJson("fig3_duplicates");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,6 +9,7 @@
 #include <map>
 
 #include "bench_common.h"
+#include "bench_util.h"
 #include "opt/enumerate.h"
 #include "rules/rules.h"
 #include "tql/translator.h"
@@ -177,7 +178,8 @@ BENCHMARK(BM_AnnotationAfterRewrite);
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::ReproduceFigure4();
+  tqp::bench::TimedSection("reproduce_figure4", [] { tqp::ReproduceFigure4(); });
+  tqp::bench::WriteBenchJson("fig4_rules");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

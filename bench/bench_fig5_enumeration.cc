@@ -137,6 +137,10 @@ void CompareMemoAgainstLegacy() {
               memo.cache_nodes);
   std::printf("\nplan set identical; speedup: %.2fx plans/second\n",
               memo_pps / legacy_pps);
+  bench::SetMetric("distinct_plans", static_cast<double>(memo.plans.size()));
+  bench::SetMetric("legacy_plans_per_s", legacy_pps);
+  bench::SetMetric("memo_plans_per_s", memo_pps);
+  bench::SetMetric("memo_speedup", memo_pps / legacy_pps);
 
   // Cost-bounded pruning (off by default): expansion skips plans whose
   // estimated cost exceeds factor x best-so-far.
@@ -214,8 +218,9 @@ BENCHMARK(BM_EnumerateByQuerySize)->Arg(1)->Arg(2)->Arg(3);
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::ReproduceFigure5();
-  tqp::CompareMemoAgainstLegacy();
+  tqp::bench::TimedSection("reproduce_figure5", [] { tqp::ReproduceFigure5(); });
+  tqp::bench::TimedSection("memo_vs_legacy", [] { tqp::CompareMemoAgainstLegacy(); });
+  tqp::bench::WriteBenchJson("fig5_enumeration");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,6 +7,7 @@
 
 #include "algebra/printer.h"
 #include "bench_common.h"
+#include "bench_util.h"
 #include "opt/enumerate.h"
 
 namespace tqp {
@@ -103,7 +104,8 @@ BENCHMARK(BM_WalkthroughRewrites);
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::ReproduceFigure6();
+  tqp::bench::TimedSection("reproduce_figure6", [] { tqp::ReproduceFigure6(); });
+  tqp::bench::WriteBenchJson("fig6_property_trees");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

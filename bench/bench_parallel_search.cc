@@ -160,6 +160,10 @@ void GateParallelSpeedup() {
   double one = plans_per_second(1);
   double two = plans_per_second(2);
   double four = plans_per_second(4);
+  bench::SetMetric("plans_per_s_1_thread", one);
+  bench::SetMetric("plans_per_s_2_threads", two);
+  bench::SetMetric("plans_per_s_4_threads", four);
+  bench::SetMetric("speedup_4_threads", four / one);
   std::printf("\nspeedup: %.2fx at 2 threads, %.2fx at 4 threads\n",
               two / one, four / one);
 
@@ -207,8 +211,14 @@ void ConcurrentEngineThroughput() {
     return qps;
   };
 
-  for (size_t sessions : {1u, 2u, 4u}) run_sessions(sessions, /*warm=*/true);
-  for (size_t sessions : {1u, 2u, 4u}) run_sessions(sessions, /*warm=*/false);
+  for (size_t sessions : {1u, 2u, 4u}) {
+    bench::SetMetric("warm_qps_" + std::to_string(sessions) + "_sessions",
+                     run_sessions(sessions, /*warm=*/true));
+  }
+  for (size_t sessions : {1u, 2u, 4u}) {
+    bench::SetMetric("cold_qps_" + std::to_string(sessions) + "_sessions",
+                     run_sessions(sessions, /*warm=*/false));
+  }
   std::printf("\none shared Engine; warm = plan-cache hits, cold = first-touch "
               "prepares per engine.\n");
 }
@@ -235,9 +245,10 @@ BENCHMARK(BM_ParallelEnumerate)->Arg(1)->Arg(2)->Arg(4);
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::GateParallelByteIdentity();
-  tqp::GateParallelSpeedup();
-  tqp::ConcurrentEngineThroughput();
+  tqp::bench::TimedSection("byte_identity_gates", [] { tqp::GateParallelByteIdentity(); });
+  tqp::bench::TimedSection("speedup_gate", [] { tqp::GateParallelSpeedup(); });
+  tqp::bench::TimedSection("concurrent_engine", [] { tqp::ConcurrentEngineThroughput(); });
+  tqp::bench::WriteBenchJson("parallel_search");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

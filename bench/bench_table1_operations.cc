@@ -8,6 +8,7 @@
 
 #include "algebra/derivation.h"
 #include "bench_common.h"
+#include "bench_util.h"
 #include "exec/evaluator.h"
 
 namespace tqp {
@@ -330,7 +331,8 @@ BENCHMARK(BM_UnionT)->Arg(1000)->Arg(10000);
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::ReproduceTable1();
+  tqp::bench::TimedSection("reproduce_table1", [] { tqp::ReproduceTable1(); });
+  tqp::bench::WriteBenchJson("table1_operations");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

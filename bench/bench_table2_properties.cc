@@ -8,6 +8,7 @@
 
 #include "algebra/printer.h"
 #include "bench_common.h"
+#include "bench_util.h"
 #include "opt/enumerate.h"
 
 namespace tqp {
@@ -101,7 +102,8 @@ BENCHMARK(BM_RuleAdmittedCheck);
 }  // namespace tqp
 
 int main(int argc, char** argv) {
-  tqp::ReproduceTable2();
+  tqp::bench::TimedSection("reproduce_table2", [] { tqp::ReproduceTable2(); });
+  tqp::bench::WriteBenchJson("table2_properties");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,6 +10,9 @@
 #ifndef TQP_BENCH_BENCH_UTIL_H_
 #define TQP_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -21,6 +24,55 @@
 
 namespace tqp {
 namespace bench {
+
+// ---- Machine-readable bench output ----------------------------------------
+//
+// Every bench main records its headline numbers with SetMetric and writes
+// them as BENCH_<name>.json (metric name → value, one flat JSON object)
+// before exiting. CI uploads the files as artifacts, so the perf trajectory
+// accumulates run over run instead of living only in scrollback.
+
+/// The metric registry of this bench process.
+inline std::map<std::string, double>& BenchMetrics() {
+  static std::map<std::string, double> metrics;
+  return metrics;
+}
+
+/// Records one metric (last write wins).
+inline void SetMetric(const std::string& name, double value) {
+  BenchMetrics()[name] = value;
+}
+
+/// Runs a bench section and records its wall time as "<metric>_seconds".
+/// The coarse metric every bench main gets for free; flagship benches add
+/// domain metrics (plans/s, speedups, rows/s) on top.
+template <typename Fn>
+inline void TimedSection(const std::string& metric, Fn&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  SetMetric(metric + "_seconds", dt.count());
+}
+
+/// Writes BENCH_<bench_name>.json into the working directory.
+inline void WriteBenchJson(const std::string& bench_name) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{");
+  bool first = true;
+  for (const auto& [name, value] : BenchMetrics()) {
+    std::fprintf(f, "%s\n  \"%s\": %.17g", first ? "" : ",", name.c_str(),
+                 value);
+    first = false;
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("\n[%s: %zu metrics]\n", path.c_str(), BenchMetrics().size());
+}
 
 /// EMPLOYEE/PROJECT at the paper's size plus two messy temporal relations R
 /// and S — the catalog the engine-facing benches serve queries against.

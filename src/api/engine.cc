@@ -346,8 +346,15 @@ Result<QueryResult> Engine::ExecuteState(const PreparedQuery::State& state,
   if (!ann.ok()) return ann.status();
 
   QueryResult out;
-  Result<Relation> relation =
-      Evaluate(ann.value(), options_.engine, &out.exec);
+  Result<Relation> relation = [&]() -> Result<Relation> {
+    if (options_.executor == ExecutorKind::kVectorized) {
+      VexecOptions vopts;
+      vopts.batch_size = options_.vexec_batch_size;
+      return ExecuteVectorized(ann.value(), options_.engine, &out.exec,
+                               vopts);
+    }
+    return Evaluate(ann.value(), options_.engine, &out.exec);
+  }();
   if (!relation.ok()) return relation.status();
   out.relation = std::move(relation).value();
   out.best_cost = state.best_cost;

@@ -56,8 +56,21 @@
 #include "exec/evaluator.h"
 #include "opt/optimizer.h"
 #include "tql/translator.h"
+#include "vexec/vexec.h"
 
 namespace tqp {
+
+/// Which physical executor runs chosen plans.
+enum class ExecutorKind {
+  /// The row-at-a-time reference evaluator (exec/evaluator.h). The default:
+  /// every byte-identity check predates the vectorized engine and keeps
+  /// running against it unchanged.
+  kReference,
+  /// The columnar batch engine (vexec/vexec.h). List-identical to the
+  /// reference by contract (tests/test_vexec.cc) and >= 5x faster on large
+  /// inputs (bench_vexec_pipeline).
+  kVectorized,
+};
 
 /// The unified option set, subsuming the per-layer structs. One EngineConfig
 /// and one CardinalityParams drive enumeration pruning, plan choice, and
@@ -98,13 +111,22 @@ struct EngineOptions {
   /// Share one PlanInterner/DerivationCache across queries. Off = every
   /// Prepare runs cold (useful for measuring, never for serving).
   bool reuse_search_caches = true;
+  /// Physical executor for Execute()/Query(). Both produce list-identical
+  /// relations; kVectorized additionally fills the ExecStats vec_* batch
+  /// counters surfaced in QueryResult::exec.
+  ExecutorKind executor = ExecutorKind::kReference;
+  /// Rows per column batch when executor == kVectorized.
+  size_t vexec_batch_size = 1024;
 };
 
 /// Everything one query execution returns: the relation plus execution and
 /// optimizer telemetry.
 struct QueryResult {
   Relation relation;
-  /// Simulated execution statistics (work by site, transfer volume, ...).
+  /// Execution statistics of this query's evaluation: simulated work by
+  /// site, transfer volume, tuples produced, per-operator counts, and — on
+  /// the vectorized executor — the vec_* batch/materialization counters.
+  /// Filled per query and returned to the caller, never dropped.
   ExecStats exec;
   /// Optimizer telemetry for this query's plan.
   double best_cost = 0.0;

@@ -26,7 +26,11 @@
 
 namespace tqp {
 
-/// Simulated and measured execution statistics.
+/// Simulated and measured execution statistics. The work/transfer/operator
+/// counters are filled identically by the reference evaluator and the
+/// vectorized engine (src/vexec) — both compute them from the same
+/// OpWorkUnits formulas; the vec_* counters are only non-zero on the
+/// vectorized path.
 struct ExecStats {
   /// Abstract work units, split by site.
   double dbms_work = 0.0;
@@ -37,6 +41,17 @@ struct ExecStats {
   int64_t tuples_produced = 0;
   /// Operator invocations by kind name.
   std::map<std::string, int64_t> op_counts;
+
+  /// Column batches consumed by the vectorized executor (input rows per
+  /// VexecOptions::batch_size, summed over operators). 0 on the reference
+  /// path.
+  int64_t vec_batches = 0;
+  /// Columnar operator-output materializations, including the DBMS order
+  /// scramble rebuilds. 0 on the reference path.
+  int64_t vec_materializations = 0;
+  /// Rows produced through the vectorized pipeline (the batch-engine twin
+  /// of tuples_produced). 0 on the reference path.
+  int64_t vec_rows = 0;
 
   double total_work() const { return dbms_work + stratum_work; }
 };

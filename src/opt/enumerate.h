@@ -101,6 +101,23 @@ struct EnumerationOptions {
   /// exhaustive benches and the completeness tests are unaffected. Only the
   /// memo path supports pruning.
   double cost_prune_factor = 0.0;
+  /// Adaptive pruning feedback (off by default; requires cost_prune_factor
+  /// > 0): every time the incumbent best cost improves, the *effective*
+  /// pruning factor is multiplied by `adaptive_prune_decay`, never dropping
+  /// below `adaptive_prune_floor` — the search prunes more aggressively the
+  /// better the plans it has already found. The effective factor is a
+  /// deterministic function of the admitted plan sequence (improvements
+  /// happen at admission, which is serial under every driver), so repeated
+  /// runs, warm caches, and the parallel driver remain byte-identical with
+  /// the feedback on (tests/test_enumerate_cost.cc).
+  bool adaptive_pruning = false;
+  /// Multiplicative tightening applied to the effective pruning factor on
+  /// each incumbent improvement.
+  double adaptive_prune_decay = 0.9;
+  /// Lower bound of the effective pruning factor under adaptive tightening.
+  /// Clamped to cost_prune_factor, so the feedback can only ever tighten
+  /// the configured factor, never raise it.
+  double adaptive_prune_floor = 1.05;
   /// Exploration budget: stop after this many plans have been expanded
   /// (pruned pops do not count). 0 (default) = unlimited. Only the memo
   /// path enforces it.

@@ -394,6 +394,7 @@ class SearchState {
         pruning_(options.cost_prune_factor > 0.0),
         best_first_(options.strategy == SearchStrategy::kBestFirst),
         costing_(pruning_ || best_first_),
+        prune_factor_(options.cost_prune_factor),
         memo_(options.shard_memo_by_root_kind,
               std::min<size_t>(options.max_plans, 4096)),
         frontier_(best_first_),
@@ -438,13 +439,13 @@ class SearchState {
       if (!popped.has_value()) return std::nullopt;
       size_t p = *popped;
       // The pruning decision happens at pop time, against the bound as it
-      // stands now. best_cost only ever tightens, so a plan failing here
-      // could never pass later — pruned plans are final, never re-queued —
-      // and every admitted plan is popped exactly once unless a budget ends
+      // stands now. best_cost only ever tightens — and under adaptive
+      // pruning so does the effective factor — so a plan failing here could
+      // never pass later: pruned plans are final, never re-queued, and
+      // every admitted plan is popped exactly once unless a budget ends
       // the search first, which makes cost_pruned deterministic under both
       // strategies.
-      if (pruning_ &&
-          result_.costs[p] > best_cost_ * options_.cost_prune_factor) {
+      if (pruning_ && result_.costs[p] > best_cost_ * prune_factor_) {
         ++result_.cost_pruned;
         if (on_pruned_) on_pruned_(p);
         continue;
@@ -574,7 +575,23 @@ class SearchState {
                                            ev.rule->id()});
     if (costing_) {
       result_.costs.push_back(ev.cost);
-      if (ev.cost < best_cost_) best_cost_ = ev.cost;
+      if (ev.cost < best_cost_) {
+        best_cost_ = ev.cost;
+        // Adaptive feedback: each incumbent improvement tightens the
+        // effective pruning factor toward the floor. The floor is clamped
+        // to the configured factor so tightening can only ever LOWER the
+        // factor — otherwise a cost_prune_factor below the floor would be
+        // raised by its first improvement, breaking the "a plan that fails
+        // the pop-time check once could never pass later" invariant. Runs
+        // at admission (the serial replay under every driver), so the
+        // factor's trajectory is a pure function of the admitted sequence.
+        if (pruning_ && options_.adaptive_pruning) {
+          double floor = std::min(options_.adaptive_prune_floor,
+                                  options_.cost_prune_factor);
+          prune_factor_ = std::max(
+              floor, prune_factor_ * options_.adaptive_prune_decay);
+        }
+      }
       frontier_.Push(new_index, ev.cost);
     } else {
       frontier_.Push(new_index, 0.0);
@@ -598,6 +615,9 @@ class SearchState {
   const bool pruning_;
   const bool best_first_;
   const bool costing_;
+  /// The effective pruning factor: fixed at cost_prune_factor, or tightened
+  /// on each incumbent improvement under adaptive_pruning.
+  double prune_factor_;
 
   EnumerationResult result_;
   MemoIndex memo_;

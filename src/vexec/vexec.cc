@@ -1,0 +1,954 @@
+// Vectorized operator kernels and the plan driver.
+//
+// Every kernel is the columnar transcription of the corresponding Eval* in
+// exec/eval_ops.cc: the same algorithm over row indices and typed columns
+// instead of per-tuple Value vectors, so the produced list is identical —
+// including which occurrence survives duplicate elimination, difference
+// fragment order, and rdupT's in-place period replacement. Hash-based
+// duplicate/class lookups reuse the exact Tuple::Hash / Tuple::Compare
+// semantics through ColumnTable::RowHash / RowCompare; wherever the
+// reference uses an ordered map whose iteration order is semantically inert
+// (per-class temporal sweeps, group tables that record first-occurrence
+// order separately), the kernels use open hashing instead.
+#include "vexec/vexec.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "vexec/vexec_internal.h"
+
+namespace tqp {
+
+namespace {
+
+using vexec::EvalColumn;
+using vexec::VecEval;
+
+// ---- Row-identity hashing (full-tuple equality) ---------------------------
+
+struct RowRef {
+  const ColumnTable* t;
+  uint32_t row;
+  uint64_t hash;  // ColumnTable::RowHash(row)
+};
+
+struct RowRefHash {
+  size_t operator()(const RowRef& k) const { return k.hash; }
+};
+
+struct RowRefEq {
+  bool operator()(const RowRef& a, const RowRef& b) const {
+    if (a.hash != b.hash) return false;  // hash is a function of the row
+    return ColumnTable::RowEquals(*a.t, a.row, *b.t, b.row);
+  }
+};
+
+RowRef FullRow(const ColumnTable& t, uint32_t row) {
+  return RowRef{&t, row, t.RowHash(row)};
+}
+
+// ---- Value-equivalence-class hashing (non-time attributes) ----------------
+
+struct ClassRefEq {
+  bool operator()(const RowRef& a, const RowRef& b) const {
+    if (a.hash != b.hash) return false;
+    return ColumnTable::RowCompareNonTemporal(*a.t, a.row, *b.t, b.row) == 0;
+  }
+};
+
+RowRef ClassRow(const ColumnTable& t, uint32_t row) {
+  return RowRef{&t, row, t.RowHashNonTemporal(row)};
+}
+
+// ---- Kernels --------------------------------------------------------------
+
+Result<ColumnTable> VecScan(const CatalogEntry& entry) {
+  return ColumnTable::FromRelation(entry.data);
+}
+
+ColumnTable VecSelect(const ColumnTable& in, const ExprPtr& predicate,
+                      size_t batch_size) {
+  std::vector<uint32_t> keep;
+  for (size_t b = 0; b < in.rows(); b += batch_size) {
+    size_t e = std::min(in.rows(), b + batch_size);
+    EvalColumn ec = VecEval(predicate, in, b, e);
+    for (uint32_t k = 0; k < e - b; ++k) {
+      // EvalPredicate semantics: an erroring or NULL row is simply false.
+      if (ec.ErrAt(k) != nullptr) continue;
+      CellRef c = ec.col.At(k);
+      if (c.is_null()) continue;
+      if (c.Numeric() != 0) keep.push_back(static_cast<uint32_t>(b + k));
+    }
+  }
+  ColumnTable out(in.schema());
+  out.AppendGather(in, keep);
+  return out;
+}
+
+Result<ColumnTable> VecProject(const ColumnTable& in,
+                               const std::vector<ProjItem>& items,
+                               const Schema& out_schema, size_t batch_size) {
+  // The reference fails with the error of the first erroring row (and that
+  // row's first erroring item): rows outermost, so an error at (row, item)
+  // is superseded only by one at a strictly smaller row. Evaluate
+  // column-at-a-time, keep the minimum, and bound every later evaluation to
+  // rows below the best error found so far — rows the reference itself
+  // evaluated for every item. Beyond saving the work, this keeps abort
+  // behavior aligned: a later item is never evaluated on rows the
+  // reference never reached.
+  size_t err_row = static_cast<size_t>(-1);
+  std::string err_msg;
+  std::vector<ColumnVec> cols(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t b = 0; b < std::min(in.rows(), err_row); b += batch_size) {
+      size_t e = std::min({in.rows(), err_row, b + batch_size});
+      EvalColumn ec = VecEval(items[i].expr, in, b, e);
+      for (const auto& [k, msg] : ec.errs) {
+        if (b + k < err_row) {
+          err_row = b + k;
+          err_msg = msg;
+        }
+      }
+      cols[i].AppendRangeFrom(ec.col, 0, e - b);
+    }
+  }
+  if (err_row != static_cast<size_t>(-1)) return Status::Error(err_msg);
+  ColumnTable out(out_schema);
+  for (size_t i = 0; i < cols.size(); ++i) {
+    out.mutable_col(i) = std::move(cols[i]);
+  }
+  out.CommitRows(in.rows());
+  return out;
+}
+
+ColumnTable VecUnionAll(const ColumnTable& l, const ColumnTable& r,
+                        const Schema& out_schema) {
+  ColumnTable out(out_schema);
+  out.AppendRange(l, 0, l.rows());
+  out.AppendRange(r, 0, r.rows());
+  return out;
+}
+
+ColumnTable VecUnion(const ColumnTable& l, const ColumnTable& r,
+                     const Schema& out_schema) {
+  ColumnTable out(out_schema);
+  out.AppendRange(l, 0, l.rows());
+  std::unordered_map<RowRef, int64_t, RowRefHash, RowRefEq> left_count;
+  left_count.reserve(l.rows());
+  for (uint32_t i = 0; i < l.rows(); ++i) ++left_count[FullRow(l, i)];
+  std::unordered_map<RowRef, int64_t, RowRefHash, RowRefEq> right_seen;
+  std::vector<uint32_t> extra;
+  for (uint32_t j = 0; j < r.rows(); ++j) {
+    RowRef key = FullRow(r, j);
+    int64_t seen = ++right_seen[key];
+    auto it = left_count.find(key);
+    int64_t in_left = it == left_count.end() ? 0 : it->second;
+    if (seen > in_left) extra.push_back(j);
+  }
+  out.AppendGather(r, extra);
+  return out;
+}
+
+ColumnTable VecProduct(const ColumnTable& l, const ColumnTable& r,
+                       const Schema& out_schema) {
+  // Left-major pair order, generated column-wise: left columns repeat each
+  // cell |r| times, right columns tile |l| times.
+  ColumnTable out(out_schema);
+  size_t pos = 0;
+  for (size_t c = 0; c < l.num_cols(); ++c, ++pos) {
+    ColumnVec& dst = out.mutable_col(pos);
+    dst.Reserve(l.rows() * r.rows());
+    for (size_t i = 0; i < l.rows(); ++i) {
+      for (size_t j = 0; j < r.rows(); ++j) dst.AppendFrom(l.col(c), i);
+    }
+  }
+  for (size_t c = 0; c < r.num_cols(); ++c, ++pos) {
+    ColumnVec& dst = out.mutable_col(pos);
+    dst.Reserve(l.rows() * r.rows());
+    for (size_t i = 0; i < l.rows(); ++i) {
+      dst.AppendRangeFrom(r.col(c), 0, r.rows());
+    }
+  }
+  out.CommitRows(l.rows() * r.rows());
+  return out;
+}
+
+ColumnTable VecDifference(const ColumnTable& l, const ColumnTable& r) {
+  std::unordered_map<RowRef, int64_t, RowRefHash, RowRefEq> cancel;
+  cancel.reserve(r.rows());
+  for (uint32_t j = 0; j < r.rows(); ++j) ++cancel[FullRow(r, j)];
+  std::vector<uint32_t> keep;
+  for (uint32_t i = 0; i < l.rows(); ++i) {
+    auto it = cancel.find(FullRow(l, i));
+    if (it != cancel.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    keep.push_back(i);
+  }
+  ColumnTable out(l.schema());
+  out.AppendGather(l, keep);
+  return out;
+}
+
+ColumnTable VecRdup(const ColumnTable& in, const Schema& out_schema) {
+  std::unordered_set<RowRef, RowRefHash, RowRefEq> seen;
+  seen.reserve(in.rows());
+  std::vector<uint32_t> keep;
+  for (uint32_t i = 0; i < in.rows(); ++i) {
+    if (seen.insert(FullRow(in, i)).second) keep.push_back(i);
+  }
+  ColumnTable out(out_schema);
+  out.AppendGather(in, keep);
+  return out;
+}
+
+ColumnTable VecSort(const ColumnTable& in, const SortSpec& spec) {
+  // Per-key comparators specialized once on the column's storage class, so
+  // the O(n log n) comparison loop touches raw typed vectors. Null-free
+  // typed columns order exactly as Value::Compare does (same type, payload
+  // order); anything else falls back to the generic cell comparison.
+  enum class KeyKind { kInt64, kDouble, kString, kGeneric };
+  struct Key {
+    const ColumnVec* col;
+    KeyKind kind;
+    bool ascending;
+  };
+  std::vector<Key> keys;
+  for (const SortKey& k : spec) {
+    int idx = in.schema().IndexOf(k.attr);
+    TQP_CHECK(idx >= 0);
+    const ColumnVec& col = in.col(static_cast<size_t>(idx));
+    KeyKind kind = KeyKind::kGeneric;
+    if (!col.MayHaveNulls()) {
+      switch (col.storage()) {
+        case ColumnStorage::kInt64:
+          kind = KeyKind::kInt64;
+          break;
+        case ColumnStorage::kDouble:
+          kind = KeyKind::kDouble;
+          break;
+        case ColumnStorage::kString:
+          kind = KeyKind::kString;
+          break;
+        default:
+          break;
+      }
+    }
+    keys.push_back(Key{&col, kind, k.ascending});
+  }
+  std::vector<uint32_t> order(in.rows());
+  for (uint32_t i = 0; i < in.rows(); ++i) order[i] = i;
+  auto key_compare = [](const Key& k, uint32_t a, uint32_t b) {
+    switch (k.kind) {
+      case KeyKind::kInt64: {
+        int64_t x = k.col->ints()[a], y = k.col->ints()[b];
+        return x < y ? -1 : (y < x ? 1 : 0);
+      }
+      case KeyKind::kDouble: {
+        double x = k.col->doubles()[a], y = k.col->doubles()[b];
+        return x < y ? -1 : (y < x ? 1 : 0);
+      }
+      case KeyKind::kString: {
+        int c = k.col->strings()[a].compare(k.col->strings()[b]);
+        return c < 0 ? -1 : (c > 0 ? 1 : 0);
+      }
+      case KeyKind::kGeneric:
+        return CellRef::Compare(k.col->At(a), k.col->At(b));
+    }
+    return 0;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     for (const Key& k : keys) {
+                       int c = key_compare(k, a, b);
+                       if (c != 0) return k.ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  ColumnTable out(in.schema());
+  out.AppendGather(in, order);
+  return out;
+}
+
+// Extracts the T1/T2 endpoints of every row into flat arrays.
+void ExtractPeriods(const ColumnTable& t, std::vector<TimePoint>* begins,
+                    std::vector<TimePoint>* ends) {
+  begins->resize(t.rows());
+  ends->resize(t.rows());
+  const ColumnVec& c1 = t.col(static_cast<size_t>(t.t1_index()));
+  const ColumnVec& c2 = t.col(static_cast<size_t>(t.t2_index()));
+  for (size_t i = 0; i < t.rows(); ++i) {
+    (*begins)[i] = c1.At(i).i;
+    (*ends)[i] = c2.At(i).i;
+  }
+}
+
+ColumnTable VecProductT(const ColumnTable& l, const ColumnTable& r,
+                        const Schema& out_schema) {
+  std::vector<TimePoint> lb, le, rb, re;
+  ExtractPeriods(l, &lb, &le);
+  ExtractPeriods(r, &rb, &re);
+  // The hot loop: the overlap test runs over flat endpoint arrays —
+  // max(begin) < min(end) is exactly lp.Intersect(rp).Valid(), the
+  // reference's pair filter. Matched (left, right) row pairs are gathered
+  // column-wise afterwards.
+  std::vector<uint32_t> li, ri;
+  for (uint32_t i = 0; i < l.rows(); ++i) {
+    TimePoint b = lb[i], e = le[i];
+    for (uint32_t j = 0; j < r.rows(); ++j) {
+      if (std::max(b, rb[j]) < std::min(e, re[j])) {
+        li.push_back(i);
+        ri.push_back(j);
+      }
+    }
+  }
+  ColumnTable out(out_schema);
+  size_t pos = 0;
+  int l1 = l.t1_index(), l2 = l.t2_index();
+  int r1 = r.t1_index(), r2 = r.t2_index();
+  for (size_t c = 0; c < l.num_cols(); ++c) {
+    if (static_cast<int>(c) == l1 || static_cast<int>(c) == l2) continue;
+    out.mutable_col(pos++).AppendGather(l.col(c), li.data(), li.size());
+  }
+  for (size_t c = 0; c < r.num_cols(); ++c) {
+    if (static_cast<int>(c) == r1 || static_cast<int>(c) == r2) continue;
+    out.mutable_col(pos++).AppendGather(r.col(c), ri.data(), ri.size());
+  }
+  // 1.T1, 1.T2, 2.T1, 2.T2, then the overlap as T1/T2 — the exact value
+  // order EvalProductT pushes.
+  auto fill = [&](auto&& point) {
+    ColumnVec& dst = out.mutable_col(pos++);
+    dst.Reserve(li.size());
+    for (size_t k = 0; k < li.size(); ++k) dst.AppendInt64(point(k));
+  };
+  fill([&](size_t k) { return lb[li[k]]; });
+  fill([&](size_t k) { return le[li[k]]; });
+  fill([&](size_t k) { return rb[ri[k]]; });
+  fill([&](size_t k) { return re[ri[k]]; });
+  fill([&](size_t k) { return std::max(lb[li[k]], rb[ri[k]]); });
+  fill([&](size_t k) { return std::min(le[li[k]], re[ri[k]]); });
+  out.CommitRows(li.size());
+  return out;
+}
+
+// Emits one output row per (source row, period) pair, in pair order: every
+// column is gathered from `in` except T1/T2, which carry the pair's period —
+// the columnar form of "copy the tuple, replace its period in place".
+ColumnTable EmitWithPeriods(const ColumnTable& in,
+                            const std::vector<uint32_t>& rows,
+                            const std::vector<Period>& periods) {
+  ColumnTable out(in.schema());
+  int t1 = in.t1_index(), t2 = in.t2_index();
+  for (size_t c = 0; c < in.num_cols(); ++c) {
+    ColumnVec& dst = out.mutable_col(c);
+    if (static_cast<int>(c) == t1) {
+      dst.Reserve(periods.size());
+      for (const Period& p : periods) dst.AppendInt64(p.begin);
+    } else if (static_cast<int>(c) == t2) {
+      dst.Reserve(periods.size());
+      for (const Period& p : periods) dst.AppendInt64(p.end);
+    } else {
+      dst.AppendGather(in.col(c), rows.data(), rows.size());
+    }
+  }
+  out.CommitRows(rows.size());
+  return out;
+}
+
+ColumnTable VecDifferenceT(const ColumnTable& l, const ColumnTable& r) {
+  // The endpoint-sweep algorithm of EvalDifferenceT, verbatim, over one
+  // hash-keyed class table. Class iteration order is semantically inert:
+  // fragments are recorded per left row and emitted in left-row order.
+  struct ClassData {
+    std::vector<uint32_t> left_index;
+    std::vector<Period> left_period;
+    std::vector<Period> right_period;
+  };
+  std::unordered_map<RowRef, uint32_t, RowRefHash, ClassRefEq> class_of;
+  class_of.reserve(l.rows());
+  std::vector<ClassData> classes;
+  for (uint32_t i = 0; i < l.rows(); ++i) {
+    auto [it, inserted] =
+        class_of.try_emplace(ClassRow(l, i),
+                             static_cast<uint32_t>(classes.size()));
+    if (inserted) classes.emplace_back();
+    ClassData& cd = classes[it->second];
+    cd.left_index.push_back(i);
+    cd.left_period.push_back(l.RowPeriod(i));
+  }
+  for (uint32_t j = 0; j < r.rows(); ++j) {
+    auto it = class_of.find(ClassRow(r, j));
+    if (it == class_of.end()) continue;  // nothing to cancel
+    classes[it->second].right_period.push_back(r.RowPeriod(j));
+  }
+
+  std::vector<std::vector<Period>> fragments(l.rows());
+  for (ClassData& cd : classes) {
+    if (cd.right_period.empty()) {
+      for (size_t k = 0; k < cd.left_index.size(); ++k) {
+        fragments[cd.left_index[k]].push_back(cd.left_period[k]);
+      }
+      continue;
+    }
+    std::vector<TimePoint> cuts;
+    for (const Period& p : cd.left_period) {
+      cuts.push_back(p.begin);
+      cuts.push_back(p.end);
+    }
+    for (const Period& p : cd.right_period) {
+      cuts.push_back(p.begin);
+      cuts.push_back(p.end);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+      Period elem(cuts[c], cuts[c + 1]);
+      int64_t right_cover = 0;
+      for (const Period& p : cd.right_period) {
+        if (p.Contains(elem)) ++right_cover;
+      }
+      int64_t budget = -right_cover;
+      for (size_t k = 0; k < cd.left_index.size(); ++k) {
+        if (!cd.left_period[k].Contains(elem)) continue;
+        ++budget;
+        if (budget > 0) {
+          std::vector<Period>& fr = fragments[cd.left_index[k]];
+          if (!fr.empty() && fr.back().end == elem.begin) {
+            fr.back().end = elem.end;
+          } else {
+            fr.push_back(elem);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<uint32_t> rows;
+  std::vector<Period> periods;
+  for (uint32_t i = 0; i < l.rows(); ++i) {
+    for (const Period& p : fragments[i]) {
+      rows.push_back(i);
+      periods.push_back(p);
+    }
+  }
+  return EmitWithPeriods(l, rows, periods);
+}
+
+ColumnTable VecUnionT(const ColumnTable& l, const ColumnTable& r) {
+  ColumnTable extra = VecDifferenceT(r, l);
+  ColumnTable out(l.schema());
+  out.AppendRange(l, 0, l.rows());
+  out.AppendRange(extra, 0, extra.rows());
+  return out;
+}
+
+ColumnTable VecRdupT(const ColumnTable& in) {
+  std::unordered_map<RowRef, uint32_t, RowRefHash, ClassRefEq> class_of;
+  class_of.reserve(in.rows());
+  std::vector<std::vector<Period>> covered;
+  std::vector<uint32_t> rows;
+  std::vector<Period> periods;
+  for (uint32_t i = 0; i < in.rows(); ++i) {
+    auto [it, inserted] =
+        class_of.try_emplace(ClassRow(in, i),
+                             static_cast<uint32_t>(covered.size()));
+    if (inserted) covered.emplace_back();
+    std::vector<Period>& cov = covered[it->second];
+    Period p = in.RowPeriod(i);
+    for (const Period& frag : SubtractAll(p, cov)) {
+      rows.push_back(i);
+      periods.push_back(frag);
+    }
+    cov.push_back(p);
+    cov = NormalizePeriods(std::move(cov));
+  }
+  return EmitWithPeriods(in, rows, periods);
+}
+
+ColumnTable VecCoalesce(const ColumnTable& in) {
+  // EvalCoalesce's greedy adjacency merge, verbatim: per class, the head
+  // absorbs the first later adjacent fragment until a fixpoint. Classes
+  // interact with nothing, so a hash class table with insertion-ordered
+  // member lists reproduces the ordered-map version exactly.
+  size_t n = in.rows();
+  std::vector<bool> consumed(n, false);
+  std::vector<Period> period(n);
+  std::unordered_map<RowRef, uint32_t, RowRefHash, ClassRefEq> class_of;
+  class_of.reserve(n);
+  // Class member lists as intrusive linked lists (head/tail per class, one
+  // next[] array): most classes are tiny, and per-class vectors would cost
+  // one allocation each at million-row scale.
+  std::vector<uint32_t> class_head, class_tail;
+  std::vector<int32_t> next_in_class(n, -1);
+  for (uint32_t i = 0; i < n; ++i) {
+    period[i] = in.RowPeriod(i);
+    auto [it, inserted] =
+        class_of.try_emplace(ClassRow(in, i),
+                             static_cast<uint32_t>(class_head.size()));
+    if (inserted) {
+      class_head.push_back(i);
+      class_tail.push_back(i);
+    } else {
+      next_in_class[class_tail[it->second]] = static_cast<int32_t>(i);
+      class_tail[it->second] = i;
+    }
+  }
+  std::vector<uint32_t> idxs;  // per-class scratch, reused
+  for (uint32_t cid = 0; cid < class_head.size(); ++cid) {
+    idxs.clear();
+    for (int32_t j = static_cast<int32_t>(class_head[cid]); j >= 0;
+         j = next_in_class[j]) {
+      idxs.push_back(static_cast<uint32_t>(j));
+    }
+    for (size_t a = 0; a < idxs.size(); ++a) {
+      uint32_t head = idxs[a];
+      if (consumed[head]) continue;
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (size_t b = a + 1; b < idxs.size(); ++b) {
+          uint32_t j = idxs[b];
+          if (consumed[j]) continue;
+          if (period[head].Adjacent(period[j])) {
+            period[head] = period[head].Merge(period[j]);
+            consumed[j] = true;
+            changed = true;
+            break;  // restart: the grown period may meet earlier fragments
+          }
+        }
+      }
+    }
+  }
+  std::vector<uint32_t> rows;
+  std::vector<Period> periods;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (consumed[i]) continue;
+    rows.push_back(i);
+    periods.push_back(period[i]);
+  }
+  return EmitWithPeriods(in, rows, periods);
+}
+
+// ---- Aggregation ----------------------------------------------------------
+
+// AggState of exec/eval_ops.cc over cells: same accumulation order, same
+// min/max update rule (strict comparisons keep the first extremum), same
+// Finish typing.
+struct VecAggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  bool has_minmax = false;
+  Value min, max;
+  int64_t non_null = 0;
+
+  void Add(const CellRef& v) {
+    ++count;
+    if (v.is_null()) return;
+    ++non_null;
+    if (v.IsNumeric()) sum += v.Numeric();
+    if (!has_minmax) {
+      min = v.ToValue();
+      max = min;
+      has_minmax = true;
+    } else {
+      if (CellRef::Compare(v, CellRef::Of(min)) < 0) min = v.ToValue();
+      if (CellRef::Compare(CellRef::Of(max), v) < 0) max = v.ToValue();
+    }
+  }
+
+  Value Finish(AggFunc f, ValueType input_type) const {
+    switch (f) {
+      case AggFunc::kCount:
+        return Value::Int(count);
+      case AggFunc::kSum:
+        if (non_null == 0) return Value::Null();
+        if (input_type == ValueType::kDouble) return Value::Double(sum);
+        return Value::Int(static_cast<int64_t>(sum));
+      case AggFunc::kAvg:
+        if (non_null == 0) return Value::Null();
+        return Value::Double(sum / static_cast<double>(non_null));
+      case AggFunc::kMin:
+        return has_minmax ? min : Value::Null();
+      case AggFunc::kMax:
+        return has_minmax ? max : Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+/// Resolves group-by / aggregate attribute positions with the reference's
+/// exact error messages.
+Status ResolveAggColumns(const Schema& schema,
+                         const std::vector<std::string>& group_by,
+                         const std::vector<AggSpec>& aggs,
+                         std::vector<int>* group_idx,
+                         std::vector<int>* agg_idx,
+                         std::vector<ValueType>* agg_type) {
+  for (const std::string& g : group_by) {
+    int idx = schema.IndexOf(g);
+    if (idx < 0) return Status::InvalidArgument("unknown group attr " + g);
+    group_idx->push_back(idx);
+  }
+  for (const AggSpec& a : aggs) {
+    if (a.func == AggFunc::kCount && a.attr.empty()) {
+      agg_idx->push_back(-1);
+      agg_type->push_back(ValueType::kInt);
+      continue;
+    }
+    int idx = schema.IndexOf(a.attr);
+    if (idx < 0) return Status::InvalidArgument("unknown agg attr " + a.attr);
+    agg_idx->push_back(idx);
+    agg_type->push_back(schema.attr(static_cast<size_t>(idx)).type);
+  }
+  return Status::OK();
+}
+
+// Hash/equality over a row's group-key cells only.
+struct GroupTable {
+  const ColumnTable& in;
+  const std::vector<int>& group_idx;
+
+  uint64_t HashRow(uint32_t row) const {
+    // Group keys compare with CellRef::Compare (cross-type numeric
+    // equality), so hash with the Compare-consistent ClassHash.
+    uint64_t seed = 0x51ab1e5;
+    for (int gi : group_idx) {
+      uint64_t h = in.col(static_cast<size_t>(gi)).At(row).ClassHash();
+      seed ^= h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+    }
+    return seed;
+  }
+  bool RowsEqual(uint32_t a, uint32_t b) const {
+    for (int gi : group_idx) {
+      const ColumnVec& c = in.col(static_cast<size_t>(gi));
+      if (CellRef::Compare(c.At(a), c.At(b)) != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct GroupKey {
+  uint32_t row;
+  uint64_t hash;
+};
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const { return k.hash; }
+};
+struct GroupKeyEq {
+  const GroupTable* gt;
+  bool operator()(const GroupKey& a, const GroupKey& b) const {
+    return a.hash == b.hash && gt->RowsEqual(a.row, b.row);
+  }
+};
+
+Result<ColumnTable> VecAggregate(const ColumnTable& in,
+                                 const std::vector<std::string>& group_by,
+                                 const std::vector<AggSpec>& aggs,
+                                 const Schema& out_schema) {
+  std::vector<int> group_idx, agg_idx;
+  std::vector<ValueType> agg_type;
+  TQP_RETURN_IF_ERROR(ResolveAggColumns(in.schema(), group_by, aggs,
+                                        &group_idx, &agg_idx, &agg_type));
+  GroupTable gt{in, group_idx};
+  std::unordered_map<GroupKey, uint32_t, GroupKeyHash, GroupKeyEq> group_of(
+      16, GroupKeyHash{}, GroupKeyEq{&gt});
+  std::vector<uint32_t> first_row;  // groups in first-occurrence order
+  std::vector<std::vector<VecAggState>> states;
+  for (uint32_t i = 0; i < in.rows(); ++i) {
+    auto [it, inserted] = group_of.try_emplace(
+        GroupKey{i, gt.HashRow(i)}, static_cast<uint32_t>(first_row.size()));
+    if (inserted) {
+      first_row.push_back(i);
+      states.emplace_back(aggs.size());
+    }
+    std::vector<VecAggState>& st = states[it->second];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      CellRef cell;
+      if (agg_idx[a] < 0) {
+        cell.type = ValueType::kInt;
+        cell.i = 1;
+      } else {
+        cell = in.col(static_cast<size_t>(agg_idx[a])).At(i);
+      }
+      st[a].Add(cell);
+    }
+  }
+
+  ColumnTable out(out_schema);
+  size_t pos = 0;
+  for (int gi : group_idx) {
+    ColumnVec& dst = out.mutable_col(pos++);
+    for (uint32_t g : first_row) {
+      dst.AppendFrom(in.col(static_cast<size_t>(gi)), g);
+    }
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    ColumnVec& dst = out.mutable_col(pos++);
+    for (size_t g = 0; g < first_row.size(); ++g) {
+      dst.AppendValue(states[g][a].Finish(aggs[a].func, agg_type[a]));
+    }
+  }
+  out.CommitRows(first_row.size());
+  return out;
+}
+
+Result<ColumnTable> VecAggregateT(const ColumnTable& in,
+                                  const std::vector<std::string>& group_by,
+                                  const std::vector<AggSpec>& aggs,
+                                  const Schema& out_schema) {
+  std::vector<int> group_idx, agg_idx;
+  std::vector<ValueType> agg_type;
+  TQP_RETURN_IF_ERROR(ResolveAggColumns(in.schema(), group_by, aggs,
+                                        &group_idx, &agg_idx, &agg_type));
+  GroupTable gt{in, group_idx};
+  std::unordered_map<GroupKey, uint32_t, GroupKeyHash, GroupKeyEq> group_of(
+      16, GroupKeyHash{}, GroupKeyEq{&gt});
+  std::vector<uint32_t> first_row;
+  std::vector<std::vector<uint32_t>> members;
+  for (uint32_t i = 0; i < in.rows(); ++i) {
+    auto [it, inserted] = group_of.try_emplace(
+        GroupKey{i, gt.HashRow(i)}, static_cast<uint32_t>(first_row.size()));
+    if (inserted) {
+      first_row.push_back(i);
+      members.emplace_back();
+    }
+    members[it->second].push_back(i);
+  }
+
+  std::vector<Period> row_period(in.rows());
+  for (uint32_t i = 0; i < in.rows(); ++i) row_period[i] = in.RowPeriod(i);
+
+  ColumnTable out(out_schema);
+  const size_t key_cols = group_idx.size();
+  for (size_t g = 0; g < first_row.size(); ++g) {
+    std::vector<TimePoint> cuts;
+    for (uint32_t m : members[g]) {
+      cuts.push_back(row_period[m].begin);
+      cuts.push_back(row_period[m].end);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    std::vector<Value> prev_aggs;
+    Period open;
+    bool has_open = false;
+    auto flush = [&]() {
+      if (!has_open) return;
+      size_t pos = 0;
+      for (size_t c = 0; c < key_cols; ++c) {
+        out.mutable_col(pos++).AppendFrom(
+            in.col(static_cast<size_t>(group_idx[c])), first_row[g]);
+      }
+      for (const Value& v : prev_aggs) {
+        out.mutable_col(pos++).AppendValue(v);
+      }
+      out.mutable_col(pos++).AppendValue(Value::Time(open.begin));
+      out.mutable_col(pos++).AppendValue(Value::Time(open.end));
+      out.CommitRows(1);
+      has_open = false;
+    };
+    for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+      Period elem(cuts[c], cuts[c + 1]);
+      std::vector<VecAggState> st(aggs.size());
+      int64_t covering = 0;
+      for (uint32_t m : members[g]) {
+        if (!row_period[m].Contains(elem)) continue;
+        ++covering;
+        for (size_t a = 0; a < aggs.size(); ++a) {
+          CellRef cell;
+          if (agg_idx[a] < 0) {
+            cell.type = ValueType::kInt;
+            cell.i = 1;
+          } else {
+            cell = in.col(static_cast<size_t>(agg_idx[a])).At(m);
+          }
+          st[a].Add(cell);
+        }
+      }
+      if (covering == 0) {
+        flush();
+        continue;
+      }
+      std::vector<Value> cur;
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        cur.push_back(st[a].Finish(aggs[a].func, agg_type[a]));
+      }
+      if (has_open && cur == prev_aggs && open.end == elem.begin) {
+        open.end = elem.end;
+      } else {
+        flush();
+        open = elem;
+        prev_aggs = std::move(cur);
+        has_open = true;
+      }
+    }
+    flush();
+  }
+  return out;
+}
+
+// ---- DBMS order scramble --------------------------------------------------
+
+// The columnar twin of evaluator.cc's ScrambleOrder: the same seeded
+// hash-key stable sort over row indices yields the same permutation.
+ColumnTable VecScramble(const ColumnTable& in, uint64_t seed) {
+  std::vector<uint64_t> key(in.rows());
+  for (size_t i = 0; i < in.rows(); ++i) {
+    uint64_t h = in.RowHash(i) ^ seed;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    key[i] = h;
+  }
+  std::vector<uint32_t> order(in.rows());
+  for (uint32_t i = 0; i < in.rows(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     if (key[a] != key[b]) return key[a] < key[b];
+                     return ColumnTable::RowCompare(in, a, in, b) < 0;
+                   });
+  ColumnTable out(in.schema());
+  out.AppendGather(in, order);
+  return out;
+}
+
+// ---- The driver -----------------------------------------------------------
+
+struct VecTreeExecutor {
+  const AnnotatedPlan& ann;
+  const EngineConfig& config;
+  ExecStats* stats;
+  const VexecOptions& options;
+
+  Result<ColumnTable> Eval(const PlanPtr& node) {
+    const NodeInfo& info = ann.info(node.get());
+    std::vector<ColumnTable> inputs;
+    for (const PlanPtr& c : node->children()) {
+      TQP_ASSIGN_OR_RETURN(r, Eval(c));
+      inputs.push_back(std::move(r));
+    }
+    double in1 = inputs.empty() ? 0.0 : static_cast<double>(inputs[0].rows());
+    double in2 =
+        inputs.size() < 2 ? 0.0 : static_cast<double>(inputs[1].rows());
+    TQP_ASSIGN_OR_RETURN(result, Apply(node, info, inputs));
+
+    if (stats != nullptr) {
+      // The same simulated cost accounting as the reference evaluator...
+      ++stats->op_counts[OpKindName(node->kind())];
+      stats->tuples_produced += static_cast<int64_t>(result.rows());
+      if (node->kind() == OpKind::kScan) {
+        in1 = static_cast<double>(result.rows());
+      }
+      double units = OpWorkUnits(node->kind(), in1, in2,
+                                 static_cast<double>(result.rows()));
+      if (node->kind() == OpKind::kTransferS ||
+          node->kind() == OpKind::kTransferD) {
+        stats->tuples_transferred += static_cast<int64_t>(in1);
+        stats->stratum_work += in1 * config.transfer_cost_per_tuple;
+      } else if (info.site == Site::kDbms) {
+        double penalty =
+            IsTemporalOp(node->kind()) ? config.dbms_temporal_penalty : 1.0;
+        stats->dbms_work += units * penalty;
+      } else {
+        stats->stratum_work += units * config.stratum_cpu_factor;
+      }
+      // ...plus the batch-engine counters: batches consumed (input rows, or
+      // the scanned rows for leaves, per batch_size) and one columnar
+      // materialization per operator output.
+      size_t consumed = node->kind() == OpKind::kScan
+                            ? result.rows()
+                            : static_cast<size_t>(in1 + in2);
+      stats->vec_batches += static_cast<int64_t>(
+          (consumed + options.batch_size - 1) / options.batch_size);
+      stats->vec_rows += static_cast<int64_t>(result.rows());
+      ++stats->vec_materializations;
+    }
+
+    if (config.dbms_scrambles_order && info.site == Site::kDbms &&
+        node->kind() != OpKind::kSort && node->kind() != OpKind::kScan &&
+        node->kind() != OpKind::kTransferD) {
+      result = VecScramble(result, config.scramble_seed);
+      if (stats != nullptr) ++stats->vec_materializations;
+    }
+    return result;
+  }
+
+  Result<ColumnTable> Apply(const PlanPtr& node, const NodeInfo& info,
+                            std::vector<ColumnTable>& in) {
+    switch (node->kind()) {
+      case OpKind::kScan: {
+        const CatalogEntry* e = ann.catalog().Find(node->rel_name());
+        if (e == nullptr) return Status::NotFound(node->rel_name());
+        return VecScan(*e);
+      }
+      case OpKind::kSelect:
+        return VecSelect(in[0], node->predicate(), options.batch_size);
+      case OpKind::kProject:
+        return VecProject(in[0], node->projections(), info.schema,
+                          options.batch_size);
+      case OpKind::kUnionAll:
+        return VecUnionAll(in[0], in[1], info.schema);
+      case OpKind::kUnion:
+        return VecUnion(in[0], in[1], info.schema);
+      case OpKind::kProduct:
+        return VecProduct(in[0], in[1], info.schema);
+      case OpKind::kDifference:
+        return VecDifference(in[0], in[1]);
+      case OpKind::kAggregate:
+        return VecAggregate(in[0], node->group_by(), node->aggregates(),
+                            info.schema);
+      case OpKind::kRdup:
+        return VecRdup(in[0], info.schema);
+      case OpKind::kProductT:
+        return VecProductT(in[0], in[1], info.schema);
+      case OpKind::kDifferenceT:
+        return VecDifferenceT(in[0], in[1]);
+      case OpKind::kAggregateT:
+        return VecAggregateT(in[0], node->group_by(), node->aggregates(),
+                             info.schema);
+      case OpKind::kRdupT:
+        return VecRdupT(in[0]);
+      case OpKind::kUnionT:
+        return VecUnionT(in[0], in[1]);
+      case OpKind::kSort:
+        return VecSort(in[0], node->sort_spec());
+      case OpKind::kCoalesce:
+        return VecCoalesce(in[0]);
+      case OpKind::kTransferS:
+      case OpKind::kTransferD:
+        return std::move(in[0]);
+    }
+    return Status::Error("unreachable operator kind");
+  }
+};
+
+}  // namespace
+
+Result<Relation> ExecuteVectorized(const AnnotatedPlan& plan,
+                                   const EngineConfig& config,
+                                   ExecStats* stats,
+                                   const VexecOptions& options) {
+  VexecOptions opts = options;
+  if (opts.batch_size == 0) opts.batch_size = 1;
+  VecTreeExecutor ex{plan, config, stats, opts};
+  TQP_ASSIGN_OR_RETURN(table, ex.Eval(plan.plan()));
+  Relation out = table.ToRelation();
+  out.set_order(plan.root_info().order);
+  return out;
+}
+
+Result<Relation> ExecuteVectorizedPlan(const PlanPtr& plan,
+                                       const Catalog& catalog,
+                                       const EngineConfig& config,
+                                       ExecStats* stats,
+                                       const VexecOptions& options) {
+  TQP_ASSIGN_OR_RETURN(
+      ann, AnnotatedPlan::Make(plan, &catalog, QueryContract::Multiset()));
+  return ExecuteVectorized(ann, config, stats, options);
+}
+
+}  // namespace tqp

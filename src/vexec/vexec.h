@@ -1,0 +1,58 @@
+// The vectorized batch execution engine.
+//
+// ExecuteVectorized compiles an AnnotatedPlan into a tree of vectorized
+// physical operators over columnar data (core/column_batch.h) and runs it:
+// scans convert base relations to ColumnTables batch-wise, selections and
+// projections evaluate compiled expressions over column batches into
+// selection vectors / fresh columns, joins run over flat period arrays, and
+// the order/duplicate-sensitive operations (rdup, rdupT, coalT, \T, ∪T, ℵT)
+// run the reference algorithms over row indices and typed columns instead of
+// per-tuple Value vectors.
+//
+// The list-semantics parity contract: for every plan, configuration (both
+// dbms_scrambles_order modes), and catalog, the returned Relation is
+// LIST-IDENTICAL to exec/evaluator.h's Evaluate — the same tuples, in the
+// same order, with the same surviving occurrences under duplicate
+// elimination, the same difference fragment order, the same rdupT in-place
+// period replacement, and the same order annotation. This is enforced by the
+// randomized A/B suite in tests/test_vexec.cc; the speedup is gated by
+// bench/bench_vexec_pipeline.cc (>= 5x rows/s over the reference evaluator
+// on a 1M-row coalesce + temporal-join + sort pipeline).
+//
+// ExecStats is shared with the reference evaluator: the per-site work,
+// transfer, and operator counters are computed from the same formulas, and
+// the vectorized path additionally fills the batch/materialization counters
+// (ExecStats::vec_batches / vec_materializations / vec_rows).
+#ifndef TQP_VEXEC_VEXEC_H_
+#define TQP_VEXEC_VEXEC_H_
+
+#include "exec/evaluator.h"
+
+namespace tqp {
+
+/// Tuning knobs of the vectorized executor. Semantics never depend on them.
+struct VexecOptions {
+  /// Rows per column batch processed at a time by the scan/filter/projection
+  /// kernels. Also the granularity of ExecStats::vec_batches.
+  size_t batch_size = 1024;
+};
+
+/// Evaluates an annotated plan with the vectorized engine. Drop-in
+/// equivalent of Evaluate(): same result list, same order annotation, same
+/// error statuses, same simulated cost accounting.
+Result<Relation> ExecuteVectorized(const AnnotatedPlan& plan,
+                                   const EngineConfig& config = {},
+                                   ExecStats* stats = nullptr,
+                                   const VexecOptions& options = {});
+
+/// Convenience twin of EvaluatePlan(): annotates a raw plan tree (multiset
+/// contract) and executes it vectorized. Intended for tests.
+Result<Relation> ExecuteVectorizedPlan(const PlanPtr& plan,
+                                       const Catalog& catalog,
+                                       const EngineConfig& config = {},
+                                       ExecStats* stats = nullptr,
+                                       const VexecOptions& options = {});
+
+}  // namespace tqp
+
+#endif  // TQP_VEXEC_VEXEC_H_

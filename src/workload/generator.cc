@@ -16,13 +16,24 @@ Relation GenerateRelation(const RelationGenParams& params) {
 
   Rng rng(params.seed);
   Relation out(schema);
+  // The phenomena fractions at most triple the base cardinality; reserving
+  // up front keeps multi-million-row generation from re-allocating its way
+  // through the loop.
+  out.mutable_tuples().reserve(params.cardinality +
+                               static_cast<size_t>(
+                                   static_cast<double>(params.cardinality) *
+                                   (params.duplicate_fraction +
+                                    params.adjacency_fraction +
+                                    params.overlap_fraction)) +
+                               1);
   for (size_t i = 0; i < params.cardinality; ++i) {
     Tuple t;
     t.push_back(Value::String(
         "n" + std::to_string(rng.Below(std::max<uint64_t>(1, params.num_names)))));
     t.push_back(Value::Int(static_cast<int64_t>(
         rng.Below(std::max<uint64_t>(1, params.num_categories)))));
-    t.push_back(Value::Int(static_cast<int64_t>(rng.Below(1000))));
+    t.push_back(Value::Int(static_cast<int64_t>(
+        rng.Below(std::max<uint64_t>(1, params.num_values)))));
     Period p;
     if (params.temporal) {
       TimePoint len =

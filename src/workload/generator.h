@@ -36,6 +36,10 @@ struct RelationGenParams {
   double overlap_fraction = 0.0;
   /// Generate T1/T2 (temporal) or a plain conventional relation.
   bool temporal = true;
+  /// Distinct values of the Val attribute. Large-relation workloads (the
+  /// vexec pipeline bench generates millions of rows) widen this so Val
+  /// does not degenerate into a tiny domain.
+  size_t num_values = 1000;
   uint64_t seed = 42;
 };
 

@@ -1,0 +1,421 @@
+// Randomized A/B parity suite for the vectorized batch executor.
+//
+// The contract under test (vexec/vexec.h): for every plan, catalog, and
+// engine configuration — with the DBMS order scramble off and on — the
+// vectorized executor's result is LIST-IDENTICAL to the reference
+// evaluator's: same schema, same tuples in the same order (same surviving
+// occurrences under rdup/rdupT, same difference fragment order, same
+// coalescing positions), and the same order annotation. The simulated cost
+// accounting (work by site, transfers, tuples produced, operator counts)
+// must also agree, since both executors compute it from the same formulas.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "exec/evaluator.h"
+#include "test_util.h"
+#include "vexec/vexec.h"
+#include "workload/generator.h"
+
+namespace tqp {
+namespace {
+
+using testing_util::TemporalRel;
+
+// ---- Helpers --------------------------------------------------------------
+
+void ExpectListIdentical(const Relation& ref, const Relation& vec,
+                         const std::string& label) {
+  ASSERT_EQ(ref.schema().ToString(), vec.schema().ToString()) << label;
+  ASSERT_EQ(ref.size(), vec.size()) << label;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ref.tuple(i), vec.tuple(i))
+        << label << " row " << i << ": " << ref.tuple(i).ToString() << " vs "
+        << vec.tuple(i).ToString();
+    // Full-value identity, not just Compare-equality (0.0 vs -0.0 etc.).
+    ASSERT_EQ(ref.tuple(i).ToString(), vec.tuple(i).ToString())
+        << label << " row " << i;
+  }
+  EXPECT_EQ(SortSpecToString(ref.order()), SortSpecToString(vec.order()))
+      << label;
+}
+
+void ExpectStatsAgree(const ExecStats& ref, const ExecStats& vec,
+                      const std::string& label) {
+  EXPECT_DOUBLE_EQ(ref.dbms_work, vec.dbms_work) << label;
+  EXPECT_DOUBLE_EQ(ref.stratum_work, vec.stratum_work) << label;
+  EXPECT_EQ(ref.tuples_transferred, vec.tuples_transferred) << label;
+  EXPECT_EQ(ref.tuples_produced, vec.tuples_produced) << label;
+  EXPECT_EQ(ref.op_counts, vec.op_counts) << label;
+  // The batch counters exist only on the vectorized side.
+  EXPECT_EQ(ref.vec_batches, 0) << label;
+  EXPECT_EQ(ref.vec_materializations, 0) << label;
+  EXPECT_GT(vec.vec_materializations, 0) << label;
+  EXPECT_EQ(vec.vec_rows, vec.tuples_produced) << label;
+}
+
+/// Runs one plan through both executors under one config and compares.
+void CheckPlan(const PlanPtr& plan, const Catalog& catalog,
+               const EngineConfig& config, const std::string& label,
+               size_t batch_size = 1024) {
+  ExecStats ref_stats, vec_stats;
+  Result<Relation> ref = EvaluatePlan(plan, catalog, config, &ref_stats);
+  VexecOptions vopts;
+  vopts.batch_size = batch_size;
+  Result<Relation> vec =
+      ExecuteVectorizedPlan(plan, catalog, config, &vec_stats, vopts);
+  ASSERT_EQ(ref.ok(), vec.ok()) << label << ": " << ref.status().ToString()
+                                << " vs " << vec.status().ToString();
+  if (!ref.ok()) {
+    EXPECT_EQ(ref.status().message(), vec.status().message()) << label;
+    return;
+  }
+  ExpectListIdentical(ref.value(), vec.value(), label);
+  ExpectStatsAgree(ref_stats, vec_stats, label);
+}
+
+/// The three engine configurations every plan is checked under.
+std::vector<std::pair<std::string, EngineConfig>> Configs() {
+  EngineConfig plain;
+  EngineConfig scrambled;
+  scrambled.dbms_scrambles_order = true;
+  EngineConfig scrambled2;
+  scrambled2.dbms_scrambles_order = true;
+  scrambled2.scramble_seed = 0xabcdef12;
+  return {{"plain", plain},
+          {"scrambled", scrambled},
+          {"scrambled-seed2", scrambled2}};
+}
+
+/// A messy temporal relation exercising duplicates, snapshot duplicates,
+/// and adjacency.
+Relation Messy(uint64_t seed, size_t n) {
+  RelationGenParams p;
+  p.cardinality = n;
+  p.num_names = 6;
+  p.num_categories = 3;
+  p.time_horizon = 80;
+  p.max_period_length = 14;
+  p.duplicate_fraction = 0.25;
+  p.adjacency_fraction = 0.3;
+  p.overlap_fraction = 0.3;
+  p.seed = seed;
+  return GenerateRelation(p);
+}
+
+Relation MessyConventional(uint64_t seed, size_t n) {
+  RelationGenParams p;
+  p.cardinality = n;
+  p.num_names = 5;
+  p.num_categories = 3;
+  p.duplicate_fraction = 0.35;
+  p.temporal = false;
+  p.seed = seed;
+  return GenerateRelation(p);
+}
+
+/// A conventional relation with NULLs in every non-key column.
+Relation WithNulls() {
+  Schema s;
+  s.Add(Attribute{"Name", ValueType::kString});
+  s.Add(Attribute{"Cat", ValueType::kInt});
+  s.Add(Attribute{"Val", ValueType::kInt});
+  Relation r(s);
+  auto add = [&](Value name, Value cat, Value val) {
+    Tuple t;
+    t.push_back(std::move(name));
+    t.push_back(std::move(cat));
+    t.push_back(std::move(val));
+    r.Append(std::move(t));
+  };
+  add(Value::String("a"), Value::Int(1), Value::Int(10));
+  add(Value::Null(), Value::Int(1), Value::Int(20));
+  add(Value::String("b"), Value::Null(), Value::Null());
+  add(Value::String("a"), Value::Int(1), Value::Null());
+  add(Value::Null(), Value::Int(1), Value::Int(20));
+  add(Value::String("b"), Value::Int(2), Value::Int(30));
+  return r;
+}
+
+Catalog MakeCatalog(uint64_t seed) {
+  Catalog catalog;
+  TQP_CHECK(
+      catalog.RegisterWithInferredFlags("R", Messy(seed, 40), Site::kDbms)
+          .ok());
+  TQP_CHECK(
+      catalog
+          .RegisterWithInferredFlags("S", Messy(seed + 101, 28), Site::kDbms)
+          .ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "C", MessyConventional(seed + 7, 30), Site::kDbms)
+                .ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "D", MessyConventional(seed + 13, 12), Site::kDbms)
+                .ok());
+  TQP_CHECK(
+      catalog.RegisterWithInferredFlags("N", WithNulls(), Site::kDbms).ok());
+  return catalog;
+}
+
+/// Every operator of Table 1 (plus transfers), as plan builders.
+std::vector<std::pair<std::string, PlanPtr>> AllOperatorPlans() {
+  auto R = [] { return PlanNode::Scan("R"); };
+  auto S = [] { return PlanNode::Scan("S"); };
+  auto C = [] { return PlanNode::Scan("C"); };
+  auto D = [] { return PlanNode::Scan("D"); };
+  auto N = [] { return PlanNode::Scan("N"); };
+  ExprPtr pred = Expr::And(
+      Expr::Compare(CompareOp::kLt, Expr::Attr("Cat"), Expr::Const(Value::Int(2))),
+      Expr::Compare(CompareOp::kGt, Expr::Attr("Val"), Expr::Const(Value::Int(100))));
+  ExprPtr name_eq = Expr::Compare(CompareOp::kEq, Expr::Attr("Name"),
+                                  Expr::Const(Value::String("n3")));
+  std::vector<ProjItem> proj = {
+      ProjItem::Pass("Name"),
+      ProjItem{Expr::Arith(ArithOp::kMul, Expr::Attr("Val"),
+                           Expr::Const(Value::Int(2))),
+               "V2"},
+      ProjItem{Expr::Arith(ArithOp::kDiv, Expr::Attr("Val"),
+                           Expr::Attr("Cat")),
+               "VD"},
+  };
+  std::vector<AggSpec> aggs = {
+      AggSpec{AggFunc::kCount, "", "n"},
+      AggSpec{AggFunc::kSum, "Val", "s"},
+      AggSpec{AggFunc::kMin, "Val", "lo"},
+      AggSpec{AggFunc::kMax, "Val", "hi"},
+      AggSpec{AggFunc::kAvg, "Val", "avg"},
+  };
+  SortSpec by_name_val = {{"Name", true}, {"Val", false}};
+
+  std::vector<std::pair<std::string, PlanPtr>> plans;
+  plans.emplace_back("scan", R());
+  plans.emplace_back("select", PlanNode::Select(R(), pred));
+  plans.emplace_back("select-string", PlanNode::Select(R(), name_eq));
+  plans.emplace_back("project-arith", PlanNode::Project(C(), proj));
+  plans.emplace_back("union-all", PlanNode::UnionAll(R(), S()));
+  plans.emplace_back("union-max", PlanNode::Union(C(), D()));
+  plans.emplace_back("difference", PlanNode::Difference(C(), D()));
+  plans.emplace_back("product", PlanNode::Product(C(), D()));
+  plans.emplace_back("aggregate",
+                     PlanNode::Aggregate(C(), {"Name", "Cat"}, aggs));
+  plans.emplace_back("aggregate-nulls",
+                     PlanNode::Aggregate(N(), {"Name"}, aggs));
+  plans.emplace_back("rdup", PlanNode::Rdup(C()));
+  plans.emplace_back("rdup-temporal", PlanNode::Rdup(R()));
+  plans.emplace_back("rdup-nulls", PlanNode::Rdup(N()));
+  plans.emplace_back("sort", PlanNode::Sort(R(), by_name_val));
+  plans.emplace_back("sort-nulls", PlanNode::Sort(N(), by_name_val));
+  plans.emplace_back("product-t", PlanNode::ProductT(R(), S()));
+  plans.emplace_back("difference-t", PlanNode::DifferenceT(R(), S()));
+  plans.emplace_back("union-t", PlanNode::UnionT(R(), S()));
+  plans.emplace_back("aggregate-t",
+                     PlanNode::AggregateT(R(), {"Name"},
+                                          {AggSpec{AggFunc::kCount, "", "n"},
+                                           AggSpec{AggFunc::kSum, "Val", "s"}}));
+  plans.emplace_back("rdup-t", PlanNode::RdupT(R()));
+  plans.emplace_back("coalesce", PlanNode::Coalesce(R()));
+  plans.emplace_back("transfer-pipeline",
+                     PlanNode::Sort(PlanNode::Coalesce(PlanNode::TransferS(
+                                        PlanNode::Select(R(), name_eq))),
+                                    {{"Name", true}}));
+  plans.emplace_back(
+      "deep-pipeline",
+      PlanNode::Sort(
+          PlanNode::Coalesce(PlanNode::RdupT(PlanNode::Select(R(), pred))),
+          by_name_val));
+  plans.emplace_back(
+      "join-pipeline",
+      PlanNode::Sort(PlanNode::ProductT(PlanNode::Coalesce(R()),
+                                        PlanNode::RdupT(S())),
+                     {{"Name", true}}));
+  return plans;
+}
+
+// ---- The randomized A/B property suite ------------------------------------
+
+TEST(VexecParity, AllOperatorsAllConfigsRandomized) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Catalog catalog = MakeCatalog(seed);
+    for (const auto& [cfg_name, config] : Configs()) {
+      for (const auto& [plan_name, plan] : AllOperatorPlans()) {
+        CheckPlan(plan, catalog, config,
+                  "seed " + std::to_string(seed) + "/" + cfg_name + "/" +
+                      plan_name);
+      }
+    }
+  }
+}
+
+TEST(VexecParity, BatchSizeNeverChangesResults) {
+  Catalog catalog = MakeCatalog(17);
+  EngineConfig scrambled;
+  scrambled.dbms_scrambles_order = true;
+  for (size_t batch : {1u, 3u, 7u, 64u, 100000u}) {
+    for (const auto& [plan_name, plan] : AllOperatorPlans()) {
+      CheckPlan(plan, catalog, scrambled,
+                "batch " + std::to_string(batch) + "/" + plan_name, batch);
+    }
+  }
+}
+
+TEST(VexecParity, EmptyInputs) {
+  Catalog catalog;
+  RelationGenParams p;
+  p.cardinality = 0;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("R", GenerateRelation(p),
+                                           Site::kDbms)
+                .ok());
+  p.temporal = false;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("C", GenerateRelation(p),
+                                           Site::kDbms)
+                .ok());
+  EngineConfig config;
+  CheckPlan(PlanNode::Coalesce(PlanNode::Scan("R")), catalog, config,
+            "empty-coalesce");
+  CheckPlan(PlanNode::Rdup(PlanNode::Scan("C")), catalog, config,
+            "empty-rdup");
+  CheckPlan(PlanNode::Aggregate(PlanNode::Scan("C"), {"Name"},
+                                {AggSpec{AggFunc::kSum, "Val", "s"}}),
+            catalog, config, "empty-aggregate");
+  CheckPlan(PlanNode::ProductT(PlanNode::Scan("R"), PlanNode::Scan("R")),
+            catalog, config, "empty-product-t");
+}
+
+// Value::Compare treats numerically equal int/double/time cells as EQUAL
+// (Int(1) == Double(1.0)), and the reference keys value-equivalence classes
+// and group tables on that comparison — so the vectorized hash tables must
+// merge mixed-type numerically-equal keys exactly the same way.
+TEST(VexecParity, MixedNumericTypesShareClassesAndGroups) {
+  Schema s;
+  s.Add(Attribute{"Name", ValueType::kString});
+  s.Add(Attribute{"Cat", ValueType::kInt});
+  s.Add(Attribute{kT1, ValueType::kTime});
+  s.Add(Attribute{kT2, ValueType::kTime});
+  Relation r(s);
+  auto add = [&](const std::string& n, Value cat, TimePoint a, TimePoint b) {
+    Tuple t;
+    t.push_back(Value::String(n));
+    t.push_back(std::move(cat));
+    t.push_back(Value::Time(a));
+    t.push_back(Value::Time(b));
+    r.Append(std::move(t));
+  };
+  // Same class under Compare (Int(1) == Double(1.0)), adjacent periods:
+  // coalT must merge across the type mix; rdupT/ℵT/\T must see one class.
+  add("a", Value::Int(1), 1, 5);
+  add("a", Value::Double(1.0), 5, 9);
+  add("a", Value::Time(1), 9, 12);
+  add("b", Value::Double(-0.0), 2, 6);
+  add("b", Value::Int(0), 6, 8);
+  add("b", Value::Double(0.0), 4, 7);
+  Catalog catalog;
+  TQP_CHECK(catalog.RegisterWithInferredFlags("M", r, Site::kDbms).ok());
+  TQP_CHECK(
+      catalog
+          .RegisterWithInferredFlags("M2", Messy(3, 10), Site::kDbms)
+          .ok());
+  for (const auto& [cfg_name, config] : Configs()) {
+    auto M = [] { return PlanNode::Scan("M"); };
+    CheckPlan(PlanNode::Coalesce(M()), catalog, config,
+              "mixed-coalesce/" + cfg_name);
+    CheckPlan(PlanNode::RdupT(M()), catalog, config,
+              "mixed-rdupt/" + cfg_name);
+    CheckPlan(PlanNode::AggregateT(M(), {"Cat"},
+                                   {AggSpec{AggFunc::kCount, "", "n"}}),
+              catalog, config, "mixed-aggregate-t/" + cfg_name);
+    CheckPlan(PlanNode::Aggregate(M(), {"Cat"},
+                                  {AggSpec{AggFunc::kCount, "", "n"},
+                                   AggSpec{AggFunc::kMin, "Cat", "lo"}}),
+              catalog, config, "mixed-aggregate/" + cfg_name);
+    CheckPlan(PlanNode::DifferenceT(M(), M()), catalog, config,
+              "mixed-difference-t/" + cfg_name);
+  }
+}
+
+// rdupT's in-place replacement discipline on the exact Figure 3 input.
+TEST(VexecParity, FigureThreeRdupT) {
+  Schema s;
+  s.Add(Attribute{"EmpName", ValueType::kString});
+  s.Add(Attribute{kT1, ValueType::kTime});
+  s.Add(Attribute{kT2, ValueType::kTime});
+  Relation r1(s);
+  auto add = [&](const std::string& n, TimePoint a, TimePoint b) {
+    Tuple t;
+    t.push_back(Value::String(n));
+    t.push_back(Value::Time(a));
+    t.push_back(Value::Time(b));
+    r1.Append(std::move(t));
+  };
+  add("John", 1, 8);
+  add("John", 6, 11);
+  add("Anna", 2, 6);
+  add("Anna", 2, 6);
+  add("Anna", 6, 12);
+  Catalog catalog;
+  TQP_CHECK(catalog.RegisterWithInferredFlags("R1", r1, Site::kDbms).ok());
+  for (const auto& [cfg_name, config] : Configs()) {
+    CheckPlan(PlanNode::RdupT(PlanNode::Scan("R1")), catalog, config,
+              "fig3-rdupt/" + cfg_name);
+    CheckPlan(PlanNode::Coalesce(PlanNode::Scan("R1")), catalog, config,
+              "fig3-coalesce/" + cfg_name);
+  }
+}
+
+// ---- Engine wiring ---------------------------------------------------------
+
+TEST(VexecEngine, VectorizedExecutorMatchesReferenceThroughEngine) {
+  const std::vector<std::string> queries = {
+      "VALIDTIME SELECT DISTINCT Name FROM R ORDER BY Name ASC",
+      "VALIDTIME COALESCED SELECT DISTINCT Name FROM R",
+      "SELECT Name FROM R UNION SELECT Name FROM S",
+      "SELECT Cat, COUNT(*) AS n FROM R GROUP BY Cat ORDER BY Cat",
+      "SELECT Name, Val FROM C WHERE Val > 200 ORDER BY Val DESC",
+  };
+  Catalog catalog = MakeCatalog(23);
+
+  EngineOptions ref_opts;
+  ASSERT_EQ(ref_opts.executor, ExecutorKind::kReference);  // the default
+  EngineOptions vec_opts;
+  vec_opts.executor = ExecutorKind::kVectorized;
+  Engine ref_engine(catalog, ref_opts);
+  Engine vec_engine(catalog, vec_opts);
+
+  for (const std::string& q : queries) {
+    Result<QueryResult> ref = ref_engine.Query(q);
+    Result<QueryResult> vec = vec_engine.Query(q);
+    ASSERT_TRUE(ref.ok()) << q << ": " << ref.status().ToString();
+    ASSERT_TRUE(vec.ok()) << q << ": " << vec.status().ToString();
+    ExpectListIdentical(ref->relation, vec->relation, q);
+    EXPECT_EQ(ref->plan_fingerprint, vec->plan_fingerprint) << q;
+    ExpectStatsAgree(ref->exec, vec->exec, q);
+    // The execution stats are surfaced to the caller on both paths.
+    EXPECT_GT(ref->exec.tuples_produced, 0) << q;
+    EXPECT_GT(vec->exec.vec_batches, 0) << q;
+  }
+}
+
+TEST(VexecEngine, ScrambledDbmsMatchesThroughEngineToo) {
+  Catalog catalog = MakeCatalog(29);
+  EngineOptions ref_opts;
+  ref_opts.engine.dbms_scrambles_order = true;
+  EngineOptions vec_opts = ref_opts;
+  vec_opts.executor = ExecutorKind::kVectorized;
+  vec_opts.vexec_batch_size = 33;
+  Engine ref_engine(catalog, ref_opts);
+  Engine vec_engine(catalog, vec_opts);
+  const std::string q =
+      "VALIDTIME SELECT DISTINCT Name FROM R ORDER BY Name ASC";
+  Result<QueryResult> ref = ref_engine.Query(q);
+  Result<QueryResult> vec = vec_engine.Query(q);
+  ASSERT_TRUE(ref.ok() && vec.ok());
+  ExpectListIdentical(ref->relation, vec->relation, q);
+}
+
+}  // namespace
+}  // namespace tqp
