@@ -14,7 +14,6 @@
 #include <algorithm>
 #include <chrono>
 
-#include "bench_common.h"
 #include "bench_util.h"
 #include "core/equivalence.h"
 #include "exec/evaluator.h"

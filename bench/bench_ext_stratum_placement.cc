@@ -8,7 +8,6 @@
 // which shipping data to the stratum stops paying off.
 #include <benchmark/benchmark.h>
 
-#include "bench_common.h"
 #include "bench_util.h"
 #include "opt/optimizer.h"
 #include "tql/translator.h"

@@ -3,7 +3,6 @@
 // optimize → execute) across data scale.
 #include <benchmark/benchmark.h>
 
-#include "bench_common.h"
 #include "bench_util.h"
 #include "core/equivalence.h"
 #include "opt/optimizer.h"

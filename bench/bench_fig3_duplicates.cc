@@ -4,7 +4,6 @@
 #include <benchmark/benchmark.h>
 
 #include "algebra/derivation.h"
-#include "bench_common.h"
 #include "bench_util.h"
 #include "exec/evaluator.h"
 #include "exec/reference_ops.h"

@@ -8,7 +8,6 @@
 
 #include <map>
 
-#include "bench_common.h"
 #include "bench_util.h"
 #include "opt/enumerate.h"
 #include "rules/rules.h"

@@ -6,7 +6,6 @@
 #include <benchmark/benchmark.h>
 
 #include "algebra/printer.h"
-#include "bench_common.h"
 #include "bench_util.h"
 #include "opt/enumerate.h"
 

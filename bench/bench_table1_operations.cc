@@ -7,7 +7,6 @@
 #include <benchmark/benchmark.h>
 
 #include "algebra/derivation.h"
-#include "bench_common.h"
 #include "bench_util.h"
 #include "exec/evaluator.h"
 

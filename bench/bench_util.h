@@ -1,29 +1,105 @@
-// Shared catalog/workload/search setup for the bench mains.
-//
-// The engine- and search-facing benches all serve the same workloads: the
-// paper's running example, a mixed catalog with two messy temporal
-// relations, the TQL query suite over it, and the Figure 5 search on a
-// predicate-chain query whose plan space actually reaches the bench plan
-// caps. Each bench previously wired its own copy; this header is the one
-// copy (bench_common.h keeps the lower-level primitives: printing, scaled
-// relations, the messy-relation generator).
+// Shared setup for the bench mains: printing primitives, scaled/messy
+// workload relations, catalogs, the TQL query suite, the Figure 5 search
+// helpers, and the machine-readable BENCH_<name>.json metric sink. This is
+// the single bench header — every bench main includes it and nothing else
+// from bench/.
 #ifndef TQP_BENCH_BENCH_UTIL_H_
 #define TQP_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "bench_common.h"
+#include "core/catalog.h"
+#include "exec/evaluator.h"
 #include "opt/enumerate.h"
 #include "opt/optimizer.h"
 #include "tql/translator.h"
+#include "workload/generator.h"
 #include "workload/paper_example.h"
 
 namespace tqp {
 namespace bench {
+
+// ---- Printing --------------------------------------------------------------
+
+inline void Banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// ---- Build flavor -----------------------------------------------------------
+//
+// Perf gates arm only in optimized, unsanitized builds; identity gates always
+// run. (Sanitized CI jobs still execute every bench end to end.)
+
+constexpr bool BuiltWithSanitizers() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+constexpr bool OptimizedBuild() {
+#ifdef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+// ---- Workload relations ----------------------------------------------------
+
+/// A catalog with the paper's relations scaled by `scale` employees.
+inline Catalog ScaledCatalog(size_t scale, Site site = Site::kDbms) {
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("EMPLOYEE", ScaledEmployee(scale),
+                                           site)
+                .ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("PROJECT", ScaledProject(scale),
+                                           site)
+                .ok());
+  return catalog;
+}
+
+/// A messy temporal relation sized n with the given phenomena fractions.
+inline Relation MessyTemporal(size_t n, double dup, double adj, double over,
+                              uint64_t seed = 99) {
+  RelationGenParams p;
+  p.cardinality = n;
+  p.num_names = std::max<size_t>(4, n / 16);
+  p.duplicate_fraction = dup;
+  p.adjacency_fraction = adj;
+  p.overlap_fraction = over;
+  p.time_horizon = static_cast<TimePoint>(8 * n);
+  p.max_period_length = 40;
+  p.seed = seed;
+  return GenerateRelation(p);
+}
 
 // ---- Machine-readable bench output ----------------------------------------
 //
@@ -54,8 +130,17 @@ inline void TimedSection(const std::string& metric, Fn&& fn) {
   SetMetric(metric + "_seconds", dt.count());
 }
 
-/// Writes BENCH_<bench_name>.json into the working directory.
+/// Writes BENCH_<bench_name>.json into the working directory. Every file
+/// automatically carries the process peak RSS and the machine's hardware
+/// thread count, so perf numbers stay interpretable across runners.
 inline void WriteBenchJson(const std::string& bench_name) {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    // ru_maxrss is KiB on Linux.
+    SetMetric("peak_rss_bytes", static_cast<double>(ru.ru_maxrss) * 1024.0);
+  }
+  SetMetric("hardware_threads",
+            static_cast<double>(std::thread::hardware_concurrency()));
   const std::string path = "BENCH_" + bench_name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

@@ -1,0 +1,165 @@
+// The out-of-core gate: a sort + coalescing pipeline completing under a
+// memory budget a quarter of its materialized input size.
+//
+// Gates (TQP_CHECKed, CI-enforced):
+//
+//   * the budgeted run actually spills (nonzero ExecStats::spill_bytes /
+//     spill_runs) and the unbounded run never does;
+//   * list identity: the spilled result is tuple-for-tuple identical to the
+//     reference evaluator's and to the unbounded vectorized run's —
+//     external merge sort and grace-partitioned coalescing reproduce the
+//     in-memory list exactly.
+//
+// The gates run in every build flavor (there is no timing gate here; going
+// out of core is a correctness property, not a speed one). Headline numbers
+// land in BENCH_vexec_outofcore.json for the CI perf-trajectory artifacts.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "bench_util.h"
+#include "core/column_batch.h"
+#include "vexec/vexec.h"
+
+namespace tqp {
+
+using bench::Banner;
+using bench::Row;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  return dt.count();
+}
+
+/// A messy temporal relation big enough that its columnar materialization
+/// dwarfs the bench budget: heavy adjacency so coalT has real work, wide
+/// value domain so sort keys do not degenerate.
+Catalog OutOfCoreCatalog(size_t base_cardinality, uint64_t seed) {
+  RelationGenParams r;
+  r.cardinality = base_cardinality;
+  r.num_names = std::max<size_t>(8, base_cardinality / 16);
+  r.num_categories = 16;
+  r.num_values = 100000;
+  r.time_horizon = static_cast<TimePoint>(8 * base_cardinality);
+  r.max_period_length = 50;
+  r.duplicate_fraction = 0.10;
+  r.adjacency_fraction = 0.40;
+  r.overlap_fraction = 0.10;
+  r.seed = seed;
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("R", GenerateRelation(r),
+                                           Site::kDbms)
+                .ok());
+  return catalog;
+}
+
+/// sort_{Name, Val desc}(coalT(R)) — both blocking operators spill: the
+/// sort to merge runs, the coalescing to grace partitions.
+PlanPtr OutOfCorePlan() {
+  return PlanNode::Sort(PlanNode::Coalesce(PlanNode::Scan("R")),
+                        {{"Name", true}, {"Val", false}});
+}
+
+struct RunOutcome {
+  Relation relation;
+  ExecStats stats;
+  double seconds = 0.0;
+};
+
+RunOutcome RunVectorized(const AnnotatedPlan& ann, const EngineConfig& config,
+                         uint64_t budget) {
+  VexecOptions opts;
+  opts.memory_budget = budget;
+  RunOutcome out;
+  auto t0 = std::chrono::steady_clock::now();
+  Result<Relation> r = ExecuteVectorized(ann, config, &out.stats, opts);
+  out.seconds = Seconds(t0);
+  TQP_CHECK(r.ok());
+  out.relation = std::move(r).value();
+  return out;
+}
+
+void CheckIdentical(const RunOutcome& a, const RunOutcome& b) {
+  TQP_CHECK(a.relation.schema() == b.relation.schema());
+  TQP_CHECK(a.relation.size() == b.relation.size());
+  for (size_t i = 0; i < a.relation.size(); ++i) {
+    TQP_CHECK(a.relation.tuple(i) == b.relation.tuple(i));
+  }
+  TQP_CHECK(SortSpecToString(a.relation.order()) ==
+            SortSpecToString(b.relation.order()));
+  TQP_CHECK(a.stats.tuples_produced == b.stats.tuples_produced);
+  TQP_CHECK(a.stats.op_counts == b.stats.op_counts);
+}
+
+}  // namespace
+
+void GateOutOfCore() {
+  Banner("vexec out-of-core — sort(coalT(R)) under a quarter-size budget");
+  constexpr size_t kBaseCardinality = 260000;  // ~400k rows after phenomena
+  Catalog catalog = OutOfCoreCatalog(kBaseCardinality, 13);
+  const Relation& input = catalog.Find("R")->data;
+  const uint64_t input_bytes = ColumnTable::FromRelation(input).ApproxBytes();
+  const uint64_t budget = input_bytes / 4;
+  Row("  R: %zu rows, ~%.1f MiB columnar; budget %.1f MiB", input.size(),
+      static_cast<double>(input_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(budget) / (1024.0 * 1024.0));
+
+  Result<AnnotatedPlan> ann = AnnotatedPlan::Make(
+      OutOfCorePlan(), &catalog, QueryContract::Multiset());
+  TQP_CHECK(ann.ok());
+  EngineConfig config;
+
+  RunOutcome ref;
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    Result<Relation> r = Evaluate(ann.value(), config, &ref.stats);
+    ref.seconds = Seconds(t0);
+    TQP_CHECK(r.ok());
+    ref.relation = std::move(r).value();
+  }
+  RunOutcome unbounded = RunVectorized(ann.value(), config, 0);
+  RunOutcome spilled = RunVectorized(ann.value(), config, budget);
+
+  CheckIdentical(ref, unbounded);
+  CheckIdentical(ref, spilled);
+  // The out-of-core gate: the budgeted run went to disk, the unbounded run
+  // never did.
+  TQP_CHECK(unbounded.stats.spill_bytes == 0);
+  TQP_CHECK(unbounded.stats.spill_runs == 0);
+  TQP_CHECK(spilled.stats.spill_bytes > 0);
+  TQP_CHECK(spilled.stats.spill_runs > 0);
+
+  Row("  reference : %7.2f s", ref.seconds);
+  Row("  unbounded : %7.2f s  (no spill)", unbounded.seconds);
+  Row("  budgeted  : %7.2f s  (%.1f MiB spilled across %lld runs)",
+      spilled.seconds,
+      static_cast<double>(spilled.stats.spill_bytes) / (1024.0 * 1024.0),
+      static_cast<long long>(spilled.stats.spill_runs));
+
+  bench::SetMetric("input_rows", static_cast<double>(input.size()));
+  bench::SetMetric("input_bytes", static_cast<double>(input_bytes));
+  bench::SetMetric("memory_budget_bytes", static_cast<double>(budget));
+  bench::SetMetric("result_rows", static_cast<double>(ref.relation.size()));
+  bench::SetMetric("reference_seconds", ref.seconds);
+  bench::SetMetric("unbounded_seconds", unbounded.seconds);
+  bench::SetMetric("budgeted_seconds", spilled.seconds);
+  bench::SetMetric("spill_bytes",
+                   static_cast<double>(spilled.stats.spill_bytes));
+  bench::SetMetric("spill_runs",
+                   static_cast<double>(spilled.stats.spill_runs));
+  bench::SetMetric("budgeted_slowdown",
+                   spilled.seconds / unbounded.seconds);
+  std::printf("out-of-core identity + spill gates PASSED.\n");
+}
+
+}  // namespace tqp
+
+int main() {
+  tqp::GateOutOfCore();
+  tqp::bench::WriteBenchJson("vexec_outofcore");
+  return 0;
+}

@@ -1,0 +1,209 @@
+// The morsel-parallelism gate: the 1M-row coalescing + temporal join + sort
+// pipeline at 1 worker vs 4 workers of the work-stealing scheduler.
+//
+// Gates (TQP_CHECKed, CI-enforced):
+//
+//   * determinism: the 4-thread result is tuple-for-tuple identical to the
+//     serial vectorized run at full scale, and both are identical to the
+//     reference evaluator at reduced scale (scramble off and on);
+//   * scaling: >= 3x pipeline rows/second at 4 threads over 1 thread at
+//     full scale. The scaling gate arms only on machines with >= 4 hardware
+//     threads and only in optimized, unsanitized builds; the identity gates
+//     always run.
+//
+// Headline numbers land in BENCH_vexec_parallel.json for the CI
+// perf-trajectory artifacts.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "bench_util.h"
+#include "vexec/vexec.h"
+
+namespace tqp {
+
+using bench::Banner;
+using bench::BuiltWithSanitizers;
+using bench::OptimizedBuild;
+using bench::Row;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  return dt.count();
+}
+
+/// Same workload family as bench_vexec_pipeline: a large messy temporal
+/// relation R joined against a small relation S of long probe periods.
+Catalog ParallelCatalog(size_t base_cardinality, uint64_t seed) {
+  RelationGenParams r;
+  r.cardinality = base_cardinality;
+  r.num_names = std::max<size_t>(8, base_cardinality / 16);
+  r.num_categories = 16;
+  r.num_values = 100000;
+  r.time_horizon = static_cast<TimePoint>(8 * base_cardinality);
+  r.max_period_length = 50;
+  r.duplicate_fraction = 0.05;
+  r.adjacency_fraction = 0.35;
+  r.overlap_fraction = 0.10;
+  r.seed = seed;
+
+  RelationGenParams s;
+  s.cardinality = 24;
+  s.num_names = 8;
+  s.num_categories = 4;
+  s.time_horizon = r.time_horizon;
+  s.max_period_length = r.time_horizon / 16;
+  s.seed = seed + 1;
+
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("R", GenerateRelation(r),
+                                           Site::kDbms)
+                .ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("S", GenerateRelation(s),
+                                           Site::kDbms)
+                .ok());
+  return catalog;
+}
+
+/// sort_{1.Name, T1}(coalT(R) ×T S).
+PlanPtr ParallelPlan() {
+  return PlanNode::Sort(
+      PlanNode::ProductT(PlanNode::Coalesce(PlanNode::Scan("R")),
+                         PlanNode::Scan("S")),
+      {{"1.Name", true}, {"T1", true}});
+}
+
+struct RunOutcome {
+  Relation relation;
+  ExecStats stats;
+  double seconds = 0.0;
+};
+
+RunOutcome RunVectorized(const AnnotatedPlan& ann, const EngineConfig& config,
+                         size_t threads) {
+  VexecOptions opts;
+  opts.threads = threads;
+  RunOutcome out;
+  auto t0 = std::chrono::steady_clock::now();
+  Result<Relation> r = ExecuteVectorized(ann, config, &out.stats, opts);
+  out.seconds = Seconds(t0);
+  TQP_CHECK(r.ok());
+  out.relation = std::move(r).value();
+  return out;
+}
+
+void CheckIdentical(const RunOutcome& a, const RunOutcome& b) {
+  TQP_CHECK(a.relation.schema() == b.relation.schema());
+  TQP_CHECK(a.relation.size() == b.relation.size());
+  for (size_t i = 0; i < a.relation.size(); ++i) {
+    TQP_CHECK(a.relation.tuple(i) == b.relation.tuple(i));
+  }
+  TQP_CHECK(SortSpecToString(a.relation.order()) ==
+            SortSpecToString(b.relation.order()));
+  TQP_CHECK(a.stats.tuples_produced == b.stats.tuples_produced);
+  TQP_CHECK(a.stats.op_counts == b.stats.op_counts);
+  TQP_CHECK(a.stats.dbms_work == b.stats.dbms_work);
+  TQP_CHECK(a.stats.stratum_work == b.stats.stratum_work);
+}
+
+}  // namespace
+
+/// Reduced scale: serial vexec, 4-thread vexec, and the reference evaluator
+/// must agree, with the DBMS scramble off and on.
+void GateParallelIdentity() {
+  Banner("vexec parallel — reference identity gate (60k rows, 1 vs 4 threads)");
+  Catalog catalog = ParallelCatalog(40000, 7);
+  Result<AnnotatedPlan> ann = AnnotatedPlan::Make(
+      ParallelPlan(), &catalog, QueryContract::Multiset());
+  TQP_CHECK(ann.ok());
+  for (bool scramble : {false, true}) {
+    EngineConfig config;
+    config.dbms_scrambles_order = scramble;
+    RunOutcome ref;
+    auto t0 = std::chrono::steady_clock::now();
+    Result<Relation> r = Evaluate(ann.value(), config, &ref.stats);
+    ref.seconds = Seconds(t0);
+    TQP_CHECK(r.ok());
+    ref.relation = std::move(r).value();
+    RunOutcome serial = RunVectorized(ann.value(), config, 1);
+    RunOutcome par = RunVectorized(ann.value(), config, 4);
+    CheckIdentical(ref, serial);
+    CheckIdentical(ref, par);
+    Row("  scramble=%d: %zu result rows, serial and 4-thread identical to "
+        "reference",
+        scramble ? 1 : 0, ref.relation.size());
+  }
+  std::printf("parallel identity gates PASSED.\n");
+}
+
+void GateParallelScaling() {
+  Banner("vexec parallel — 1M-row pipeline, 1 thread vs 4 threads");
+  constexpr size_t kBaseCardinality = 670000;  // ~1M rows after phenomena
+  Catalog catalog = ParallelCatalog(kBaseCardinality, 42);
+  Row("  R: %zu rows (base %zu), S: %zu rows",
+      catalog.Find("R")->data.size(), kBaseCardinality,
+      catalog.Find("S")->data.size());
+  Result<AnnotatedPlan> ann = AnnotatedPlan::Make(
+      ParallelPlan(), &catalog, QueryContract::Multiset());
+  TQP_CHECK(ann.ok());
+  EngineConfig config;
+
+  RunOutcome serial = RunVectorized(ann.value(), config, 1);
+  // Best of two parallel runs (the first pays allocator + thread warmup).
+  RunOutcome par = RunVectorized(ann.value(), config, 4);
+  RunOutcome par2 = RunVectorized(ann.value(), config, 4);
+  if (par2.seconds < par.seconds) par = std::move(par2);
+  // The determinism contract at full scale: byte-identical output.
+  CheckIdentical(serial, par);
+
+  const double rows = static_cast<double>(serial.stats.tuples_produced);
+  const double serial_rps = rows / serial.seconds;
+  const double par_rps = rows / par.seconds;
+  const double scaling = par_rps / serial_rps;
+  Row("  pipeline rows produced: %.0f (result %zu rows)", rows,
+      serial.relation.size());
+  Row("  1 thread : %7.2f s  %12.0f rows/s", serial.seconds, serial_rps);
+  Row("  4 threads: %7.2f s  %12.0f rows/s  (%lld morsels, %lld steals)",
+      par.seconds, par_rps, static_cast<long long>(par.stats.morsels),
+      static_cast<long long>(par.stats.steals));
+  Row("  scaling: %.2fx", scaling);
+
+  bench::SetMetric("pipeline_rows", rows);
+  bench::SetMetric("result_rows",
+                   static_cast<double>(serial.relation.size()));
+  bench::SetMetric("serial_seconds", serial.seconds);
+  bench::SetMetric("parallel_seconds", par.seconds);
+  bench::SetMetric("serial_rows_per_s", serial_rps);
+  bench::SetMetric("parallel_rows_per_s", par_rps);
+  bench::SetMetric("scaling_4_threads", scaling);
+  bench::SetMetric("morsels", static_cast<double>(par.stats.morsels));
+  bench::SetMetric("steals", static_cast<double>(par.stats.steals));
+
+  if (std::thread::hardware_concurrency() < 4 || !OptimizedBuild() ||
+      BuiltWithSanitizers()) {
+    std::printf("scaling gate SKIPPED (hw_threads=%u, optimized=%d, "
+                "sanitizers=%d) — the gate needs >= 4 hardware threads in an "
+                "optimized, unsanitized build.\n",
+                std::thread::hardware_concurrency(), OptimizedBuild() ? 1 : 0,
+                BuiltWithSanitizers() ? 1 : 0);
+    return;
+  }
+  // The acceptance gate: >= 3x pipeline rows/second at 4 threads.
+  TQP_CHECK(par_rps >= 3.0 * serial_rps);
+  std::printf("scaling gate PASSED: %.2fx >= 3x.\n", scaling);
+}
+
+}  // namespace tqp
+
+int main() {
+  tqp::GateParallelIdentity();
+  tqp::GateParallelScaling();
+  tqp::bench::WriteBenchJson("vexec_parallel");
+  return 0;
+}

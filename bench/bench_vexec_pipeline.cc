@@ -27,29 +27,10 @@ namespace tqp {
 using bench::Banner;
 using bench::Row;
 
+using bench::BuiltWithSanitizers;
+using bench::OptimizedBuild;
+
 namespace {
-
-constexpr bool BuiltWithSanitizers() {
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-  return true;
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
-  return true;
-#else
-  return false;
-#endif
-#else
-  return false;
-#endif
-}
-
-constexpr bool OptimizedBuild() {
-#ifdef NDEBUG
-  return true;
-#else
-  return false;
-#endif
-}
 
 double Seconds(std::chrono::steady_clock::time_point t0) {
   std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;

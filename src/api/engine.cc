@@ -350,6 +350,8 @@ Result<QueryResult> Engine::ExecuteState(const PreparedQuery::State& state,
     if (options_.executor == ExecutorKind::kVectorized) {
       VexecOptions vopts;
       vopts.batch_size = options_.vexec_batch_size;
+      vopts.threads = options_.vexec_threads;
+      vopts.memory_budget = options_.vexec_memory_budget;
       return ExecuteVectorized(ann.value(), options_.engine, &out.exec,
                                vopts);
     }

@@ -117,6 +117,14 @@ struct EngineOptions {
   ExecutorKind executor = ExecutorKind::kReference;
   /// Rows per column batch when executor == kVectorized.
   size_t vexec_batch_size = 1024;
+  /// Worker threads of the vectorized executor's morsel scheduler
+  /// (VexecOptions::threads). 1 (default) = the serial code path; any
+  /// thread count produces byte-identical results.
+  size_t vexec_threads = 1;
+  /// Per-operator materialization budget in bytes for the vectorized
+  /// executor (VexecOptions::memory_budget); larger sorts and class tables
+  /// spill to temp files. 0 (default) = never spill.
+  uint64_t vexec_memory_budget = 0;
 };
 
 /// Everything one query execution returns: the relation plus execution and

@@ -1,0 +1,145 @@
+#include "core/spill.h"
+
+#include <cstring>
+
+#include "core/common.h"
+
+namespace tqp {
+
+namespace {
+
+template <typename T>
+void AppendRaw(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+SpillFile::SpillFile() { file_ = std::tmpfile(); }
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+uint64_t SpillFile::Append(const void* data, size_t n) {
+  TQP_CHECK(file_ != nullptr);
+  uint64_t offset = bytes_written_;
+  TQP_CHECK(std::fseek(file_, 0, SEEK_END) == 0);
+  TQP_CHECK(std::fwrite(data, 1, n, file_) == n);
+  bytes_written_ += n;
+  return offset;
+}
+
+void SpillFile::ReadAt(uint64_t offset, void* out, size_t n) {
+  TQP_CHECK(file_ != nullptr);
+  TQP_CHECK(offset + n <= bytes_written_);
+  TQP_CHECK(std::fseek(file_, static_cast<long>(offset), SEEK_SET) == 0);
+  TQP_CHECK(std::fread(out, 1, n, file_) == n);
+}
+
+void EncodeSpillRow(const ColumnTable& t, size_t row, std::string* out) {
+  size_t len_pos = out->size();
+  AppendRaw<uint32_t>(out, 0);  // patched below
+  for (size_t c = 0; c < t.num_cols(); ++c) {
+    CellRef cell = t.col(c).At(row);
+    out->push_back(static_cast<char>(cell.type));
+    switch (cell.type) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt:
+      case ValueType::kTime:
+        AppendRaw<int64_t>(out, cell.i);
+        break;
+      case ValueType::kDouble:
+        AppendRaw<double>(out, cell.d);
+        break;
+      case ValueType::kString:
+        AppendRaw<uint32_t>(out, static_cast<uint32_t>(cell.s->size()));
+        out->append(*cell.s);
+        break;
+    }
+  }
+  uint32_t payload = static_cast<uint32_t>(out->size() - len_pos - 4);
+  std::memcpy(&(*out)[len_pos], &payload, sizeof(payload));
+}
+
+size_t DecodeSpillRow(const uint8_t* data, size_t avail,
+                      std::vector<Value>* row) {
+  if (avail < 4) return 0;
+  uint32_t payload = ReadRaw<uint32_t>(data);
+  if (avail < 4 + static_cast<size_t>(payload)) return 0;
+  row->clear();
+  const uint8_t* p = data + 4;
+  const uint8_t* end = p + payload;
+  while (p < end) {
+    ValueType type = static_cast<ValueType>(*p++);
+    switch (type) {
+      case ValueType::kNull:
+        row->push_back(Value::Null());
+        break;
+      case ValueType::kInt:
+        row->push_back(Value::Int(ReadRaw<int64_t>(p)));
+        p += 8;
+        break;
+      case ValueType::kTime:
+        row->push_back(Value::Time(ReadRaw<int64_t>(p)));
+        p += 8;
+        break;
+      case ValueType::kDouble:
+        row->push_back(Value::Double(ReadRaw<double>(p)));
+        p += 8;
+        break;
+      case ValueType::kString: {
+        uint32_t len = ReadRaw<uint32_t>(p);
+        p += 4;
+        row->push_back(
+            Value::String(std::string(reinterpret_cast<const char*>(p), len)));
+        p += len;
+        break;
+      }
+    }
+  }
+  TQP_CHECK(p == end);
+  return 4 + static_cast<size_t>(payload);
+}
+
+SpillRegionReader::SpillRegionReader(SpillFile* file, uint64_t offset,
+                                     uint64_t bytes, size_t buffer_bytes)
+    : file_(file), next_read_(offset), region_end_(offset + bytes) {
+  buf_.resize(std::max<size_t>(buffer_bytes, 4096));
+}
+
+bool SpillRegionReader::Next(std::vector<Value>* row) {
+  for (;;) {
+    size_t used =
+        DecodeSpillRow(buf_.data() + buf_pos_, buf_len_ - buf_pos_, row);
+    if (used != 0) {
+      buf_pos_ += used;
+      return true;
+    }
+    // Incomplete record in the buffer: compact and refill from the file.
+    uint64_t file_left = region_end_ - next_read_;
+    if (file_left == 0) {
+      TQP_CHECK(buf_pos_ == buf_len_);  // a truncated record is corruption
+      return false;
+    }
+    std::memmove(buf_.data(), buf_.data() + buf_pos_, buf_len_ - buf_pos_);
+    buf_len_ -= buf_pos_;
+    buf_pos_ = 0;
+    if (buf_len_ == buf_.size()) buf_.resize(buf_.size() * 2);
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(file_left, buf_.size() - buf_len_));
+    file_->ReadAt(next_read_, buf_.data() + buf_len_, want);
+    next_read_ += want;
+    buf_len_ += want;
+  }
+}
+
+}  // namespace tqp

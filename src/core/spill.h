@@ -1,0 +1,92 @@
+// Temp-file spilling for bounded-memory execution (src/vexec).
+//
+// A SpillFile is an anonymous temporary file (std::tmpfile: unlinked at
+// creation, reclaimed by the OS even on crash) written append-only and read
+// back by absolute offset. The vectorized executor spills large
+// materializations — external-merge-sort runs and partitioned class/group
+// tables — as *row records*: each record is a length-prefixed, exact
+// encoding of one ColumnTable row (or an arbitrary small struct, for
+// partition bookkeeping), so a spilled row decodes to the bit-identical
+// Value sequence it was encoded from. That exactness is what keeps the
+// executor's list-identity contract intact across the spill boundary.
+//
+// Record layout: u32 payload length, then per cell a 1-byte ValueType tag
+// followed by the payload — int64 for kInt/kTime, the 8-byte bit pattern
+// for kDouble (NaN payloads and -0.0 survive), u32 length + bytes for
+// kString, nothing for kNull. Integers are native-endian: a spill file
+// never outlives its process.
+//
+// All spill I/O is single-threaded by design (the executor writes runs and
+// reads partitions from the driving thread); SpillFile is not thread-safe.
+#ifndef TQP_CORE_SPILL_H_
+#define TQP_CORE_SPILL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/column_batch.h"
+#include "core/value.h"
+
+namespace tqp {
+
+/// An append-only anonymous temp file with positioned reads.
+class SpillFile {
+ public:
+  SpillFile();
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// False when the temp file could not be created (no /tmp, fd limit);
+  /// callers fall back to in-memory execution.
+  bool ok() const { return file_ != nullptr; }
+
+  /// Appends `n` bytes; returns the offset the write started at.
+  uint64_t Append(const void* data, size_t n);
+
+  /// Reads `n` bytes starting at `offset` (must be fully inside what was
+  /// written).
+  void ReadAt(uint64_t offset, void* out, size_t n);
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Appends the length-prefixed encoding of row `row` of `t` to `out`.
+void EncodeSpillRow(const ColumnTable& t, size_t row, std::string* out);
+
+/// Decodes one length-prefixed row record at `data`. Returns the bytes
+/// consumed, or 0 if fewer than `avail` bytes form a complete record (the
+/// reader refills and retries). The decoded cells are appended to `*row`
+/// (cleared first).
+size_t DecodeSpillRow(const uint8_t* data, size_t avail,
+                      std::vector<Value>* row);
+
+/// Streams the row records of one contiguous file region [offset,
+/// offset + bytes) through a fixed-size read buffer.
+class SpillRegionReader {
+ public:
+  SpillRegionReader(SpillFile* file, uint64_t offset, uint64_t bytes,
+                    size_t buffer_bytes = 256 * 1024);
+
+  /// Decodes the next record into *row; false when the region is exhausted.
+  bool Next(std::vector<Value>* row);
+
+ private:
+  SpillFile* file_;
+  uint64_t next_read_;  // file offset of the first byte not yet buffered
+  uint64_t region_end_;
+  std::vector<uint8_t> buf_;
+  size_t buf_pos_ = 0;  // consumed prefix of buf_
+  size_t buf_len_ = 0;  // valid bytes in buf_
+};
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_SPILL_H_

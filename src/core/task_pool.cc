@@ -1,0 +1,137 @@
+#include "core/task_pool.h"
+
+#include <algorithm>
+
+namespace tqp {
+
+WorkStealingPool::WorkStealingPool(size_t threads) {
+  if (threads <= 1) return;
+  threads_.reserve(threads - 1);
+  for (size_t i = 1; i < threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkStealingPool::ParallelFor(
+    size_t count, size_t grain,
+    const std::function<void(size_t, size_t)>& body) {
+  if (count == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t num_morsels = (count + grain - 1) / grain;
+  if (threads_.empty() || num_morsels <= 1) {
+    for (size_t m = 0; m < num_morsels; ++m) {
+      body(m * grain, std::min(count, (m + 1) * grain));
+    }
+    morsels_.fetch_add(num_morsels, std::memory_order_relaxed);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->grain = grain;
+  job->count = count;
+  job->body = &body;
+  const size_t workers = threads_.size() + 1;
+  // Contiguous pre-assignment: worker w starts on the w-th block of morsel
+  // indices, so under no stealing each worker touches one contiguous input
+  // region (sequential access); stealing takes from the *back* of a victim,
+  // the work its owner would reach last.
+  for (size_t w = 0; w < workers; ++w) {
+    job->queues.emplace_back();
+    size_t lo = w * num_morsels / workers;
+    size_t hi = (w + 1) * num_morsels / workers;
+    for (size_t m = lo; m < hi; ++m) job->queues.back().morsels.push_back(m);
+  }
+  job->remaining.store(num_morsels, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    job_ = job;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+
+  RunWorker(*job, 0);
+
+  {
+    std::unique_lock<std::mutex> lock(job_mu_);
+    done_cv_.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+    job_.reset();
+  }
+}
+
+void WorkStealingPool::WorkerLoop(size_t worker_id) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(job_mu_);
+      job_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    if (job != nullptr) RunWorker(*job, worker_id);
+  }
+}
+
+void WorkStealingPool::RunWorker(Job& job, size_t worker_id) {
+  const size_t workers = job.queues.size();
+  if (worker_id >= workers) return;  // straggler from an older, wider job
+  uint64_t ran = 0;
+  uint64_t stolen = 0;
+  for (;;) {
+    size_t morsel = 0;
+    bool have = false;
+    {
+      Job::Queue& own = job.queues[worker_id];
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.morsels.empty()) {
+        morsel = own.morsels.front();
+        own.morsels.pop_front();
+        have = true;
+      }
+    }
+    if (!have) {
+      for (size_t off = 1; off < workers && !have; ++off) {
+        Job::Queue& victim = job.queues[(worker_id + off) % workers];
+        std::lock_guard<std::mutex> lock(victim.mu);
+        if (!victim.morsels.empty()) {
+          morsel = victim.morsels.back();
+          victim.morsels.pop_back();
+          have = true;
+          ++stolen;
+        }
+      }
+    }
+    if (!have) break;
+
+    size_t begin = morsel * job.grain;
+    size_t end = std::min(job.count, begin + job.grain);
+    (*job.body)(begin, end);
+    ++ran;
+
+    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last morsel of the job: wake the caller. The lock pairs with the
+      // caller's predicate read so the notify cannot be missed.
+      std::lock_guard<std::mutex> lock(job_mu_);
+      done_cv_.notify_all();
+    }
+  }
+  if (ran != 0) morsels_.fetch_add(ran, std::memory_order_relaxed);
+  if (stolen != 0) steals_.fetch_add(stolen, std::memory_order_relaxed);
+}
+
+}  // namespace tqp

@@ -53,6 +53,18 @@ struct ExecStats {
   /// of tuples_produced). 0 on the reference path.
   int64_t vec_rows = 0;
 
+  /// Morsels executed / morsels obtained by stealing, from the vectorized
+  /// executor's work-stealing scheduler (VexecOptions::threads > 1).
+  /// Telemetry only — both depend on thread timing and are excluded from
+  /// every determinism contract. 0 on the reference and serial paths.
+  int64_t morsels = 0;
+  int64_t steals = 0;
+  /// Bytes written to spill files and spill units created (external-sort
+  /// runs + class-table partitions) under VexecOptions::memory_budget.
+  /// Deterministic for a fixed plan/catalog/options. 0 when nothing spills.
+  int64_t spill_bytes = 0;
+  int64_t spill_runs = 0;
+
   double total_work() const { return dbms_work + stratum_work; }
 };
 

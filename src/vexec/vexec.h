@@ -30,11 +30,27 @@
 
 namespace tqp {
 
-/// Tuning knobs of the vectorized executor. Semantics never depend on them.
+/// Tuning knobs of the vectorized executor. Semantics never depend on them:
+/// any thread count, morsel size, or memory budget produces the same result
+/// list, byte for byte (tests/test_vexec.cc locks this in).
 struct VexecOptions {
   /// Rows per column batch processed at a time by the scan/filter/projection
   /// kernels. Also the granularity of ExecStats::vec_batches.
   size_t batch_size = 1024;
+  /// Worker threads of the morsel scheduler (core/task_pool.h). 1 (default)
+  /// runs every kernel inline on the calling thread — the exact
+  /// pre-parallelism code path; N > 1 splits kernels into morsels whose
+  /// results are stitched in deterministic input order, so the output is
+  /// byte-identical to the serial run.
+  size_t threads = 1;
+  /// Rows per morsel when threads > 1.
+  size_t morsel_rows = 32768;
+  /// Approximate per-operator materialization budget in bytes. When an
+  /// input exceeds it, sort switches to an external merge sort (spilled
+  /// runs) and rdup/coalesce/aggregate partition their class/group tables
+  /// to a temp file (core/spill.h), processing one partition at a time.
+  /// 0 (default) = unlimited, never spill.
+  uint64_t memory_budget = 0;
 };
 
 /// Evaluates an annotated plan with the vectorized engine. Drop-in

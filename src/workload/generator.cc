@@ -1,8 +1,38 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <vector>
 
 namespace tqp {
+
+namespace {
+
+// Inverse-CDF Zipf sampler over {0..n-1} with P(i) ∝ 1/(i+1)^s. One Rng
+// draw per sample, like the uniform path it replaces.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(std::max<size_t>(1, n)) {
+    double total = 0.0;
+    for (size_t i = 0; i < cdf_.size(); ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  uint64_t Sample(Rng& rng) const {
+    double u = rng.Unit();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) --it;
+    return static_cast<uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
 
 Relation GenerateRelation(const RelationGenParams& params) {
   Schema schema;
@@ -16,24 +46,37 @@ Relation GenerateRelation(const RelationGenParams& params) {
 
   Rng rng(params.seed);
   Relation out(schema);
-  // The phenomena fractions at most triple the base cardinality; reserving
-  // up front keeps multi-million-row generation from re-allocating its way
-  // through the loop.
+  const size_t burst = std::max<size_t>(1, params.overlap_burst);
+  // The phenomena fractions at most triple the base cardinality (times the
+  // overlap burst width); reserving up front keeps multi-million-row
+  // generation from re-allocating its way through the loop.
   out.mutable_tuples().reserve(params.cardinality +
                                static_cast<size_t>(
                                    static_cast<double>(params.cardinality) *
                                    (params.duplicate_fraction +
                                     params.adjacency_fraction +
-                                    params.overlap_fraction)) +
+                                    params.overlap_fraction *
+                                        static_cast<double>(burst))) +
                                1);
+  // Zipf samplers are built only when the skew knob is on, so the default
+  // configuration draws through the exact legacy rng.Below sequence.
+  const bool skewed = params.value_zipf > 0.0;
+  const ZipfSampler name_zipf(skewed ? params.num_names : 1,
+                              params.value_zipf);
+  const ZipfSampler val_zipf(skewed ? params.num_values : 1,
+                             params.value_zipf);
   for (size_t i = 0; i < params.cardinality; ++i) {
     Tuple t;
     t.push_back(Value::String(
-        "n" + std::to_string(rng.Below(std::max<uint64_t>(1, params.num_names)))));
+        "n" + std::to_string(
+                  skewed ? name_zipf.Sample(rng)
+                         : rng.Below(
+                               std::max<uint64_t>(1, params.num_names)))));
     t.push_back(Value::Int(static_cast<int64_t>(
         rng.Below(std::max<uint64_t>(1, params.num_categories)))));
     t.push_back(Value::Int(static_cast<int64_t>(
-        rng.Below(std::max<uint64_t>(1, params.num_values)))));
+        skewed ? val_zipf.Sample(rng)
+               : rng.Below(std::max<uint64_t>(1, params.num_values)))));
     Period p;
     if (params.temporal) {
       TimePoint len =
@@ -65,12 +108,19 @@ Relation GenerateRelation(const RelationGenParams& params) {
       out.Append(t);  // exact duplicate
     }
     if (params.temporal && rng.Unit() < params.overlap_fraction) {
-      // Value-equivalent tuple with an overlapping, shifted period.
-      Tuple o = t;
-      TimePoint shift = 1 + static_cast<TimePoint>(rng.Below(
-                                static_cast<uint64_t>(p.Duration())));
-      SetTuplePeriod(&o, schema, Period(p.begin + shift, p.end + shift));
-      out.Append(std::move(o));
+      // Value-equivalent tuples with overlapping, shifted periods. Each
+      // burst copy shifts from the previous one by less than its duration,
+      // so the whole burst forms a chain of pairwise-overlapping periods.
+      // burst == 1 reproduces the legacy single snapshot duplicate exactly.
+      Period prev = p;
+      for (size_t k = 0; k < burst; ++k) {
+        Tuple o = t;
+        TimePoint shift = 1 + static_cast<TimePoint>(rng.Below(
+                                  static_cast<uint64_t>(p.Duration())));
+        prev = Period(prev.begin + shift, prev.end + shift);
+        SetTuplePeriod(&o, schema, prev);
+        out.Append(std::move(o));
+      }
     }
   }
   return out;

@@ -40,6 +40,18 @@ struct RelationGenParams {
   /// vexec pipeline bench generates millions of rows) widen this so Val
   /// does not degenerate into a tiny domain.
   size_t num_values = 1000;
+  /// Zipf exponent s for the Name and Val draws. 0 (default) keeps the
+  /// legacy uniform draws — bit-for-bit the same RNG sequence and output as
+  /// before the knob existed. s > 0 skews toward low indices with
+  /// P(i) ∝ 1/(i+1)^s, concentrating value-equivalence classes and hash-join
+  /// keys (heavy-hitter classes stress the partitioned/spilling paths).
+  double value_zipf = 0.0;
+  /// Number of value-equivalent shifted copies emitted per overlap event.
+  /// 1 (default) is the legacy single snapshot duplicate; k > 1 emits a
+  /// clustered burst of k chained overlapping periods, so a few classes
+  /// carry long overlap chains (worst-case rdupT/\T sweeps) instead of the
+  /// overlap load spreading evenly.
+  size_t overlap_burst = 1;
   uint64_t seed = 42;
 };
 

@@ -57,13 +57,11 @@ void ExpectStatsAgree(const ExecStats& ref, const ExecStats& vec,
 }
 
 /// Runs one plan through both executors under one config and compares.
-void CheckPlan(const PlanPtr& plan, const Catalog& catalog,
-               const EngineConfig& config, const std::string& label,
-               size_t batch_size = 1024) {
+void CheckPlanWithOptions(const PlanPtr& plan, const Catalog& catalog,
+                          const EngineConfig& config, const std::string& label,
+                          const VexecOptions& vopts) {
   ExecStats ref_stats, vec_stats;
   Result<Relation> ref = EvaluatePlan(plan, catalog, config, &ref_stats);
-  VexecOptions vopts;
-  vopts.batch_size = batch_size;
   Result<Relation> vec =
       ExecuteVectorizedPlan(plan, catalog, config, &vec_stats, vopts);
   ASSERT_EQ(ref.ok(), vec.ok()) << label << ": " << ref.status().ToString()
@@ -74,6 +72,14 @@ void CheckPlan(const PlanPtr& plan, const Catalog& catalog,
   }
   ExpectListIdentical(ref.value(), vec.value(), label);
   ExpectStatsAgree(ref_stats, vec_stats, label);
+}
+
+void CheckPlan(const PlanPtr& plan, const Catalog& catalog,
+               const EngineConfig& config, const std::string& label,
+               size_t batch_size = 1024) {
+  VexecOptions vopts;
+  vopts.batch_size = batch_size;
+  CheckPlanWithOptions(plan, catalog, config, label, vopts);
 }
 
 /// The three engine configurations every plan is checked under.
@@ -232,6 +238,22 @@ std::vector<std::pair<std::string, PlanPtr>> AllOperatorPlans() {
       PlanNode::Sort(PlanNode::ProductT(PlanNode::Coalesce(R()),
                                         PlanNode::RdupT(S())),
                      {{"Name", true}}));
+  // σ(equality ∧ residual)(C × D): the vectorized executor fuses this into a
+  // partitioned hash join; the result must stay list-identical to the
+  // unfused reference product + selection.
+  ExprPtr equi = Expr::And(
+      Expr::Compare(CompareOp::kEq, Expr::Attr("1.Name"), Expr::Attr("2.Name")),
+      Expr::Compare(CompareOp::kLe, Expr::Attr("1.Val"), Expr::Attr("2.Val")));
+  plans.emplace_back("equi-join",
+                     PlanNode::Select(PlanNode::Product(C(), D()), equi));
+  ExprPtr equi2 = Expr::And(
+      Expr::Compare(CompareOp::kEq, Expr::Attr("1.Name"), Expr::Attr("2.Name")),
+      Expr::Compare(CompareOp::kEq, Expr::Attr("1.Cat"), Expr::Attr("2.Cat")));
+  plans.emplace_back(
+      "equi-join-pipeline",
+      PlanNode::Sort(PlanNode::Rdup(PlanNode::Select(
+                         PlanNode::Product(PlanNode::Rdup(C()), D()), equi2)),
+                     {{"1.Name", true}, {"1.Val", false}}));
   return plans;
 }
 
@@ -259,6 +281,152 @@ TEST(VexecParity, BatchSizeNeverChangesResults) {
       CheckPlan(plan, catalog, scrambled,
                 "batch " + std::to_string(batch) + "/" + plan_name, batch);
     }
+  }
+}
+
+// The morsel-parallel and out-of-core paths obey the same contract as the
+// serial in-memory path: any thread count × memory budget × batch size is
+// list-identical to the reference evaluator, scramble on or off.
+TEST(VexecParity, ThreadsAndBudgetsNeverChangeResults) {
+  for (uint64_t seed : {11u, 12u}) {
+    Catalog catalog = MakeCatalog(seed);
+    for (const auto& [cfg_name, config] : Configs()) {
+      for (size_t threads : {2u, 4u}) {
+        for (uint64_t budget : {uint64_t{0}, uint64_t{512}}) {
+          for (size_t batch : {7u, 1024u}) {
+            VexecOptions vopts;
+            vopts.batch_size = batch;
+            vopts.threads = threads;
+            // Tiny morsels so 40-row inputs still split across workers.
+            vopts.morsel_rows = 8;
+            vopts.memory_budget = budget;
+            for (const auto& [plan_name, plan] : AllOperatorPlans()) {
+              CheckPlanWithOptions(
+                  plan, catalog, config,
+                  "seed " + std::to_string(seed) + "/" + cfg_name + "/t" +
+                      std::to_string(threads) + "/b" + std::to_string(budget) +
+                      "/batch" + std::to_string(batch) + "/" + plan_name,
+                  vopts);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// N-thread output is byte-identical to the serial vectorized run — the
+// determinism contract is vexec-vs-vexec, not just vexec-vs-reference.
+// The deterministic stats (everything but the morsel/steal telemetry) must
+// agree too.
+TEST(VexecParity, FourThreadOutputByteIdenticalToSerial) {
+  Catalog catalog;
+  TQP_CHECK(
+      catalog.RegisterWithInferredFlags("R", Messy(41, 600), Site::kDbms)
+          .ok());
+  TQP_CHECK(
+      catalog.RegisterWithInferredFlags("S", Messy(43, 400), Site::kDbms)
+          .ok());
+  EngineConfig config;
+  config.dbms_scrambles_order = true;
+  std::vector<std::pair<std::string, PlanPtr>> plans;
+  plans.emplace_back(
+      "deep",
+      PlanNode::Sort(PlanNode::Coalesce(PlanNode::RdupT(PlanNode::Scan("R"))),
+                     {{"Name", true}, {"Val", false}}));
+  plans.emplace_back(
+      "join",
+      PlanNode::Sort(
+          PlanNode::ProductT(PlanNode::Coalesce(PlanNode::Scan("R")),
+                             PlanNode::RdupT(PlanNode::Scan("S"))),
+          {{"1.Name", true}}));
+  plans.emplace_back(
+      "agg", PlanNode::AggregateT(PlanNode::Scan("R"), {"Name"},
+                                  {AggSpec{AggFunc::kCount, "", "n"},
+                                   AggSpec{AggFunc::kSum, "Val", "s"}}));
+  for (const auto& [plan_name, plan] : plans) {
+    for (uint64_t budget : {uint64_t{0}, uint64_t{4096}}) {
+      VexecOptions serial;
+      serial.memory_budget = budget;
+      VexecOptions par = serial;
+      par.threads = 4;
+      par.morsel_rows = 64;
+      ExecStats sstats, pstats;
+      Result<Relation> s =
+          ExecuteVectorizedPlan(plan, catalog, config, &sstats, serial);
+      Result<Relation> p =
+          ExecuteVectorizedPlan(plan, catalog, config, &pstats, par);
+      const std::string label =
+          plan_name + "/budget" + std::to_string(budget);
+      ASSERT_TRUE(s.ok() && p.ok()) << label;
+      ExpectListIdentical(s.value(), p.value(), label);
+      EXPECT_DOUBLE_EQ(sstats.dbms_work, pstats.dbms_work) << label;
+      EXPECT_DOUBLE_EQ(sstats.stratum_work, pstats.stratum_work) << label;
+      EXPECT_EQ(sstats.tuples_produced, pstats.tuples_produced) << label;
+      EXPECT_EQ(sstats.op_counts, pstats.op_counts) << label;
+      EXPECT_EQ(sstats.vec_rows, pstats.vec_rows) << label;
+      // Spill volume is deterministic; morsel/steal counts are telemetry.
+      EXPECT_EQ(sstats.spill_bytes, pstats.spill_bytes) << label;
+      EXPECT_EQ(sstats.spill_runs, pstats.spill_runs) << label;
+      EXPECT_EQ(sstats.morsels, 0) << label;  // serial run never morselizes
+      EXPECT_GT(pstats.morsels, 0) << label;
+    }
+  }
+}
+
+// Under a budget smaller than the materialized input the blocking operators
+// must actually go out of core (nonzero spill counters) and still match the
+// reference; with no budget they must never touch disk.
+TEST(VexecParity, SpillCountersTrackOutOfCoreWork) {
+  Catalog catalog;
+  TQP_CHECK(
+      catalog.RegisterWithInferredFlags("R", Messy(47, 500), Site::kDbms)
+          .ok());
+  EngineConfig config;
+  std::vector<std::pair<std::string, PlanPtr>> plans;
+  plans.emplace_back("sort", PlanNode::Sort(PlanNode::Scan("R"),
+                                            {{"Name", true}, {"Val", false}}));
+  plans.emplace_back("rdup", PlanNode::Rdup(PlanNode::Scan("R")));
+  plans.emplace_back("coalesce", PlanNode::Coalesce(PlanNode::Scan("R")));
+  plans.emplace_back("aggregate",
+                     PlanNode::Aggregate(PlanNode::Scan("R"), {"Name", "Cat"},
+                                         {AggSpec{AggFunc::kSum, "Val", "s"},
+                                          AggSpec{AggFunc::kAvg, "Val", "a"}}));
+  for (const auto& [plan_name, plan] : plans) {
+    ExecStats ref_stats;
+    Result<Relation> ref = EvaluatePlan(plan, catalog, config, &ref_stats);
+    ASSERT_TRUE(ref.ok()) << plan_name;
+
+    VexecOptions unbounded;
+    ExecStats mem_stats;
+    Result<Relation> mem =
+        ExecuteVectorizedPlan(plan, catalog, config, &mem_stats, unbounded);
+    ASSERT_TRUE(mem.ok()) << plan_name;
+    ExpectListIdentical(ref.value(), mem.value(), plan_name + "/in-memory");
+    EXPECT_EQ(mem_stats.spill_bytes, 0) << plan_name;
+    EXPECT_EQ(mem_stats.spill_runs, 0) << plan_name;
+
+    VexecOptions tiny;
+    tiny.memory_budget = 1024;  // far below 500 materialized rows
+    ExecStats spill_stats;
+    Result<Relation> spilled =
+        ExecuteVectorizedPlan(plan, catalog, config, &spill_stats, tiny);
+    ASSERT_TRUE(spilled.ok()) << plan_name;
+    ExpectListIdentical(ref.value(), spilled.value(), plan_name + "/spilled");
+    EXPECT_GT(spill_stats.spill_bytes, 0) << plan_name;
+    EXPECT_GT(spill_stats.spill_runs, 0) << plan_name;
+
+    // Spilling composes with morsel parallelism.
+    VexecOptions both = tiny;
+    both.threads = 4;
+    both.morsel_rows = 64;
+    ExecStats both_stats;
+    Result<Relation> b =
+        ExecuteVectorizedPlan(plan, catalog, config, &both_stats, both);
+    ASSERT_TRUE(b.ok()) << plan_name;
+    ExpectListIdentical(ref.value(), b.value(), plan_name + "/spill+threads");
+    EXPECT_EQ(both_stats.spill_bytes, spill_stats.spill_bytes) << plan_name;
+    EXPECT_EQ(both_stats.spill_runs, spill_stats.spill_runs) << plan_name;
   }
 }
 
@@ -415,6 +583,26 @@ TEST(VexecEngine, ScrambledDbmsMatchesThroughEngineToo) {
   Result<QueryResult> vec = vec_engine.Query(q);
   ASSERT_TRUE(ref.ok() && vec.ok());
   ExpectListIdentical(ref->relation, vec->relation, q);
+}
+
+TEST(VexecEngine, ThreadsAndBudgetFlowThroughEngineOptions) {
+  Catalog catalog = MakeCatalog(31);
+  EngineOptions ref_opts;
+  EngineOptions vec_opts;
+  vec_opts.executor = ExecutorKind::kVectorized;
+  vec_opts.vexec_threads = 4;
+  vec_opts.vexec_memory_budget = 1024;
+  Engine ref_engine(catalog, ref_opts);
+  Engine vec_engine(catalog, vec_opts);
+  const std::string q =
+      "VALIDTIME SELECT DISTINCT Name FROM R ORDER BY Name ASC";
+  Result<QueryResult> ref = ref_engine.Query(q);
+  Result<QueryResult> vec = vec_engine.Query(q);
+  ASSERT_TRUE(ref.ok() && vec.ok());
+  ExpectListIdentical(ref->relation, vec->relation, q);
+  // The budget reached the executor: the sort of 40 messy rows exceeds 1 KiB.
+  EXPECT_GT(vec->exec.spill_bytes, 0);
+  EXPECT_EQ(ref->exec.spill_bytes, 0);
 }
 
 }  // namespace
