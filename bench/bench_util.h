@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/catalog.h"
+#include "core/json.h"
 #include "exec/evaluator.h"
 #include "opt/enumerate.h"
 #include "opt/optimizer.h"
@@ -114,9 +115,24 @@ inline std::map<std::string, double>& BenchMetrics() {
   return metrics;
 }
 
+/// Pre-rendered JSON metrics (nested objects: ExecStats::ToJson,
+/// EngineStats::ToJson, LatencyHistogram::ToJson, LoadGenReport::ToJson).
+/// Kept separately so the flat numeric metrics stay grep-able.
+inline std::map<std::string, std::string>& BenchJsonMetrics() {
+  static std::map<std::string, std::string> metrics;
+  return metrics;
+}
+
 /// Records one metric (last write wins).
 inline void SetMetric(const std::string& name, double value) {
   BenchMetrics()[name] = value;
+}
+
+/// Records a pre-rendered JSON value (a *ToJson() string) under `name`. The
+/// bench file embeds it verbatim — the same bytes the service layer streams,
+/// so the two renderings cannot drift.
+inline void SetJsonMetric(const std::string& name, const std::string& json) {
+  BenchJsonMetrics()[name] = json;
 }
 
 /// Runs a bench section and records its wall time as "<metric>_seconds".
@@ -147,16 +163,20 @@ inline void WriteBenchJson(const std::string& bench_name) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{");
-  bool first = true;
+  // Rendered through the same core/json.h writer the service frames use.
+  JsonWriter w;
+  w.BeginObject();
   for (const auto& [name, value] : BenchMetrics()) {
-    std::fprintf(f, "%s\n  \"%s\": %.17g", first ? "" : ",", name.c_str(),
-                 value);
-    first = false;
+    w.Key(name).Double(value);
   }
-  std::fprintf(f, "\n}\n");
+  for (const auto& [name, json] : BenchJsonMetrics()) {
+    w.Key(name).Raw(json);
+  }
+  w.EndObject();
+  std::fprintf(f, "%s\n", w.str().c_str());
   std::fclose(f);
-  std::printf("\n[%s: %zu metrics]\n", path.c_str(), BenchMetrics().size());
+  std::printf("\n[%s: %zu metrics]\n", path.c_str(),
+              BenchMetrics().size() + BenchJsonMetrics().size());
 }
 
 /// EMPLOYEE/PROJECT at the paper's size plus two messy temporal relations R

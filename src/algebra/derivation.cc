@@ -430,6 +430,13 @@ Status FillNodeInfo(const PlanPtr& node, const Catalog& catalog,
     switch (node->kind()) {
       case OpKind::kScan: {
         const CatalogEntry* e = catalog.Find(node->rel_name());
+        // DeriveSchema already failed cleanly if the relation is missing,
+        // but that invariant lives in a different function — keep this from
+        // ever turning a dropped relation into a null deref.
+        if (e == nullptr) {
+          return Status::NotFound("relation '" + node->rel_name() +
+                                  "' (dropped since plan construction?)");
+        }
         ni->site = e->site;
         ni->order = e->order;
         ni->duplicate_free = e->duplicate_free;

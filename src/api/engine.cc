@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "core/hash.h"
+#include "core/json.h"
 #include "tql/lexer.h"
 
 namespace tqp {
@@ -53,6 +55,12 @@ struct PreparedQuery::State {
   /// Catalog version the optimization ran under; a mismatch with the live
   /// catalog marks this state stale.
   uint64_t catalog_version = 0;
+  /// Engine cache epoch the optimization ran under (bumped on every cache
+  /// flush). Catches what the version alone cannot: a catalog *replaced*
+  /// through mutable_catalog() can coincidentally carry the same version
+  /// count as the old one, and a stale state must still never execute
+  /// against it.
+  uint64_t engine_epoch = 0;
 };
 
 const PlanPtr& PreparedQuery::initial_plan() const {
@@ -84,7 +92,8 @@ Result<QueryResult> PreparedQuery::Execute() {
       Engine::AdmissionTicket ticket(engine_);
       std::shared_lock<std::shared_mutex> cat(engine_->catalog_mu_);
       engine_->SyncWithCatalog();
-      if (state_->catalog_version == engine_->catalog_.version()) {
+      if (state_->catalog_version == engine_->catalog_.version() &&
+          state_->engine_epoch == engine_->CurrentEpoch()) {
         return engine_->ExecuteState(*state_, from_cache_);
       }
     }
@@ -139,6 +148,15 @@ void Engine::FlushCachesLocked() {
   lru_.clear();
   plan_cache_.clear();
   caches_version_ = catalog_.version();
+  // Every flush starts a new epoch: prepared states from before the flush
+  // must re-prepare even if the catalog version count happens to match
+  // (mutable_catalog() replacement).
+  ++catalog_epoch_;
+}
+
+uint64_t Engine::CurrentEpoch() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return catalog_epoch_;
 }
 
 void Engine::ClearCaches() {
@@ -152,6 +170,15 @@ void Engine::ClearCaches() {
 
 void Engine::SyncWithCatalog() {
   std::lock_guard<std::mutex> state(state_mu_);
+  // A handed-out mutable_catalog() reference may have replaced the catalog
+  // without bumping the version (a fresh catalog can coincidentally carry
+  // the same count). Conservatively treat the handout as a mutation: flush
+  // once, on the next query after it.
+  if (catalog_handout_.exchange(false, std::memory_order_acq_rel)) {
+    ++stats_.invalidations;
+    FlushCachesLocked();
+    return;
+  }
   if (caches_version_ == catalog_.version()) return;
   // Everything cached was derived under an older catalog: relation contents
   // drive cardinalities and validation, so all of it is suspect. Flush
@@ -212,6 +239,7 @@ Result<std::shared_ptr<const PreparedQuery::State>> Engine::PrepareImpl(
   const bool reuse = options_.reuse_search_caches;
   PlanInterner* interner;
   DerivationCache* derivation;
+  uint64_t epoch;
   {
     std::lock_guard<std::mutex> state(state_mu_);
     ++stats_.prepares;
@@ -220,6 +248,7 @@ Result<std::shared_ptr<const PreparedQuery::State>> Engine::PrepareImpl(
     // them while this query holds the catalog lock shared.
     interner = interner_.get();
     derivation = derivation_.get();
+    epoch = catalog_epoch_;
   }
   PlanPtr root = reuse ? interner->Intern(initial) : initial;
 
@@ -244,6 +273,7 @@ Result<std::shared_ptr<const PreparedQuery::State>> Engine::PrepareImpl(
   state->truncated = optimized.truncated;
   state->derivation = std::move(optimized.derivation);
   state->catalog_version = catalog_.version();
+  state->engine_epoch = epoch;
 
   std::shared_ptr<const PreparedQuery::State> shared = state;
   if (options_.cache_plans) StorePlanCache(key, shared);
@@ -392,6 +422,160 @@ Result<EnumerationResult> Engine::Enumerate(const std::string& text,
   return EnumeratePlans(root, catalog_, compiled.contract, options_.rules,
                         options, reuse ? interner : nullptr,
                         reuse ? derivation : nullptr);
+}
+
+namespace {
+
+/// Content summary of a catalog: relation names, schemas, cardinalities,
+/// property flags, declared orders, and sites. Deliberately skips tuple
+/// contents — the summary must stay cheap enough to compute on every
+/// snapshot save/load, and the version counter already covers in-place
+/// mutation; this catches *rebuilt* catalogs whose shape differs.
+uint64_t FingerprintCatalog(const Catalog& catalog) {
+  uint64_t h = 0x7177705f63617461ull;  // arbitrary nonzero seed
+  for (const std::string& name : catalog.Names()) {
+    const CatalogEntry* e = catalog.Find(name);
+    h = HashCombine(h, HashString(name));
+    for (const Attribute& a : e->data.schema().attrs()) {
+      h = HashCombine(h, HashString(a.name));
+      h = HashCombine(h, static_cast<uint64_t>(a.type));
+    }
+    h = HashCombine(h, e->data.size());
+    h = HashCombine(h, (static_cast<uint64_t>(e->duplicate_free) << 3) |
+                           (static_cast<uint64_t>(e->snapshot_duplicate_free)
+                            << 2) |
+                           (static_cast<uint64_t>(e->coalesced) << 1) |
+                           static_cast<uint64_t>(e->site == Site::kDbms));
+    for (const SortKey& k : e->order) {
+      h = HashCombine(h, HashString(k.attr));
+      h = HashCombine(h, static_cast<uint64_t>(k.ascending));
+    }
+  }
+  // Never return the "unknown" sentinel for a real catalog.
+  return h == 0 ? 1 : h;
+}
+
+/// True iff every kScan in `plan` names a relation the catalog contains.
+bool AllScansExist(const PlanPtr& plan, const Catalog& catalog) {
+  if (plan->kind() == OpKind::kScan &&
+      catalog.Find(plan->rel_name()) == nullptr) {
+    return false;
+  }
+  for (const PlanPtr& c : plan->children()) {
+    if (!AllScansExist(c, catalog)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PlanCacheSnapshot Engine::ExportPlanCache() const {
+  // Shared catalog lock: the version stamped into the snapshot is the one
+  // every exported entry was prepared under (any concurrent mutation either
+  // drains us first or flushes the cache before the next query).
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  std::lock_guard<std::mutex> state(state_mu_);
+  PlanCacheSnapshot out;
+  out.catalog_version = catalog_.version();
+  out.catalog_fingerprint = FingerprintCatalog(catalog_);
+  out.entries.reserve(lru_.size());
+  // lru_ front = most recent; emit back-to-front so importing in sequence
+  // reproduces the recency order.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const PreparedQuery::State& s = *it->state;
+    PlanCacheEntry e;
+    e.key = it->key;
+    e.text = s.text;
+    e.contract = s.contract;
+    e.initial_plan = s.initial_plan;
+    e.best_plan = s.best_plan;
+    e.best_cost = s.best_cost;
+    e.initial_cost = s.initial_cost;
+    e.plans_considered = s.plans_considered;
+    e.truncated = s.truncated;
+    e.derivation = s.derivation;
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+size_t Engine::ImportPlanCache(const PlanCacheSnapshot& snapshot) {
+  if (!options_.cache_plans) return 0;
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  SyncWithCatalog();
+  // Wholesale staleness rule: a snapshot from any other catalog version —
+  // or any other catalog *content* — is rejected entirely, exactly as the
+  // in-memory caches are flushed entirely.
+  if (snapshot.catalog_version != catalog_.version()) return 0;
+  if (snapshot.catalog_fingerprint != 0 &&
+      snapshot.catalog_fingerprint != FingerprintCatalog(catalog_)) {
+    return 0;
+  }
+  const bool reuse = options_.reuse_search_caches;
+  PlanInterner* interner;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    interner = interner_.get();
+    epoch = catalog_epoch_;
+  }
+  size_t installed = 0;
+  for (const PlanCacheEntry& e : snapshot.entries) {
+    if (e.key.empty() || e.initial_plan == nullptr || e.best_plan == nullptr) {
+      continue;
+    }
+    // Defense against a same-version but different catalog: an entry whose
+    // plans reference relations this catalog lacks is skipped (it could
+    // never have been prepared here).
+    if (!AllScansExist(e.initial_plan, catalog_) ||
+        !AllScansExist(e.best_plan, catalog_)) {
+      continue;
+    }
+    auto state = std::make_shared<PreparedQuery::State>();
+    state->key = e.key;
+    state->text = e.text;
+    state->contract = e.contract;
+    state->initial_plan = reuse ? interner->Intern(e.initial_plan)
+                                : e.initial_plan;
+    state->best_plan = reuse ? interner->Intern(e.best_plan) : e.best_plan;
+    state->best_cost = e.best_cost;
+    state->initial_cost = e.initial_cost;
+    state->plans_considered = e.plans_considered;
+    state->truncated = e.truncated;
+    state->derivation = e.derivation;
+    state->catalog_version = catalog_.version();
+    state->engine_epoch = epoch;
+    StorePlanCache(e.key, std::move(state));
+    ++installed;
+  }
+  if (installed > 0) {
+    std::lock_guard<std::mutex> state(state_mu_);
+    stats_.plan_cache_imports += installed;
+  }
+  return installed;
+}
+
+uint64_t Engine::CatalogFingerprint() const {
+  std::shared_lock<std::shared_mutex> cat(catalog_mu_);
+  return FingerprintCatalog(catalog_);
+}
+
+std::string EngineStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("prepares").Uint(prepares);
+  w.Key("plan_cache_hits").Uint(plan_cache_hits);
+  w.Key("plan_cache_misses").Uint(plan_cache_misses);
+  w.Key("plan_cache_evictions").Uint(plan_cache_evictions);
+  w.Key("plan_cache_imports").Uint(plan_cache_imports);
+  w.Key("invalidations").Uint(invalidations);
+  w.Key("peak_concurrent_queries").Uint(peak_concurrent_queries);
+  w.Key("plan_cache_entries").Uint(plan_cache_entries);
+  w.Key("interner_nodes").Uint(interner_nodes);
+  w.Key("interner_hits").Uint(interner_hits);
+  w.Key("derivation_nodes").Uint(derivation_nodes);
+  w.EndObject();
+  return w.Take();
 }
 
 EngineStats Engine::stats() const {

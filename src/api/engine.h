@@ -166,6 +166,48 @@ struct EngineStats {
   size_t interner_nodes = 0;
   size_t interner_hits = 0;
   size_t derivation_nodes = 0;
+  /// Plan-cache entries installed from a persisted snapshot
+  /// (Engine::ImportPlanCache), e.g. by the service layer's warm start.
+  uint64_t plan_cache_imports = 0;
+
+  /// One flat JSON object with every counter above — the rendering the
+  /// service's \stats command and the bench JSON both embed.
+  std::string ToJson() const;
+};
+
+/// One plan-cache entry in exported form: everything needed to reinstall a
+/// PreparedQuery state into another Engine serving the same catalog. The
+/// service layer's plan store serializes these across restarts.
+struct PlanCacheEntry {
+  /// Cache key ("#tql:..." token-stream key or "#plan:..." fingerprint key).
+  std::string key;
+  /// Original query text; empty for plan-keyed preparations.
+  std::string text;
+  QueryContract contract;
+  PlanPtr initial_plan;
+  PlanPtr best_plan;
+  double best_cost = 0.0;
+  double initial_cost = 0.0;
+  size_t plans_considered = 0;
+  bool truncated = false;
+  std::vector<std::string> derivation;
+};
+
+/// A point-in-time export of an Engine's plan cache, valid only for the
+/// catalog version it was taken under.
+struct PlanCacheSnapshot {
+  /// Catalog::version() at export time. Import refuses a snapshot whose
+  /// version differs from the live catalog's — a bumped catalog invalidates
+  /// the snapshot wholesale, exactly like the in-memory caches.
+  uint64_t catalog_version = 0;
+  /// Content summary of the catalog at export time
+  /// (Engine::CatalogFingerprint). A version count alone cannot distinguish
+  /// two catalogs that saw the same *number* of mutations; import also
+  /// rejects wholesale on a fingerprint mismatch (0 = unknown, not checked).
+  uint64_t catalog_fingerprint = 0;
+  /// Entries in least- to most-recently-used order, so importing them in
+  /// sequence reproduces the exporter's LRU recency.
+  std::vector<PlanCacheEntry> entries;
 };
 
 class Engine;
@@ -224,8 +266,18 @@ class Engine {
   /// callers must guarantee no query is in flight. Concurrent sessions
   /// mutate through MutateCatalog instead, which excludes running queries.
   /// Mutations bump Catalog::version(); the Engine notices lazily and
-  /// flushes every session cache before serving the next query.
-  Catalog& mutable_catalog() { return catalog_; }
+  /// flushes every session cache before serving the next query. Because the
+  /// handed-out reference can also *replace* the catalog wholesale (which a
+  /// version count alone cannot detect — a fresh catalog may coincidentally
+  /// carry the same count), every handout conservatively flushes the session
+  /// caches on the next query, and outstanding PreparedQuery handles
+  /// re-prepare on their next Execute() — a query whose relations were
+  /// dropped or replaced incompatibly returns a clean error instead of
+  /// running a stale plan (locked by test_api_engine.cc).
+  Catalog& mutable_catalog() {
+    catalog_handout_.store(true, std::memory_order_release);
+    return catalog_;
+  }
   /// Applies `mutation` to the catalog under the engine's exclusive lock:
   /// it waits for in-flight queries to drain, runs the mutation, and lets
   /// traffic resume — the next query sees the bumped version and re-prepares
@@ -261,6 +313,29 @@ class Engine {
   /// Session cache counters (plan cache, interner, derivation cache).
   EngineStats stats() const;
 
+  /// Exports every plan-cache entry (LRU → MRU order) together with the
+  /// catalog version they are valid for. The service layer persists the
+  /// result across restarts (service/plan_store.h). Waits for no one:
+  /// concurrent queries keep running; the export is a consistent snapshot
+  /// under the engine's locks.
+  PlanCacheSnapshot ExportPlanCache() const;
+
+  /// Installs a previously exported snapshot into this engine's plan cache,
+  /// returning the number of entries installed. A snapshot taken under a
+  /// different catalog version than the live one is rejected wholesale
+  /// (returns 0) — stale plans are never imported, mirroring the in-memory
+  /// invalidation rule. Entries referencing relations the live catalog does
+  /// not contain are skipped individually (defense against a snapshot from a
+  /// same-version but different catalog). Imported plans are interned into
+  /// the session interner; LRU capacity applies as usual.
+  size_t ImportPlanCache(const PlanCacheSnapshot& snapshot);
+
+  /// Stable content summary of the live catalog (relation names, schemas,
+  /// cardinalities, property flags, declared orders, sites) under the shared
+  /// catalog lock. Persisted snapshots couple to it in addition to the
+  /// version counter, which a rebuilt catalog can coincidentally reproduce.
+  uint64_t CatalogFingerprint() const;
+
   /// Drops every session cache (plan cache, interner, derivation cache)
   /// after waiting for in-flight queries to drain. Equivalent to what a
   /// catalog mutation triggers automatically.
@@ -294,8 +369,10 @@ class Engine {
   /// be observed once the mutating writer has drained every older reader, so
   /// no in-flight query can still be using the flushed objects).
   void SyncWithCatalog();
-  /// Drops all caches; state_mu_ must be held.
+  /// Drops all caches; state_mu_ must be held. Starts a new cache epoch.
   void FlushCachesLocked();
+  /// The current cache epoch (bumped by every flush).
+  uint64_t CurrentEpoch() const;
 
   /// Plan-cache probe under state_mu_: on a hit bumps the entry to the LRU
   /// front and counts a hit. `confirm` (optional) structurally verifies the
@@ -331,6 +408,13 @@ class Engine {
 
   /// Catalog version the caches below are valid for.
   uint64_t caches_version_ = 0;
+  /// Cache epoch: incremented on every flush. Prepared states remember the
+  /// epoch they were built under and re-prepare when it moved — the version
+  /// count alone cannot see a wholesale catalog replacement.
+  uint64_t catalog_epoch_ = 0;
+  /// Set when mutable_catalog() hands out a mutable reference; the next
+  /// SyncWithCatalog flushes conservatively and clears it.
+  mutable std::atomic<bool> catalog_handout_{false};
   std::unique_ptr<PlanInterner> interner_;
   std::unique_ptr<DerivationCache> derivation_;
   /// LRU plan cache: list front = most recently used; map points into it.

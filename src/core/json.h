@@ -1,0 +1,152 @@
+// A minimal streaming JSON writer — the one serialization used everywhere a
+// tqp component emits JSON: the stats ToJson() methods (ExecStats,
+// EngineStats, LatencyHistogram), the service layer's response frames, and
+// the bench BENCH_<name>.json metric files. One writer means the service's
+// wire format and the bench artifacts cannot drift apart: both render the
+// same structs through the same code.
+//
+// Writer only — the repo never *parses* general JSON (service requests are
+// raw TQL lines; the plan-cache snapshot uses its own token format in
+// service/plan_store.h), so no third-party dependency is needed.
+#ifndef TQP_CORE_JSON_H_
+#define TQP_CORE_JSON_H_
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace tqp {
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes not
+/// included). Control characters become \u00XX.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Builds a JSON document into a string. Purely syntactic: the caller drives
+/// Begin/End nesting; the writer only tracks where commas are needed. No
+/// newlines or indentation — frames go over the wire one per line, so the
+/// output must never contain a raw newline (JsonEscape guarantees that for
+/// string payloads).
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  /// Object key; must be followed by exactly one value/Begin call.
+  JsonWriter& Key(const std::string& k) {
+    Comma();
+    out_ += '"';
+    out_ += JsonEscape(k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(const std::string& v) {
+    Comma();
+    out_ += '"';
+    out_ += JsonEscape(v);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& Int(int64_t v) {
+    Comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Uint(uint64_t v) {
+    Comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Double(double v) {
+    // JSON has no inf/nan literals; clamp to null.
+    if (!std::isfinite(v)) return Null();
+    Comma();
+    char buf[40];
+    // %.17g round-trips doubles exactly (the bench files rely on that).
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Bool(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& Null() {
+    Comma();
+    out_ += "null";
+    return *this;
+  }
+  /// Splices a pre-rendered JSON value verbatim (e.g. a nested ToJson()).
+  JsonWriter& Raw(const std::string& json) {
+    Comma();
+    out_ += json;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  JsonWriter& Open(char c) {
+    Comma();
+    out_ += c;
+    need_comma_ = false;
+    return *this;
+  }
+  JsonWriter& Close(char c) {
+    out_ += c;
+    need_comma_ = true;
+    pending_value_ = false;
+    return *this;
+  }
+  void Comma() {
+    if (pending_value_) {
+      // A value right after Key(): no comma, the key already emitted one.
+      pending_value_ = false;
+      return;
+    }
+    if (need_comma_) out_ += ',';
+    need_comma_ = true;
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool pending_value_ = false;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_JSON_H_

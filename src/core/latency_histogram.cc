@@ -1,0 +1,137 @@
+#include "core/latency_histogram.h"
+
+#include "core/json.h"
+
+namespace tqp {
+
+namespace {
+
+/// Position of the highest set bit (value must be nonzero).
+inline int HighBit(uint64_t v) { return 63 - __builtin_clzll(v); }
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram()
+    : slots_(new std::atomic<uint64_t>[kSlots]) {
+  for (size_t i = 0; i < kSlots; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t LatencyHistogram::IndexFor(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const int h = HighBit(value);
+  const int shift = h - kSubBucketBits;
+  const size_t group = static_cast<size_t>(h - kSubBucketBits + 1);
+  const size_t sub = static_cast<size_t>((value >> shift) & (kSubBuckets - 1));
+  return group * kSubBuckets + sub;
+}
+
+uint64_t LatencyHistogram::SlotUpperEdge(size_t index) {
+  const size_t group = index / kSubBuckets;
+  const uint64_t sub = index % kSubBuckets;
+  if (group == 0) return sub;  // one exact value per slot
+  const int shift = static_cast<int>(group) - 1;
+  return ((kSubBuckets + sub + 1) << shift) - 1;
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  slots_[IndexFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  uint64_t merged = 0;
+  for (size_t i = 0; i < kSlots; ++i) {
+    uint64_t n = other.slots_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    slots_[i].fetch_add(n, std::memory_order_relaxed);
+    merged += n;
+  }
+  count_.fetch_add(merged, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  uint64_t v = other.min_.load(std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  v = other.max_.load(std::memory_order_relaxed);
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Reset() {
+  for (size_t i = 0; i < kSlots; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::min() const {
+  uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+uint64_t LatencyHistogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Mean() const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the percentile record, 1-based; at least the first record.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kSlots; ++i) {
+    cumulative += slots_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      uint64_t edge = SlotUpperEdge(i);
+      uint64_t hi = max();
+      return edge < hi ? edge : hi;
+    }
+  }
+  return max();
+}
+
+std::string LatencyHistogram::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("count").Uint(count());
+  w.Key("min").Uint(min());
+  w.Key("max").Uint(max());
+  w.Key("mean").Double(Mean());
+  w.Key("p50").Uint(Percentile(50.0));
+  w.Key("p90").Uint(Percentile(90.0));
+  w.Key("p99").Uint(Percentile(99.0));
+  w.Key("p999").Uint(Percentile(99.9));
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace tqp

@@ -1,0 +1,92 @@
+// A lock-free HDR-style latency histogram for the service layer's load
+// telemetry (p50/p99/p999 under hundreds of concurrent client threads).
+//
+// Log-linear bucketing, the HdrHistogram recipe: values are grouped by the
+// position of their highest set bit, with kSubBuckets linear sub-buckets per
+// power of two. That bounds the relative quantization error at
+// 1/kSubBuckets (~1.6%) across the full uint64 range while keeping the
+// counter array small (~30 KB) and the index computation branch-light —
+// Record() is one fetch_add on an atomic counter plus two relaxed min/max
+// updates, so hundreds of client threads can record into one shared
+// histogram with no lock and no coordination beyond cache-line traffic.
+//
+// Readers (Percentile, ToJson) take relaxed snapshots of the counters; they
+// are intended for quiescent points or monitoring, where a count that is a
+// few records behind a racing writer is fine. Merge() accumulates another
+// histogram into this one with the same semantics.
+#ifndef TQP_CORE_LATENCY_HISTOGRAM_H_
+#define TQP_CORE_LATENCY_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace tqp {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power of two; the relative quantization error of
+  /// every reported percentile is at most 1/kSubBuckets.
+  static constexpr uint64_t kSubBuckets = 64;
+
+  LatencyHistogram();
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one value (any unit; the service records microseconds).
+  /// Lock-free and safe from any number of threads.
+  void Record(uint64_t value);
+
+  /// Adds every recorded value of `other` into this histogram (bucket-wise;
+  /// min/max/count merge exactly). Safe against concurrent Record on either.
+  void Merge(const LatencyHistogram& other);
+
+  /// Forgets everything. Not safe against concurrent Record.
+  void Reset();
+
+  uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Exact smallest / largest recorded value; 0 when empty.
+  uint64_t min() const;
+  uint64_t max() const;
+  /// Exact mean of the recorded values (a separate atomic sum, not the
+  /// quantized buckets). 0 when empty.
+  double Mean() const;
+
+  /// The value at percentile `p` in [0, 100]: the upper edge of the bucket
+  /// containing the p-th percentile record, clamped to the exact observed
+  /// max. 0 when empty.
+  uint64_t Percentile(double p) const;
+
+  /// {"count":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..,
+  ///  "p999":..} — the shape bench_service_load embeds per phase and the
+  /// service reports from \stats.
+  std::string ToJson() const;
+
+ private:
+  // Values < kSubBuckets index linearly; larger values drop sub-bit
+  // precision below the top log2(kSubBuckets)+1 bits. 59 half-open
+  // bucket groups cover the full uint64 range.
+  static constexpr int kSubBucketBits = 6;  // log2(kSubBuckets)
+  static constexpr size_t kBucketGroups = 64 - kSubBucketBits + 1;
+  static constexpr size_t kSlots = kBucketGroups * kSubBuckets;
+
+  static size_t IndexFor(uint64_t value);
+  /// Upper edge (inclusive) of the slot's value range — what percentiles
+  /// report, so reported quantiles never undershoot the true value's slot.
+  static uint64_t SlotUpperEdge(size_t index);
+
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> slots_;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_LATENCY_HISTOGRAM_H_

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/json.h"
+
 namespace tqp {
 
 namespace {
@@ -126,6 +128,30 @@ struct TreeEvaluator {
 };
 
 }  // namespace
+
+std::string ExecStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("dbms_work").Double(dbms_work);
+  w.Key("stratum_work").Double(stratum_work);
+  w.Key("total_work").Double(total_work());
+  w.Key("tuples_transferred").Int(tuples_transferred);
+  w.Key("tuples_produced").Int(tuples_produced);
+  w.Key("vec_batches").Int(vec_batches);
+  w.Key("vec_materializations").Int(vec_materializations);
+  w.Key("vec_rows").Int(vec_rows);
+  w.Key("morsels").Int(morsels);
+  w.Key("steals").Int(steals);
+  w.Key("spill_bytes").Int(spill_bytes);
+  w.Key("spill_runs").Int(spill_runs);
+  w.Key("ops").BeginObject();
+  for (const auto& [name, n] : op_counts) {
+    w.Key(name).Int(n);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
 
 Result<Relation> Evaluate(const AnnotatedPlan& plan, const EngineConfig& config,
                           ExecStats* stats) {

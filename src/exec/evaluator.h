@@ -66,6 +66,12 @@ struct ExecStats {
   int64_t spill_runs = 0;
 
   double total_work() const { return dbms_work + stratum_work; }
+
+  /// One flat JSON object with every counter above (op_counts nested as
+  /// "ops"). The single rendering of execution statistics: the service
+  /// layer's response frames and the bench JSON embed this same string, so
+  /// the two cannot drift apart.
+  std::string ToJson() const;
 };
 
 /// Evaluates an annotated plan against its catalog. The returned relation's

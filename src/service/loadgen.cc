@@ -1,0 +1,325 @@
+#include "service/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <thread>
+
+#include "core/json.h"
+
+namespace tqp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool HasPrefix(const std::string& s, const char* prefix) {
+  return s.compare(0, std::strlen(prefix), prefix) == 0;
+}
+
+/// Extracts the integer after `"field":` in a fixed-key-order frame; 0 if
+/// absent. Enough for the driver's "rows" counter — not a JSON parser.
+uint64_t FrameUint(const std::string& frame, const char* field) {
+  const std::string needle = std::string("\"") + field + "\":";
+  const size_t pos = frame.find(needle);
+  if (pos == std::string::npos) return 0;
+  uint64_t v = 0;
+  for (size_t i = pos + needle.size();
+       i < frame.size() && frame[i] >= '0' && frame[i] <= '9'; ++i) {
+    v = v * 10 + static_cast<uint64_t>(frame[i] - '0');
+  }
+  return v;
+}
+
+/// Extracts the string after `"field":"` up to the closing quote, undoing
+/// only the escapes JsonEscape emits for common characters.
+std::string FrameString(const std::string& frame, const char* field) {
+  const std::string needle = std::string("\"") + field + "\":\"";
+  const size_t pos = frame.find(needle);
+  if (pos == std::string::npos) return "";
+  std::string out;
+  for (size_t i = pos + needle.size(); i < frame.size(); ++i) {
+    char c = frame[i];
+    if (c == '"') break;
+    if (c == '\\' && i + 1 < frame.size()) {
+      char e = frame[++i];
+      switch (e) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        default: out += e; break;  // \" \\ and the rest verbatim
+      }
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- ServiceClient ---------------------------------------------------------
+
+Status ServiceClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Error("loadgen: socket() failed: " +
+                         std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::Error("loadgen: bad address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::Error("loadgen: connect(" + host + ":" +
+                              std::to_string(port) +
+                              ") failed: " + std::strerror(errno));
+    Close();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void ServiceClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<std::string> ServiceClient::ReadLine() {
+  char chunk[4096];
+  while (true) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::Error("loadgen: connection closed mid-response");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<QueryOutcome> ServiceClient::RunQuery(const std::string& tql,
+                                             bool capture_raw) {
+  if (fd_ < 0) return Status::Error("loadgen: not connected");
+  if (!SendAll(fd_, tql + "\n")) {
+    return Status::Error("loadgen: send failed: " +
+                         std::string(std::strerror(errno)));
+  }
+  QueryOutcome out;
+  while (true) {
+    TQP_ASSIGN_OR_RETURN(line, ReadLine());
+    if (HasPrefix(line, "{\"type\":\"error\"")) {
+      out.ok = false;
+      out.error = FrameString(line, "message");
+      return out;
+    }
+    if (HasPrefix(line, "{\"type\":\"done\"")) {
+      out.ok = true;
+      out.rows = FrameUint(line, "rows");
+      out.batches = FrameUint(line, "batches");
+      out.plan_cache_hit =
+          line.find("\"plan_cache_hit\":true") != std::string::npos;
+      return out;
+    }
+    if (HasPrefix(line, "{\"type\":\"schema\"") ||
+        HasPrefix(line, "{\"type\":\"batch\"")) {
+      if (capture_raw) {
+        out.raw += line;
+        out.raw += '\n';
+      }
+      continue;
+    }
+    return Status::Error("loadgen: unexpected frame: " + line.substr(0, 80));
+  }
+}
+
+Result<std::string> ServiceClient::Stats() {
+  if (fd_ < 0) return Status::Error("loadgen: not connected");
+  if (!SendAll(fd_, "\\stats\n")) {
+    return Status::Error("loadgen: send failed");
+  }
+  TQP_ASSIGN_OR_RETURN(line, ReadLine());
+  if (!HasPrefix(line, "{\"type\":\"stats\"")) {
+    return Status::Error("loadgen: unexpected stats frame: " +
+                         line.substr(0, 80));
+  }
+  return line;
+}
+
+// ---- RunLoad ---------------------------------------------------------------
+
+std::string LoadGenReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("queries").Uint(queries);
+  w.Key("errors").Uint(errors);
+  w.Key("batches").Uint(batches);
+  w.Key("rows").Uint(rows);
+  w.Key("plan_cache_hits").Uint(plan_cache_hits);
+  w.Key("elapsed_s").Double(elapsed_s);
+  w.Key("qps").Double(qps);
+  w.Key("latency_us").Raw(latency_us.ToJson());
+  w.EndObject();
+  return w.Take();
+}
+
+Status RunLoad(const LoadGenOptions& options, LoadGenReport* report) {
+  TQP_CHECK(report != nullptr);
+  if (options.queries.empty()) {
+    return Status::InvalidArgument("loadgen: empty query mix");
+  }
+  if (options.clients == 0) {
+    return Status::InvalidArgument("loadgen: zero clients");
+  }
+  report->queries = 0;
+  report->errors = 0;
+  report->batches = 0;
+  report->rows = 0;
+  report->plan_cache_hits = 0;
+  report->elapsed_s = 0;
+  report->qps = 0;
+  report->latency_us.Reset();
+  report->raw_by_client.assign(options.clients, std::string());
+
+  // Connect everyone before the clock starts, so "first wave" measures
+  // query service, not TCP handshakes.
+  std::vector<std::unique_ptr<ServiceClient>> clients;
+  clients.reserve(options.clients);
+  for (size_t i = 0; i < options.clients; ++i) {
+    auto c = std::make_unique<ServiceClient>();
+    TQP_RETURN_IF_ERROR(c->Connect(options.host, options.port));
+    clients.push_back(std::move(c));
+  }
+
+  struct ClientTotals {
+    uint64_t queries = 0, errors = 0, batches = 0, rows = 0, hits = 0;
+    Status transport = Status::OK();
+  };
+  std::vector<ClientTotals> totals(options.clients);
+
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_s));
+  // Open loop: each client owns an interleaved slice of the aggregate
+  // schedule (client i sends at ticks i, i+N, i+2N, ...).
+  const double send_interval_s =
+      options.open_loop_qps > 0
+          ? static_cast<double>(options.clients) / options.open_loop_qps
+          : 0.0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(options.clients);
+  for (size_t ci = 0; ci < options.clients; ++ci) {
+    threads.emplace_back([&, ci] {
+      ServiceClient& client = *clients[ci];
+      ClientTotals& t = totals[ci];
+      std::mt19937_64 rng(options.seed + ci);
+      std::uniform_int_distribution<size_t> pick(0,
+                                                 options.queries.size() - 1);
+      auto next_send =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(
+                          send_interval_s > 0
+                              ? (static_cast<double>(ci) /
+                                 options.open_loop_qps)
+                              : 0.0));
+      size_t sent = 0;
+      const size_t quota =
+          options.rounds > 0 ? options.rounds * options.queries.size() : 0;
+      while (true) {
+        if (quota > 0) {
+          if (sent >= quota) break;
+        } else if (Clock::now() >= deadline) {
+          break;
+        }
+        if (send_interval_s > 0) {
+          std::this_thread::sleep_until(next_send);
+          next_send += std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(send_interval_s));
+        }
+        const size_t qi =
+            quota > 0 ? sent % options.queries.size() : pick(rng);
+        const auto q_start = Clock::now();
+        auto outcome = client.RunQuery(options.queries[qi],
+                                       options.record_raw);
+        const auto q_end = Clock::now();
+        if (!outcome.ok()) {
+          t.transport = outcome.status();
+          break;
+        }
+        const uint64_t us =
+            static_cast<uint64_t>(std::chrono::duration_cast<
+                                      std::chrono::microseconds>(q_end -
+                                                                 q_start)
+                                      .count());
+        report->latency_us.Record(us);
+        ++t.queries;
+        ++sent;
+        if (outcome->ok) {
+          t.batches += outcome->batches;
+          t.rows += outcome->rows;
+          if (outcome->plan_cache_hit) ++t.hits;
+          if (options.record_raw) {
+            report->raw_by_client[ci] += outcome->raw;
+          }
+        } else {
+          ++t.errors;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  for (const ClientTotals& t : totals) {
+    TQP_RETURN_IF_ERROR(t.transport);
+    report->queries += t.queries;
+    report->errors += t.errors;
+    report->batches += t.batches;
+    report->rows += t.rows;
+    report->plan_cache_hits += t.hits;
+  }
+  report->elapsed_s = elapsed;
+  report->qps = elapsed > 0 ? static_cast<double>(report->queries) / elapsed
+                            : 0.0;
+  return Status::OK();
+}
+
+}  // namespace tqp

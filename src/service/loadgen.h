@@ -1,0 +1,126 @@
+// A service client and a multi-client load driver for the TCP query service.
+//
+// ServiceClient speaks the newline-JSON protocol of service/server.h over a
+// blocking socket: send one TQL line, collect frames until "done" or
+// "error". The parser is deliberately thin — the server renders frames with
+// fixed key order, so frame types are recognized by prefix and the few
+// fields the driver needs ("rows", "plan_cache_hit") by substring. It is a
+// measurement tool, not a general JSON client.
+//
+// RunLoad drives N concurrent clients against one server:
+//   - closed loop (default): every client fires its next query the moment
+//     the previous response is fully read — offered load tracks service
+//     capacity, the natural overload mode.
+//   - open loop (open_loop_qps > 0): clients pace sends to a fixed schedule
+//     and the latency of queueing shows up in the percentiles.
+//   - first-wave (rounds > 0): every client runs `rounds` deterministic
+//     round-robin passes over the query mix and stops — the mode the
+//     warm-vs-cold-start bench uses, with record_raw capturing the exact
+//     result bytes for byte-identity checks.
+//
+// Latencies are recorded in microseconds into the lock-free
+// core/latency_histogram.h; the report carries q/s plus p50/p99/p999.
+#ifndef TQP_SERVICE_LOADGEN_H_
+#define TQP_SERVICE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/common.h"
+#include "core/latency_histogram.h"
+
+namespace tqp {
+
+/// Outcome of one query round trip on a ServiceClient.
+struct QueryOutcome {
+  bool ok = false;
+  /// Server-reported message when !ok.
+  std::string error;
+  uint64_t rows = 0;
+  uint64_t batches = 0;
+  bool plan_cache_hit = false;
+  /// Raw result frames (schema + batch lines, '\n'-terminated) when
+  /// requested — the byte-identity unit. The "done" frame is excluded: its
+  /// telemetry (plan_cache_hit, costs) legitimately differs warm vs cold.
+  std::string raw;
+};
+
+/// One blocking connection to a Server. Not thread-safe; one client per
+/// thread.
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient() { Close(); }
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one TQL statement and reads frames until done/error.
+  /// `capture_raw` fills QueryOutcome::raw. A transport failure (server
+  /// gone) is a Status error; a query error is ok=false in the outcome.
+  Result<QueryOutcome> RunQuery(const std::string& tql,
+                                bool capture_raw = false);
+
+  /// The server's "\stats" frame (one JSON line).
+  Result<std::string> Stats();
+
+ private:
+  Result<std::string> ReadLine();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Concurrent client connections.
+  size_t clients = 8;
+  /// Wall-clock run length for duration-mode loops (ignored if rounds > 0).
+  double duration_s = 1.0;
+  /// The TQL mix; clients draw from it (weighted-uniform in duration mode,
+  /// round-robin in rounds mode).
+  std::vector<std::string> queries;
+  /// > 0 = open-loop aggregate send rate across all clients; 0 = closed.
+  double open_loop_qps = 0.0;
+  /// > 0 = first-wave mode: each client runs `rounds` round-robin passes
+  /// over `queries` and stops (duration_s ignored).
+  size_t rounds = 0;
+  /// Seed for the duration-mode query choice (client i uses seed + i).
+  uint64_t seed = 42;
+  /// Capture raw result frames (first-wave byte-identity checks).
+  bool record_raw = false;
+};
+
+struct LoadGenReport {
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+  uint64_t batches = 0;
+  uint64_t rows = 0;
+  uint64_t plan_cache_hits = 0;
+  double elapsed_s = 0.0;
+  double qps = 0.0;
+  /// Per-query round-trip latency in microseconds. (The histogram is
+  /// non-movable — atomics — which is why RunLoad fills a caller-owned
+  /// report instead of returning one.)
+  LatencyHistogram latency_us;
+  /// record_raw: concatenated raw result frames per client, in send order —
+  /// deterministic in rounds mode, so two runs are directly comparable.
+  std::vector<std::string> raw_by_client;
+
+  /// Flat JSON: counters, qps, and the latency histogram summary.
+  std::string ToJson() const;
+};
+
+/// Runs the configured load into `*report` (reset first) and blocks until
+/// every client is done. Connection failures surface as the returned
+/// Status; per-query errors are counted in the report.
+Status RunLoad(const LoadGenOptions& options, LoadGenReport* report);
+
+}  // namespace tqp
+
+#endif  // TQP_SERVICE_LOADGEN_H_

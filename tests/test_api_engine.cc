@@ -339,6 +339,68 @@ TEST(ApiEngineTest, StalePreparedQueryRepreparesTransparently) {
   EXPECT_EQ(engine.stats().invalidations, 1u);
 }
 
+TEST(ApiEngineTest, ExecuteAfterRelationDropFailsCleanly) {
+  // Regression: a PreparedQuery whose relation was dropped used to chase a
+  // stale catalog entry (null-deref in the derivation's scan annotation).
+  // The documented contract is a clean error from the re-prepare.
+  const std::string query = "SELECT DISTINCT Name FROM R ORDER BY Name ASC";
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "R", testing_util::ConventionalRel({{"x", 1}, {"y", 2}}),
+                    Site::kDbms)
+                .ok());
+  Engine engine(catalog);
+  Result<PreparedQuery> prepared = engine.Prepare(query);
+  ASSERT_TRUE(prepared.ok());
+
+  ASSERT_TRUE(engine.mutable_catalog().Drop("R"));
+
+  Result<QueryResult> out = prepared.value().Execute();
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("R"), std::string::npos)
+      << out.status().message();
+  // The engine stays serviceable for queries over what's left.
+  EXPECT_FALSE(engine.Query(query).ok());
+}
+
+TEST(ApiEngineTest, ExecuteAfterSameVersionCatalogSwapFailsCleanly) {
+  // A handed-out mutable_catalog() reference can *replace* the catalog
+  // wholesale with one that coincidentally carries the same version count —
+  // the version check alone cannot see that. The conservative
+  // flush-on-handout must force a re-prepare, which fails cleanly when the
+  // replacement lacks the query's relation.
+  const std::string query = "SELECT DISTINCT Name FROM R ORDER BY Name ASC";
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "R", testing_util::ConventionalRel({{"x", 1}, {"y", 2}}),
+                    Site::kDbms)
+                .ok());
+  Engine engine(catalog);
+  Result<PreparedQuery> prepared = engine.Prepare(query);
+  ASSERT_TRUE(prepared.ok());
+
+  // Same number of mutations (version 1), entirely different contents.
+  Catalog replacement;
+  TQP_CHECK(replacement
+                .RegisterWithInferredFlags(
+                    "Q", testing_util::ConventionalRel({{"z", 3}}),
+                    Site::kDbms)
+                .ok());
+  ASSERT_EQ(replacement.version(), engine.catalog().version());
+  engine.mutable_catalog() = replacement;
+
+  Result<QueryResult> out = prepared.value().Execute();
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("R"), std::string::npos)
+      << out.status().message();
+  // And queries against the replacement's contents work.
+  Result<QueryResult> q = engine.Query("SELECT Name FROM Q");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  EXPECT_EQ(q->relation.size(), 1u);
+}
+
 TEST(ApiEngineTest, EnumerateThreadsSessionCaches) {
   Engine engine(PaperCatalog());
   EnumerationOptions options = engine.options().enumeration;
