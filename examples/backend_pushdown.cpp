@@ -1,0 +1,141 @@
+// Backend pushdown: the stratum⇄DBMS split of Section 2.1 made concrete.
+//
+// The layered architecture runs maximal conventional subplans below each
+// transferS cut inside a conventional DBMS and only the temporal work above
+// it. This example walks the Backend interface bottom-up: raw DBMS
+// primitives, SQL pushdown of a cut subplan with byte-identical results,
+// the runtime fallback, cost calibration, and backend selection at the
+// Engine level.
+//
+// Build & run:  ./build/examples/example_backend_pushdown
+#include <cstdio>
+
+#include "api/engine.h"
+#include "backend/backend.h"
+#include "backend/simulated_backend.h"
+#include "backend/sqlite_backend.h"
+#include "exec/evaluator.h"
+#include "workload/generator.h"
+
+using namespace tqp;  // NOLINT — example code
+
+namespace {
+
+Relation Conventional(uint64_t seed, size_t n) {
+  RelationGenParams p;
+  p.cardinality = n;
+  p.num_names = 6;
+  p.num_categories = 3;
+  p.duplicate_fraction = 0.3;
+  p.temporal = false;
+  p.seed = seed;
+  return GenerateRelation(p);
+}
+
+}  // namespace
+
+int main() {
+  if (!SqliteBackend::Available()) {
+    std::printf("built without sqlite3 — only the simulated backend exists\n");
+    return 0;
+  }
+
+  // 1. The raw primitives every backend offers: create a table with
+  //    positional columns, bulk-load preserving list order, run SQL.
+  Result<std::unique_ptr<Backend>> made = MakeBackend(BackendKind::kSqlite);
+  TQP_CHECK(made.ok());
+  Backend& be = *made.value();
+  std::printf("backend: %s\n\n", be.name());
+
+  Schema schema;
+  schema.Add(Attribute{"Name", ValueType::kString});
+  schema.Add(Attribute{"Val", ValueType::kInt});
+  Relation rows(schema);
+  for (int i = 0; i < 5; ++i) {
+    Tuple t;
+    t.push_back(Value::String("p" + std::to_string(i % 2)));
+    t.push_back(Value::Int(10 * i));
+    rows.Append(std::move(t));
+  }
+  TQP_CHECK(be.CreateTable("demo", schema).ok());
+  TQP_CHECK(be.Load("demo", rows).ok());
+  Result<Relation> sum = be.ExecuteSql(
+      "SELECT c0, CAST(TOTAL(c1) AS INTEGER) FROM demo GROUP BY c0 ORDER BY c0",
+      {}, schema);
+  TQP_CHECK(sum.ok());
+  std::printf("raw SQL over a loaded table:\n%s\n",
+              sum->ToTable("sum per name").c_str());
+
+  // 2. Pushdown of a cut subplan. The catalog's DBMS-site relations are
+  //    mirrored automatically; the subtree under transferS is serialized to
+  //    one SQL statement with exact list semantics. The result is
+  //    byte-identical to in-engine evaluation — pushdown is an execution
+  //    strategy, never a semantics change.
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("C", Conventional(5, 200),
+                                           Site::kDbms)
+                .ok());
+  PlanPtr plan = PlanNode::TransferS(PlanNode::Select(
+      PlanNode::Scan("C"),
+      Expr::Compare(CompareOp::kGt, Expr::Attr("Val"),
+                    Expr::Const(Value::Int(800)))));
+
+  EngineConfig in_engine;  // backend == nullptr: the stratum does everything
+  Result<Relation> ref = EvaluatePlan(plan, catalog, in_engine, nullptr);
+  TQP_CHECK(ref.ok());
+
+  EngineConfig pushed_cfg;
+  pushed_cfg.backend = &be;
+  ExecStats stats;
+  Result<Relation> pushed = EvaluatePlan(plan, catalog, pushed_cfg, &stats);
+  TQP_CHECK(pushed.ok());
+  TQP_CHECK(ref->ToTable() == pushed->ToTable());
+  std::printf("cut subplan pushed down: %lld subplan(s), %lld rows fetched, "
+              "byte-identical to in-engine\n",
+              static_cast<long long>(stats.backend_pushdowns),
+              static_cast<long long>(stats.backend_rows));
+
+  // 3. Anything the SQL serializer cannot express with exact stratum
+  //    semantics (temporal operators, integer division, ...) is refused and
+  //    evaluated in-engine — correctness never depends on backend coverage.
+  PlanPtr refused = PlanNode::TransferS(PlanNode::Project(
+      PlanNode::Scan("C"),
+      {ProjItem{Expr::Arith(ArithOp::kDiv, Expr::Attr("Val"),
+                            Expr::Attr("Cat")),
+                "VD"}}));
+  ExecStats refused_stats;
+  Result<Relation> fallback =
+      EvaluatePlan(refused, catalog, pushed_cfg, &refused_stats);
+  TQP_CHECK(fallback.ok());
+  std::printf("integer division refused: pushdowns=%lld (stratum evaluated "
+              "the subtree itself)\n\n",
+              static_cast<long long>(refused_stats.backend_pushdowns));
+
+  // 4. Calibration: the backend measures its own per-operator costs so the
+  //    optimizer's transfer placement responds to the DBMS it actually has.
+  //    The simulated backend reproduces the constant model exactly.
+  BackendCostProfile measured = be.Calibrate(in_engine);
+  SimulatedBackend sim;
+  BackendCostProfile constants = sim.Calibrate(in_engine);
+  std::printf("calibration: sqlite fingerprint=%016llx, scan-class factor "
+              "%.4g (simulated constants: factor %.4g)\n",
+              static_cast<unsigned long long>(measured.fingerprint),
+              measured.dbms_op_factor[static_cast<int>(OpKind::kSelect)],
+              constants.dbms_op_factor[static_cast<int>(OpKind::kSelect)]);
+
+  // 5. The same split at the session level: EngineOptions::backend selects
+  //    the DBMS, and the engine's stats surface the pushdown counters the
+  //    service layer reports under \stats.
+  EngineOptions opts;
+  opts.backend = BackendKind::kSqlite;
+  Engine engine(std::move(catalog), opts);
+  Result<QueryResult> qr =
+      engine.Query("SELECT Name, Val FROM C WHERE Val > 800 ORDER BY Name");
+  TQP_CHECK(qr.ok());
+  std::printf("\nengine over %s backend: %zu rows, session pushdowns=%llu\n",
+              engine.backend()->name(), qr->relation.size(),
+              static_cast<unsigned long long>(engine.stats().backend_pushdowns));
+  std::printf("%s\n", engine.stats().ToJson().c_str());
+  return 0;
+}

@@ -6,6 +6,8 @@
 //
 // Build & run:  ./build/examples/service_client
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "api/engine.h"
 #include "service/loadgen.h"
@@ -17,8 +19,16 @@ using namespace tqp;  // NOLINT — example code
 int main() {
   // 1. A shared Engine over the paper's EMPLOYEE/PROJECT catalog, served
   //    over TCP on an ephemeral loopback port. snapshot_path would add
-  //    cross-restart plan-cache persistence; omitted here.
-  Engine engine(PaperCatalog());
+  //    cross-restart plan-cache persistence; omitted here. TQP_BACKEND=sqlite
+  //    selects SQL pushdown for the conventional subplans; the \stats frame
+  //    at the end reports the backend and its pushdown counters either way.
+  EngineOptions eopts;
+  const char* be = std::getenv("TQP_BACKEND");
+  if (be != nullptr && std::string(be) == "sqlite") {
+    eopts.backend = BackendKind::kSqlite;
+  }
+  Engine engine(PaperCatalog(), eopts);
+  std::printf("backend: %s\n", engine.backend()->name());
   ServerOptions options;
   options.batch_rows = 4;  // small batches so the streaming shows
   Server server(&engine, options);

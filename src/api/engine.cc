@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "backend/simulated_backend.h"
 #include "core/hash.h"
 #include "core/json.h"
 #include "tql/lexer.h"
@@ -130,6 +131,26 @@ Engine::Engine(Catalog catalog, EngineOptions options)
       caches_version_(catalog_.version()),
       interner_(std::make_unique<PlanInterner>()),
       derivation_(std::make_unique<DerivationCache>()) {
+  // The backend below the stratum. A construction failure (e.g. kSqlite in
+  // a build without sqlite3) degrades to the simulated backend: every query
+  // still runs, just without pushdown.
+  auto made = MakeBackend(options_.backend, options_.backend_db_path);
+  if (made.ok()) {
+    backend_ = std::move(made.value());
+  } else {
+    backend_ = std::make_unique<SimulatedBackend>();
+  }
+  if (options_.calibrate_backend) {
+    calibration_ = backend_->Calibrate(options_.engine);
+  }
+  // The executors and the cost model reach the backend through the unified
+  // EngineConfig; both pointers live exactly as long as this Engine.
+  options_.engine.backend = backend_.get();
+  options_.engine.calibration =
+      calibration_.calibrated ? &calibration_ : nullptr;
+  stats_.backend_name = backend_->name();
+  stats_.calibration_fingerprint =
+      calibration_.calibrated ? calibration_.fingerprint : 0;
   // Session caches are shared by every concurrent session of this Engine.
   interner_->EnableConcurrentAccess();
   derivation_->EnableConcurrentAccess();
@@ -388,6 +409,14 @@ Result<QueryResult> Engine::ExecuteState(const PreparedQuery::State& state,
     return Evaluate(ann.value(), options_.engine, &out.exec);
   }();
   if (!relation.ok()) return relation.status();
+  if (out.exec.backend_pushdowns > 0 || out.exec.backend_fallbacks > 0) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    stats_.backend_pushdowns +=
+        static_cast<uint64_t>(out.exec.backend_pushdowns);
+    stats_.backend_rows += static_cast<uint64_t>(out.exec.backend_rows);
+    stats_.backend_fallbacks +=
+        static_cast<uint64_t>(out.exec.backend_fallbacks);
+  }
   out.relation = std::move(relation).value();
   out.best_cost = state.best_cost;
   out.initial_cost = state.initial_cost;
@@ -478,6 +507,9 @@ PlanCacheSnapshot Engine::ExportPlanCache() const {
   PlanCacheSnapshot out;
   out.catalog_version = catalog_.version();
   out.catalog_fingerprint = FingerprintCatalog(catalog_);
+  out.backend_kind = backend_->name();
+  out.calibration_fingerprint =
+      calibration_.calibrated ? calibration_.fingerprint : 0;
   out.entries.reserve(lru_.size());
   // lru_ front = most recent; emit back-to-front so importing in sequence
   // reproduces the recency order.
@@ -509,6 +541,18 @@ size_t Engine::ImportPlanCache(const PlanCacheSnapshot& snapshot) {
   if (snapshot.catalog_version != catalog_.version()) return 0;
   if (snapshot.catalog_fingerprint != 0 &&
       snapshot.catalog_fingerprint != FingerprintCatalog(catalog_)) {
+    return 0;
+  }
+  // Cached best plans embed the exporter's cost environment: a snapshot
+  // from a different backend, or from a differently calibrated one, would
+  // warm this engine with plans its own optimizer might not choose. Reject
+  // wholesale, like any other staleness.
+  if (!snapshot.backend_kind.empty() &&
+      snapshot.backend_kind != backend_->name()) {
+    return 0;
+  }
+  if (snapshot.calibration_fingerprint !=
+      (calibration_.calibrated ? calibration_.fingerprint : 0)) {
     return 0;
   }
   const bool reuse = options_.reuse_search_caches;
@@ -574,6 +618,11 @@ std::string EngineStats::ToJson() const {
   w.Key("interner_nodes").Uint(interner_nodes);
   w.Key("interner_hits").Uint(interner_hits);
   w.Key("derivation_nodes").Uint(derivation_nodes);
+  w.Key("backend").String(backend_name);
+  w.Key("backend_pushdowns").Uint(backend_pushdowns);
+  w.Key("backend_rows").Uint(backend_rows);
+  w.Key("backend_fallbacks").Uint(backend_fallbacks);
+  w.Key("calibration_fingerprint").Uint(calibration_fingerprint);
   w.EndObject();
   return w.Take();
 }

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "algebra/intern.h"
+#include "backend/backend.h"
 #include "core/sync.h"
 #include "exec/evaluator.h"
 #include "opt/optimizer.h"
@@ -125,6 +126,26 @@ struct EngineOptions {
   /// executor (VexecOptions::memory_budget); larger sorts and class tables
   /// spill to temp files. 0 (default) = never spill.
   uint64_t vexec_memory_budget = 0;
+  /// Which DBMS implements the layer below the stratum. kSimulated (the
+  /// default) keeps the historical in-engine evaluation with the
+  /// deterministic scramble; kSqlite runs maximal conventional subplans
+  /// under each transferS cut as SQL (backend/sqlite_backend.h). Both
+  /// executors fetch cut results through the same Backend interface; a
+  /// backend that cannot run a subtree leaves it to in-engine evaluation,
+  /// so results are byte-identical across backends. If the requested
+  /// backend cannot be constructed (e.g. kSqlite in a build without
+  /// sqlite3), the Engine falls back to kSimulated.
+  BackendKind backend = BackendKind::kSimulated;
+  /// kSqlite only: empty = a private in-memory database; otherwise a
+  /// database file whose catalog mirror survives and is reused across
+  /// process restarts.
+  std::string backend_db_path;
+  /// Probe the backend's per-operator cost behavior at construction and
+  /// feed the measured profile to the optimizer's cost model
+  /// (EngineConfig::calibration), letting it *choose* transfer placements
+  /// that exploit a fast backend. The SimulatedBackend's profile reproduces
+  /// the constant model exactly, so calibration never changes plans there.
+  bool calibrate_backend = false;
 };
 
 /// Everything one query execution returns: the relation plus execution and
@@ -170,6 +191,17 @@ struct EngineStats {
   /// (Engine::ImportPlanCache), e.g. by the service layer's warm start.
   uint64_t plan_cache_imports = 0;
 
+  /// Backend identity and lifetime execution counters: the active backend's
+  /// name, cut subplans pushed down to it, rows fetched across the
+  /// stratum⇄DBMS boundary, runtime pushdown fallbacks (all summed over
+  /// every query), and the calibrated cost profile's fingerprint (0 =
+  /// uncalibrated constant model).
+  std::string backend_name = "simulated";
+  uint64_t backend_pushdowns = 0;
+  uint64_t backend_rows = 0;
+  uint64_t backend_fallbacks = 0;
+  uint64_t calibration_fingerprint = 0;
+
   /// One flat JSON object with every counter above — the rendering the
   /// service's \stats command and the bench JSON both embed.
   std::string ToJson() const;
@@ -205,6 +237,15 @@ struct PlanCacheSnapshot {
   /// two catalogs that saw the same *number* of mutations; import also
   /// rejects wholesale on a fingerprint mismatch (0 = unknown, not checked).
   uint64_t catalog_fingerprint = 0;
+  /// Backend the exporter ran: cached best plans and costs were chosen for
+  /// this backend (and, when calibrated, for this measured cost profile).
+  /// Import rejects wholesale on a mismatch with the importing Engine —
+  /// plans optimized for a different backend are stale in the same way
+  /// plans for a different catalog are. Empty = unknown, not checked.
+  std::string backend_kind;
+  /// Fingerprint of the exporter's calibrated cost profile (0 =
+  /// uncalibrated constant model; checked like backend_kind).
+  uint64_t calibration_fingerprint = 0;
   /// Entries in least- to most-recently-used order, so importing them in
   /// sequence reproduces the exporter's LRU recency.
   std::vector<PlanCacheEntry> entries;
@@ -336,6 +377,14 @@ class Engine {
   /// version counter, which a rebuilt catalog can coincidentally reproduce.
   uint64_t CatalogFingerprint() const;
 
+  /// The live backend (never null; kSimulated when the requested backend
+  /// could not be constructed). Exposed for tests and examples that inspect
+  /// backend state (e.g. SqliteBackend::mirror_loads).
+  Backend* backend() const { return backend_.get(); }
+  /// The calibrated cost profile in effect (calibrated == false when
+  /// EngineOptions::calibrate_backend was off).
+  const BackendCostProfile& calibration() const { return calibration_; }
+
   /// Drops every session cache (plan cache, interner, derivation cache)
   /// after waiting for in-flight queries to drain. Equivalent to what a
   /// catalog mutation triggers automatically.
@@ -398,6 +447,10 @@ class Engine {
 
   Catalog catalog_;
   EngineOptions options_;
+  /// The DBMS below the stratum. Owned here; options_.engine.backend /
+  /// .calibration point into these for the executors and cost model.
+  std::unique_ptr<Backend> backend_;
+  BackendCostProfile calibration_;
 
   /// Queries hold this shared for their full duration; catalog mutation and
   /// explicit cache flushes hold it exclusive. Lock order: admission

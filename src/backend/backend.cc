@@ -1,0 +1,69 @@
+#include "backend/backend.h"
+
+#include <vector>
+
+#include "backend/simulated_backend.h"
+#include "backend/sqlite_backend.h"
+#include "exec/evaluator.h"
+
+namespace tqp {
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSimulated:
+      return "simulated";
+    case BackendKind::kSqlite:
+      return "sqlite";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<Backend>> MakeBackend(BackendKind kind,
+                                             const std::string& db_path) {
+  switch (kind) {
+    case BackendKind::kSimulated:
+      return std::unique_ptr<Backend>(new SimulatedBackend());
+    case BackendKind::kSqlite: {
+      TQP_ASSIGN_OR_RETURN(be, SqliteBackend::Open(db_path));
+      return std::unique_ptr<Backend>(std::move(be));
+    }
+  }
+  return Status::InvalidArgument("unknown backend kind");
+}
+
+bool CanPushCut(Backend& backend, const PlanPtr& cut,
+                const AnnotatedPlan& ann) {
+  return backend.SupportsPushdown() && backend.CanPush(cut, ann);
+}
+
+Result<Relation> ExecuteCutPoint(Backend& backend, const PlanPtr& cut,
+                                 const AnnotatedPlan& ann,
+                                 const EngineConfig& config) {
+  TQP_RETURN_IF_ERROR(backend.SyncCatalog(ann.catalog()));
+
+  // Split the cut into its top sort chain and the base below it. Under the
+  // scramble contract every non-sort DBMS result's visible order is the
+  // deterministic scramble of its multiset, so the base is fetched, put into
+  // scramble order, and the sorts are replayed in the stratum — reproducing
+  // the reference evaluator's list exactly. With scrambling off the SQL ord
+  // column already is the reference list order and the stable sorts replay
+  // over it unchanged.
+  std::vector<const PlanNode*> sorts;  // outermost first
+  PlanPtr base = cut;
+  while (base->kind() == OpKind::kSort) {
+    sorts.push_back(base.get());
+    base = base->child(0);
+  }
+
+  TQP_ASSIGN_OR_RETURN(fetched, backend.ExecuteSubplan(base, ann));
+  Relation result = std::move(fetched);
+  if (config.dbms_scrambles_order && base->kind() != OpKind::kScan) {
+    SimulatedBackend::ScrambleRelation(&result, config.scramble_seed);
+  }
+  for (auto it = sorts.rbegin(); it != sorts.rend(); ++it) {
+    result = EvalSort(result, (*it)->sort_spec());
+  }
+  return result;
+}
+
+}  // namespace tqp

@@ -1,0 +1,76 @@
+#include "backend/simulated_backend.h"
+
+#include <algorithm>
+
+namespace tqp {
+
+Status SimulatedBackend::SyncCatalog(const Catalog& catalog) {
+  (void)catalog;  // relations already live in the catalog the engine reads
+  return Status::OK();
+}
+
+bool SimulatedBackend::CanPush(const PlanPtr& plan,
+                               const AnnotatedPlan& ann) const {
+  (void)plan;
+  (void)ann;
+  return false;
+}
+
+Result<Relation> SimulatedBackend::ExecuteSubplan(const PlanPtr& plan,
+                                                  const AnnotatedPlan& ann) {
+  (void)plan;
+  (void)ann;
+  return Status::Error("SimulatedBackend has no native execution");
+}
+
+BackendCostProfile SimulatedBackend::Calibrate(const EngineConfig& config) {
+  // The simulated DBMS *is* the constant cost model: conventional operators
+  // at unit cost, temporal ones at the configured penalty. A calibrated
+  // profile built from these constants costs every plan byte-identically to
+  // the uncalibrated path.
+  BackendCostProfile p;
+  p.calibrated = true;
+  for (size_t k = 0; k < kOpKindCount; ++k) {
+    p.dbms_op_factor[k] = IsTemporalOp(static_cast<OpKind>(k))
+                              ? config.dbms_temporal_penalty
+                              : 1.0;
+  }
+  p.transfer_cost_per_tuple = config.transfer_cost_per_tuple;
+  p.fingerprint = 0x51e0a7ed ^ static_cast<uint64_t>(config.dbms_temporal_penalty) ^
+                  (static_cast<uint64_t>(config.transfer_cost_per_tuple) << 32);
+  return p;
+}
+
+Status SimulatedBackend::CreateTable(const std::string& table,
+                                     const Schema& schema) {
+  (void)table;
+  (void)schema;
+  return Status::Error("SimulatedBackend has no storage");
+}
+
+Status SimulatedBackend::Load(const std::string& table, const Relation& rows) {
+  (void)table;
+  (void)rows;
+  return Status::Error("SimulatedBackend has no storage");
+}
+
+Result<Relation> SimulatedBackend::ExecuteSql(const std::string& sql,
+                                              const std::vector<Value>& params,
+                                              const Schema& out_schema) {
+  (void)sql;
+  (void)params;
+  (void)out_schema;
+  return Status::Error("SimulatedBackend does not speak SQL");
+}
+
+void SimulatedBackend::ScrambleRelation(Relation* r, uint64_t seed) {
+  std::stable_sort(r->mutable_tuples().begin(), r->mutable_tuples().end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     uint64_t ha = ScrambleKey(a, seed);
+                     uint64_t hb = ScrambleKey(b, seed);
+                     if (ha != hb) return ha < hb;
+                     return a.Compare(b) < 0;
+                   });
+}
+
+}  // namespace tqp

@@ -1,0 +1,55 @@
+// The historical "simulated DBMS": no native execution, constant costs, and
+// the deterministic order scramble that models "unspecified DBMS order".
+// Default backend — every pre-backend byte-identity suite runs against it
+// unchanged.
+#ifndef TQP_BACKEND_SIMULATED_BACKEND_H_
+#define TQP_BACKEND_SIMULATED_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+#include "backend/backend.h"
+
+namespace tqp {
+
+class SimulatedBackend : public Backend {
+ public:
+  BackendKind kind() const override { return BackendKind::kSimulated; }
+  Status SyncCatalog(const Catalog& catalog) override;
+  bool SupportsPushdown() const override { return false; }
+  bool CanPush(const PlanPtr& plan, const AnnotatedPlan& ann) const override;
+  Result<Relation> ExecuteSubplan(const PlanPtr& plan,
+                                  const AnnotatedPlan& ann) override;
+  BackendCostProfile Calibrate(const EngineConfig& config) override;
+  Status CreateTable(const std::string& table, const Schema& schema) override;
+  Status Load(const std::string& table, const Relation& rows) override;
+  Result<Relation> ExecuteSql(const std::string& sql,
+                              const std::vector<Value>& params,
+                              const Schema& out_schema) override;
+
+  // ---- The scramble, shared by exec and vexec ----
+
+  /// Seeded bit-mix of a tuple hash; the single source of truth for the
+  /// scramble key (vexec feeds columnar row hashes through the same mix).
+  static uint64_t MixHash(uint64_t tuple_hash, uint64_t seed) {
+    uint64_t h = tuple_hash ^ seed;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  }
+
+  static uint64_t ScrambleKey(const Tuple& t, uint64_t seed) {
+    return MixHash(t.Hash(), seed);
+  }
+
+  /// Deterministic "unspecified DBMS order": reorder tuples by a seeded
+  /// hash. The result is a function of the tuple multiset only — any
+  /// dependence of downstream results on the input *order* is thereby
+  /// surfaced in tests.
+  static void ScrambleRelation(Relation* r, uint64_t seed);
+};
+
+}  // namespace tqp
+
+#endif  // TQP_BACKEND_SIMULATED_BACKEND_H_

@@ -45,12 +45,20 @@ double NodeCost(const PlanContext& plan, const PlanPtr& node,
                    : info.cardinality;
   double in2 =
       node->arity() > 1 ? plan.info(node->child(1).get()).cardinality : 0.0;
+  const BackendCostProfile* cal =
+      (config.calibration != nullptr && config.calibration->calibrated)
+          ? config.calibration
+          : nullptr;
   if (node->kind() == OpKind::kTransferS ||
       node->kind() == OpKind::kTransferD) {
-    return in1 * config.transfer_cost_per_tuple;
+    return in1 * (cal != nullptr ? cal->transfer_cost_per_tuple
+                                 : config.transfer_cost_per_tuple);
   }
   double units = OpWorkUnits(node->kind(), in1, in2, info.cardinality);
   if (info.site == Site::kDbms) {
+    if (cal != nullptr) {
+      return units * cal->dbms_op_factor[static_cast<size_t>(node->kind())];
+    }
     return units * (IsTemporalOp(node->kind()) ? config.dbms_temporal_penalty
                                                : 1.0);
   }

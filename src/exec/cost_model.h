@@ -10,9 +10,31 @@
 
 namespace tqp {
 
+class Backend;
+
 /// Work units for one operator invocation given input/output cardinalities.
 /// Transfers are charged separately (per tuple moved).
 double OpWorkUnits(OpKind kind, double in1, double in2, double out);
+
+/// Measured (or synthesized) per-operator cost behavior of a DBMS backend,
+/// produced by Backend::Calibrate. When `calibrated`, the cost model charges
+/// DBMS-site operators `units * dbms_op_factor[kind]` and transfers
+/// `tuples * transfer_cost_per_tuple` instead of the EngineConfig constants,
+/// so transfer placement responds to how the actual backend behaves.
+struct BackendCostProfile {
+  /// False = profile unset; the cost model falls back to EngineConfig's
+  /// constants (byte-identical to the pre-backend cost model).
+  bool calibrated = false;
+  /// Stable digest of the quantized factors; recorded in plan-cache
+  /// snapshots so plans chosen under one calibration are never replayed
+  /// under another.
+  uint64_t fingerprint = 0;
+  /// Work-unit multiplier per operator kind at the DBMS site, relative to
+  /// the unit DBMS cost of the constant model.
+  double dbms_op_factor[kOpKindCount] = {};
+  /// Work units charged per tuple crossing a transfer.
+  double transfer_cost_per_tuple = 2.0;
+};
 
 /// Execution-environment knobs for the simulated layered architecture
 /// (Section 2.1/4.5): the stratum is slower per tuple than the mature DBMS,
@@ -31,6 +53,14 @@ struct EngineConfig {
   double transfer_cost_per_tuple = 2.0;
   /// Extra work factor for temporal operations executed at the DBMS.
   double dbms_temporal_penalty = 25.0;
+
+  /// The DBMS below the cut. Non-owning (the Engine owns its backend);
+  /// nullptr means in-engine evaluation of DBMS-site subtrees, exactly as
+  /// before the backend layer existed.
+  Backend* backend = nullptr;
+  /// Measured backend costs; non-owning. nullptr or !calibrated means the
+  /// constant model above.
+  const BackendCostProfile* calibration = nullptr;
 };
 
 /// Estimated total cost of a plan: per-node OpWorkUnits on the derived

@@ -4,30 +4,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "backend/backend.h"
+#include "backend/simulated_backend.h"
 #include "core/json.h"
 
 namespace tqp {
 
 namespace {
-
-// Deterministic "unspecified DBMS order": reorder tuples by a seeded hash.
-// The result is a function of the tuple multiset only — any dependence of
-// downstream results on the input *order* is thereby surfaced in tests.
-void ScrambleOrder(Relation* r, uint64_t seed) {
-  auto mix = [seed](const Tuple& t) {
-    uint64_t h = t.Hash() ^ seed;
-    h ^= h >> 33;
-    h *= 0xff51afd7ed558ccdULL;
-    h ^= h >> 33;
-    return h;
-  };
-  std::stable_sort(r->mutable_tuples().begin(), r->mutable_tuples().end(),
-                   [&](const Tuple& a, const Tuple& b) {
-                     uint64_t ha = mix(a), hb = mix(b);
-                     if (ha != hb) return ha < hb;
-                     return a.Compare(b) < 0;
-                   });
-}
 
 struct TreeEvaluator {
   const AnnotatedPlan& ann;
@@ -36,6 +19,32 @@ struct TreeEvaluator {
 
   Result<Relation> Eval(const PlanPtr& node) {
     const NodeInfo& info = ann.info(node.get());
+    // A transferS cut whose subtree the backend can run natively is fetched
+    // as one SQL statement instead of being evaluated here; only the
+    // transfer itself is accounted. A runtime failure falls back to the
+    // in-engine path below — pushdown is an optimization, never a
+    // correctness dependency.
+    if (node->kind() == OpKind::kTransferS && config.backend != nullptr &&
+        CanPushCut(*config.backend, node->child(0), ann)) {
+      auto pushed = ExecuteCutPoint(*config.backend, node->child(0), ann,
+                                    config);
+      if (pushed.ok()) {
+        Relation result = std::move(pushed.value());
+        if (stats != nullptr) {
+          int64_t rows = static_cast<int64_t>(result.size());
+          ++stats->op_counts[OpKindName(node->kind())];
+          stats->tuples_produced += rows;
+          stats->tuples_transferred += rows;
+          stats->stratum_work +=
+              static_cast<double>(rows) * config.transfer_cost_per_tuple;
+          ++stats->backend_pushdowns;
+          stats->backend_rows += rows;
+        }
+        result.set_order(info.order);
+        return result;
+      }
+      if (stats != nullptr) ++stats->backend_fallbacks;
+    }
     std::vector<Relation> inputs;
     for (const PlanPtr& c : node->children()) {
       TQP_ASSIGN_OR_RETURN(r, Eval(c));
@@ -68,11 +77,14 @@ struct TreeEvaluator {
       }
     }
 
-    // Model the DBMS's freedom over result order (Section 4.5).
+    // Model the DBMS's freedom over result order (Section 4.5). The
+    // deterministic scramble lives in the simulated backend now; its output
+    // is a function of the tuple multiset only — any dependence of
+    // downstream results on the input *order* is thereby surfaced in tests.
     if (config.dbms_scrambles_order && info.site == Site::kDbms &&
         node->kind() != OpKind::kSort && node->kind() != OpKind::kScan &&
         node->kind() != OpKind::kTransferD) {
-      ScrambleOrder(&result, config.scramble_seed);
+      SimulatedBackend::ScrambleRelation(&result, config.scramble_seed);
     }
 
     result.set_order(info.order);
@@ -144,6 +156,9 @@ std::string ExecStats::ToJson() const {
   w.Key("steals").Int(steals);
   w.Key("spill_bytes").Int(spill_bytes);
   w.Key("spill_runs").Int(spill_runs);
+  w.Key("backend_pushdowns").Int(backend_pushdowns);
+  w.Key("backend_rows").Int(backend_rows);
+  w.Key("backend_fallbacks").Int(backend_fallbacks);
   w.Key("ops").BeginObject();
   for (const auto& [name, n] : op_counts) {
     w.Key(name).Int(n);

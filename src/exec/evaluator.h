@@ -65,6 +65,16 @@ struct ExecStats {
   int64_t spill_bytes = 0;
   int64_t spill_runs = 0;
 
+  /// Conventional cut subplans executed natively by the backend (the subtree
+  /// under a transferS fetched as one SQL statement), rows fetched across
+  /// that boundary, and pushdown attempts abandoned at runtime in favor of
+  /// in-engine evaluation. All 0 under the simulated backend. Nodes inside a
+  /// pushed subtree are not individually accounted (no op_counts /
+  /// tuples_produced / work entries) — the DBMS ran them as one statement.
+  int64_t backend_pushdowns = 0;
+  int64_t backend_rows = 0;
+  int64_t backend_fallbacks = 0;
+
   double total_work() const { return dbms_work + stratum_work; }
 
   /// One flat JSON object with every counter above (op_counts nested as

@@ -595,7 +595,10 @@ Result<PlanPtr> ReadPlanNode(Reader* r) {
   return Status::Error("plan store: unreachable operator kind");
 }
 
-constexpr const char* kMagic = "tqp-plan-cache-v1";
+// v2 added the backend kind + calibration fingerprint to the header; a v1
+// file fails the magic check and is treated as a stale snapshot (cold
+// start), exactly like any other format mismatch.
+constexpr const char* kMagic = "tqp-plan-cache-v2";
 
 }  // namespace
 
@@ -621,6 +624,8 @@ std::string SerializeSnapshot(const PlanCacheSnapshot& snapshot) {
   A(&out, kMagic);
   WUint(&out, snapshot.catalog_version);
   WUint(&out, snapshot.catalog_fingerprint);
+  WStr(&out, snapshot.backend_kind);
+  WUint(&out, snapshot.calibration_fingerprint);
   WUint(&out, snapshot.entries.size());
   out.push_back('\n');
   for (const PlanCacheEntry& e : snapshot.entries) {
@@ -655,9 +660,13 @@ Result<PlanCacheSnapshot> DeserializeSnapshot(const std::string& data) {
   PlanCacheSnapshot out;
   TQP_ASSIGN_OR_RETURN(version, r.Uint());
   TQP_ASSIGN_OR_RETURN(fingerprint, r.Uint());
+  TQP_ASSIGN_OR_RETURN(backend_kind, r.Str());
+  TQP_ASSIGN_OR_RETURN(calibration_fp, r.Uint());
   TQP_ASSIGN_OR_RETURN(count, r.Uint());
   out.catalog_version = version;
   out.catalog_fingerprint = fingerprint;
+  out.backend_kind = backend_kind;
+  out.calibration_fingerprint = calibration_fp;
   out.entries.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     TQP_RETURN_IF_ERROR(r.Expect('('));

@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "backend/backend.h"
+#include "backend/simulated_backend.h"
 #include "core/spill.h"
 #include "core/task_pool.h"
 #include "vexec/vexec_internal.h"
@@ -1425,18 +1427,14 @@ Result<ColumnTable> VecAggregateT(const ColumnTable& in,
 
 // ---- DBMS order scramble --------------------------------------------------
 
-// The columnar twin of evaluator.cc's ScrambleOrder: the same seeded
+// The columnar twin of SimulatedBackend::ScrambleRelation: the same seeded
 // hash-key stable sort over row indices yields the same permutation.
 ColumnTable VecScramble(const ColumnTable& in, uint64_t seed,
                         const VexecRuntime& rt) {
   std::vector<uint64_t> key(in.rows());
   rt.ForRows(in.rows(), [&](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) {
-      uint64_t h = in.RowHash(i) ^ seed;
-      h ^= h >> 33;
-      h *= 0xff51afd7ed558ccdULL;
-      h ^= h >> 33;
-      key[i] = h;
+      key[i] = SimulatedBackend::MixHash(in.RowHash(i), seed);
     }
   });
   std::vector<uint32_t> order = SortIndices(
@@ -1662,6 +1660,25 @@ struct VecTreeExecutor {
 
   Result<ColumnTable> Eval(const PlanPtr& node) {
     const NodeInfo& info = ann.info(node.get());
+    // Backend pushdown at a transferS cut — the columnar twin of the
+    // reference evaluator's interception: fetch the cut result natively,
+    // account only the transfer itself, fall back in-engine on failure.
+    if (node->kind() == OpKind::kTransferS && config.backend != nullptr &&
+        CanPushCut(*config.backend, node->child(0), ann)) {
+      auto pushed = ExecuteCutPoint(*config.backend, node->child(0), ann,
+                                    config);
+      if (pushed.ok()) {
+        ColumnTable result = ColumnTable::FromRelation(pushed.value());
+        if (stats != nullptr) {
+          ++stats->backend_pushdowns;
+          stats->backend_rows += static_cast<int64_t>(result.rows());
+        }
+        AccountNode(node.get(), info, static_cast<double>(result.rows()), 0.0,
+                    result.rows());
+        return result;
+      }
+      if (stats != nullptr) ++stats->backend_fallbacks;
+    }
     if (node->kind() == OpKind::kSelect &&
         node->children()[0]->kind() == OpKind::kProduct) {
       const PlanPtr& product = node->children()[0];

@@ -1,0 +1,675 @@
+// Backend-layer suite: the stratum⇄DBMS split of Section 2.1/4.5 made
+// pluggable.
+//
+// Contracts under test:
+//  * the deterministic DBMS-order scramble moved into SimulatedBackend is
+//    byte-identical to the historical in-evaluator implementation;
+//  * SimulatedBackend::Calibrate reproduces the constant cost model exactly
+//    (calibration never changes simulated costs), while synthetic slow/fast
+//    profiles move DBMS-site costs the way the optimizer will see them;
+//  * SQL pushdown parity: with SqliteBackend active, every pushable
+//    conventional subplan under a transferS cut returns a result
+//    LIST-IDENTICAL to the reference evaluator's — across scramble modes,
+//    both executors, and vexec thread counts — and ExecStats records the
+//    pushdowns;
+//  * anything the serializer refuses (or that fails at runtime) falls back
+//    to in-engine evaluation with identical results;
+//  * Engine-level selection (EngineOptions::backend), stats surfacing, and
+//    plan-cache snapshot staleness on backend/calibration mismatch;
+//  * file-backed SQLite mirrors are reused across "restarts" (mirror_loads
+//    stays 0 on reopen).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+#include "backend/backend.h"
+#include "backend/simulated_backend.h"
+#include "backend/sqlite_backend.h"
+#include "exec/cost_model.h"
+#include "exec/evaluator.h"
+#include "service/plan_store.h"
+#include "test_util.h"
+#include "vexec/vexec.h"
+#include "workload/generator.h"
+
+namespace tqp {
+namespace {
+
+// ---- Helpers (same idioms as test_vexec.cc) -------------------------------
+
+void ExpectListIdentical(const Relation& ref, const Relation& got,
+                         const std::string& label) {
+  ASSERT_EQ(ref.schema().ToString(), got.schema().ToString()) << label;
+  ASSERT_EQ(ref.size(), got.size()) << label;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ref.tuple(i), got.tuple(i))
+        << label << " row " << i << ": " << ref.tuple(i).ToString() << " vs "
+        << got.tuple(i).ToString();
+    ASSERT_EQ(ref.tuple(i).ToString(), got.tuple(i).ToString())
+        << label << " row " << i;
+  }
+  EXPECT_EQ(SortSpecToString(ref.order()), SortSpecToString(got.order()))
+      << label;
+}
+
+/// Row-level identity only (no order annotation): ExecuteSubplan returns raw
+/// backend rows whose annotation the stratum re-derives at the cut.
+void ExpectSameRows(const Relation& ref, const Relation& got,
+                    const std::string& label) {
+  ASSERT_EQ(ref.schema().ToString(), got.schema().ToString()) << label;
+  ASSERT_EQ(ref.size(), got.size()) << label;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ref.tuple(i).ToString(), got.tuple(i).ToString())
+        << label << " row " << i;
+  }
+}
+
+std::vector<std::pair<std::string, EngineConfig>> Configs() {
+  EngineConfig plain;
+  EngineConfig scrambled;
+  scrambled.dbms_scrambles_order = true;
+  EngineConfig scrambled2;
+  scrambled2.dbms_scrambles_order = true;
+  scrambled2.scramble_seed = 0xabcdef12;
+  return {{"plain", plain},
+          {"scrambled", scrambled},
+          {"scrambled-seed2", scrambled2}};
+}
+
+Relation Messy(uint64_t seed, size_t n) {
+  RelationGenParams p;
+  p.cardinality = n;
+  p.num_names = 6;
+  p.num_categories = 3;
+  p.time_horizon = 80;
+  p.max_period_length = 14;
+  p.duplicate_fraction = 0.25;
+  p.adjacency_fraction = 0.3;
+  p.overlap_fraction = 0.3;
+  p.seed = seed;
+  return GenerateRelation(p);
+}
+
+Relation MessyConventional(uint64_t seed, size_t n) {
+  RelationGenParams p;
+  p.cardinality = n;
+  p.num_names = 5;
+  p.num_categories = 3;
+  p.duplicate_fraction = 0.35;
+  p.temporal = false;
+  p.seed = seed;
+  return GenerateRelation(p);
+}
+
+Relation WithNulls() {
+  Schema s;
+  s.Add(Attribute{"Name", ValueType::kString});
+  s.Add(Attribute{"Cat", ValueType::kInt});
+  s.Add(Attribute{"Val", ValueType::kInt});
+  Relation r(s);
+  auto add = [&](Value name, Value cat, Value val) {
+    Tuple t;
+    t.push_back(std::move(name));
+    t.push_back(std::move(cat));
+    t.push_back(std::move(val));
+    r.Append(std::move(t));
+  };
+  add(Value::String("a"), Value::Int(1), Value::Int(10));
+  add(Value::Null(), Value::Int(1), Value::Int(20));
+  add(Value::String("b"), Value::Null(), Value::Null());
+  add(Value::String("a"), Value::Int(1), Value::Null());
+  add(Value::Null(), Value::Int(1), Value::Int(20));
+  add(Value::String("b"), Value::Int(2), Value::Int(30));
+  return r;
+}
+
+Catalog MakeCatalog(uint64_t seed) {
+  Catalog catalog;
+  TQP_CHECK(
+      catalog.RegisterWithInferredFlags("R", Messy(seed, 40), Site::kDbms)
+          .ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "C", MessyConventional(seed + 7, 30), Site::kDbms)
+                .ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "D", MessyConventional(seed + 13, 12), Site::kDbms)
+                .ok());
+  TQP_CHECK(
+      catalog.RegisterWithInferredFlags("N", WithNulls(), Site::kDbms).ok());
+  return catalog;
+}
+
+/// Conventional subplans (over C, D, N) wrapped in the transferS cut the
+/// backend intercepts. Everything the SQL serializer accepts must come back
+/// list-identical; anything refused must fall back with identical results.
+std::vector<std::pair<std::string, PlanPtr>> CutPlans() {
+  auto C = [] { return PlanNode::Scan("C"); };
+  auto D = [] { return PlanNode::Scan("D"); };
+  auto N = [] { return PlanNode::Scan("N"); };
+  ExprPtr pred = Expr::And(
+      Expr::Compare(CompareOp::kLt, Expr::Attr("Cat"),
+                    Expr::Const(Value::Int(2))),
+      Expr::Compare(CompareOp::kGt, Expr::Attr("Val"),
+                    Expr::Const(Value::Int(100))));
+  ExprPtr name_eq = Expr::Compare(CompareOp::kEq, Expr::Attr("Name"),
+                                  Expr::Const(Value::String("n3")));
+  std::vector<ProjItem> proj = {
+      ProjItem::Pass("Name"),
+      ProjItem{Expr::Arith(ArithOp::kMul, Expr::Attr("Val"),
+                           Expr::Const(Value::Int(2))),
+               "V2"},
+  };
+  std::vector<AggSpec> aggs = {
+      AggSpec{AggFunc::kCount, "", "n"},
+      AggSpec{AggFunc::kSum, "Val", "s"},
+      AggSpec{AggFunc::kMin, "Val", "lo"},
+      AggSpec{AggFunc::kMax, "Val", "hi"},
+  };
+  SortSpec by_name_val = {{"Name", true}, {"Val", false}};
+
+  std::vector<std::pair<std::string, PlanPtr>> plans;
+  auto cut = [&](const std::string& name, PlanPtr sub) {
+    plans.emplace_back(name, PlanNode::TransferS(std::move(sub)));
+  };
+  cut("scan", C());
+  cut("select", PlanNode::Select(C(), pred));
+  cut("select-nulls", PlanNode::Select(N(), pred));
+  cut("project-arith", PlanNode::Project(C(), proj));
+  cut("union-all", PlanNode::UnionAll(C(), D()));
+  cut("union-max", PlanNode::Union(C(), D()));
+  cut("difference", PlanNode::Difference(C(), D()));
+  cut("product", PlanNode::Product(C(), D()));
+  // σ over × with disjoint column names (D renamed): exercises the fused
+  // join translation with a predicate touching both sides.
+  std::vector<ProjItem> d_renamed = {ProjItem::Rename("Name", "DName"),
+                                     ProjItem::Rename("Cat", "DCat"),
+                                     ProjItem::Rename("Val", "DVal")};
+  ExprPtr join_pred = Expr::And(
+      Expr::Compare(CompareOp::kLt, Expr::Attr("Cat"),
+                    Expr::Const(Value::Int(2))),
+      Expr::Compare(CompareOp::kGt, Expr::Attr("DVal"),
+                    Expr::Const(Value::Int(100))));
+  cut("select-product",
+      PlanNode::Select(
+          PlanNode::Product(C(), PlanNode::Project(D(), d_renamed)),
+          join_pred));
+  cut("aggregate", PlanNode::Aggregate(C(), {"Name", "Cat"}, aggs));
+  cut("aggregate-nulls", PlanNode::Aggregate(N(), {"Name"}, aggs));
+  cut("rdup", PlanNode::Rdup(C()));
+  cut("rdup-nulls", PlanNode::Rdup(N()));
+  cut("sort", PlanNode::Sort(C(), by_name_val));
+  cut("sort-over-select",
+      PlanNode::Sort(PlanNode::Select(C(), pred), by_name_val));
+  return plans;
+}
+
+// ---- Scramble refactor regression -----------------------------------------
+
+/// The evaluator's historical inline scramble, reproduced verbatim: the
+/// refactor into SimulatedBackend must stay byte-identical to it.
+Relation LegacyScrambleOrder(const Relation& in, uint64_t seed) {
+  Relation out = in;
+  auto mix = [&](const Tuple& t) {
+    uint64_t h = t.Hash() ^ seed;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  };
+  std::stable_sort(out.mutable_tuples().begin(), out.mutable_tuples().end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     uint64_t ha = mix(a), hb = mix(b);
+                     if (ha != hb) return ha < hb;
+                     return a.Compare(b) < 0;
+                   });
+  return out;
+}
+
+TEST(BackendScrambleTest, MatchesLegacyEvaluatorScramble) {
+  std::vector<std::pair<std::string, Relation>> inputs = {
+      {"conventional", MessyConventional(7, 200)},
+      {"temporal", Messy(3, 150)},
+      {"nulls", WithNulls()},
+  };
+  for (uint64_t seed : {uint64_t{0x5eed}, uint64_t{0xabcdef12}}) {
+    for (const auto& [name, rel] : inputs) {
+      Relation expect = LegacyScrambleOrder(rel, seed);
+      Relation got = rel;
+      SimulatedBackend::ScrambleRelation(&got, seed);
+      ExpectSameRows(expect, got,
+                     name + " seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(BackendScrambleTest, PureFunctionOfMultiset) {
+  // Any input permutation scrambles to the same list — the property
+  // ExecuteCutPoint relies on to reproduce the reference order from a
+  // backend result in arbitrary order.
+  Relation rel = MessyConventional(21, 120);
+  Relation expect = rel;
+  SimulatedBackend::ScrambleRelation(&expect, 0x5eed);
+  Relation permuted = LegacyScrambleOrder(rel, 0x1234);  // some other order
+  SimulatedBackend::ScrambleRelation(&permuted, 0x5eed);
+  ExpectSameRows(expect, permuted, "scramble(permutation)");
+}
+
+// ---- Calibration and the cost model ---------------------------------------
+
+TEST(BackendCostTest, SimulatedCalibrationIsCostIdentical) {
+  Catalog catalog = MakeCatalog(11);
+  EngineConfig config;
+  SimulatedBackend sim;
+  BackendCostProfile profile = sim.Calibrate(config);
+  ASSERT_TRUE(profile.calibrated);
+  EXPECT_NE(profile.fingerprint, 0u);
+
+  EngineConfig calibrated = config;
+  calibrated.calibration = &profile;
+  for (const auto& [name, plan] : CutPlans()) {
+    Result<AnnotatedPlan> ann =
+        AnnotatedPlan::Make(plan, &catalog, QueryContract::Multiset());
+    ASSERT_TRUE(ann.ok()) << name;
+    EXPECT_DOUBLE_EQ(EstimatePlanCost(ann.value(), config),
+                     EstimatePlanCost(ann.value(), calibrated))
+        << name;
+  }
+}
+
+TEST(BackendCostTest, CalibratedProfileMovesDbmsCosts) {
+  Catalog catalog = MakeCatalog(11);
+  EngineConfig config;
+
+  BackendCostProfile slow;
+  slow.calibrated = true;
+  slow.fingerprint = 1;
+  slow.transfer_cost_per_tuple = config.transfer_cost_per_tuple;
+  BackendCostProfile fast = slow;
+  fast.fingerprint = 2;
+  for (int k = 0; k < kOpKindCount; ++k) {
+    slow.dbms_op_factor[k] = 64.0;
+    fast.dbms_op_factor[k] = 1.0 / 16.0;
+  }
+
+  PlanPtr plan = PlanNode::TransferS(PlanNode::Select(
+      PlanNode::Scan("C"),
+      Expr::Compare(CompareOp::kGt, Expr::Attr("Val"),
+                    Expr::Const(Value::Int(100)))));
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(plan, &catalog, QueryContract::Multiset());
+  ASSERT_TRUE(ann.ok());
+
+  double base = EstimatePlanCost(ann.value(), config);
+  EngineConfig slow_cfg = config;
+  slow_cfg.calibration = &slow;
+  EngineConfig fast_cfg = config;
+  fast_cfg.calibration = &fast;
+  double slow_cost = EstimatePlanCost(ann.value(), slow_cfg);
+  double fast_cost = EstimatePlanCost(ann.value(), fast_cfg);
+  // A slow backend makes the DBMS-site subtree more expensive than the
+  // constant model; a fast one makes it cheaper. This is the signal that
+  // lets the optimizer move the transfer cut (bench_backend_pushdown gates
+  // the resulting placement flip).
+  EXPECT_GT(slow_cost, base);
+  EXPECT_LT(fast_cost, base);
+}
+
+// ---- SQLite pushdown parity -----------------------------------------------
+
+TEST(SqliteBackendTest, AvailableInCi) {
+  // The CI image installs libsqlite3-dev; a silent fallback to the stub
+  // would hollow out this whole suite, so availability itself is asserted.
+  // Local builds without sqlite3 skip the backend tests instead.
+  if (!SqliteBackend::Available()) {
+    GTEST_SKIP() << "built without sqlite3";
+  }
+  SUCCEED();
+}
+
+TEST(SqliteBackendTest, PushdownParityAcrossExecutorsAndConfigs) {
+  if (!SqliteBackend::Available()) GTEST_SKIP();
+  Catalog catalog = MakeCatalog(42);
+  Result<std::unique_ptr<Backend>> made = MakeBackend(BackendKind::kSqlite);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  Backend* be = made.value().get();
+
+  int pushed_plans = 0;
+  for (const auto& [cfg_name, base_cfg] : Configs()) {
+    for (const auto& [plan_name, plan] : CutPlans()) {
+      const std::string label = plan_name + "/" + cfg_name;
+      ExecStats ref_stats;
+      Result<Relation> ref = EvaluatePlan(plan, catalog, base_cfg, &ref_stats);
+      ASSERT_TRUE(ref.ok()) << label << ": " << ref.status().ToString();
+
+      EngineConfig cfg = base_cfg;
+      cfg.backend = be;
+      ExecStats sq_stats;
+      Result<Relation> sq = EvaluatePlan(plan, catalog, cfg, &sq_stats);
+      ASSERT_TRUE(sq.ok()) << label << ": " << sq.status().ToString();
+      ExpectListIdentical(ref.value(), sq.value(), label + "/exec");
+      EXPECT_EQ(sq_stats.backend_fallbacks, 0) << label;
+      if (sq_stats.backend_pushdowns > 0) {
+        ++pushed_plans;
+        EXPECT_EQ(sq_stats.backend_rows,
+                  static_cast<int64_t>(sq.value().size()))
+            << label;
+      }
+
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        VexecOptions vopts;
+        vopts.batch_size = 64;
+        vopts.threads = threads;
+        ExecStats vec_stats;
+        Result<Relation> vec =
+            ExecuteVectorizedPlan(plan, catalog, cfg, &vec_stats, vopts);
+        ASSERT_TRUE(vec.ok()) << label << ": " << vec.status().ToString();
+        ExpectListIdentical(ref.value(), vec.value(),
+                            label + "/vexec-t" + std::to_string(threads));
+        EXPECT_EQ(vec_stats.backend_pushdowns, sq_stats.backend_pushdowns)
+            << label;
+      }
+    }
+  }
+  // The suite is pointless if nothing actually pushed down; most of the
+  // conventional cut plans must serialize.
+  EXPECT_GE(pushed_plans, 10 * 3) << "pushdown coverage collapsed";
+}
+
+TEST(SqliteBackendTest, SimpleSelectActuallyPushesDown) {
+  if (!SqliteBackend::Available()) GTEST_SKIP();
+  Catalog catalog = MakeCatalog(42);
+  Result<std::unique_ptr<Backend>> made = MakeBackend(BackendKind::kSqlite);
+  ASSERT_TRUE(made.ok());
+  PlanPtr plan = PlanNode::TransferS(PlanNode::Select(
+      PlanNode::Scan("C"),
+      Expr::Compare(CompareOp::kGt, Expr::Attr("Val"),
+                    Expr::Const(Value::Int(100)))));
+  EngineConfig cfg;
+  cfg.backend = made.value().get();
+  ExecStats stats;
+  Result<Relation> got = EvaluatePlan(plan, catalog, cfg, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(stats.backend_pushdowns, 1);
+  EXPECT_EQ(stats.backend_fallbacks, 0);
+  EXPECT_EQ(stats.backend_rows, static_cast<int64_t>(got.value().size()));
+  EXPECT_GT(got.value().size(), 0u);
+}
+
+TEST(SqliteBackendTest, ExecuteSubplanReturnsExactReferenceList) {
+  if (!SqliteBackend::Available()) GTEST_SKIP();
+  Catalog catalog = MakeCatalog(42);
+  Result<std::unique_ptr<Backend>> made = MakeBackend(BackendKind::kSqlite);
+  ASSERT_TRUE(made.ok());
+  Backend* be = made.value().get();
+  ASSERT_TRUE(be->SyncCatalog(catalog).ok());
+
+  EngineConfig plain;  // reference order = plain evaluation of the subtree
+  for (const auto& [name, cut] : CutPlans()) {
+    const PlanPtr& sub = cut->child(0);
+    Result<AnnotatedPlan> ann =
+        AnnotatedPlan::Make(cut, &catalog, QueryContract::Multiset());
+    ASSERT_TRUE(ann.ok()) << name;
+    if (!be->CanPush(sub, ann.value())) continue;
+    Result<Relation> ref = EvaluatePlan(sub, catalog, plain, nullptr);
+    ASSERT_TRUE(ref.ok()) << name;
+    Result<Relation> got = be->ExecuteSubplan(sub, ann.value());
+    ASSERT_TRUE(got.ok()) << name << ": " << got.status().ToString();
+    ExpectSameRows(ref.value(), got.value(), name);
+  }
+}
+
+TEST(SqliteBackendTest, RefusedSubplanFallsBackUpfront) {
+  if (!SqliteBackend::Available()) GTEST_SKIP();
+  Catalog catalog = MakeCatalog(42);
+  Result<std::unique_ptr<Backend>> made = MakeBackend(BackendKind::kSqlite);
+  ASSERT_TRUE(made.ok());
+  Backend* be = made.value().get();
+
+  // Integer division: stratum semantics (trunc toward zero, NULL on zero
+  // divisor) don't match SQLite's, so the serializer must refuse — and the
+  // refusal must be invisible in results.
+  std::vector<ProjItem> proj = {
+      ProjItem::Pass("Name"),
+      ProjItem{Expr::Arith(ArithOp::kDiv, Expr::Attr("Val"),
+                           Expr::Attr("Cat")),
+               "VD"},
+  };
+  PlanPtr plan =
+      PlanNode::TransferS(PlanNode::Project(PlanNode::Scan("C"), proj));
+  Result<AnnotatedPlan> ann =
+      AnnotatedPlan::Make(plan, &catalog, QueryContract::Multiset());
+  ASSERT_TRUE(ann.ok());
+  EXPECT_FALSE(CanPushCut(*be, plan->child(0), ann.value()));
+
+  for (const auto& [cfg_name, base_cfg] : Configs()) {
+    ExecStats ref_stats, sq_stats;
+    Result<Relation> ref = EvaluatePlan(plan, catalog, base_cfg, &ref_stats);
+    ASSERT_TRUE(ref.ok());
+    EngineConfig cfg = base_cfg;
+    cfg.backend = be;
+    Result<Relation> sq = EvaluatePlan(plan, catalog, cfg, &sq_stats);
+    ASSERT_TRUE(sq.ok());
+    ExpectListIdentical(ref.value(), sq.value(), "refused/" + cfg_name);
+    EXPECT_EQ(sq_stats.backend_pushdowns, 0) << cfg_name;
+    // Refused by CanPush, not attempted: no runtime fallback either.
+    EXPECT_EQ(sq_stats.backend_fallbacks, 0) << cfg_name;
+  }
+}
+
+TEST(SqliteBackendTest, RuntimeErrorFallsBackWithCorrectResult) {
+  if (!SqliteBackend::Available()) GTEST_SKIP();
+  Catalog catalog = MakeCatalog(42);
+  Result<std::unique_ptr<Backend>> made = MakeBackend(BackendKind::kSqlite);
+  ASSERT_TRUE(made.ok());
+  Backend* be = made.value().get();
+  ASSERT_TRUE(be->SyncCatalog(catalog).ok());
+  // Sabotage: drop one mirror table behind the backend's back. The catalog
+  // fingerprint is unchanged, so the next SyncCatalog no-ops and the SQL
+  // fails at runtime — which must degrade to in-engine evaluation.
+  ASSERT_TRUE(be->ExecuteSql("DROP TABLE rel_C", {}, Schema()).ok());
+
+  PlanPtr plan = PlanNode::TransferS(PlanNode::Select(
+      PlanNode::Scan("C"),
+      Expr::Compare(CompareOp::kGt, Expr::Attr("Val"),
+                    Expr::Const(Value::Int(100)))));
+  EngineConfig ref_cfg;
+  Result<Relation> ref = EvaluatePlan(plan, catalog, ref_cfg, nullptr);
+  ASSERT_TRUE(ref.ok());
+
+  EngineConfig cfg;
+  cfg.backend = be;
+  ExecStats stats;
+  Result<Relation> got = EvaluatePlan(plan, catalog, cfg, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectListIdentical(ref.value(), got.value(), "runtime-fallback");
+  EXPECT_EQ(stats.backend_pushdowns, 0);
+  EXPECT_GE(stats.backend_fallbacks, 1);
+}
+
+TEST(SqliteBackendTest, FileBackedMirrorReusedAcrossRestarts) {
+  if (!SqliteBackend::Available()) GTEST_SKIP();
+  const std::string path = ::testing::TempDir() + "tqp_backend_mirror.db";
+  std::remove(path.c_str());
+  Catalog catalog = MakeCatalog(42);
+  PlanPtr plan = PlanNode::TransferS(PlanNode::Select(
+      PlanNode::Scan("C"),
+      Expr::Compare(CompareOp::kGt, Expr::Attr("Val"),
+                    Expr::Const(Value::Int(100)))));
+  EngineConfig plain;
+  Result<Relation> ref = EvaluatePlan(plan, catalog, plain, nullptr);
+  ASSERT_TRUE(ref.ok());
+
+  {  // first process: mirrors the catalog into the file
+    Result<std::unique_ptr<SqliteBackend>> a = SqliteBackend::Open(path);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(a.value()->SyncCatalog(catalog).ok());
+    EXPECT_EQ(a.value()->mirror_loads(), 1);
+  }
+  {  // "restart": same file, same catalog — the mirror is reused, not rebuilt
+    Result<std::unique_ptr<SqliteBackend>> b = SqliteBackend::Open(path);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EngineConfig cfg;
+    cfg.backend = b.value().get();
+    ExecStats stats;
+    Result<Relation> got = EvaluatePlan(plan, catalog, cfg, &stats);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectListIdentical(ref.value(), got.value(), "reused-mirror");
+    EXPECT_EQ(stats.backend_pushdowns, 1);
+    EXPECT_EQ(b.value()->mirror_loads(), 0) << "mirror was rebuilt";
+  }
+  std::remove(path.c_str());
+}
+
+// ---- Engine integration ---------------------------------------------------
+
+std::vector<std::string> EngineQueries() {
+  return {
+      "SELECT Name, Val FROM C WHERE Val > 10",
+      "SELECT DISTINCT Name FROM C ORDER BY Name ASC",
+      "SELECT Cat, COUNT(*) AS n FROM C GROUP BY Cat ORDER BY Cat",
+      "SELECT Name FROM C UNION SELECT Name FROM D",
+  };
+}
+
+TEST(EngineBackendTest, SqliteEngineMatchesSimulatedEngine) {
+  if (!SqliteBackend::Available()) GTEST_SKIP();
+  for (bool scramble : {false, true}) {
+    for (ExecutorKind executor :
+         {ExecutorKind::kReference, ExecutorKind::kVectorized}) {
+      EngineOptions sim_opts;
+      sim_opts.engine.dbms_scrambles_order = scramble;
+      sim_opts.executor = executor;
+      EngineOptions sq_opts = sim_opts;
+      sq_opts.backend = BackendKind::kSqlite;
+
+      Engine sim(MakeCatalog(42), sim_opts);
+      Engine sq(MakeCatalog(42), sq_opts);
+      ASSERT_STREQ(sim.backend()->name(), "simulated");
+      ASSERT_STREQ(sq.backend()->name(), "sqlite");
+
+      for (const std::string& q : EngineQueries()) {
+        Result<QueryResult> a = sim.Query(q);
+        Result<QueryResult> b = sq.Query(q);
+        ASSERT_TRUE(a.ok()) << q << ": " << a.status().ToString();
+        ASSERT_TRUE(b.ok()) << q << ": " << b.status().ToString();
+        EXPECT_EQ(a->relation.ToTable(), b->relation.ToTable())
+            << q << (scramble ? " scrambled" : " plain");
+      }
+      EXPECT_EQ(sim.stats().backend_name, "simulated");
+      EXPECT_EQ(sim.stats().backend_pushdowns, 0u);
+      EXPECT_EQ(sq.stats().backend_name, "sqlite");
+      EXPECT_GE(sq.stats().backend_pushdowns, 1u)
+          << "no query pushed a cut subplan down";
+    }
+  }
+}
+
+TEST(EngineBackendTest, UnavailableBackendFallsBackToSimulated) {
+  // Asking for kSqlite must never break an Engine: without sqlite3 the
+  // constructor falls back to the simulated backend.
+  EngineOptions opts;
+  opts.backend = BackendKind::kSqlite;
+  Engine engine(MakeCatalog(42), opts);
+  if (SqliteBackend::Available()) {
+    EXPECT_STREQ(engine.backend()->name(), "sqlite");
+  } else {
+    EXPECT_STREQ(engine.backend()->name(), "simulated");
+  }
+  Result<QueryResult> r = engine.Query(EngineQueries()[0]);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(EngineBackendTest, CalibratedEngineReportsFingerprint) {
+  if (!SqliteBackend::Available()) GTEST_SKIP();
+  EngineOptions opts;
+  opts.backend = BackendKind::kSqlite;
+  opts.calibrate_backend = true;
+  Engine engine(MakeCatalog(42), opts);
+  ASSERT_TRUE(engine.calibration().calibrated);
+  EXPECT_NE(engine.stats().calibration_fingerprint, 0u);
+  // Calibration changes plan choice, never results.
+  EngineOptions plain_opts;
+  Engine plain(MakeCatalog(42), plain_opts);
+  for (const std::string& q : EngineQueries()) {
+    Result<QueryResult> a = plain.Query(q);
+    Result<QueryResult> b = engine.Query(q);
+    ASSERT_TRUE(a.ok() && b.ok()) << q;
+    EXPECT_EQ(a->relation.ToTable(), b->relation.ToTable()) << q;
+  }
+}
+
+// ---- Plan-cache snapshots -------------------------------------------------
+
+TEST(BackendSnapshotTest, SnapshotRoundTripsBackendFields) {
+  Engine engine(MakeCatalog(42));
+  ASSERT_TRUE(engine.Query(EngineQueries()[0]).ok());
+  PlanCacheSnapshot snap = engine.ExportPlanCache();
+  EXPECT_EQ(snap.backend_kind, "simulated");
+  ASSERT_GE(snap.entries.size(), 1u);
+
+  Result<PlanCacheSnapshot> back =
+      DeserializeSnapshot(SerializeSnapshot(snap));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->backend_kind, snap.backend_kind);
+  EXPECT_EQ(back->calibration_fingerprint, snap.calibration_fingerprint);
+  EXPECT_EQ(back->catalog_version, snap.catalog_version);
+  EXPECT_EQ(back->entries.size(), snap.entries.size());
+
+  Engine other(MakeCatalog(42));
+  EXPECT_EQ(other.ImportPlanCache(back.value()), snap.entries.size());
+}
+
+TEST(BackendSnapshotTest, ImportRejectsBackendMismatchWholesale) {
+  if (!SqliteBackend::Available()) GTEST_SKIP();
+  EngineOptions sq_opts;
+  sq_opts.backend = BackendKind::kSqlite;
+  Engine sq(MakeCatalog(42), sq_opts);
+  ASSERT_TRUE(sq.Query(EngineQueries()[0]).ok());
+  PlanCacheSnapshot snap = sq.ExportPlanCache();
+  EXPECT_EQ(snap.backend_kind, "sqlite");
+  ASSERT_GE(snap.entries.size(), 1u);
+
+  // Plans chosen for the sqlite backend are stale for a simulated engine.
+  Engine sim(MakeCatalog(42));
+  EXPECT_EQ(sim.ImportPlanCache(snap), 0u);
+  EXPECT_EQ(sim.stats().plan_cache_imports, 0u);
+
+  // Same backend: accepted in full.
+  Engine sq2(MakeCatalog(42), sq_opts);
+  EXPECT_EQ(sq2.ImportPlanCache(snap), snap.entries.size());
+}
+
+TEST(BackendSnapshotTest, ImportRejectsCalibrationMismatchWholesale) {
+  if (!SqliteBackend::Available()) GTEST_SKIP();
+  EngineOptions uncal;
+  uncal.backend = BackendKind::kSqlite;
+  EngineOptions cal = uncal;
+  cal.calibrate_backend = true;
+
+  Engine a(MakeCatalog(42), uncal);
+  ASSERT_TRUE(a.Query(EngineQueries()[0]).ok());
+  PlanCacheSnapshot snap = a.ExportPlanCache();
+  EXPECT_EQ(snap.calibration_fingerprint, 0u);
+  ASSERT_GE(snap.entries.size(), 1u);
+
+  // Uncalibrated plans into a calibrated engine: stale, rejected wholesale.
+  Engine b(MakeCatalog(42), cal);
+  EXPECT_EQ(b.ImportPlanCache(snap), 0u);
+
+  // And the reverse direction.
+  ASSERT_TRUE(b.Query(EngineQueries()[0]).ok());
+  PlanCacheSnapshot cal_snap = b.ExportPlanCache();
+  EXPECT_NE(cal_snap.calibration_fingerprint, 0u);
+  Engine c(MakeCatalog(42), uncal);
+  EXPECT_EQ(c.ImportPlanCache(cal_snap), 0u);
+}
+
+}  // namespace
+}  // namespace tqp
