@@ -1,0 +1,124 @@
+// Incremental prepared-query re-execution: prepare once, update one
+// relation in a loop, and watch the versioned subplan result cache splice
+// everything the update did not touch.
+//
+// The query temporal-joins a big messy relation R (coalesce + selective
+// filter, pinned under its own transferS cut) against a small probe
+// relation A. Each loop iteration replaces A through MutateCatalog; the
+// engine invalidates only the subplans that transitively read A, so the
+// expensive R-side cut replays byte-identically from the cache while the
+// A-side scan and the join recompute.
+//
+// Build & run:  ./build/examples/example_incremental_prepared
+#include <chrono>
+#include <cstdio>
+
+#include "api/engine.h"
+#include "workload/generator.h"
+
+using namespace tqp;  // NOLINT — example code
+
+namespace {
+
+Relation Probe(uint64_t seed) {
+  RelationGenParams a;
+  a.cardinality = 24;
+  a.num_names = 8;
+  a.num_categories = 4;
+  a.time_horizon = 4000;
+  a.max_period_length = 400;
+  a.seed = seed;
+  return GenerateRelation(a);
+}
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  std::chrono::duration<double, std::milli> dt =
+      std::chrono::steady_clock::now() - t0;
+  return dt.count();
+}
+
+}  // namespace
+
+int main() {
+  // R: 40k base tuples with duplicates, coalescible adjacency and snapshot
+  // overlaps — the expensive side. A: two dozen long probe periods.
+  RelationGenParams r;
+  r.cardinality = 40000;
+  r.num_names = 2500;
+  r.num_categories = 16;
+  r.num_values = 1000;
+  r.time_horizon = 4000;
+  r.max_period_length = 50;
+  r.duplicate_fraction = 0.05;
+  r.adjacency_fraction = 0.35;
+  r.overlap_fraction = 0.10;
+  r.seed = 42;
+
+  Catalog catalog;
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags("R", GenerateRelation(r),
+                                           Site::kDbms)
+                .ok());
+  TQP_CHECK(
+      catalog.RegisterWithInferredFlags("A", Probe(1), Site::kDbms).ok());
+
+  EngineOptions options;
+  options.incremental_execution = true;  // the one switch this demo is about
+  options.enumeration.max_plans = 1;     // keep the hand-built shape
+  Engine engine(catalog, options);
+
+  // productT(transferS(σ_{Val>985}(coalT(R))), transferS(A)): the coalesce
+  // depends only on R, so its transferS cut survives every update of A.
+  PlanPtr plan = PlanNode::ProductT(
+      PlanNode::TransferS(PlanNode::Select(
+          PlanNode::Coalesce(PlanNode::Scan("R")),
+          Expr::Compare(CompareOp::kGt, Expr::Attr("Val"),
+                        Expr::Const(Value::Int(985))))),
+      PlanNode::TransferS(PlanNode::Scan("A")));
+
+  // Prepare ONCE; every later Execute() reuses the prepared plan (and
+  // re-prepares by itself if a mutation made it stale).
+  Result<PreparedQuery> prepared =
+      engine.Prepare(plan, QueryContract::Multiset());
+  TQP_CHECK(prepared.ok());
+  PreparedQuery query = prepared.value();
+
+  std::printf("%4s | %8s | %10s | %10s | %12s\n", "iter", "rows", "exec ms",
+              "cache hits", "cache misses");
+  std::printf("%s\n", std::string(56, '-').c_str());
+
+  for (int iter = 0; iter < 8; ++iter) {
+    if (iter > 0) {
+      // Replace the probe relation — a single-relation catalog update.
+      const uint64_t seed = 100 + iter;
+      TQP_CHECK(engine
+                    .MutateCatalog([&](Catalog& c) {
+                      CatalogEntry e;
+                      e.data = Probe(seed);
+                      return c.Update("A", std::move(e));
+                    })
+                    .ok());
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    Result<QueryResult> r = query.Execute();
+    double ms = MillisSince(t0);
+    TQP_CHECK(r.ok());
+    std::printf("%4d | %8zu | %10.2f | %10lld | %12lld\n", iter,
+                r->relation.size(), ms,
+                static_cast<long long>(r->exec.result_cache_hits),
+                static_cast<long long>(r->exec.result_cache_misses));
+  }
+
+  // Iteration 0 misses everywhere (cold cache). Every later iteration hits
+  // on the R-side cut — only the A scan and the join re-ran.
+  EngineStats stats = engine.stats();
+  std::printf("\nengine totals: %llu result-cache hits, %llu misses, "
+              "%llu bytes cached, %llu plan-cache stale evictions\n",
+              static_cast<unsigned long long>(stats.result_cache_hits),
+              static_cast<unsigned long long>(stats.result_cache_misses),
+              static_cast<unsigned long long>(stats.result_cache_bytes),
+              static_cast<unsigned long long>(
+                  stats.plan_cache_stale_evictions));
+  std::printf("\n%s\n", stats.ToJson().c_str());
+  return 0;
+}

@@ -692,6 +692,50 @@ Status FillNodeInfo(const PlanPtr& node, const Catalog& catalog,
 
 }  // namespace
 
+const std::vector<std::string>& NodeInfo::NoRelations() {
+  static const std::vector<std::string> empty;
+  return empty;
+}
+
+namespace {
+
+/// The relation-dependency set of `node` from its children's sets: a scan
+/// introduces its own relation; a unary operator aliases its child's vector
+/// (no copy); a binary operator merges — but reuses a side's vector when the
+/// other contributes nothing new, so long operator chains over the same
+/// scans share one allocation.
+std::shared_ptr<const std::vector<std::string>> DeriveRelationDeps(
+    const PlanNode& node, const std::vector<const NodeInfo*>& cs) {
+  if (node.kind() == OpKind::kScan) {
+    return std::make_shared<const std::vector<std::string>>(
+        std::vector<std::string>{node.rel_name()});
+  }
+  if (cs.empty()) return nullptr;
+  if (cs.size() == 1) return cs[0]->relations;
+  std::shared_ptr<const std::vector<std::string>> merged = cs[0]->relations;
+  for (size_t i = 1; i < cs.size(); ++i) {
+    const std::shared_ptr<const std::vector<std::string>>& other =
+        cs[i]->relations;
+    if (other == nullptr || other->empty() || other == merged) continue;
+    if (merged == nullptr || merged->empty()) {
+      merged = other;
+      continue;
+    }
+    if (std::includes(merged->begin(), merged->end(), other->begin(),
+                      other->end())) {
+      continue;
+    }
+    auto out = std::make_shared<std::vector<std::string>>();
+    out->reserve(merged->size() + other->size());
+    std::set_union(merged->begin(), merged->end(), other->begin(),
+                   other->end(), std::back_inserter(*out));
+    merged = std::move(out);
+  }
+  return merged;
+}
+
+}  // namespace
+
 Status DerivationCache::Derive(const PlanPtr& plan, const Catalog& catalog,
                                const CardinalityParams& params) {
   if (Find(plan.get()) != nullptr) return Status::OK();
@@ -711,6 +755,7 @@ Status DerivationCache::Derive(const PlanPtr& plan, const Catalog& catalog,
   NodeInfo ni;
   ni.schema = schema;
   TQP_RETURN_IF_ERROR(FillNodeInfo(plan, catalog, params, cs, &ni));
+  ni.relations = DeriveRelationDeps(*plan, cs);
   // Probe + insert atomically under the shard's stripe lock. A racing
   // derivation of the same node computed identical info (it is a pure
   // function of the subtree, catalog, and params); the first insert wins.

@@ -70,6 +70,19 @@ struct NodeInfo {
   bool snapshot_duplicate_free = false;
   bool coalesced = false;
   double cardinality = 0.0;
+  /// The relation-dependency set of this subtree: the sorted, deduplicated
+  /// names of every base relation a kScan below (or at) this node reads.
+  /// Shared between nodes (a unary operator aliases its child's vector), so
+  /// carrying it costs one pointer per node. Never null after Derive; use
+  /// relation_deps() for a null-safe view. The subplan result cache and the
+  /// Engine's dependency-keyed plan-cache invalidation compare per-relation
+  /// catalog versions over exactly this set.
+  std::shared_ptr<const std::vector<std::string>> relations;
+
+  static const std::vector<std::string>& NoRelations();
+  const std::vector<std::string>& relation_deps() const {
+    return relations == nullptr ? NoRelations() : *relations;
+  }
 
   // Table 2 applicability properties (top-down).
   bool order_required = true;

@@ -3,9 +3,13 @@
 #include <cstdio>
 #include <utility>
 
+#include <algorithm>
+#include <set>
+
 #include "backend/simulated_backend.h"
 #include "core/hash.h"
 #include "core/json.h"
+#include "exec/result_cache.h"
 #include "tql/lexer.h"
 
 namespace tqp {
@@ -30,6 +34,30 @@ std::string TextPlanCacheKey(const std::string& text) {
 /// from under its re-prepared state before giving up.
 constexpr int kMaxExecuteReprepares = 8;
 
+/// Result-cache byte budget when EngineOptions::result_cache_bytes is 0.
+constexpr uint64_t kDefaultResultCacheBytes = 64ull << 20;
+
+void CollectScanRelations(const PlanPtr& plan, std::set<std::string>* out) {
+  if (plan->kind() == OpKind::kScan) out->insert(plan->rel_name());
+  for (const PlanPtr& c : plan->children()) CollectScanRelations(c, out);
+}
+
+/// The relation-dependency set of a prepared state — every relation either
+/// of its plans reads — stamped with the live per-relation catalog versions.
+/// Sorted by name (std::set iteration), so comparisons are deterministic.
+std::vector<std::pair<std::string, uint64_t>> StampDepVersions(
+    const PlanPtr& initial, const PlanPtr& best, const Catalog& catalog) {
+  std::set<std::string> names;
+  CollectScanRelations(initial, &names);
+  if (best != nullptr) CollectScanRelations(best, &names);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    out.emplace_back(name, catalog.relation_version(name));
+  }
+  return out;
+}
+
 }  // namespace
 
 EngineOptions::EngineOptions() : rules(DefaultRuleSet()) {
@@ -53,9 +81,13 @@ struct PreparedQuery::State {
   size_t plans_considered = 0;
   bool truncated = false;
   std::vector<std::string> derivation;
-  /// Catalog version the optimization ran under; a mismatch with the live
-  /// catalog marks this state stale.
+  /// Catalog version the optimization ran under.
   uint64_t catalog_version = 0;
+  /// Every relation the initial or best plan reads, with the per-relation
+  /// catalog version it carried at preparation. Staleness is judged against
+  /// this set, not the global version: a mutation of a relation outside it
+  /// neither evicts the cache entry nor forces Execute() to re-prepare.
+  std::vector<std::pair<std::string, uint64_t>> dep_versions;
   /// Engine cache epoch the optimization ran under (bumped on every cache
   /// flush). Catches what the version alone cannot: a catalog *replaced*
   /// through mutable_catalog() can coincidentally carry the same version
@@ -93,8 +125,7 @@ Result<QueryResult> PreparedQuery::Execute() {
       Engine::AdmissionTicket ticket(engine_);
       std::shared_lock<std::shared_mutex> cat(engine_->catalog_mu_);
       engine_->SyncWithCatalog();
-      if (state_->catalog_version == engine_->catalog_.version() &&
-          state_->engine_epoch == engine_->CurrentEpoch()) {
+      if (engine_->StateIsCurrent(*state_)) {
         return engine_->ExecuteState(*state_, from_cache_);
       }
     }
@@ -151,6 +182,25 @@ Engine::Engine(Catalog catalog, EngineOptions options)
   stats_.backend_name = backend_->name();
   stats_.calibration_fingerprint =
       calibration_.calibrated ? calibration_.fingerprint : 0;
+  // The subplan result cache. Never inherited from a passed-in options
+  // struct: like the backend pointer, it must belong to *this* engine.
+  options_.engine.result_cache = nullptr;
+  options_.engine.result_cache_env = 0;
+  if (options_.incremental_execution) {
+    result_cache_ = std::make_unique<SubplanResultCache>(
+        options_.result_cache_bytes == 0 ? kDefaultResultCacheBytes
+                                         : options_.result_cache_bytes);
+    options_.engine.result_cache = result_cache_.get();
+    // Everything outside the plan that shapes executor output bytes:
+    // scramble mode and seed, backend identity, calibration. Results cached
+    // under one environment can never match a probe from another.
+    uint64_t env = HashMix64(options_.engine.dbms_scrambles_order ? 1 : 2);
+    env = HashCombine(env, options_.engine.scramble_seed);
+    env = HashCombine(env, HashString(backend_->name()));
+    env = HashCombine(env, calibration_.calibrated ? calibration_.fingerprint
+                                                   : 0);
+    options_.engine.result_cache_env = env;
+  }
   // Session caches are shared by every concurrent session of this Engine.
   interner_->EnableConcurrentAccess();
   derivation_->EnableConcurrentAccess();
@@ -168,6 +218,11 @@ void Engine::FlushCachesLocked() {
   derivation_->EnableConcurrentAccess();
   lru_.clear();
   plan_cache_.clear();
+  // A wholesale flush means the catalog may have been *replaced*: a fresh
+  // catalog can coincidentally reproduce old per-relation version stamps
+  // over different data, so self-versioned result-cache keys are no longer
+  // trustworthy either.
+  if (result_cache_ != nullptr) result_cache_->Clear();
   caches_version_ = catalog_.version();
   // Every flush starts a new epoch: prepared states from before the flush
   // must re-prepare even if the catalog version count happens to match
@@ -201,15 +256,46 @@ void Engine::SyncWithCatalog() {
     return;
   }
   if (caches_version_ == catalog_.version()) return;
-  // Everything cached was derived under an older catalog: relation contents
-  // drive cardinalities and validation, so all of it is suspect. Flush
-  // rather than serve anything stale. Exactly one thread flushes per
-  // version change (the check and the flush are atomic under state_mu_),
-  // and no in-flight query can still hold the old cache pointers: the
-  // mutation that bumped the version held the catalog lock exclusively, so
-  // every query that captured them has already drained.
+  // The catalog moved through ordinary, per-relation-tracked mutation.
+  // Invalidate selectively rather than wholesale — exactly one thread
+  // reconciles per version change (the check and the update are atomic
+  // under state_mu_), and no in-flight query can still hold the old cache
+  // pointers: the mutation that bumped the version held the catalog lock
+  // exclusively, so every query that captured them has already drained.
+  //
+  //  * plan cache — evict only entries whose relation-dependency set moved;
+  //    a plan reading only untouched relations stays warm;
+  //  * interner — kept: hash-consing is catalog-independent;
+  //  * result cache — kept: entries carry exact per-relation version
+  //    vectors, so stale ones can never match a probe (they age out LRU);
+  //  * derivation cache — rebuilt: its cardinalities/guarantees came from
+  //    old relation contents, and its pointer-stability contract (entries
+  //    are never erased) rules out selective eviction.
   ++stats_.invalidations;
-  FlushCachesLocked();
+  derivation_ = std::make_unique<DerivationCache>();
+  derivation_->EnableConcurrentAccess();
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (DepsCurrentLocked(*it->state)) {
+      ++it;
+      continue;
+    }
+    plan_cache_.erase(it->key);
+    it = lru_.erase(it);
+    ++stats_.plan_cache_stale_evictions;
+  }
+  caches_version_ = catalog_.version();
+}
+
+bool Engine::DepsCurrentLocked(const PreparedQuery::State& state) const {
+  for (const auto& [name, version] : state.dep_versions) {
+    if (catalog_.relation_version(name) != version) return false;
+  }
+  return true;
+}
+
+bool Engine::StateIsCurrent(const PreparedQuery::State& state) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state.engine_epoch == catalog_epoch_ && DepsCurrentLocked(state);
 }
 
 Status Engine::MutateCatalog(const std::function<Status(Catalog&)>& mutation) {
@@ -295,6 +381,7 @@ Result<std::shared_ptr<const PreparedQuery::State>> Engine::PrepareImpl(
   state->derivation = std::move(optimized.derivation);
   state->catalog_version = catalog_.version();
   state->engine_epoch = epoch;
+  state->dep_versions = StampDepVersions(root, state->best_plan, catalog_);
 
   std::shared_ptr<const PreparedQuery::State> shared = state;
   if (options_.cache_plans) StorePlanCache(key, shared);
@@ -510,11 +597,23 @@ PlanCacheSnapshot Engine::ExportPlanCache() const {
   out.backend_kind = backend_->name();
   out.calibration_fingerprint =
       calibration_.calibrated ? calibration_.fingerprint : 0;
+  // An unprocessed mutable_catalog() handout means every cached entry is
+  // suspect (the catalog may have been replaced wholesale) while the
+  // version/fingerprint above describe the *new* catalog. Exporting the
+  // entries would label them valid for a catalog they were never prepared
+  // under — a stale-positive. Export none.
+  if (catalog_handout_.load(std::memory_order_acquire)) return out;
   out.entries.reserve(lru_.size());
   // lru_ front = most recent; emit back-to-front so importing in sequence
   // reproduces the recency order.
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
     const PreparedQuery::State& s = *it->state;
+    // Same stale-positive guard for individual entries: SyncWithCatalog
+    // evicts dependency-stale entries lazily (on the next query), so an
+    // export taken between a mutation and that next query can still see
+    // them. The snapshot stamps the live catalog version; only entries
+    // actually valid under it may ship.
+    if (s.engine_epoch != catalog_epoch_ || !DepsCurrentLocked(s)) continue;
     PlanCacheEntry e;
     e.key = it->key;
     e.text = s.text;
@@ -589,6 +688,8 @@ size_t Engine::ImportPlanCache(const PlanCacheSnapshot& snapshot) {
     state->derivation = e.derivation;
     state->catalog_version = catalog_.version();
     state->engine_epoch = epoch;
+    state->dep_versions =
+        StampDepVersions(state->initial_plan, state->best_plan, catalog_);
     StorePlanCache(e.key, std::move(state));
     ++installed;
   }
@@ -611,6 +712,7 @@ std::string EngineStats::ToJson() const {
   w.Key("plan_cache_hits").Uint(plan_cache_hits);
   w.Key("plan_cache_misses").Uint(plan_cache_misses);
   w.Key("plan_cache_evictions").Uint(plan_cache_evictions);
+  w.Key("plan_cache_stale_evictions").Uint(plan_cache_stale_evictions);
   w.Key("plan_cache_imports").Uint(plan_cache_imports);
   w.Key("invalidations").Uint(invalidations);
   w.Key("peak_concurrent_queries").Uint(peak_concurrent_queries);
@@ -623,6 +725,11 @@ std::string EngineStats::ToJson() const {
   w.Key("backend_rows").Uint(backend_rows);
   w.Key("backend_fallbacks").Uint(backend_fallbacks);
   w.Key("calibration_fingerprint").Uint(calibration_fingerprint);
+  w.Key("result_cache_hits").Uint(result_cache_hits);
+  w.Key("result_cache_misses").Uint(result_cache_misses);
+  w.Key("result_cache_evictions").Uint(result_cache_evictions);
+  w.Key("result_cache_entries").Uint(result_cache_entries);
+  w.Key("result_cache_bytes").Uint(result_cache_bytes);
   w.EndObject();
   return w.Take();
 }
@@ -636,6 +743,14 @@ EngineStats Engine::stats() const {
   out.interner_nodes = interner_->unique_nodes();
   out.interner_hits = interner_->hits();
   out.derivation_nodes = derivation_->size();
+  if (result_cache_ != nullptr) {
+    ResultCacheStats rc = result_cache_->stats();
+    out.result_cache_hits = rc.hits;
+    out.result_cache_misses = rc.misses;
+    out.result_cache_evictions = rc.evictions;
+    out.result_cache_entries = rc.entries;
+    out.result_cache_bytes = rc.bytes;
+  }
   return out;
 }
 

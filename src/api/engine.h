@@ -146,6 +146,17 @@ struct EngineOptions {
   /// that exploit a fast backend. The SimulatedBackend's profile reproduces
   /// the constant model exactly, so calibration never changes plans there.
   bool calibrate_backend = false;
+  /// Incremental prepared-query re-execution: keep a versioned subplan
+  /// result cache (exec/result_cache.h) shared across this Engine's
+  /// sessions. Both executors probe it at transfer/root cut points; when
+  /// the catalog bumps one relation, only subplans transitively reading it
+  /// recompute — everything else splices its cached, byte-identical result.
+  /// Off (default) = no cache exists and execution is unchanged.
+  bool incremental_execution = false;
+  /// Byte bound of the subplan result cache (least-recently-used results
+  /// evicted beyond it). 0 = a 64 MiB default. Ignored unless
+  /// incremental_execution is on.
+  uint64_t result_cache_bytes = 0;
 };
 
 /// Everything one query execution returns: the relation plus execution and
@@ -177,6 +188,11 @@ struct EngineStats {
   uint64_t plan_cache_misses = 0;
   /// LRU evictions forced by EngineOptions::plan_cache_capacity.
   uint64_t plan_cache_evictions = 0;
+  /// Plan-cache entries evicted because a catalog mutation moved one of the
+  /// relations their plans read. Invalidation is keyed on each entry's
+  /// relation-dependency set: updating relation A never evicts (or
+  /// re-prepares) a plan reading only B.
+  uint64_t plan_cache_stale_evictions = 0;
   /// Times the session caches were flushed because the catalog changed.
   uint64_t invalidations = 0;
   /// Highest number of queries simultaneously inside the admission-gated
@@ -201,6 +217,16 @@ struct EngineStats {
   uint64_t backend_rows = 0;
   uint64_t backend_fallbacks = 0;
   uint64_t calibration_fingerprint = 0;
+
+  /// Subplan result-cache lifetime counters (EngineOptions::
+  /// incremental_execution), read straight from the shared cache: probe
+  /// outcomes across every session, LRU evictions, and current occupancy.
+  /// All 0 when incremental execution is off.
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t result_cache_evictions = 0;
+  uint64_t result_cache_entries = 0;
+  uint64_t result_cache_bytes = 0;
 
   /// One flat JSON object with every counter above — the rendering the
   /// service's \stats command and the bench JSON both embed.
@@ -252,6 +278,7 @@ struct PlanCacheSnapshot {
 };
 
 class Engine;
+class SubplanResultCache;
 
 /// A compiled-and-optimized query bound to its Engine. Cheap to copy (shared
 /// immutable state); must not outlive the Engine. Execute() re-prepares
@@ -413,15 +440,28 @@ class Engine {
     SemaphoreGuard permit_;
   };
 
-  /// Flushes the session caches if the catalog version moved since they were
-  /// primed. Requires the catalog lock (shared suffices: a mismatch can only
-  /// be observed once the mutating writer has drained every older reader, so
-  /// no in-flight query can still be using the flushed objects).
+  /// Reconciles the session caches with the live catalog if its version
+  /// moved since they were primed. A mutable_catalog() handout flushes
+  /// everything wholesale (a replacement is undetectable by version); an
+  /// ordinary version bump invalidates *selectively* — only plan-cache
+  /// entries whose relation-dependency set moved are evicted, the
+  /// catalog-independent interner and the self-versioned result cache
+  /// survive, and the derivation cache (whose cardinalities may be stale)
+  /// is rebuilt. Requires the catalog lock (shared suffices: a mismatch can
+  /// only be observed once the mutating writer has drained every older
+  /// reader, so no in-flight query can still be using the flushed objects).
   void SyncWithCatalog();
   /// Drops all caches; state_mu_ must be held. Starts a new cache epoch.
   void FlushCachesLocked();
   /// The current cache epoch (bumped by every flush).
   uint64_t CurrentEpoch() const;
+  /// True iff every relation `state`'s plans read still carries the version
+  /// it was prepared under. state_mu_ must be held (the catalog lock shared
+  /// guards the catalog reads).
+  bool DepsCurrentLocked(const PreparedQuery::State& state) const;
+  /// Staleness check for Execute(): current epoch and current dependency
+  /// versions. Catalog lock held shared.
+  bool StateIsCurrent(const PreparedQuery::State& state) const;
 
   /// Plan-cache probe under state_mu_: on a hit bumps the entry to the LRU
   /// front and counts a hit. `confirm` (optional) structurally verifies the
@@ -451,6 +491,12 @@ class Engine {
   /// .calibration point into these for the executors and cost model.
   std::unique_ptr<Backend> backend_;
   BackendCostProfile calibration_;
+  /// The shared subplan result cache (EngineOptions::incremental_execution);
+  /// nullptr when off. options_.engine.result_cache points at it for both
+  /// executors. Its entries self-version through per-relation catalog
+  /// stamps, so ordinary mutations never clear it — only wholesale flushes
+  /// (handout, ClearCaches) do.
+  std::unique_ptr<SubplanResultCache> result_cache_;
 
   /// Queries hold this shared for their full duration; catalog mutation and
   /// explicit cache flushes hold it exclusive. Lock order: admission

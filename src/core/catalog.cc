@@ -13,7 +13,7 @@ Status Catalog::Register(const std::string& name, CatalogEntry entry) {
   TQP_RETURN_IF_ERROR(Verify(name, entry));
   entry.data.set_order(entry.order);
   entries_.emplace(name, std::move(entry));
-  ++version_;
+  relation_versions_[name] = ++version_;
   return Status::OK();
 }
 
@@ -21,14 +21,21 @@ Status Catalog::Update(const std::string& name, CatalogEntry entry) {
   TQP_RETURN_IF_ERROR(Verify(name, entry));
   entry.data.set_order(entry.order);
   entries_[name] = std::move(entry);
-  ++version_;
+  relation_versions_[name] = ++version_;
   return Status::OK();
 }
 
 bool Catalog::Drop(const std::string& name) {
   if (entries_.erase(name) == 0) return false;
-  ++version_;
+  // Tombstone: the drop is a mutation of `name`, visible to per-relation
+  // consumers exactly like an update.
+  relation_versions_[name] = ++version_;
   return true;
+}
+
+uint64_t Catalog::relation_version(const std::string& name) const {
+  auto it = relation_versions_.find(name);
+  return it == relation_versions_.end() ? 0 : it->second;
 }
 
 Status Catalog::Verify(const std::string& name,

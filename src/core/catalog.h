@@ -47,6 +47,17 @@ struct CatalogEntry {
 /// derivation caches) key their cached state on it: anything derived under
 /// version v is stale — and must be invalidated, never served — once
 /// version() != v.
+///
+/// Mutations are additionally tracked *per relation*: every successful
+/// Register/Update/Drop of `name` stamps that relation with the new global
+/// counter, so relation_version(name) moves exactly when `name`'s contents
+/// (or existence) change. The global version is always the maximum of the
+/// per-relation versions. Dependency-keyed consumers (the Engine's
+/// relation-dependency plan-cache invalidation and the subplan result
+/// cache) compare per-relation versions instead of the global counter, so
+/// an update of relation A never invalidates state derived only from B.
+/// Dropped relations keep their stamp (a tombstone): re-registering under
+/// the same name yields a strictly larger version, never a repeat.
 class Catalog {
  public:
   /// Registers a relation; metadata flags are *verified* against the data so
@@ -69,13 +80,21 @@ class Catalog {
 
   std::vector<std::string> Names() const;
 
-  /// Number of successful mutations so far; 0 for a fresh catalog.
+  /// Number of successful mutations so far; 0 for a fresh catalog. Equals
+  /// the maximum over all relation_version() values.
   uint64_t version() const { return version_; }
+
+  /// The global version at the last successful mutation of `name`
+  /// (including its drop — tombstones persist); 0 if `name` was never
+  /// registered. Monotonically increasing per relation.
+  uint64_t relation_version(const std::string& name) const;
 
  private:
   Status Verify(const std::string& name, const CatalogEntry& entry) const;
 
   std::map<std::string, CatalogEntry> entries_;
+  /// Per-relation mutation stamps, including tombstones for dropped names.
+  std::map<std::string, uint64_t> relation_versions_;
   uint64_t version_ = 0;
 };
 

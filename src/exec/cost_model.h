@@ -11,6 +11,7 @@
 namespace tqp {
 
 class Backend;
+class SubplanResultCache;
 
 /// Work units for one operator invocation given input/output cardinalities.
 /// Transfers are charged separately (per tuple moved).
@@ -61,6 +62,16 @@ struct EngineConfig {
   /// Measured backend costs; non-owning. nullptr or !calibrated means the
   /// constant model above.
   const BackendCostProfile* calibration = nullptr;
+
+  /// Versioned subplan result cache; non-owning (the Engine owns it).
+  /// nullptr disables incremental execution — both executors behave exactly
+  /// as if the cache layer did not exist.
+  SubplanResultCache* result_cache = nullptr;
+  /// Environment fingerprint stored with every cached result: covers the
+  /// scramble mode/seed, backend identity, and calibration fingerprint, so
+  /// results never leak across engine environments that could produce
+  /// different bytes. Computed once by the Engine.
+  uint64_t result_cache_env = 0;
 };
 
 /// Estimated total cost of a plan: per-node OpWorkUnits on the derived

@@ -7,17 +7,57 @@
 #include "backend/backend.h"
 #include "backend/simulated_backend.h"
 #include "core/json.h"
+#include "exec/result_cache.h"
 
 namespace tqp {
 
 namespace {
 
+/// Executor tags folded into the result-cache contract fingerprint so the
+/// reference and vectorized executors never splice each other's
+/// intermediates (their root results agree by contract; their cut-point
+/// materializations are not required to).
+constexpr uint64_t kRefExecutorTag = 1;
+
 struct TreeEvaluator {
   const AnnotatedPlan& ann;
   const EngineConfig& config;
   ExecStats* stats;
+  /// Contract+executor digest, fixed for the whole evaluation.
+  uint64_t contract_fp =
+      ContractFingerprint(ann.contract(), kRefExecutorTag);
+
+  /// Cut points where cached results are probed/installed: the transfer
+  /// boundaries (where the layered architecture materializes anyway) and
+  /// the root. Finer-grained caching would tax cold runs with a copy per
+  /// operator for results that can only be spliced at materialization
+  /// boundaries anyway.
+  bool IsCachePoint(const PlanPtr& node) const {
+    return node->kind() == OpKind::kTransferS ||
+           node->kind() == OpKind::kTransferD || node == ann.plan();
+  }
 
   Result<Relation> Eval(const PlanPtr& node) {
+    if (config.result_cache == nullptr || !IsCachePoint(node)) {
+      return EvalInner(node);
+    }
+    SubplanCacheKey key =
+        MakeSubplanCacheKey(node, ann.info(node.get()), ann.catalog(),
+                            config.result_cache_env, contract_fp);
+    if (auto cached = config.result_cache->Lookup(key)) {
+      // Splice: the cached relation carries the bytes, list order, and
+      // order annotation the subtree would reproduce; nothing below the
+      // cut is accounted (it did not run).
+      if (stats != nullptr) ++stats->result_cache_hits;
+      return *cached;
+    }
+    if (stats != nullptr) ++stats->result_cache_misses;
+    TQP_ASSIGN_OR_RETURN(result, EvalInner(node));
+    config.result_cache->Insert(key, result);
+    return result;
+  }
+
+  Result<Relation> EvalInner(const PlanPtr& node) {
     const NodeInfo& info = ann.info(node.get());
     // A transferS cut whose subtree the backend can run natively is fetched
     // as one SQL statement instead of being evaluated here; only the
@@ -159,6 +199,8 @@ std::string ExecStats::ToJson() const {
   w.Key("backend_pushdowns").Int(backend_pushdowns);
   w.Key("backend_rows").Int(backend_rows);
   w.Key("backend_fallbacks").Int(backend_fallbacks);
+  w.Key("result_cache_hits").Int(result_cache_hits);
+  w.Key("result_cache_misses").Int(result_cache_misses);
   w.Key("ops").BeginObject();
   for (const auto& [name, n] : op_counts) {
     w.Key(name).Int(n);

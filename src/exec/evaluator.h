@@ -75,6 +75,14 @@ struct ExecStats {
   int64_t backend_rows = 0;
   int64_t backend_fallbacks = 0;
 
+  /// Subplan result-cache probes at transfer/root cut points, when the
+  /// engine runs with incremental execution enabled. A hit splices the
+  /// cached relation and skips the whole subtree (no op_counts / work
+  /// entries below the cut, like a backend pushdown). Both 0 when the
+  /// cache is disabled.
+  int64_t result_cache_hits = 0;
+  int64_t result_cache_misses = 0;
+
   double total_work() const { return dbms_work + stratum_work; }
 
   /// One flat JSON object with every counter above (op_counts nested as

@@ -25,6 +25,7 @@
 #include "backend/simulated_backend.h"
 #include "core/spill.h"
 #include "core/task_pool.h"
+#include "exec/result_cache.h"
 #include "vexec/vexec_internal.h"
 
 namespace tqp {
@@ -1566,12 +1567,22 @@ void HashJoinCandidates(const ColumnTable& l, const ColumnTable& r,
 
 // ---- The driver -----------------------------------------------------------
 
+/// Folded into the result-cache contract fingerprint; distinct from the
+/// reference evaluator's tag so the executors never splice each other's
+/// cut-point materializations (only their root results are contractually
+/// identical). The vectorized pipeline itself is byte-deterministic across
+/// thread counts, so one tag covers every VexecOptions setting.
+constexpr uint64_t kVecExecutorTag = 2;
+
 struct VecTreeExecutor {
   const AnnotatedPlan& ann;
   const EngineConfig& config;
   ExecStats* stats;
   const VexecOptions& options;
   VexecRuntime& rt;
+  /// Contract+executor digest, fixed for the whole execution.
+  uint64_t contract_fp =
+      ContractFingerprint(ann.contract(), kVecExecutorTag);
 
   // The simulated cost accounting of the reference evaluator, plus the
   // batch-engine counters: batches consumed (input rows, or the scanned
@@ -1658,7 +1669,37 @@ struct VecTreeExecutor {
     return MaybeScramble(select.get(), sinfo, std::move(out));
   }
 
+  /// Cut points mirroring the reference evaluator's: transfer boundaries
+  /// and the root. Entries store the row Relation (ColumnTable's
+  /// ToRelation/FromRelation round trip is byte-identical), keyed under
+  /// kVecExecutorTag.
+  bool IsCachePoint(const PlanPtr& node) const {
+    return node->kind() == OpKind::kTransferS ||
+           node->kind() == OpKind::kTransferD || node == ann.plan();
+  }
+
   Result<ColumnTable> Eval(const PlanPtr& node) {
+    if (config.result_cache == nullptr || !IsCachePoint(node)) {
+      return EvalInner(node);
+    }
+    SubplanCacheKey key =
+        MakeSubplanCacheKey(node, ann.info(node.get()), ann.catalog(),
+                            config.result_cache_env, contract_fp);
+    if (auto cached = config.result_cache->Lookup(key)) {
+      // Splice the cached rows back into columnar form; nothing below the
+      // cut runs or is accounted.
+      if (stats != nullptr) ++stats->result_cache_hits;
+      return ColumnTable::FromRelation(*cached);
+    }
+    if (stats != nullptr) ++stats->result_cache_misses;
+    TQP_ASSIGN_OR_RETURN(result, EvalInner(node));
+    Relation rows = result.ToRelation();
+    rows.set_order(ann.info(node.get()).order);
+    config.result_cache->Insert(key, std::move(rows));
+    return result;
+  }
+
+  Result<ColumnTable> EvalInner(const PlanPtr& node) {
     const NodeInfo& info = ann.info(node.get());
     // Backend pushdown at a transferS cut — the columnar twin of the
     // reference evaluator's interception: fetch the cut result natively,

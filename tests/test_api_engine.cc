@@ -703,5 +703,168 @@ TEST(ApiEngineTest, CatalogVersioning) {
   EXPECT_FALSE(catalog.Contains("A"));
 }
 
+TEST(ApiEngineTest, DependencyKeyedInvalidationKeepsUnrelatedPlans) {
+  // Plan-cache invalidation is keyed on each entry's relation-dependency
+  // set: updating S evicts exactly the plans reading S, and a plan reading
+  // only R survives warm (the over-invalidation regression).
+  const std::string qr = "SELECT Name, Val FROM R WHERE Val > 10";
+  const std::string qs = "SELECT Name, Val FROM S WHERE Val > 10";
+  Engine engine(WorkloadCatalog());
+  ASSERT_TRUE(engine.Query(qr).ok());
+  ASSERT_TRUE(engine.Query(qs).ok());
+  ASSERT_TRUE(engine.Query(qr)->plan_cache_hit);  // both warm
+  ASSERT_TRUE(engine.Query(qs)->plan_cache_hit);
+
+  ASSERT_TRUE(engine
+                  .MutateCatalog([](Catalog& c) {
+                    CatalogEntry e;
+                    e.data = testing_util::RandomTemporal(21, 16);
+                    return c.Update("S", std::move(e));
+                  })
+                  .ok());
+
+  Result<QueryResult> r_after = engine.Query(qr);
+  ASSERT_TRUE(r_after.ok());
+  EXPECT_TRUE(r_after->plan_cache_hit);  // R-plan untouched by S's update
+  Result<QueryResult> s_after = engine.Query(qs);
+  ASSERT_TRUE(s_after.ok());
+  EXPECT_FALSE(s_after->plan_cache_hit);  // S-plan was stale, re-prepared
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.plan_cache_stale_evictions, 1u);  // only the S-plan
+  EXPECT_EQ(stats.invalidations, 1u);
+
+  // Both answers match a fresh engine over the mutated catalog.
+  Engine fresh(engine.catalog());
+  Result<QueryResult> fresh_r = fresh.Query(qr);
+  Result<QueryResult> fresh_s = fresh.Query(qs);
+  ASSERT_TRUE(fresh_r.ok());
+  ASSERT_TRUE(fresh_s.ok());
+  ExpectIdentical(r_after->relation, fresh_r->relation);
+  ExpectIdentical(s_after->relation, fresh_s->relation);
+}
+
+TEST(ApiEngineTest, PreparedQuerySurvivesUnrelatedMutation) {
+  // A PreparedQuery whose plans never read S executes without re-preparing
+  // across an S mutation: staleness is judged per relation, not by the
+  // global catalog version.
+  const std::string qr = "SELECT Name, Val FROM R WHERE Val > 10";
+  Engine engine(WorkloadCatalog());
+  Result<PreparedQuery> prepared = engine.Prepare(qr);
+  ASSERT_TRUE(prepared.ok());
+  PreparedQuery handle = prepared.value();
+  Result<QueryResult> before = handle.Execute();
+  ASSERT_TRUE(before.ok());
+  const uint64_t prepares_before = engine.stats().prepares;
+
+  ASSERT_TRUE(engine
+                  .MutateCatalog([](Catalog& c) {
+                    CatalogEntry e;
+                    e.data = testing_util::RandomTemporal(33, 16);
+                    return c.Update("S", std::move(e));
+                  })
+                  .ok());
+
+  Result<QueryResult> after = handle.Execute();
+  ASSERT_TRUE(after.ok());
+  ExpectIdentical(after->relation, before->relation);
+  EXPECT_EQ(engine.stats().prepares, prepares_before);  // no re-prepare ran
+}
+
+TEST(ApiEngineTest, IncrementalExecutionSplicesCachedSubplans) {
+  // EngineOptions::incremental_execution: repeated execution splices cached
+  // subplan results; an update of an unrelated relation leaves them valid
+  // (exact per-relation version keys); an update of a read relation forces
+  // a full recompute whose bytes match an always-cold engine.
+  const std::string qr = "SELECT Name, Val FROM R WHERE Val > 10";
+  EngineOptions options;
+  options.incremental_execution = true;
+  Engine engine(WorkloadCatalog(), options);
+
+  Result<QueryResult> first = engine.Query(qr);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->exec.result_cache_hits, 0);
+  EXPECT_GT(first->exec.result_cache_misses, 0);
+
+  Result<QueryResult> second = engine.Query(qr);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->exec.result_cache_hits, 0);  // root splice
+  ExpectIdentical(second->relation, first->relation);
+
+  // Updating S (which qr never reads) invalidates nothing qr uses.
+  ASSERT_TRUE(engine
+                  .MutateCatalog([](Catalog& c) {
+                    CatalogEntry e;
+                    e.data = testing_util::RandomTemporal(44, 16);
+                    return c.Update("S", std::move(e));
+                  })
+                  .ok());
+  Result<QueryResult> third = engine.Query(qr);
+  ASSERT_TRUE(third.ok());
+  EXPECT_GT(third->exec.result_cache_hits, 0);
+  ExpectIdentical(third->relation, first->relation);
+
+  // Updating R invalidates every cached subplan qr reads: full recompute,
+  // byte-identical to a cold engine over the same catalog.
+  ASSERT_TRUE(engine
+                  .MutateCatalog([](Catalog& c) {
+                    CatalogEntry e;
+                    e.data = testing_util::RandomTemporal(55, 20);
+                    return c.Update("R", std::move(e));
+                  })
+                  .ok());
+  Result<QueryResult> fourth = engine.Query(qr);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_EQ(fourth->exec.result_cache_hits, 0);  // every dep moved
+  Engine cold(engine.catalog());
+  Result<QueryResult> expected = cold.Query(qr);
+  ASSERT_TRUE(expected.ok());
+  ExpectIdentical(fourth->relation, expected->relation);
+
+  EngineStats stats = engine.stats();
+  EXPECT_GT(stats.result_cache_hits, 0u);
+  EXPECT_GT(stats.result_cache_misses, 0u);
+  EXPECT_GT(stats.result_cache_entries, 0u);
+  EXPECT_GT(stats.result_cache_bytes, 0u);
+  // The JSON rendering (embedded by the service \stats frame) carries the
+  // new counters.
+  EXPECT_NE(stats.ToJson().find("result_cache_hits"), std::string::npos);
+  EXPECT_NE(stats.ToJson().find("plan_cache_stale_evictions"),
+            std::string::npos);
+}
+
+TEST(ApiEngineTest, SnapshotExportSkipsDependencyStaleEntries) {
+  // A snapshot taken between a mutation and the next query must not carry
+  // entries the mutation staled: the snapshot stamps the live catalog
+  // version, so exporting them would mark stale plans as valid
+  // (stale-positive on re-import).
+  const std::string qr = "SELECT Name, Val FROM R WHERE Val > 10";
+  const std::string qs = "SELECT Name, Val FROM S WHERE Val > 10";
+  Engine engine(WorkloadCatalog());
+  ASSERT_TRUE(engine.Query(qr).ok());
+  ASSERT_TRUE(engine.Query(qs).ok());
+  EXPECT_EQ(engine.ExportPlanCache().entries.size(), 2u);
+
+  ASSERT_TRUE(engine
+                  .MutateCatalog([](Catalog& c) {
+                    CatalogEntry e;
+                    e.data = testing_util::RandomTemporal(66, 16);
+                    return c.Update("S", std::move(e));
+                  })
+                  .ok());
+  // No query ran since the mutation: the stale S-entry is still in the LRU,
+  // but the export filters it out; the R-entry is still valid and ships.
+  PlanCacheSnapshot snap = engine.ExportPlanCache();
+  ASSERT_EQ(snap.entries.size(), 1u);
+  EXPECT_EQ(snap.entries[0].text, qr);
+
+  // The filtered snapshot imports cleanly into a twin engine.
+  Engine twin(engine.catalog());
+  EXPECT_EQ(twin.ImportPlanCache(snap), 1u);
+  Result<QueryResult> warmed = twin.Query(qr);
+  ASSERT_TRUE(warmed.ok());
+  EXPECT_TRUE(warmed->plan_cache_hit);
+}
+
 }  // namespace
 }  // namespace tqp

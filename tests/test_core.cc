@@ -214,6 +214,51 @@ TEST(CatalogTest, InferredFlags) {
   EXPECT_FALSE(e->snapshot_duplicate_free);
 }
 
+TEST(CatalogTest, PerRelationVersionTracking) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.version(), 0u);
+  EXPECT_EQ(catalog.relation_version("R"), 0u);  // never registered
+
+  ASSERT_TRUE(
+      catalog.RegisterWithInferredFlags("R", TemporalRel({{"a", 1, 0, 5}}))
+          .ok());
+  ASSERT_TRUE(
+      catalog.RegisterWithInferredFlags("S", TemporalRel({{"b", 2, 1, 4}}))
+          .ok());
+  EXPECT_EQ(catalog.relation_version("R"), 1u);
+  EXPECT_EQ(catalog.relation_version("S"), 2u);
+  EXPECT_EQ(catalog.version(), 2u);
+
+  // Updating S moves S's stamp (and the global max), never R's.
+  CatalogEntry entry;
+  entry.data = TemporalRel({{"c", 3, 2, 6}});
+  ASSERT_TRUE(catalog.Update("S", entry).ok());
+  EXPECT_EQ(catalog.relation_version("R"), 1u);
+  EXPECT_EQ(catalog.relation_version("S"), 3u);
+  EXPECT_EQ(catalog.version(), 3u);
+
+  // A failed mutation bumps nothing.
+  CatalogEntry bad;
+  bad.data = TemporalRel({{"d", 4, 0, 5}, {"d", 4, 0, 5}});
+  bad.duplicate_free = true;
+  EXPECT_FALSE(catalog.Update("S", bad).ok());
+  EXPECT_EQ(catalog.relation_version("S"), 3u);
+  EXPECT_EQ(catalog.version(), 3u);
+  EXPECT_FALSE(catalog.Drop("missing"));
+  EXPECT_EQ(catalog.version(), 3u);
+
+  // Drop is a mutation of the dropped name; the tombstone persists, so a
+  // re-register under the same name gets a strictly larger stamp.
+  EXPECT_TRUE(catalog.Drop("S"));
+  EXPECT_EQ(catalog.relation_version("S"), 4u);
+  ASSERT_TRUE(
+      catalog.RegisterWithInferredFlags("S", TemporalRel({{"e", 5, 1, 2}}))
+          .ok());
+  EXPECT_EQ(catalog.relation_version("S"), 5u);
+  EXPECT_EQ(catalog.relation_version("R"), 1u);
+  EXPECT_EQ(catalog.version(), 5u);
+}
+
 TEST(RelationTest, ToTableRendersAllCells) {
   Relation r = TemporalRel({{"a", 1, 0, 5}});
   std::string table = r.ToTable("title");

@@ -117,6 +117,33 @@ TEST(SiteDerivationTest, TransfersFlipSites) {
                    .ok());
 }
 
+TEST(RelationDepsTest, ScanUnaryAndBinaryDependencySets) {
+  Catalog catalog = StratumCatalog();
+  // union_all(rdup(C), product(C, SORTED)): every NodeInfo carries the
+  // sorted, deduplicated set of base relations its subtree reads.
+  PlanPtr scan_c = P::Scan("C");
+  PlanPtr rdup = P::Rdup(scan_c);
+  PlanPtr self = P::UnionAll(rdup, P::Scan("C"));
+  Result<AnnotatedPlan> self_ann =
+      AnnotatedPlan::Make(self, &catalog, QueryContract::Multiset());
+  ASSERT_TRUE(self_ann.ok());
+  EXPECT_EQ(self_ann->info(scan_c.get()).relation_deps(),
+            (std::vector<std::string>{"C"}));
+  // A unary operator aliases its child's vector — no copy.
+  EXPECT_EQ(self_ann->info(rdup.get()).relations,
+            self_ann->info(scan_c.get()).relations);
+  // Both sides read only C: the union's set stays {"C"} (subset reuse).
+  EXPECT_EQ(self_ann->root_info().relation_deps(),
+            (std::vector<std::string>{"C"}));
+
+  PlanPtr joined = P::Product(P::Scan("C"), P::Scan("SORTED"));
+  Result<AnnotatedPlan> join_ann =
+      AnnotatedPlan::Make(joined, &catalog, QueryContract::Multiset());
+  ASSERT_TRUE(join_ann.ok());
+  EXPECT_EQ(join_ann->root_info().relation_deps(),
+            (std::vector<std::string>{"C", "SORTED"}));
+}
+
 TEST(OrderDerivationTest, Table1OrderColumn) {
   Catalog catalog = StratumCatalog();
   auto order_of = [&catalog](const PlanPtr& plan) {

@@ -1,0 +1,214 @@
+// Randomized A/B parity suite for incremental prepared-query re-execution
+// (EngineOptions::incremental_execution).
+//
+// Two engines run the same interleaved stream of catalog updates and query
+// executions over identical catalogs: one with the versioned subplan result
+// cache on, one always cold. After every execution the incremental engine's
+// relation must be LIST-identical (bytes, order, order annotation) to the
+// cold engine's — under both executors, both DBMS scramble modes, serial
+// and multi-threaded vexec, and with a byte budget small enough to churn
+// the cache's LRU eviction. CI runs this suite under ASan+UBSan and TSan.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "core/equivalence.h"
+#include "test_util.h"
+#include "workload/paper_example.h"
+
+namespace tqp {
+namespace {
+
+void ExpectListIdentical(const Relation& inc, const Relation& cold,
+                         const std::string& label) {
+  EXPECT_TRUE(EquivalentAsLists(inc, cold))
+      << label << "\n"
+      << inc.ToTable("incremental") << cold.ToTable("cold");
+  EXPECT_EQ(inc.ToTable(), cold.ToTable()) << label;
+  EXPECT_EQ(SortSpecToString(inc.order()), SortSpecToString(cold.order()))
+      << label;
+}
+
+/// EMPLOYEE/PROJECT (static) plus generated temporal relations A and B (the
+/// mutation targets).
+Catalog SuiteCatalog() {
+  Catalog catalog = PaperCatalog();
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "A", testing_util::RandomTemporal(3, 32), Site::kDbms)
+                .ok());
+  TQP_CHECK(catalog
+                .RegisterWithInferredFlags(
+                    "B", testing_util::RandomTemporal(8, 28), Site::kDbms)
+                .ok());
+  return catalog;
+}
+
+/// Conventional and temporal operators, single- and multi-relation
+/// dependency sets, every contract kind: selection/projection, rdup(T),
+/// sort, coalescing, union, difference(T), aggregation, and the temporal
+/// join of the paper example.
+std::vector<std::string> SuiteQueries() {
+  return {
+      PaperQueryText(),
+      "VALIDTIME SELECT Dept, Prj FROM EMPLOYEE, PROJECT WHERE Dept = "
+      "'Sales'",
+      "SELECT Name, Val FROM A WHERE Val > 40",
+      "SELECT DISTINCT Name FROM A ORDER BY Name ASC",
+      "VALIDTIME COALESCED SELECT DISTINCT Name FROM A",
+      "SELECT Name FROM A UNION SELECT Name FROM B",
+      "SELECT Cat, COUNT(*) AS n FROM B GROUP BY Cat ORDER BY Cat",
+      "VALIDTIME SELECT DISTINCT Name FROM B ORDER BY Name ASC",
+      "SELECT DISTINCT Name FROM A EXCEPT SELECT Name FROM B",
+  };
+}
+
+struct SuiteConfig {
+  const char* label;
+  bool scramble;
+  ExecutorKind executor;
+  size_t threads;
+  /// 0 = the engine default; small values force LRU eviction churn.
+  uint64_t cache_bytes;
+};
+
+EngineOptions MakeOptions(const SuiteConfig& config, bool incremental) {
+  EngineOptions options;
+  options.enumeration.max_plans = 800;
+  options.engine.dbms_scrambles_order = config.scramble;
+  options.executor = config.executor;
+  options.vexec_threads = config.threads;
+  options.incremental_execution = incremental;
+  options.result_cache_bytes = config.cache_bytes;
+  return options;
+}
+
+void RunInterleavedSuite(const SuiteConfig& config) {
+  SCOPED_TRACE(config.label);
+  Engine inc(SuiteCatalog(), MakeOptions(config, /*incremental=*/true));
+  Engine cold(SuiteCatalog(), MakeOptions(config, /*incremental=*/false));
+
+  const std::vector<std::string> queries = SuiteQueries();
+  std::mt19937 rng(0x1234u ^ static_cast<unsigned>(config.scramble) ^
+                   (static_cast<unsigned>(config.threads) << 8) ^
+                   (config.executor == ExecutorKind::kVectorized ? 1u << 16
+                                                                 : 0u));
+  uint64_t next_data_seed = 1000;
+  for (int step = 0; step < 36; ++step) {
+    if (rng() % 10 < 3) {
+      // Mutate one generated relation, identically in both engines.
+      const std::string target = rng() % 2 == 0 ? "A" : "B";
+      const uint64_t seed = ++next_data_seed;
+      const size_t rows = 20 + rng() % 20;
+      auto mutate = [&](Catalog& c) {
+        CatalogEntry e;
+        e.data = testing_util::RandomTemporal(seed, rows);
+        return c.Update(target, std::move(e));
+      };
+      ASSERT_TRUE(inc.MutateCatalog(mutate).ok());
+      ASSERT_TRUE(cold.MutateCatalog(mutate).ok());
+      continue;
+    }
+    const std::string& text = queries[rng() % queries.size()];
+    Result<QueryResult> got = inc.Query(text);
+    Result<QueryResult> want = cold.Query(text);
+    ASSERT_TRUE(want.ok()) << text << ": " << want.status().message();
+    ASSERT_TRUE(got.ok()) << text << ": " << got.status().message();
+    ExpectListIdentical(got->relation, want->relation,
+                        "step " + std::to_string(step) + ": " + text);
+    EXPECT_EQ(got->plan_fingerprint, want->plan_fingerprint) << text;
+  }
+
+  // The suite must actually have exercised the cache, not just have run
+  // with it disabled-in-effect.
+  EngineStats stats = inc.stats();
+  EXPECT_GT(stats.result_cache_hits, 0u);
+  EXPECT_GT(stats.result_cache_misses, 0u);
+  EXPECT_EQ(cold.stats().result_cache_misses, 0u);
+  if (config.cache_bytes != 0) {
+    EXPECT_GT(stats.result_cache_evictions, 0u);
+    EXPECT_LE(stats.result_cache_bytes, config.cache_bytes);
+  }
+}
+
+TEST(IncrementalExecTest, ReferencePlain) {
+  RunInterleavedSuite({"ref/plain", false, ExecutorKind::kReference, 1, 0});
+}
+
+TEST(IncrementalExecTest, ReferenceScrambled) {
+  RunInterleavedSuite(
+      {"ref/scrambled", true, ExecutorKind::kReference, 1, 0});
+}
+
+TEST(IncrementalExecTest, VectorizedPlainFourThreads) {
+  RunInterleavedSuite(
+      {"vec/plain/t4", false, ExecutorKind::kVectorized, 4, 0});
+}
+
+TEST(IncrementalExecTest, VectorizedScrambledSerial) {
+  RunInterleavedSuite(
+      {"vec/scrambled/t1", true, ExecutorKind::kVectorized, 1, 0});
+}
+
+TEST(IncrementalExecTest, VectorizedScrambledFourThreads) {
+  RunInterleavedSuite(
+      {"vec/scrambled/t4", true, ExecutorKind::kVectorized, 4, 0});
+}
+
+TEST(IncrementalExecTest, TinyCacheEvictionChurn) {
+  // A 4 KiB budget cannot hold the working set: entries churn through the
+  // LRU tail constantly and parity must still hold on every execution.
+  RunInterleavedSuite(
+      {"ref/plain/tiny", false, ExecutorKind::kReference, 1, 4096});
+}
+
+TEST(IncrementalExecTest, SharedCacheAcrossConcurrentSessions) {
+  // One incremental engine, many threads: sessions share the result cache
+  // under the engine's reader/writer discipline. Every thread's every
+  // result must match the single-threaded cold engine's.
+  SuiteConfig config{"shared/concurrent", false, ExecutorKind::kReference, 1,
+                     0};
+  Engine inc(SuiteCatalog(), MakeOptions(config, /*incremental=*/true));
+  Engine cold(SuiteCatalog(), MakeOptions(config, /*incremental=*/false));
+
+  const std::vector<std::string> queries = SuiteQueries();
+  std::vector<Relation> expected;
+  expected.reserve(queries.size());
+  for (const std::string& text : queries) {
+    Result<QueryResult> want = cold.Query(text);
+    ASSERT_TRUE(want.ok()) << text;
+    expected.push_back(std::move(want->relation));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 6;
+  std::vector<std::thread> workers;
+  std::vector<std::string> failures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t]() {
+      std::mt19937 rng(7u * (t + 1));
+      for (int round = 0; round < kRounds; ++round) {
+        size_t qi = rng() % queries.size();
+        Result<QueryResult> got = inc.Query(queries[qi]);
+        if (!got.ok()) {
+          failures[t] = got.status().message();
+          return;
+        }
+        if (!EquivalentAsLists(got->relation, expected[qi])) {
+          failures[t] = "mismatch on " + queries[qi];
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+  EXPECT_GT(inc.stats().result_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace tqp
