@@ -71,6 +71,17 @@ constexpr bool OptimizedBuild() {
 #endif
 }
 
+/// The compiler that built this bench binary, from its predefined macros.
+inline const char* CompilerVersionString() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
 // ---- Workload relations ----------------------------------------------------
 
 /// A catalog with the paper's relations scaled by `scale` employees.
@@ -166,6 +177,25 @@ inline void WriteBenchJson(const std::string& bench_name) {
   // Rendered through the same core/json.h writer the service frames use.
   JsonWriter w;
   w.BeginObject();
+  // Build provenance, so a BENCH_*.json artifact identifies the exact
+  // revision, build flavor, and compiler behind its numbers. The SHA and
+  // build type are stamped by CMake (unknown outside a git checkout).
+  w.Key("git_sha").String(
+#ifdef TQP_GIT_SHA
+      TQP_GIT_SHA
+#else
+      "unknown"
+#endif
+  );
+  w.Key("build_type").String(
+#ifdef TQP_BUILD_TYPE
+      TQP_BUILD_TYPE
+#else
+      "unknown"
+#endif
+  );
+  w.Key("compiler").String(CompilerVersionString());
+  w.Key("sanitized").Bool(BuiltWithSanitizers());
   for (const auto& [name, value] : BenchMetrics()) {
     w.Key(name).Double(value);
   }

@@ -34,6 +34,38 @@ void PrintNode(const PlanPtr& node, const AnnotatedPlan* ann,
   }
 }
 
+void PrintProfileNode(const ProfileNode& node, const ProfilePrintOptions& opts,
+                      int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.op);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " | rows=%lld",
+                static_cast<long long>(node.rows_out));
+  out->append(buf);
+  if (node.rows_in > 0) {
+    std::snprintf(buf, sizeof(buf), " in=%lld",
+                  static_cast<long long>(node.rows_in));
+    out->append(buf);
+  }
+  if (node.batches > 0) {
+    std::snprintf(buf, sizeof(buf), " batches=%lld",
+                  static_cast<long long>(node.batches));
+    out->append(buf);
+  }
+  if (node.result_cache_hit) out->append(" | cache-hit");
+  if (node.backend_pushed) out->append(" | pushed");
+  if (opts.show_times) {
+    std::snprintf(buf, sizeof(buf), " | %.3fms (self %.3fms)",
+                  static_cast<double>(node.wall_ns) / 1e6,
+                  static_cast<double>(node.SelfNs()) / 1e6);
+    out->append(buf);
+  }
+  out->append("\n");
+  for (const ProfileNode& c : node.children) {
+    PrintProfileNode(c, opts, depth + 1, out);
+  }
+}
+
 }  // namespace
 
 std::string PrintPlan(const PlanPtr& plan) {
@@ -45,6 +77,13 @@ std::string PrintPlan(const PlanPtr& plan) {
 std::string PrintPlan(const AnnotatedPlan& plan, const PrintOptions& opts) {
   std::string out;
   PrintNode(plan.plan(), &plan, opts, 0, &out);
+  return out;
+}
+
+std::string PrintProfile(const ProfileNode& root,
+                         const ProfilePrintOptions& opts) {
+  std::string out;
+  PrintProfileNode(root, opts, 0, &out);
   return out;
 }
 

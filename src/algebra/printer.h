@@ -6,6 +6,7 @@
 
 #include "algebra/derivation.h"
 #include "algebra/plan.h"
+#include "core/profile.h"
 
 namespace tqp {
 
@@ -30,6 +31,23 @@ std::string PrintPlan(const PlanPtr& plan);
 ///     coalT [- T -] @STRATUM
 ///       ...
 std::string PrintPlan(const AnnotatedPlan& plan, const PrintOptions& opts);
+
+/// Options for EXPLAIN ANALYZE profile rendering.
+struct ProfilePrintOptions {
+  /// Append wall/self times per node. Off yields a byte-stable rendering of
+  /// the same run-to-run structure (rows, batches, cache/pushdown flags).
+  bool show_times = true;
+};
+
+/// Renders an execution profile as an indented tree in the same shape as
+/// PrintPlan, one operator per line, e.g.
+///   sort(Name) | rows=9 | 1.234ms (self 0.534ms)
+///     rdupT | rows=9 in=12 | 0.700ms (self 0.700ms)
+///       ...
+/// with `| cache-hit`, `| pushed`, and `| batches=N` decorations where they
+/// apply.
+std::string PrintProfile(const ProfileNode& root,
+                         const ProfilePrintOptions& opts = {});
 
 }  // namespace tqp
 

@@ -4,11 +4,16 @@
 #include <utility>
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 #include <set>
 
 #include "backend/simulated_backend.h"
 #include "core/hash.h"
 #include "core/json.h"
+#include "core/metrics.h"
+#include "core/profile.h"
+#include "core/trace.h"
 #include "exec/result_cache.h"
 #include "tql/lexer.h"
 
@@ -36,6 +41,9 @@ constexpr int kMaxExecuteReprepares = 8;
 
 /// Result-cache byte budget when EngineOptions::result_cache_bytes is 0.
 constexpr uint64_t kDefaultResultCacheBytes = 64ull << 20;
+
+/// Slow-query log bound: the oldest entries fall off beyond it.
+constexpr size_t kSlowLogCapacity = 64;
 
 void CollectScanRelations(const PlanPtr& plan, std::set<std::string>* out) {
   if (plan->kind() == OpKind::kScan) out->insert(plan->rel_name());
@@ -116,6 +124,27 @@ const QueryContract& PreparedQuery::contract() const {
 }
 
 Result<QueryResult> PreparedQuery::Execute() {
+  return ExecuteRun(QueryRunOptions{}, /*external=*/nullptr);
+}
+
+Result<QueryResult> PreparedQuery::Execute(const QueryRunOptions& run) {
+  return ExecuteRun(run, /*external=*/nullptr);
+}
+
+Result<QueryResult> PreparedQuery::ExecuteRun(const QueryRunOptions& run,
+                                              Tracer* external) {
+  // An external tracer (Engine::Query's traced path) already carries the
+  // prepare spans; otherwise stand up a per-call Tracer on demand. The
+  // common untraced path never constructs one (a Tracer stamps its epoch
+  // from the clock).
+  std::optional<Tracer> local;
+  Tracer* tracer = external;
+  if (tracer == nullptr &&
+      (run.trace || engine_->options_.trace_queries)) {
+    tracer = &local.emplace();
+  }
+  const bool want_profile =
+      run.profile || engine_->options_.profile_queries;
   for (int attempt = 0; attempt < kMaxExecuteReprepares; ++attempt) {
     {
       // Evaluation runs under the shared catalog lock, gated by admission
@@ -126,7 +155,12 @@ Result<QueryResult> PreparedQuery::Execute() {
       std::shared_lock<std::shared_mutex> cat(engine_->catalog_mu_);
       engine_->SyncWithCatalog();
       if (engine_->StateIsCurrent(*state_)) {
-        return engine_->ExecuteState(*state_, from_cache_);
+        Result<QueryResult> res =
+            engine_->ExecuteState(*state_, from_cache_, tracer, want_profile);
+        if (!res.ok()) return res.status();
+        QueryResult out = std::move(res).value();
+        if (tracer != nullptr) out.trace_json = tracer->ToChromeJson();
+        return out;
       }
     }
     // The catalog moved on since this query was prepared: re-prepare against
@@ -206,6 +240,20 @@ Engine::Engine(Catalog catalog, EngineOptions options)
   derivation_->EnableConcurrentAccess();
   if (options_.max_concurrent_queries > 0) {
     query_sem_ = std::make_unique<Semaphore>(options_.max_concurrent_queries);
+  }
+  // Per-query metric pointers, resolved once: the hot path only does
+  // relaxed atomic adds against them.
+  if (options_.publish_metrics) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    metric_queries_ =
+        reg.GetCounter("tqp_queries_total", "Queries executed by the engine");
+    metric_rows_ =
+        reg.GetCounter("tqp_query_rows_total", "Result rows produced");
+    metric_slow_ = reg.GetCounter(
+        "tqp_slow_queries_total",
+        "Queries at or above the slow-query threshold");
+    metric_latency_ = reg.GetHistogram(
+        "tqp_query_latency_us", "Executor wall time per query (microseconds)");
   }
 }
 
@@ -342,7 +390,7 @@ void Engine::StorePlanCache(
 
 Result<std::shared_ptr<const PreparedQuery::State>> Engine::PrepareImpl(
     const std::string& key, const std::string& text, const PlanPtr& initial,
-    const QueryContract& contract) {
+    const QueryContract& contract, Tracer* tracer) {
   const bool reuse = options_.reuse_search_caches;
   PlanInterner* interner;
   DerivationCache* derivation;
@@ -361,6 +409,7 @@ Result<std::shared_ptr<const PreparedQuery::State>> Engine::PrepareImpl(
 
   OptimizerOptions opt;
   opt.enumeration = options_.enumeration;
+  opt.enumeration.tracer = tracer;  // enumerate/expand/cost spans
   opt.engine = options_.engine;
   opt.cardinality = options_.cardinality;
   TQP_ASSIGN_OR_RETURN(
@@ -389,6 +438,11 @@ Result<std::shared_ptr<const PreparedQuery::State>> Engine::PrepareImpl(
 }
 
 Result<PreparedQuery> Engine::Prepare(const std::string& text) {
+  return PrepareTraced(text, /*tracer=*/nullptr);
+}
+
+Result<PreparedQuery> Engine::PrepareTraced(const std::string& text,
+                                            Tracer* tracer) {
   // Token-stream keying: "SELECT  x" with extra spaces or a trailing
   // comment hits the entry its normalized twin created. The original text
   // is still what a stale PreparedQuery re-prepares from; re-lexing it
@@ -403,7 +457,10 @@ Result<PreparedQuery> Engine::Prepare(const std::string& text) {
   if (caching) {
     std::shared_lock<std::shared_mutex> cat(catalog_mu_);
     SyncWithCatalog();
-    if (auto hit = LookupPlanCache(key, /*confirm=*/nullptr)) {
+    TraceSpan probe(tracer, "api", "plan_cache_probe");
+    auto hit = LookupPlanCache(key, /*confirm=*/nullptr);
+    if (probe.active()) probe.Arg("hit", uint64_t{hit != nullptr});
+    if (hit) {
       return PreparedQuery(this, std::move(hit), /*from_cache=*/true);
     }
   }
@@ -415,14 +472,19 @@ Result<PreparedQuery> Engine::Prepare(const std::string& text) {
   std::shared_lock<std::shared_mutex> cat(catalog_mu_);
   SyncWithCatalog();
   if (caching) {
-    if (auto hit = LookupPlanCache(key, /*confirm=*/nullptr)) {
+    TraceSpan probe(tracer, "api", "plan_cache_probe");
+    auto hit = LookupPlanCache(key, /*confirm=*/nullptr);
+    if (probe.active()) probe.Arg("hit", uint64_t{hit != nullptr});
+    if (hit) {
       return PreparedQuery(this, std::move(hit), /*from_cache=*/true);
     }
   }
-  TQP_ASSIGN_OR_RETURN(compiled,
-                       CompileQuery(text, catalog_, options_.translator));
+  TranslatorOptions topts = options_.translator;
+  topts.tracer = tracer;
+  TQP_ASSIGN_OR_RETURN(compiled, CompileQuery(text, catalog_, topts));
   TQP_ASSIGN_OR_RETURN(
-      state, PrepareImpl(key, text, compiled.plan, compiled.contract));
+      state,
+      PrepareImpl(key, text, compiled.plan, compiled.contract, tracer));
   return PreparedQuery(this, state, /*from_cache=*/false);
 }
 
@@ -455,8 +517,8 @@ Result<PreparedQuery> Engine::Prepare(const PlanPtr& initial,
       return PreparedQuery(this, std::move(hit), /*from_cache=*/true);
     }
   }
-  TQP_ASSIGN_OR_RETURN(state,
-                       PrepareImpl(key, /*text=*/"", initial, contract));
+  TQP_ASSIGN_OR_RETURN(state, PrepareImpl(key, /*text=*/"", initial, contract,
+                                          /*tracer=*/nullptr));
   return PreparedQuery(this, state, /*from_cache=*/false);
 }
 
@@ -465,13 +527,28 @@ Result<QueryResult> Engine::Query(const std::string& text) {
   return prepared.Execute();
 }
 
+Result<QueryResult> Engine::Query(const std::string& text,
+                                  const QueryRunOptions& run) {
+  const bool want_trace = run.trace || options_.trace_queries;
+  if (!want_trace) {
+    TQP_ASSIGN_OR_RETURN(prepared, Prepare(text));
+    return prepared.ExecuteRun(run, /*external=*/nullptr);
+  }
+  // One Tracer across prepare and execute: the exported trace shows the
+  // whole lifecycle on one timeline.
+  Tracer tracer;
+  TQP_ASSIGN_OR_RETURN(prepared, PrepareTraced(text, &tracer));
+  return prepared.ExecuteRun(run, &tracer);
+}
+
 Result<TranslatedQuery> Engine::Compile(const std::string& text) const {
   std::shared_lock<std::shared_mutex> cat(catalog_mu_);
   return CompileQuery(text, catalog_, options_.translator);
 }
 
 Result<QueryResult> Engine::ExecuteState(const PreparedQuery::State& state,
-                                         bool from_cache) {
+                                         bool from_cache, Tracer* tracer,
+                                         bool want_profile) {
   DerivationCache* derivation;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -483,26 +560,66 @@ Result<QueryResult> Engine::ExecuteState(const PreparedQuery::State& state,
       reuse ? derivation : nullptr);
   if (!ann.ok()) return ann.status();
 
+  // An armed slow-query log needs the hottest-operator ranking, so it
+  // forces profile collection even when the caller did not ask for the
+  // tree back.
+  const bool slow_armed = options_.slow_query_threshold_ms > 0.0;
+  std::shared_ptr<ProfileNode> profile_root;
+  if (want_profile || slow_armed) {
+    profile_root = std::make_shared<ProfileNode>();
+  }
+  // The per-query tracer rides on a config copy — options_ is shared by
+  // every concurrent session and must stay untouched.
+  const EngineConfig* cfg = &options_.engine;
+  EngineConfig traced_cfg;
+  if (tracer != nullptr) {
+    traced_cfg = options_.engine;
+    traced_cfg.tracer = tracer;
+    cfg = &traced_cfg;
+  }
+
   QueryResult out;
+  const auto exec_start = std::chrono::steady_clock::now();
   Result<Relation> relation = [&]() -> Result<Relation> {
     if (options_.executor == ExecutorKind::kVectorized) {
       VexecOptions vopts;
       vopts.batch_size = options_.vexec_batch_size;
       vopts.threads = options_.vexec_threads;
       vopts.memory_budget = options_.vexec_memory_budget;
-      return ExecuteVectorized(ann.value(), options_.engine, &out.exec,
-                               vopts);
+      return ExecuteVectorized(ann.value(), *cfg, &out.exec, vopts,
+                               profile_root.get());
     }
-    return Evaluate(ann.value(), options_.engine, &out.exec);
+    return Evaluate(ann.value(), *cfg, &out.exec, profile_root.get());
   }();
+  const uint64_t wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - exec_start)
+          .count());
   if (!relation.ok()) return relation.status();
-  if (out.exec.backend_pushdowns > 0 || out.exec.backend_fallbacks > 0) {
+
+  const bool slow =
+      slow_armed &&
+      static_cast<double>(wall_ns) >= options_.slow_query_threshold_ms * 1e6;
+  if (out.exec.backend_pushdowns > 0 || out.exec.backend_fallbacks > 0 ||
+      out.exec.backend_refusals > 0 || slow) {
     std::lock_guard<std::mutex> lock(state_mu_);
     stats_.backend_pushdowns +=
         static_cast<uint64_t>(out.exec.backend_pushdowns);
     stats_.backend_rows += static_cast<uint64_t>(out.exec.backend_rows);
     stats_.backend_fallbacks +=
         static_cast<uint64_t>(out.exec.backend_fallbacks);
+    stats_.backend_refusals +=
+        static_cast<uint64_t>(out.exec.backend_refusals);
+    if (slow) {
+      ++stats_.slow_queries;
+      SlowQueryRecord rec;
+      rec.text = state.text;
+      rec.plan_fingerprint = state.best_plan->fingerprint();
+      rec.wall_ns = wall_ns;
+      rec.hottest = HottestOperators(*profile_root, 3);
+      slow_log_.push_back(std::move(rec));
+      while (slow_log_.size() > kSlowLogCapacity) slow_log_.pop_front();
+    }
   }
   out.relation = std::move(relation).value();
   out.best_cost = state.best_cost;
@@ -512,6 +629,14 @@ Result<QueryResult> Engine::ExecuteState(const PreparedQuery::State& state,
   out.derivation = state.derivation;
   out.plan_fingerprint = state.best_plan->fingerprint();
   out.plan_cache_hit = from_cache;
+  out.exec_wall_ns = wall_ns;
+  if (want_profile) out.profile = profile_root;
+  if (metric_queries_ != nullptr) {
+    metric_queries_->Add(1);
+    metric_rows_->Add(static_cast<uint64_t>(out.relation.size()));
+    metric_latency_->Record(wall_ns / 1000);
+    if (slow) metric_slow_->Add(1);
+  }
   return out;
 }
 
@@ -724,7 +849,9 @@ std::string EngineStats::ToJson() const {
   w.Key("backend_pushdowns").Uint(backend_pushdowns);
   w.Key("backend_rows").Uint(backend_rows);
   w.Key("backend_fallbacks").Uint(backend_fallbacks);
+  w.Key("backend_refusals").Uint(backend_refusals);
   w.Key("calibration_fingerprint").Uint(calibration_fingerprint);
+  w.Key("slow_queries").Uint(slow_queries);
   w.Key("result_cache_hits").Uint(result_cache_hits);
   w.Key("result_cache_misses").Uint(result_cache_misses);
   w.Key("result_cache_evictions").Uint(result_cache_evictions);
@@ -732,6 +859,42 @@ std::string EngineStats::ToJson() const {
   w.Key("result_cache_bytes").Uint(result_cache_bytes);
   w.EndObject();
   return w.Take();
+}
+
+void EngineStats::PublishTo(MetricsRegistry* registry) const {
+  // Gauges, not counters: a stats snapshot is already cumulative, and
+  // setting is idempotent under repeated publication. One helper keeps the
+  // name scheme uniform.
+  auto set = [registry](const char* name, uint64_t v) {
+    registry->GetGauge(name)->Set(static_cast<double>(v));
+  };
+  set("tqp_engine_prepares", prepares);
+  set("tqp_engine_plan_cache_hits", plan_cache_hits);
+  set("tqp_engine_plan_cache_misses", plan_cache_misses);
+  set("tqp_engine_plan_cache_evictions", plan_cache_evictions);
+  set("tqp_engine_plan_cache_stale_evictions", plan_cache_stale_evictions);
+  set("tqp_engine_plan_cache_imports", plan_cache_imports);
+  set("tqp_engine_invalidations", invalidations);
+  set("tqp_engine_peak_concurrent_queries", peak_concurrent_queries);
+  set("tqp_engine_plan_cache_entries", plan_cache_entries);
+  set("tqp_engine_interner_nodes", interner_nodes);
+  set("tqp_engine_interner_hits", interner_hits);
+  set("tqp_engine_derivation_nodes", derivation_nodes);
+  set("tqp_engine_backend_pushdowns", backend_pushdowns);
+  set("tqp_engine_backend_rows", backend_rows);
+  set("tqp_engine_backend_fallbacks", backend_fallbacks);
+  set("tqp_engine_backend_refusals", backend_refusals);
+  set("tqp_engine_slow_queries", slow_queries);
+  set("tqp_engine_result_cache_hits", result_cache_hits);
+  set("tqp_engine_result_cache_misses", result_cache_misses);
+  set("tqp_engine_result_cache_evictions", result_cache_evictions);
+  set("tqp_engine_result_cache_entries", result_cache_entries);
+  set("tqp_engine_result_cache_bytes", result_cache_bytes);
+}
+
+std::vector<SlowQueryRecord> Engine::slow_queries() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return std::vector<SlowQueryRecord>(slow_log_.begin(), slow_log_.end());
 }
 
 EngineStats Engine::stats() const {

@@ -42,6 +42,7 @@
 #define TQP_API_ENGINE_H_
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <list>
 #include <memory>
@@ -60,6 +61,11 @@
 #include "vexec/vexec.h"
 
 namespace tqp {
+
+class LatencyHistogram;
+class MetricCounter;
+class MetricsRegistry;
+class Tracer;
 
 /// Which physical executor runs chosen plans.
 enum class ExecutorKind {
@@ -157,6 +163,38 @@ struct EngineOptions {
   /// evicted beyond it). 0 = a 64 MiB default. Ignored unless
   /// incremental_execution is on.
   uint64_t result_cache_bytes = 0;
+  /// Trace every query end to end — plan-cache probe, parse/translate,
+  /// enumeration, costing, per-operator execution — and attach the rendered
+  /// Chrome trace JSON to QueryResult::trace_json. Per-call opt-in goes
+  /// through QueryRunOptions instead; this knob is for debugging sessions.
+  /// Off (default) = the untraced path, one pointer test per would-be span.
+  bool trace_queries = false;
+  /// Collect the per-operator profile tree (QueryResult::profile) for every
+  /// query. Per-call opt-in goes through QueryRunOptions.
+  bool profile_queries = false;
+  /// Slow-query log: a query whose executor wall time reaches this threshold
+  /// is recorded — text, plan fingerprint, wall time, top-3 hottest
+  /// operators by self time — in a bounded in-memory log
+  /// (Engine::slow_queries()) and counted in EngineStats::slow_queries.
+  /// Arming the log forces profiling for every query (that is where
+  /// "hottest" comes from). 0 (default) = off.
+  double slow_query_threshold_ms = 0.0;
+  /// Publish per-query counters (tqp_queries_total, tqp_query_rows_total,
+  /// tqp_query_latency_us, tqp_slow_queries_total) into
+  /// MetricsRegistry::Global() as queries run. On by default — the update
+  /// path is a handful of relaxed atomics per query, never per row.
+  bool publish_metrics = true;
+};
+
+/// Per-call observability opt-ins for Engine::Query and
+/// PreparedQuery::Execute. Both compose with the EngineOptions defaults
+/// (either side can turn a collector on).
+struct QueryRunOptions {
+  /// Record a span tree for this call; the rendered Chrome trace JSON is
+  /// returned in QueryResult::trace_json.
+  bool trace = false;
+  /// Collect the per-operator profile tree in QueryResult::profile.
+  bool profile = false;
 };
 
 /// Everything one query execution returns: the relation plus execution and
@@ -178,6 +216,17 @@ struct QueryResult {
   uint64_t plan_fingerprint = 0;
   /// True iff the plan came from the session plan cache (no enumeration ran).
   bool plan_cache_hit = false;
+  /// Executor wall time of this query's evaluation (always measured).
+  uint64_t exec_wall_ns = 0;
+  /// Per-operator profile tree of the executed plan — the EXPLAIN ANALYZE
+  /// data: inclusive/self wall time, rows in/out, vexec batch counts,
+  /// result-cache and backend-pushdown flags (render with PrintProfile or
+  /// ProfileNode::ToJson). Null unless profiling was requested
+  /// (QueryRunOptions::profile or EngineOptions::profile_queries).
+  std::shared_ptr<const ProfileNode> profile;
+  /// Chrome trace_event JSON of this query's spans; empty unless tracing was
+  /// requested (QueryRunOptions::trace or EngineOptions::trace_queries).
+  std::string trace_json;
 };
 
 /// Session cache counters, for observability and the warm-path benches.
@@ -216,7 +265,15 @@ struct EngineStats {
   uint64_t backend_pushdowns = 0;
   uint64_t backend_rows = 0;
   uint64_t backend_fallbacks = 0;
+  /// Pushdown-eligible cuts the serializer refused before execution (the
+  /// backend never saw them), as opposed to backend_fallbacks, which counts
+  /// cuts the backend accepted and then failed at runtime. Summed over every
+  /// query from ExecStats::backend_refusals.
+  uint64_t backend_refusals = 0;
   uint64_t calibration_fingerprint = 0;
+  /// Queries whose executor wall time reached
+  /// EngineOptions::slow_query_threshold_ms (0 while the log is unarmed).
+  uint64_t slow_queries = 0;
 
   /// Subplan result-cache lifetime counters (EngineOptions::
   /// incremental_execution), read straight from the shared cache: probe
@@ -231,6 +288,25 @@ struct EngineStats {
   /// One flat JSON object with every counter above — the rendering the
   /// service's \stats command and the bench JSON both embed.
   std::string ToJson() const;
+
+  /// Publishes every counter above into `registry` as tqp_engine_* gauges.
+  /// Gauges are *set*, not accumulated, so republishing the same snapshot is
+  /// idempotent — callers refresh on demand (the service does it per
+  /// \metrics request).
+  void PublishTo(MetricsRegistry* registry) const;
+};
+
+/// One slow-query log entry (EngineOptions::slow_query_threshold_ms).
+struct SlowQueryRecord {
+  /// Original TQL text; empty for plan-keyed preparations.
+  std::string text;
+  /// Structural fingerprint of the executed plan.
+  uint64_t plan_fingerprint = 0;
+  /// Executor wall time of the slow run.
+  uint64_t wall_ns = 0;
+  /// Up to three hottest operators by self time, hottest first:
+  /// {operator kind, self nanoseconds}.
+  std::vector<std::pair<std::string, uint64_t>> hottest;
 };
 
 /// One plan-cache entry in exported form: everything needed to reinstall a
@@ -290,6 +366,11 @@ class PreparedQuery {
   /// Evaluates the chosen plan against the Engine's catalog.
   Result<QueryResult> Execute();
 
+  /// Same, with per-call tracing/profiling opt-ins (QueryResult::trace_json
+  /// and ::profile). The trace covers the execution only — prepare already
+  /// happened; Engine::Query(text, run) traces the whole lifecycle.
+  Result<QueryResult> Execute(const QueryRunOptions& run);
+
   const PlanPtr& initial_plan() const;
   const PlanPtr& best_plan() const;
   /// Structural fingerprint of the chosen plan.
@@ -308,6 +389,12 @@ class PreparedQuery {
   PreparedQuery(Engine* engine, std::shared_ptr<const State> state,
                 bool from_cache)
       : engine_(engine), state_(std::move(state)), from_cache_(from_cache) {}
+
+  /// The shared implementation behind both Execute overloads and
+  /// Engine::Query's traced path. `external` (may be null) is a caller-owned
+  /// Tracer whose events already cover prepare; when set, this call appends
+  /// its execution spans there and renders the combined trace.
+  Result<QueryResult> ExecuteRun(const QueryRunOptions& run, Tracer* external);
 
   Engine* engine_;
   std::shared_ptr<const State> state_;
@@ -368,6 +455,13 @@ class Engine {
   /// One-shot: Prepare + Execute.
   Result<QueryResult> Query(const std::string& text);
 
+  /// One-shot with observability opt-ins. With `run.trace` the span tree
+  /// covers the full lifecycle — plan-cache probe, parse/translate,
+  /// enumeration, costing, and per-operator execution — in one Chrome trace
+  /// (QueryResult::trace_json); `run.profile` fills QueryResult::profile.
+  Result<QueryResult> Query(const std::string& text,
+                            const QueryRunOptions& run);
+
   /// Parses and translates only (no optimization, no caching of the result).
   Result<TranslatedQuery> Compile(const std::string& text) const;
 
@@ -380,6 +474,11 @@ class Engine {
 
   /// Session cache counters (plan cache, interner, derivation cache).
   EngineStats stats() const;
+
+  /// The slow-query log, oldest first (EngineOptions::
+  /// slow_query_threshold_ms; bounded — the oldest entries fall off).
+  /// Empty while the threshold is 0.
+  std::vector<SlowQueryRecord> slow_queries() const;
 
   /// Exports every plan-cache entry (LRU → MRU order) together with the
   /// catalog version they are valid for. The service layer persists the
@@ -474,16 +573,26 @@ class Engine {
   void StorePlanCache(const std::string& key,
                       std::shared_ptr<const PreparedQuery::State> state);
 
+  /// Prepare(text) with an optional per-query Tracer threaded through the
+  /// whole pipeline (plan-cache probe, parse/translate, enumerate, cost).
+  /// Null tracer = the public Prepare, span-free.
+  Result<PreparedQuery> PrepareTraced(const std::string& text, Tracer* tracer);
+
   /// The full compile-free pipeline (intern, optimize, cache). Requires the
-  /// caller to hold the catalog lock shared and to have synced.
+  /// caller to hold the catalog lock shared and to have synced. `tracer`
+  /// (may be null) reaches the enumeration/costing spans.
   Result<std::shared_ptr<const PreparedQuery::State>> PrepareImpl(
       const std::string& key, const std::string& text, const PlanPtr& initial,
-      const QueryContract& contract);
+      const QueryContract& contract, Tracer* tracer);
 
   /// Annotate + evaluate `state`'s chosen plan. Requires the catalog lock
   /// shared and `state` to be current for the live catalog version.
+  /// `tracer` (may be null) records execution spans; `want_profile` returns
+  /// the per-operator tree in QueryResult::profile (profiling also runs,
+  /// without being returned, while the slow-query log is armed).
   Result<QueryResult> ExecuteState(const PreparedQuery::State& state,
-                                   bool from_cache);
+                                   bool from_cache, Tracer* tracer,
+                                   bool want_profile);
 
   Catalog catalog_;
   EngineOptions options_;
@@ -520,6 +629,15 @@ class Engine {
   LruList lru_;
   std::unordered_map<std::string, LruList::iterator> plan_cache_;
   EngineStats stats_;
+  /// Bounded slow-query log, oldest at the front. Guarded by state_mu_.
+  std::deque<SlowQueryRecord> slow_log_;
+  /// Cached MetricsRegistry::Global() pointers (EngineOptions::
+  /// publish_metrics); all null when publishing is off. Registry entries are
+  /// never removed, so the pointers stay valid for the process lifetime.
+  MetricCounter* metric_queries_ = nullptr;
+  MetricCounter* metric_rows_ = nullptr;
+  MetricCounter* metric_slow_ = nullptr;
+  LatencyHistogram* metric_latency_ = nullptr;
 
   std::unique_ptr<Semaphore> query_sem_;
   std::atomic<uint64_t> in_flight_{0};

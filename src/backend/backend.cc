@@ -4,6 +4,7 @@
 
 #include "backend/simulated_backend.h"
 #include "backend/sqlite_backend.h"
+#include "core/trace.h"
 #include "exec/evaluator.h"
 
 namespace tqp {
@@ -39,7 +40,10 @@ bool CanPushCut(Backend& backend, const PlanPtr& cut,
 Result<Relation> ExecuteCutPoint(Backend& backend, const PlanPtr& cut,
                                  const AnnotatedPlan& ann,
                                  const EngineConfig& config) {
-  TQP_RETURN_IF_ERROR(backend.SyncCatalog(ann.catalog()));
+  {
+    TraceSpan sync(config.tracer, "backend", "sync_catalog");
+    TQP_RETURN_IF_ERROR(backend.SyncCatalog(ann.catalog()));
+  }
 
   // Split the cut into its top sort chain and the base below it. Under the
   // scramble contract every non-sort DBMS result's visible order is the
@@ -55,8 +59,13 @@ Result<Relation> ExecuteCutPoint(Backend& backend, const PlanPtr& cut,
     base = base->child(0);
   }
 
+  TraceSpan span(config.tracer, "backend", "execute_subplan");
   TQP_ASSIGN_OR_RETURN(fetched, backend.ExecuteSubplan(base, ann));
   Relation result = std::move(fetched);
+  if (span.active()) {
+    span.Arg("rows", static_cast<uint64_t>(result.size()));
+    span.Arg("sorts_replayed", static_cast<uint64_t>(sorts.size()));
+  }
   if (config.dbms_scrambles_order && base->kind() != OpKind::kScan) {
     SimulatedBackend::ScrambleRelation(&result, config.scramble_seed);
   }

@@ -1,0 +1,151 @@
+#include "core/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/common.h"
+#include "core/json.h"
+
+namespace tqp {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetEntry(const std::string& name,
+                                                  Kind kind,
+                                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    // Re-registering under a different kind is a type pun, not a race to
+    // tolerate.
+    TQP_CHECK(it->second.kind == kind);
+    if (it->second.help.empty() && !help.empty()) it->second.help = help;
+    return &it->second;
+  }
+  Entry& e = entries_[name];
+  e.kind = kind;
+  e.help = help;
+  switch (kind) {
+    case Kind::kCounter: e.counter = std::make_unique<MetricCounter>(); break;
+    case Kind::kGauge: e.gauge = std::make_unique<MetricGauge>(); break;
+    case Kind::kHistogram:
+      e.histogram = std::make_unique<LatencyHistogram>();
+      break;
+  }
+  return &e;
+}
+
+MetricCounter* MetricsRegistry::GetCounter(const std::string& name,
+                                           const std::string& help) {
+  return GetEntry(name, Kind::kCounter, help)->counter.get();
+}
+
+MetricGauge* MetricsRegistry::GetGauge(const std::string& name,
+                                       const std::string& help) {
+  return GetEntry(name, Kind::kGauge, help)->gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& help) {
+  return GetEntry(name, Kind::kHistogram, help)->histogram.get();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(entries_.size() * 64);
+  char buf[128];
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) {
+      out += "# HELP " + name + " " + e.help + "\n";
+    }
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, e.counter->value());
+        out += name + " " + buf + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        std::snprintf(buf, sizeof(buf), "%.17g", e.gauge->value());
+        out += name + " " + buf + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " summary\n";
+        static constexpr struct {
+          const char* label;
+          double p;
+        } kQuantiles[] = {{"0.5", 50.0}, {"0.9", 90.0}, {"0.99", 99.0},
+                          {"0.999", 99.9}};
+        for (const auto& q : kQuantiles) {
+          std::snprintf(buf, sizeof(buf), "%s{quantile=\"%s\"} %" PRIu64 "\n",
+                        name.c_str(), q.label,
+                        e.histogram->Percentile(q.p));
+          out += buf;
+        }
+        std::snprintf(buf, sizeof(buf), "%s_sum %.17g\n", name.c_str(),
+                      e.histogram->Mean() *
+                          static_cast<double>(e.histogram->count()));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", name.c_str(),
+                      e.histogram->count());
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  for (const auto& [name, e] : entries_) {
+    w.Key(name);
+    switch (e.kind) {
+      case Kind::kCounter:
+        w.BeginObject();
+        w.Key("type").String("counter");
+        w.Key("value").Uint(e.counter->value());
+        w.EndObject();
+        break;
+      case Kind::kGauge:
+        w.BeginObject();
+        w.Key("type").String("gauge");
+        w.Key("value").Double(e.gauge->value());
+        w.EndObject();
+        break;
+      case Kind::kHistogram:
+        w.BeginObject();
+        w.Key("type").String("histogram");
+        w.Key("summary").Raw(e.histogram->ToJson());
+        w.EndObject();
+        break;
+    }
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    (void)name;
+    switch (e.kind) {
+      case Kind::kCounter: e.counter->Reset(); break;
+      case Kind::kGauge: e.gauge->Set(0.0); break;
+      case Kind::kHistogram: e.histogram->Reset(); break;
+    }
+  }
+}
+
+}  // namespace tqp

@@ -1,0 +1,61 @@
+#include "core/profile.h"
+
+#include <algorithm>
+
+#include "core/json.h"
+
+namespace tqp {
+
+uint64_t ProfileNode::SelfNs() const {
+  uint64_t child_ns = 0;
+  for (const ProfileNode& c : children) child_ns += c.wall_ns;
+  return child_ns >= wall_ns ? 0 : wall_ns - child_ns;
+}
+
+namespace {
+
+void NodeToJson(const ProfileNode& n, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("op").String(n.op);
+  w->Key("kind").String(n.kind);
+  w->Key("wall_ns").Uint(n.wall_ns);
+  w->Key("self_ns").Uint(n.SelfNs());
+  w->Key("rows_in").Int(n.rows_in);
+  w->Key("rows_out").Int(n.rows_out);
+  w->Key("batches").Int(n.batches);
+  w->Key("cache_hit").Bool(n.result_cache_hit);
+  w->Key("pushed").Bool(n.backend_pushed);
+  w->Key("children").BeginArray();
+  for (const ProfileNode& c : n.children) NodeToJson(c, w);
+  w->EndArray();
+  w->EndObject();
+}
+
+void CollectSelf(const ProfileNode& n,
+                 std::vector<std::pair<std::string, uint64_t>>* out) {
+  out->emplace_back(n.kind, n.SelfNs());
+  for (const ProfileNode& c : n.children) CollectSelf(c, out);
+}
+
+}  // namespace
+
+std::string ProfileNode::ToJson() const {
+  JsonWriter w;
+  NodeToJson(*this, &w);
+  return w.Take();
+}
+
+std::vector<std::pair<std::string, uint64_t>> HottestOperators(
+    const ProfileNode& root, size_t k) {
+  std::vector<std::pair<std::string, uint64_t>> flat;
+  CollectSelf(root, &flat);
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second != b.second) return a.second > b.second;
+                     return a.first < b.first;
+                   });
+  if (flat.size() > k) flat.resize(k);
+  return flat;
+}
+
+}  // namespace tqp

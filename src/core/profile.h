@@ -1,0 +1,52 @@
+// The per-plan-node execution profile behind EXPLAIN ANALYZE.
+//
+// Both executors (exec/evaluator recursion and vexec pipelines) fill a
+// ProfileNode tree mirroring the plan shape when profiling is requested:
+// inclusive wall time, rows in/out, vexec batch counts, result-cache hit and
+// backend-pushdown flags per node. The tree lives in core (not algebra) so
+// the executors can build it and algebra/printer.cc can render it without a
+// layering inversion; QueryResult carries it as a shared_ptr so results stay
+// copyable.
+//
+// Collection cost is per plan node (two clock reads and a handful of field
+// stores), never per row — profiling disabled is a null-pointer test.
+#ifndef TQP_CORE_PROFILE_H_
+#define TQP_CORE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tqp {
+
+struct ProfileNode {
+  std::string op;    // PlanNode::Describe() — operator with its arguments
+  std::string kind;  // OpKindName — the bare operator kind
+  uint64_t wall_ns = 0;  // inclusive: this operator and everything below it
+  int64_t rows_in = 0;   // sum over inputs (0 for scans)
+  int64_t rows_out = 0;
+  int64_t batches = 0;   // vexec only: column batches processed at this node
+  bool result_cache_hit = false;  // subtree result spliced from the cache
+  bool backend_pushed = false;    // subtree executed by the DBMS backend
+  std::vector<ProfileNode> children;
+
+  /// Wall time net of children — what "hottest operator" rankings use.
+  /// Clamped at 0: children measured on other threads (vexec morsels) can
+  /// make the naive difference negative.
+  uint64_t SelfNs() const;
+
+  /// {"op","kind","wall_ns","self_ns","rows_in","rows_out","batches",
+  ///  "cache_hit","pushed","children":[...]} — recursively.
+  std::string ToJson() const;
+};
+
+/// Top-k operators by self time, hottest first: {kind, self_ns} pairs
+/// flattened over the whole tree. Ties broken by kind then op for
+/// deterministic output. Feeds the slow-query log's top-3.
+std::vector<std::pair<std::string, uint64_t>> HottestOperators(
+    const ProfileNode& root, size_t k);
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_PROFILE_H_

@@ -1,0 +1,129 @@
+#include "core/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/json.h"
+
+namespace tqp {
+namespace {
+
+// Thread-locals backing parent linkage and the dense per-thread ids. The
+// current-span id is per-thread state shared by every Tracer — a thread can
+// only be inside one traced query at a time, and a span restores the previous
+// value on destruction, so interleaving is impossible by construction.
+thread_local uint64_t g_current_span = 0;
+thread_local uint32_t g_thread_id = 0;
+std::atomic<uint32_t> g_next_thread_id{1};
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t Tracer::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Record(TraceEvent&& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint32_t Tracer::CurrentThreadId() {
+  if (g_thread_id == 0) {
+    g_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return g_thread_id;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& ev : events) {
+    w.BeginObject();
+    w.Key("name").String(ev.name);
+    w.Key("cat").String(ev.cat);
+    w.Key("ph").String("X");
+    w.Key("pid").Int(1);
+    w.Key("tid").Uint(ev.tid);
+    // trace_event ts/dur are microseconds; fractional values keep the
+    // sub-microsecond resolution visible in Perfetto.
+    w.Key("ts").Double(static_cast<double>(ev.start_ns) / 1000.0);
+    w.Key("dur").Double(static_cast<double>(ev.dur_ns) / 1000.0);
+    w.Key("args").BeginObject();
+    {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, ev.id);
+      w.Key("span").String(buf);
+      if (ev.parent != 0) {
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, ev.parent);
+        w.Key("parent").String(buf);
+      }
+    }
+    for (const auto& kv : ev.args) {
+      w.Key(kv.first).String(kv.second);
+    }
+    w.EndObject();  // args
+    w.EndObject();  // event
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+TraceSpan::TraceSpan(Tracer* tracer, const char* cat, std::string name) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  ev_.name = std::move(name);
+  ev_.cat = cat;
+  ev_.tid = Tracer::CurrentThreadId();
+  ev_.id = tracer->NextSpanId();
+  ev_.parent = g_current_span;
+  prev_current_ = g_current_span;
+  g_current_span = ev_.id;
+  ev_.start_ns = tracer->NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (tracer_ == nullptr) return;
+  ev_.dur_ns = tracer_->NowNs() - ev_.start_ns;
+  g_current_span = prev_current_;
+  tracer_->Record(std::move(ev_));
+}
+
+void TraceSpan::Arg(const char* key, std::string value) {
+  if (tracer_ == nullptr) return;
+  ev_.args.emplace_back(key, std::move(value));
+}
+
+void TraceSpan::Arg(const char* key, int64_t value) {
+  if (tracer_ == nullptr) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  ev_.args.emplace_back(key, buf);
+}
+
+void TraceSpan::Arg(const char* key, uint64_t value) {
+  if (tracer_ == nullptr) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  ev_.args.emplace_back(key, buf);
+}
+
+}  // namespace tqp

@@ -1,0 +1,125 @@
+// A low-overhead, thread-safe span recorder for end-to-end query tracing.
+//
+// Design contract (the observability layer's overhead budget depends on it):
+//
+//  - Tracing is *compiled in* everywhere but *runtime-gated* by a nullable
+//    `Tracer*` threaded through the existing config structs (EngineConfig,
+//    EnumerationOptions, TranslatorOptions). The disabled path is a single
+//    pointer test per would-be span — no allocation, no clock read, no
+//    atomic. Benches run with `tracer == nullptr` and pay one predictable
+//    branch per *operator/morsel/phase*, never per row.
+//  - Spans are RAII (`TraceSpan`): construction stamps a steady-clock start,
+//    destruction stamps the duration and appends one completed event under a
+//    short mutex hold. Parent linkage is tracked per thread with a
+//    thread_local current-span id, so nesting falls out of scoping with no
+//    caller bookkeeping — including across the vexec work-stealing pool,
+//    where each worker thread builds its own span stack.
+//  - Export is Chrome `trace_event` JSON ("X" complete events, microsecond
+//    ts/dur), so a trace file opens directly in chrome://tracing or Perfetto
+//    with per-thread tracks.
+//
+// A Tracer instance covers one query (the Engine allocates one per traced
+// query and attaches the rendered JSON to QueryResult::trace_json); nothing
+// stops longer-lived use, but event storage is unbounded by design — the
+// recorder never drops spans, callers own the lifetime.
+#ifndef TQP_CORE_TRACE_H_
+#define TQP_CORE_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tqp {
+
+/// One completed span. `args` keys must be string literals (or otherwise
+/// outlive the Tracer) — spans are recorded on hot-ish paths and the key set
+/// is static at every call site, so we skip the copy.
+struct TraceEvent {
+  std::string name;
+  const char* cat = "";
+  uint64_t start_ns = 0;  // relative to the Tracer's epoch
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;   // small stable per-thread id (not the OS tid)
+  uint64_t id = 0;    // span id, unique within the Tracer
+  uint64_t parent = 0;  // enclosing span id on the same Tracer; 0 = root
+  std::vector<std::pair<const char*, std::string>> args;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Runtime gate. A disabled Tracer records nothing; TraceSpan checks it
+  /// once at construction.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Nanoseconds since this Tracer was constructed (steady clock).
+  uint64_t NowNs() const;
+
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Record(TraceEvent&& ev);
+
+  size_t event_count() const;
+  /// Copies the recorded events (completion order). Test/inspection surface.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Chrome trace_event format: {"displayTimeUnit":"ms","traceEvents":[...]}
+  /// with one "ph":"X" complete event per span, ts/dur in microseconds, and
+  /// the span/parent ids plus key/value attributes under "args". Loads
+  /// directly in chrome://tracing and Perfetto.
+  std::string ToChromeJson() const;
+
+  /// Small dense id for the calling thread (1, 2, 3, ... in first-use
+  /// order), stable for the thread's lifetime and shared across Tracers —
+  /// Chrome renders one track per tid, so density beats OS tids.
+  static uint32_t CurrentThreadId();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span. Construction on a null or disabled Tracer is a no-op (one
+/// branch); otherwise the span becomes the thread's current span until
+/// destruction, so nested TraceSpans chain parent ids automatically.
+class TraceSpan {
+ public:
+  /// `cat` and the `name` of every Arg() must be string literals (or outlive
+  /// the Tracer).
+  TraceSpan(Tracer* tracer, const char* cat, std::string name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Whether this span is actually recording — use to skip the cost of
+  /// building attribute strings when tracing is off.
+  bool active() const { return tracer_ != nullptr; }
+
+  void Arg(const char* key, std::string value);
+  void Arg(const char* key, int64_t value);
+  void Arg(const char* key, uint64_t value);
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TraceEvent ev_;
+  uint64_t prev_current_ = 0;
+};
+
+}  // namespace tqp
+
+#endif  // TQP_CORE_TRACE_H_

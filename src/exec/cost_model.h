@@ -12,6 +12,7 @@ namespace tqp {
 
 class Backend;
 class SubplanResultCache;
+class Tracer;
 
 /// Work units for one operator invocation given input/output cardinalities.
 /// Transfers are charged separately (per tuple moved).
@@ -72,6 +73,11 @@ struct EngineConfig {
   /// results never leak across engine environments that could produce
   /// different bytes. Computed once by the Engine.
   uint64_t result_cache_env = 0;
+
+  /// Per-query span recorder (core/trace.h); non-owning, set by the Engine
+  /// for traced queries. nullptr (the default) disables tracing — the cost
+  /// is one pointer test per operator/morsel/phase, never per row.
+  Tracer* tracer = nullptr;
 };
 
 /// Estimated total cost of a plan: per-node OpWorkUnits on the derived

@@ -2,11 +2,14 @@
 #include "exec/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "backend/backend.h"
 #include "backend/simulated_backend.h"
 #include "core/json.h"
+#include "core/profile.h"
+#include "core/trace.h"
 #include "exec/result_cache.h"
 
 namespace tqp {
@@ -37,27 +40,62 @@ struct TreeEvaluator {
            node->kind() == OpKind::kTransferD || node == ann.plan();
   }
 
-  Result<Relation> Eval(const PlanPtr& node) {
+  /// Per-node observability shell: times the node and stamps the profile /
+  /// emits a span when either is requested, then delegates. The common
+  /// (untraced, unprofiled) path is the two null tests.
+  Result<Relation> Eval(const PlanPtr& node, ProfileNode* prof) {
+    if (config.tracer == nullptr && prof == nullptr) {
+      return EvalCached(node, nullptr);
+    }
+    std::chrono::steady_clock::time_point t0;
+    if (prof != nullptr) t0 = std::chrono::steady_clock::now();
+    TraceSpan span(config.tracer, "exec", OpKindName(node->kind()));
+    Result<Relation> result = EvalCached(node, prof);
+    if (prof != nullptr) {
+      prof->op = node->Describe();
+      prof->kind = OpKindName(node->kind());
+      prof->wall_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      if (result.ok()) {
+        prof->rows_out = static_cast<int64_t>(result.value().size());
+      }
+    }
+    if (span.active() && result.ok()) {
+      span.Arg("rows", static_cast<uint64_t>(result.value().size()));
+    }
+    return result;
+  }
+
+  Result<Relation> EvalCached(const PlanPtr& node, ProfileNode* prof) {
     if (config.result_cache == nullptr || !IsCachePoint(node)) {
-      return EvalInner(node);
+      return EvalInner(node, prof);
     }
     SubplanCacheKey key =
         MakeSubplanCacheKey(node, ann.info(node.get()), ann.catalog(),
                             config.result_cache_env, contract_fp);
-    if (auto cached = config.result_cache->Lookup(key)) {
+    auto cached = [&] {
+      TraceSpan probe(config.tracer, "exec", "result_cache_probe");
+      auto c = config.result_cache->Lookup(key);
+      if (probe.active()) probe.Arg("hit", uint64_t{c ? 1u : 0u});
+      return c;
+    }();
+    if (cached) {
       // Splice: the cached relation carries the bytes, list order, and
       // order annotation the subtree would reproduce; nothing below the
       // cut is accounted (it did not run).
       if (stats != nullptr) ++stats->result_cache_hits;
+      if (prof != nullptr) prof->result_cache_hit = true;
       return *cached;
     }
     if (stats != nullptr) ++stats->result_cache_misses;
-    TQP_ASSIGN_OR_RETURN(result, EvalInner(node));
+    TQP_ASSIGN_OR_RETURN(result, EvalInner(node, prof));
     config.result_cache->Insert(key, result);
     return result;
   }
 
-  Result<Relation> EvalInner(const PlanPtr& node) {
+  Result<Relation> EvalInner(const PlanPtr& node, ProfileNode* prof) {
     const NodeInfo& info = ann.info(node.get());
     // A transferS cut whose subtree the backend can run natively is fetched
     // as one SQL statement instead of being evaluated here; only the
@@ -65,35 +103,48 @@ struct TreeEvaluator {
     // in-engine path below — pushdown is an optimization, never a
     // correctness dependency.
     if (node->kind() == OpKind::kTransferS && config.backend != nullptr &&
-        CanPushCut(*config.backend, node->child(0), ann)) {
-      auto pushed = ExecuteCutPoint(*config.backend, node->child(0), ann,
-                                    config);
-      if (pushed.ok()) {
-        Relation result = std::move(pushed.value());
-        if (stats != nullptr) {
-          int64_t rows = static_cast<int64_t>(result.size());
-          ++stats->op_counts[OpKindName(node->kind())];
-          stats->tuples_produced += rows;
-          stats->tuples_transferred += rows;
-          stats->stratum_work +=
-              static_cast<double>(rows) * config.transfer_cost_per_tuple;
-          ++stats->backend_pushdowns;
-          stats->backend_rows += rows;
+        config.backend->SupportsPushdown()) {
+      if (CanPushCut(*config.backend, node->child(0), ann)) {
+        auto pushed = ExecuteCutPoint(*config.backend, node->child(0), ann,
+                                      config);
+        if (pushed.ok()) {
+          Relation result = std::move(pushed.value());
+          if (stats != nullptr) {
+            int64_t rows = static_cast<int64_t>(result.size());
+            ++stats->op_counts[OpKindName(node->kind())];
+            stats->tuples_produced += rows;
+            stats->tuples_transferred += rows;
+            stats->stratum_work +=
+                static_cast<double>(rows) * config.transfer_cost_per_tuple;
+            ++stats->backend_pushdowns;
+            stats->backend_rows += rows;
+          }
+          if (prof != nullptr) prof->backend_pushed = true;
+          result.set_order(info.order);
+          return result;
         }
-        result.set_order(info.order);
-        return result;
+        if (stats != nullptr) ++stats->backend_fallbacks;
+      } else if (stats != nullptr) {
+        // The serializer cannot express the subtree (distinct from a
+        // runtime SQL failure, which counts as a fallback above).
+        ++stats->backend_refusals;
       }
-      if (stats != nullptr) ++stats->backend_fallbacks;
     }
     std::vector<Relation> inputs;
     for (const PlanPtr& c : node->children()) {
-      TQP_ASSIGN_OR_RETURN(r, Eval(c));
+      ProfileNode* cp = nullptr;
+      if (prof != nullptr) {
+        prof->children.emplace_back();
+        cp = &prof->children.back();
+      }
+      TQP_ASSIGN_OR_RETURN(r, Eval(c, cp));
       inputs.push_back(std::move(r));
     }
     // Capture input sizes before Apply: transfers move their input out.
     double in1 = inputs.empty() ? 0.0 : static_cast<double>(inputs[0].size());
     double in2 =
         inputs.size() < 2 ? 0.0 : static_cast<double>(inputs[1].size());
+    if (prof != nullptr) prof->rows_in = static_cast<int64_t>(in1 + in2);
     TQP_ASSIGN_OR_RETURN(result, Apply(node, info, inputs));
 
     if (stats != nullptr) {
@@ -124,6 +175,10 @@ struct TreeEvaluator {
     if (config.dbms_scrambles_order && info.site == Site::kDbms &&
         node->kind() != OpKind::kSort && node->kind() != OpKind::kScan &&
         node->kind() != OpKind::kTransferD) {
+      TraceSpan scramble(config.tracer, "exec", "scramble");
+      if (scramble.active()) {
+        scramble.Arg("rows", static_cast<uint64_t>(result.size()));
+      }
       SimulatedBackend::ScrambleRelation(&result, config.scramble_seed);
     }
 
@@ -199,6 +254,7 @@ std::string ExecStats::ToJson() const {
   w.Key("backend_pushdowns").Int(backend_pushdowns);
   w.Key("backend_rows").Int(backend_rows);
   w.Key("backend_fallbacks").Int(backend_fallbacks);
+  w.Key("backend_refusals").Int(backend_refusals);
   w.Key("result_cache_hits").Int(result_cache_hits);
   w.Key("result_cache_misses").Int(result_cache_misses);
   w.Key("ops").BeginObject();
@@ -211,9 +267,9 @@ std::string ExecStats::ToJson() const {
 }
 
 Result<Relation> Evaluate(const AnnotatedPlan& plan, const EngineConfig& config,
-                          ExecStats* stats) {
+                          ExecStats* stats, ProfileNode* profile) {
   TreeEvaluator ev{plan, config, stats};
-  return ev.Eval(plan.plan());
+  return ev.Eval(plan.plan(), profile);
 }
 
 Result<Relation> EvaluatePlan(const PlanPtr& plan, const Catalog& catalog,

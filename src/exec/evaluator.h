@@ -74,6 +74,12 @@ struct ExecStats {
   int64_t backend_pushdowns = 0;
   int64_t backend_rows = 0;
   int64_t backend_fallbacks = 0;
+  /// Pushdown-eligible cut points the SQL serializer refused up front
+  /// (inexpressible subtree — e.g. temporal operators below the cut), as
+  /// opposed to backend_fallbacks, which counts pushdowns abandoned *after*
+  /// a runtime SQL error. Only non-zero when a pushdown-capable backend is
+  /// configured.
+  int64_t backend_refusals = 0;
 
   /// Subplan result-cache probes at transfer/root cut points, when the
   /// engine runs with incremental execution enabled. A hit splices the
@@ -92,11 +98,18 @@ struct ExecStats {
   std::string ToJson() const;
 };
 
+struct ProfileNode;
+
 /// Evaluates an annotated plan against its catalog. The returned relation's
 /// order annotation matches the derivation's static order.
+///
+/// `profile`, when non-null, is filled as the root of a per-plan-node
+/// execution profile (core/profile.h) mirroring the plan tree — the EXPLAIN
+/// ANALYZE surface. Tracing rides on config.tracer independently.
 Result<Relation> Evaluate(const AnnotatedPlan& plan,
                           const EngineConfig& config = {},
-                          ExecStats* stats = nullptr);
+                          ExecStats* stats = nullptr,
+                          ProfileNode* profile = nullptr);
 
 /// Convenience: annotates (with a multiset contract) and evaluates a raw
 /// plan tree. Intended for tests of operator semantics.

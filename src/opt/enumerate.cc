@@ -5,6 +5,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "core/trace.h"
 #include "opt/enumerate_internal.h"
 
 namespace tqp {
@@ -204,10 +205,15 @@ Result<EnumerationResult> EnumerateMemo(const PlanPtr& initial,
     std::optional<size_t> popped = state.NextToExpand();
     if (!popped.has_value()) break;
     size_t p = *popped;
+    TraceSpan span(options.tracer, "opt", "expand");
     events.clear();
     TQP_RETURN_IF_ERROR(expander.Expand(state.plan(p), &events));
     for (CandidateEvent& ev : events) {
       if (!state.ReplayEvent(ev, p)) break;  // plan cap reached
+    }
+    if (span.active()) {
+      span.Arg("plan", static_cast<uint64_t>(p));
+      span.Arg("candidates", static_cast<uint64_t>(events.size()));
     }
   }
   return state.Finish();
@@ -234,20 +240,40 @@ Result<EnumerationResult> EnumeratePlans(const PlanPtr& initial,
   size_t threads = options.num_threads != 0
                        ? options.num_threads
                        : std::max<size_t>(1, std::thread::hardware_concurrency());
-  if (options.use_legacy_string_dedup) {
-    if (threads > 1) {
-      return Status::InvalidArgument(
-          "legacy enumeration is single-threaded; the parallel driver "
-          "requires the memo enumerator");
+  TraceSpan span(options.tracer, "opt", "enumerate");
+  if (span.active()) {
+    span.Arg("driver", options.use_legacy_string_dedup
+                           ? "legacy"
+                           : (threads > 1 ? "parallel" : "memo"));
+    span.Arg("strategy", options.strategy == SearchStrategy::kBestFirst
+                             ? "best_first"
+                             : "breadth_first");
+  }
+  Result<EnumerationResult> res = [&]() -> Result<EnumerationResult> {
+    if (options.use_legacy_string_dedup) {
+      if (threads > 1) {
+        return Status::InvalidArgument(
+            "legacy enumeration is single-threaded; the parallel driver "
+            "requires the memo enumerator");
+      }
+      return EnumerateLegacy(initial, catalog, contract, rules, options);
     }
-    return EnumerateLegacy(initial, catalog, contract, rules, options);
+    if (threads > 1) {
+      return EnumerateMemoParallel(initial, catalog, contract, rules, options,
+                                   interner, derivation);
+    }
+    return EnumerateMemo(initial, catalog, contract, rules, options, interner,
+                         derivation);
+  }();
+  if (span.active() && res.ok()) {
+    const EnumerationResult& r = res.value();
+    span.Arg("plans", static_cast<uint64_t>(r.plans.size()));
+    span.Arg("expanded", static_cast<uint64_t>(r.expanded));
+    span.Arg("memo_hits", static_cast<uint64_t>(r.memo_hits));
+    span.Arg("cost_pruned", static_cast<uint64_t>(r.cost_pruned));
+    span.Arg("gated_out", static_cast<uint64_t>(r.gated_out));
   }
-  if (threads > 1) {
-    return EnumerateMemoParallel(initial, catalog, contract, rules, options,
-                                 interner, derivation);
-  }
-  return EnumerateMemo(initial, catalog, contract, rules, options, interner,
-                       derivation);
+  return res;
 }
 
 }  // namespace tqp

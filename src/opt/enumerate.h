@@ -159,6 +159,10 @@ struct EnumerationOptions {
   /// facade turns this off. The legacy path always fills it — the string IS
   /// its dedup key.
   bool fill_canonical = true;
+  /// Per-query span recorder (core/trace.h); non-owning, nullptr = untraced.
+  /// The enumeration drivers emit one span per run with the search counters
+  /// as attributes, plus per-expansion spans on the serial memo path.
+  Tracer* tracer = nullptr;
 };
 
 /// One enumerated plan with its derivation edge.

@@ -1,5 +1,7 @@
 #include "opt/optimizer.h"
 
+#include "core/trace.h"
+
 namespace tqp {
 
 Result<OptimizeResult> Optimize(const PlanPtr& initial, const Catalog& catalog,
@@ -32,6 +34,7 @@ Result<OptimizeResult> Optimize(const PlanPtr& initial, const Catalog& catalog,
 
   size_t best_index = 0;
   double best_cost = 0.0;
+  TraceSpan span(enum_options.tracer, "opt", "cost");
   if (enumeration.costs.size() == enumeration.plans.size()) {
     // A cost-directed enumeration (pruning or best-first) already costed
     // every admitted plan against the same derivation cache and models this
@@ -62,6 +65,11 @@ Result<OptimizeResult> Optimize(const PlanPtr& initial, const Catalog& catalog,
         best_index = i;
       }
     }
+  }
+  if (span.active()) {
+    span.Arg("plans", static_cast<uint64_t>(enumeration.plans.size()));
+    span.Arg("reused_enum_costs",
+             uint64_t{enumeration.costs.size() == enumeration.plans.size()});
   }
   out.best_plan = enumeration.plans[best_index].plan;
   out.best_cost = best_cost;

@@ -164,21 +164,31 @@ Result<QueryOutcome> ServiceClient::RunQuery(const std::string& tql,
       }
       continue;
     }
+    if (HasPrefix(line, "{\"type\":\"profile\"") ||
+        HasPrefix(line, "{\"type\":\"trace\"")) {
+      // \trace on extras. Excluded from raw like the done frame: their
+      // timings legitimately differ run to run.
+      continue;
+    }
     return Status::Error("loadgen: unexpected frame: " + line.substr(0, 80));
   }
 }
 
 Result<std::string> ServiceClient::Stats() {
-  if (fd_ < 0) return Status::Error("loadgen: not connected");
-  if (!SendAll(fd_, "\\stats\n")) {
-    return Status::Error("loadgen: send failed");
-  }
-  TQP_ASSIGN_OR_RETURN(line, ReadLine());
+  TQP_ASSIGN_OR_RETURN(line, Command("\\stats"));
   if (!HasPrefix(line, "{\"type\":\"stats\"")) {
     return Status::Error("loadgen: unexpected stats frame: " +
                          line.substr(0, 80));
   }
   return line;
+}
+
+Result<std::string> ServiceClient::Command(const std::string& command) {
+  if (fd_ < 0) return Status::Error("loadgen: not connected");
+  if (!SendAll(fd_, command + "\n")) {
+    return Status::Error("loadgen: send failed");
+  }
+  return ReadLine();
 }
 
 // ---- RunLoad ---------------------------------------------------------------

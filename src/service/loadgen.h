@@ -68,6 +68,10 @@ class ServiceClient {
   /// The server's "\stats" frame (one JSON line).
   Result<std::string> Stats();
 
+  /// Sends one backslash command (e.g. "\\metrics", "\\trace on") and
+  /// returns its single-line JSON response verbatim.
+  Result<std::string> Command(const std::string& command);
+
  private:
   Result<std::string> ReadLine();
 

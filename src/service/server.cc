@@ -12,6 +12,8 @@
 #include <cstring>
 
 #include "core/json.h"
+#include "core/metrics.h"
+#include "core/profile.h"
 #include "service/plan_store.h"
 
 namespace tqp {
@@ -69,14 +71,36 @@ std::string ServerStats::ToJson() const {
   w.Key("rows_sent").Uint(rows_sent);
   w.Key("snapshots_written").Uint(snapshots_written);
   w.Key("plans_imported").Uint(plans_imported);
+  w.Key("metrics_requests").Uint(metrics_requests);
+  w.Key("traced_queries").Uint(traced_queries);
   w.EndObject();
   return w.Take();
+}
+
+void ServerStats::PublishTo(MetricsRegistry* registry) const {
+  auto set = [registry](const char* name, uint64_t v) {
+    registry->GetGauge(name)->Set(static_cast<double>(v));
+  };
+  set("tqp_server_connections_total", connections_total);
+  set("tqp_server_connections_active", connections_active);
+  set("tqp_server_queries", queries);
+  set("tqp_server_errors", errors);
+  set("tqp_server_batches_sent", batches_sent);
+  set("tqp_server_rows_sent", rows_sent);
+  set("tqp_server_snapshots_written", snapshots_written);
+  set("tqp_server_plans_imported", plans_imported);
+  set("tqp_server_metrics_requests", metrics_requests);
+  set("tqp_server_traced_queries", traced_queries);
 }
 
 struct Server::Connection {
   int fd = -1;
   std::thread thread;
   std::atomic<bool> finished{false};
+  /// \trace on|off — queries on this connection run traced + profiled and
+  /// stream trace/profile frames. Only the owning connection thread touches
+  /// it.
+  bool trace = false;
 };
 
 Server::Server(Engine* engine, ServerOptions options)
@@ -194,6 +218,8 @@ ServerStats Server::stats() const {
   s.rows_sent = rows_sent_.load(std::memory_order_relaxed);
   s.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
   s.plans_imported = plans_imported_.load(std::memory_order_relaxed);
+  s.metrics_requests = metrics_requests_.load(std::memory_order_relaxed);
+  s.traced_queries = traced_queries_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     uint64_t active = 0;
@@ -289,7 +315,7 @@ void Server::ServeConnection(Connection* conn) {
   conn->finished.store(true, std::memory_order_release);
 }
 
-void Server::HandleLine(const std::string& line, Connection* /*conn*/,
+void Server::HandleLine(const std::string& line, Connection* conn,
                         std::string* out) {
   if (line == "\\stats") {
     JsonWriter w;
@@ -302,8 +328,41 @@ void Server::HandleLine(const std::string& line, Connection* /*conn*/,
     out->push_back('\n');
     return;
   }
+  if (line == "\\metrics") {
+    metrics_requests_.fetch_add(1, std::memory_order_relaxed);
+    // Refresh the registry from the live stats snapshots, then render both
+    // formats from the same state — the Prometheus text and the JSON in one
+    // frame can never disagree.
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    engine_->stats().PublishTo(&reg);
+    stats().PublishTo(&reg);
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("metrics");
+    w.Key("prometheus").String(reg.ToPrometheusText());
+    w.Key("metrics").Raw(reg.ToJson());
+    w.EndObject();
+    *out += w.Take();
+    out->push_back('\n');
+    return;
+  }
+  if (line == "\\trace on" || line == "\\trace off") {
+    conn->trace = line == "\\trace on";
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("trace_mode");
+    w.Key("on").Bool(conn->trace);
+    w.EndObject();
+    *out += w.Take();
+    out->push_back('\n');
+    return;
+  }
 
-  auto result = engine_->Query(line);
+  QueryRunOptions run;
+  run.trace = conn->trace;
+  run.profile = conn->trace;
+  if (conn->trace) traced_queries_.fetch_add(1, std::memory_order_relaxed);
+  auto result = engine_->Query(line, run);
   if (!result.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     JsonWriter w;
@@ -357,6 +416,25 @@ void Server::HandleLine(const std::string& line, Connection* /*conn*/,
   }
   batches_sent_.fetch_add(batches, std::memory_order_relaxed);
   rows_sent_.fetch_add(rel.size(), std::memory_order_relaxed);
+
+  if (qr.profile != nullptr) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("profile");
+    w.Key("profile").Raw(qr.profile->ToJson());
+    w.EndObject();
+    *out += w.Take();
+    out->push_back('\n');
+  }
+  if (!qr.trace_json.empty()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("trace");
+    w.Key("trace").Raw(qr.trace_json);
+    w.EndObject();
+    *out += w.Take();
+    out->push_back('\n');
+  }
 
   {
     JsonWriter w;

@@ -11,6 +11,8 @@
 //
 //   client → server   one TQL statement per line, or a backslash command:
 //                       \stats   engine + server counters
+//                       \metrics unified metrics registry (Prometheus + JSON)
+//                       \trace on|off  per-connection query tracing/profiling
 //                       \quit    close the connection
 //   server → client   for a successful query:
 //                       {"type":"schema","attrs":[{"name":..,"type":..},..]}
@@ -21,6 +23,12 @@
 //                       {"type":"error","message":"..."}
 //                     for \stats:
 //                       {"type":"stats","server":{..},"engine":{..}}
+//                     for \metrics (after publishing engine + server stats
+//                     into MetricsRegistry::Global()):
+//                       {"type":"metrics","prometheus":"..","metrics":{..}}
+//                     with \trace on, two extra frames precede "done":
+//                       {"type":"profile","profile":{..}}   (EXPLAIN ANALYZE)
+//                       {"type":"trace","trace":{..}}       (Chrome trace)
 //
 // The "done" frame embeds ExecStats::ToJson()/EngineStats::ToJson() — the
 // same renderings the benches embed, so service responses and bench JSON
@@ -80,8 +88,16 @@ struct ServerStats {
   uint64_t snapshots_written = 0;
   /// Plan-cache entries imported at warm start.
   uint64_t plans_imported = 0;
+  /// \metrics frames served.
+  uint64_t metrics_requests = 0;
+  /// Queries run with per-connection tracing on (\trace on).
+  uint64_t traced_queries = 0;
 
   std::string ToJson() const;
+
+  /// Publishes every counter above into `registry` as tqp_server_* gauges
+  /// (idempotent set; the \metrics handler republishes per request).
+  void PublishTo(MetricsRegistry* registry) const;
 };
 
 /// One server instance bound to one shared Engine. The Engine must outlive
@@ -141,6 +157,8 @@ class Server {
   std::atomic<uint64_t> rows_sent_{0};
   std::atomic<uint64_t> snapshots_written_{0};
   std::atomic<uint64_t> plans_imported_{0};
+  std::atomic<uint64_t> metrics_requests_{0};
+  std::atomic<uint64_t> traced_queries_{0};
 };
 
 }  // namespace tqp

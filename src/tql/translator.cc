@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/trace.h"
+
 namespace tqp {
 
 namespace {
@@ -182,8 +184,15 @@ Result<TranslatedQuery> TranslateQuery(const QueryAst& ast,
 Result<TranslatedQuery> CompileQuery(const std::string& text,
                                      const Catalog& catalog,
                                      const TranslatorOptions& options) {
-  TQP_ASSIGN_OR_RETURN(ast, ParseQuery(text));
-  return TranslateQuery(ast, catalog, options);
+  auto parsed = [&] {
+    // Lexing is folded into the parser; one span covers both.
+    TraceSpan span(options.tracer, "tql", "parse");
+    if (span.active()) span.Arg("bytes", static_cast<uint64_t>(text.size()));
+    return ParseQuery(text);
+  }();
+  if (!parsed.ok()) return parsed.status();
+  TraceSpan span(options.tracer, "tql", "translate");
+  return TranslateQuery(parsed.value(), catalog, options);
 }
 
 }  // namespace tqp

@@ -27,12 +27,17 @@
 
 namespace tqp {
 
+class Tracer;
+
 /// Translation options.
 struct TranslatorOptions {
   /// Layered architecture: emit a final T_S so the initial plan executes in
   /// the DBMS (Figure 2(a)). When false, plans target a stand-alone temporal
   /// DBMS: no transfers are emitted and scans are placed at the stratum.
   bool layered = true;
+  /// Per-query span recorder (core/trace.h); non-owning, nullptr = untraced.
+  /// CompileQuery emits parse and translate spans.
+  Tracer* tracer = nullptr;
 };
 
 /// A translated query: the initial plan plus its ≡SQL contract.

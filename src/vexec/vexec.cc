@@ -13,6 +13,7 @@
 #include "vexec/vexec.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -23,8 +24,10 @@
 
 #include "backend/backend.h"
 #include "backend/simulated_backend.h"
+#include "core/profile.h"
 #include "core/spill.h"
 #include "core/task_pool.h"
+#include "core/trace.h"
 #include "exec/result_cache.h"
 #include "vexec/vexec_internal.h"
 
@@ -81,6 +84,9 @@ struct VexecRuntime {
   size_t morsel_rows = 32768;
   uint64_t memory_budget = 0;
   SpillCounters spill;
+  /// Per-query span recorder; null = untraced (one pointer test per
+  /// parallel loop, then one RAII span per *morsel*, never per row).
+  Tracer* tracer = nullptr;
 
   size_t Workers() const { return pool == nullptr ? 1 : pool->workers(); }
 
@@ -101,6 +107,14 @@ struct VexecRuntime {
       if (count > 0) body(0, count);
       return;
     }
+    if (tracer != nullptr) {
+      pool->ParallelFor(count, morsel_rows, [&](size_t b, size_t e) {
+        TraceSpan span(tracer, "vexec", "morsel");
+        span.Arg("rows", static_cast<uint64_t>(e - b));
+        body(b, e);
+      });
+      return;
+    }
     pool->ParallelFor(count, morsel_rows, body);
   }
 
@@ -113,6 +127,7 @@ struct VexecRuntime {
       return;
     }
     pool->ParallelFor(n, 1, [&](size_t b, size_t e) {
+      TraceSpan span(tracer, "vexec", "task");
       for (size_t i = b; i < e; ++i) body(i);
     });
   }
@@ -127,7 +142,11 @@ struct VexecRuntime {
       if (n > 0) body(0, n);
       return;
     }
-    pool->ParallelFor(n, grain, body);
+    pool->ParallelFor(n, grain, [&](size_t b, size_t e) {
+      TraceSpan span(tracer, "vexec", "units");
+      if (span.active()) span.Arg("units", static_cast<uint64_t>(e - b));
+      body(b, e);
+    });
   }
 };
 
@@ -509,6 +528,7 @@ ColumnTable VecRdup(const ColumnTable& in, const Schema& out_schema,
     // partition deduplicates independently (equal rows share a hash, hence
     // a partition), and the survivors merge ascending — exactly the serial
     // first-occurrence set.
+    TraceSpan spill_span(rt.tracer, "vexec", "spill_rdup");
     size_t parts = SpillPartitionCount(in.ApproxBytes(), rt.memory_budget);
     SpillPartitioner sp(parts);
     if (sp.ok()) {
@@ -614,6 +634,7 @@ ColumnTable VecSort(ColumnTable&& in, const SortSpec& spec,
     // ascending run index. Earlier runs hold earlier input rows and each
     // run is internally stable, so the merged list is exactly the global
     // stable sort.
+    TraceSpan spill_span(rt.tracer, "vexec", "spill_sort");
     size_t n = in.rows();
     uint64_t per_row = std::max<uint64_t>(1, in.ApproxBytes() / n);
     size_t run_rows = static_cast<size_t>(std::max<uint64_t>(
@@ -1002,6 +1023,7 @@ ColumnTable VecCoalesce(const ColumnTable& in, VexecRuntime& rt) {
 
   bool done = false;
   if (ShouldSpill(in, rt)) {
+    TraceSpan spill_span(rt.tracer, "vexec", "spill_coalesce");
     size_t parts = SpillPartitionCount(in.ApproxBytes(), rt.memory_budget);
     SpillPartitioner sp(parts);
     if (sp.ok()) {
@@ -1208,6 +1230,7 @@ Result<ColumnTable> VecAggregate(const ColumnTable& in,
     // partition, and a partition's rows read back in ascending row order —
     // so per-partition accumulation folds each group in exactly the global
     // row order. Groups re-sort by first-occurrence row before emission.
+    TraceSpan spill_span(rt.tracer, "vexec", "spill_aggregate");
     size_t parts = SpillPartitionCount(in.ApproxBytes(), rt.memory_budget);
     SpillPartitioner sp(parts);
     if (sp.ok()) {
@@ -1590,7 +1613,15 @@ struct VecTreeExecutor {
   // operator output. Factored out so the fused hash join can account its
   // product and selection exactly as the unfused plan would.
   void AccountNode(const PlanNode* node, const NodeInfo& info, double in1,
-                   double in2, size_t out_rows) {
+                   double in2, size_t out_rows, ProfileNode* prof = nullptr) {
+    if (prof != nullptr) {
+      prof->rows_in = static_cast<int64_t>(in1 + in2);
+      size_t consumed_rows = node->kind() == OpKind::kScan
+                                 ? out_rows
+                                 : static_cast<size_t>(in1 + in2);
+      prof->batches += static_cast<int64_t>(
+          (consumed_rows + options.batch_size - 1) / options.batch_size);
+    }
     if (stats == nullptr) return;
     ++stats->op_counts[OpKindName(node->kind())];
     stats->tuples_produced += static_cast<int64_t>(out_rows);
@@ -1624,6 +1655,8 @@ struct VecTreeExecutor {
     if (config.dbms_scrambles_order && info.site == Site::kDbms &&
         node->kind() != OpKind::kSort && node->kind() != OpKind::kScan &&
         node->kind() != OpKind::kTransferD) {
+      TraceSpan span(config.tracer, "vexec", "scramble");
+      if (span.active()) span.Arg("rows", static_cast<uint64_t>(result.rows()));
       result = VecScramble(result, config.scramble_seed, rt);
       if (stats != nullptr) ++stats->vec_materializations;
     }
@@ -1640,11 +1673,31 @@ struct VecTreeExecutor {
   // unfiltered product's order.
   Result<ColumnTable> EvalFusedJoin(
       const PlanPtr& select, const PlanPtr& product,
-      const std::vector<std::pair<int, int>>& keys) {
+      const std::vector<std::pair<int, int>>& keys, ProfileNode* prof) {
     const NodeInfo& sinfo = ann.info(select.get());
     const NodeInfo& pinfo = ann.info(product.get());
-    TQP_ASSIGN_OR_RETURN(l, Eval(product->children()[0]));
-    TQP_ASSIGN_OR_RETURN(r, Eval(product->children()[1]));
+    // The fused product never runs through the Eval shell, so its profile
+    // node is stamped here: same shape as the unfused plan, with the join's
+    // wall time attributed to the selection (its self time).
+    ProfileNode* pprof = nullptr;
+    if (prof != nullptr) {
+      prof->children.emplace_back();
+      pprof = &prof->children.back();
+      pprof->op = product->Describe();
+      pprof->kind = OpKindName(product->kind());
+    }
+    ProfileNode* lp = nullptr;
+    if (pprof != nullptr) {
+      pprof->children.emplace_back();
+      lp = &pprof->children.back();
+    }
+    TQP_ASSIGN_OR_RETURN(l, Eval(product->children()[0], lp));
+    ProfileNode* rp = nullptr;
+    if (pprof != nullptr) {
+      pprof->children.emplace_back();
+      rp = &pprof->children.back();
+    }
+    TQP_ASSIGN_OR_RETURN(r, Eval(product->children()[1], rp));
     std::vector<uint32_t> li, ri;
     HashJoinCandidates(l, r, keys, rt, &li, &ri);
     ColumnTable cand(pinfo.schema);
@@ -1664,8 +1717,14 @@ struct VecTreeExecutor {
     // its full |l|*|r| output, the selection for consuming it.
     double in1 = static_cast<double>(l.rows());
     double in2 = static_cast<double>(r.rows());
-    AccountNode(product.get(), pinfo, in1, in2, l.rows() * r.rows());
-    AccountNode(select.get(), sinfo, in1 * in2, 0.0, out.rows());
+    AccountNode(product.get(), pinfo, in1, in2, l.rows() * r.rows(), pprof);
+    AccountNode(select.get(), sinfo, in1 * in2, 0.0, out.rows(), prof);
+    if (pprof != nullptr) {
+      // Modeled output (the product never materialized); zero self time —
+      // its wall is its children's, the join work lands in the selection.
+      pprof->rows_out = static_cast<int64_t>(l.rows() * r.rows());
+      for (const ProfileNode& c : pprof->children) pprof->wall_ns += c.wall_ns;
+    }
     return MaybeScramble(select.get(), sinfo, std::move(out));
   }
 
@@ -1678,47 +1737,89 @@ struct VecTreeExecutor {
            node->kind() == OpKind::kTransferD || node == ann.plan();
   }
 
-  Result<ColumnTable> Eval(const PlanPtr& node) {
+  /// Per-node observability shell (the vectorized twin of the reference
+  /// evaluator's): times the node and stamps profile/span when requested,
+  /// else falls straight through on two null tests.
+  Result<ColumnTable> Eval(const PlanPtr& node, ProfileNode* prof) {
+    if (config.tracer == nullptr && prof == nullptr) {
+      return EvalCached(node, nullptr);
+    }
+    std::chrono::steady_clock::time_point t0;
+    if (prof != nullptr) t0 = std::chrono::steady_clock::now();
+    TraceSpan span(config.tracer, "vexec", OpKindName(node->kind()));
+    Result<ColumnTable> result = EvalCached(node, prof);
+    if (prof != nullptr) {
+      prof->op = node->Describe();
+      prof->kind = OpKindName(node->kind());
+      prof->wall_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      if (result.ok()) {
+        prof->rows_out = static_cast<int64_t>(result.value().rows());
+      }
+    }
+    if (span.active() && result.ok()) {
+      span.Arg("rows", static_cast<uint64_t>(result.value().rows()));
+    }
+    return result;
+  }
+
+  Result<ColumnTable> EvalCached(const PlanPtr& node, ProfileNode* prof) {
     if (config.result_cache == nullptr || !IsCachePoint(node)) {
-      return EvalInner(node);
+      return EvalInner(node, prof);
     }
     SubplanCacheKey key =
         MakeSubplanCacheKey(node, ann.info(node.get()), ann.catalog(),
                             config.result_cache_env, contract_fp);
-    if (auto cached = config.result_cache->Lookup(key)) {
+    auto cached = [&] {
+      TraceSpan probe(config.tracer, "vexec", "result_cache_probe");
+      auto c = config.result_cache->Lookup(key);
+      if (probe.active()) probe.Arg("hit", uint64_t{c ? 1u : 0u});
+      return c;
+    }();
+    if (cached) {
       // Splice the cached rows back into columnar form; nothing below the
       // cut runs or is accounted.
       if (stats != nullptr) ++stats->result_cache_hits;
+      if (prof != nullptr) prof->result_cache_hit = true;
       return ColumnTable::FromRelation(*cached);
     }
     if (stats != nullptr) ++stats->result_cache_misses;
-    TQP_ASSIGN_OR_RETURN(result, EvalInner(node));
+    TQP_ASSIGN_OR_RETURN(result, EvalInner(node, prof));
     Relation rows = result.ToRelation();
     rows.set_order(ann.info(node.get()).order);
     config.result_cache->Insert(key, std::move(rows));
     return result;
   }
 
-  Result<ColumnTable> EvalInner(const PlanPtr& node) {
+  Result<ColumnTable> EvalInner(const PlanPtr& node, ProfileNode* prof) {
     const NodeInfo& info = ann.info(node.get());
     // Backend pushdown at a transferS cut — the columnar twin of the
     // reference evaluator's interception: fetch the cut result natively,
     // account only the transfer itself, fall back in-engine on failure.
     if (node->kind() == OpKind::kTransferS && config.backend != nullptr &&
-        CanPushCut(*config.backend, node->child(0), ann)) {
-      auto pushed = ExecuteCutPoint(*config.backend, node->child(0), ann,
-                                    config);
-      if (pushed.ok()) {
-        ColumnTable result = ColumnTable::FromRelation(pushed.value());
-        if (stats != nullptr) {
-          ++stats->backend_pushdowns;
-          stats->backend_rows += static_cast<int64_t>(result.rows());
+        config.backend->SupportsPushdown()) {
+      if (CanPushCut(*config.backend, node->child(0), ann)) {
+        auto pushed = ExecuteCutPoint(*config.backend, node->child(0), ann,
+                                      config);
+        if (pushed.ok()) {
+          ColumnTable result = ColumnTable::FromRelation(pushed.value());
+          if (stats != nullptr) {
+            ++stats->backend_pushdowns;
+            stats->backend_rows += static_cast<int64_t>(result.rows());
+          }
+          if (prof != nullptr) prof->backend_pushed = true;
+          AccountNode(node.get(), info, static_cast<double>(result.rows()),
+                      0.0, result.rows());
+          return result;
         }
-        AccountNode(node.get(), info, static_cast<double>(result.rows()), 0.0,
-                    result.rows());
-        return result;
+        if (stats != nullptr) ++stats->backend_fallbacks;
+      } else if (stats != nullptr) {
+        // The serializer cannot express the subtree (distinct from a
+        // runtime SQL failure, which counts as a fallback above).
+        ++stats->backend_refusals;
       }
-      if (stats != nullptr) ++stats->backend_fallbacks;
     }
     if (node->kind() == OpKind::kSelect &&
         node->children()[0]->kind() == OpKind::kProduct) {
@@ -1731,19 +1832,24 @@ struct VecTreeExecutor {
             ann.info(product->children()[0].get()).schema.size();
         std::vector<std::pair<int, int>> keys;
         CollectEquiKeys(node->predicate(), pinfo.schema, left_cols, &keys);
-        if (!keys.empty()) return EvalFusedJoin(node, product, keys);
+        if (!keys.empty()) return EvalFusedJoin(node, product, keys, prof);
       }
     }
     std::vector<ColumnTable> inputs;
     for (const PlanPtr& c : node->children()) {
-      TQP_ASSIGN_OR_RETURN(r, Eval(c));
+      ProfileNode* cp = nullptr;
+      if (prof != nullptr) {
+        prof->children.emplace_back();
+        cp = &prof->children.back();
+      }
+      TQP_ASSIGN_OR_RETURN(r, Eval(c, cp));
       inputs.push_back(std::move(r));
     }
     double in1 = inputs.empty() ? 0.0 : static_cast<double>(inputs[0].rows());
     double in2 =
         inputs.size() < 2 ? 0.0 : static_cast<double>(inputs[1].rows());
     TQP_ASSIGN_OR_RETURN(result, Apply(node, info, inputs));
-    AccountNode(node.get(), info, in1, in2, result.rows());
+    AccountNode(node.get(), info, in1, in2, result.rows(), prof);
     return MaybeScramble(node.get(), info, std::move(result));
   }
 
@@ -1801,7 +1907,8 @@ struct VecTreeExecutor {
 Result<Relation> ExecuteVectorized(const AnnotatedPlan& plan,
                                    const EngineConfig& config,
                                    ExecStats* stats,
-                                   const VexecOptions& options) {
+                                   const VexecOptions& options,
+                                   ProfileNode* profile) {
   VexecOptions opts = options;
   if (opts.batch_size == 0) opts.batch_size = 1;
   if (opts.morsel_rows == 0) opts.morsel_rows = 1;
@@ -1810,12 +1917,13 @@ Result<Relation> ExecuteVectorized(const AnnotatedPlan& plan,
   VexecRuntime rt;
   rt.morsel_rows = opts.morsel_rows;
   rt.memory_budget = opts.memory_budget;
+  rt.tracer = config.tracer;
   if (opts.threads > 1) {
     pool = std::make_unique<WorkStealingPool>(opts.threads);
     rt.pool = pool.get();
   }
   VecTreeExecutor ex{plan, config, stats, opts, rt};
-  TQP_ASSIGN_OR_RETURN(table, ex.Eval(plan.plan()));
+  TQP_ASSIGN_OR_RETURN(table, ex.Eval(plan.plan(), profile));
   Relation out = VecToRelation(table, rt);
   out.set_order(plan.root_info().order);
   if (stats != nullptr) {

@@ -55,11 +55,13 @@ struct VexecOptions {
 
 /// Evaluates an annotated plan with the vectorized engine. Drop-in
 /// equivalent of Evaluate(): same result list, same order annotation, same
-/// error statuses, same simulated cost accounting.
+/// error statuses, same simulated cost accounting — including the optional
+/// per-plan-node `profile` tree (core/profile.h; batches filled here).
 Result<Relation> ExecuteVectorized(const AnnotatedPlan& plan,
                                    const EngineConfig& config = {},
                                    ExecStats* stats = nullptr,
-                                   const VexecOptions& options = {});
+                                   const VexecOptions& options = {},
+                                   ProfileNode* profile = nullptr);
 
 /// Convenience twin of EvaluatePlan(): annotates a raw plan tree (multiset
 /// contract) and executes it vectorized. Intended for tests.
